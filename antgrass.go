@@ -1,0 +1,277 @@
+// Package antgrass is a Go implementation of inclusion-based
+// (Andersen-style) pointer analysis with Lazy Cycle Detection and Hybrid
+// Cycle Detection, reproducing Hardekopf and Lin, "The Ant and the
+// Grasshopper: Fast and Accurate Pointer Analysis for Millions of Lines of
+// Code" (PLDI 2007).
+//
+// The package offers:
+//
+//   - six solvers — the paper's LCD and HCD plus reimplementations of the
+//     Heintze–Tardieu (HT), Pearce–Kelly–Hankin (PKH, and the earlier PKW),
+//     and Berndl et al. (BLQ, BDD-based) algorithms — all combinable with
+//     HCD and all producing identical solutions;
+//   - two points-to set representations (GCC-style sparse bitmaps and
+//     BDDs);
+//   - a C-subset front-end generating constraints (CompileC);
+//   - Offline Variable Substitution pre-processing;
+//   - synthetic workload generation shaped like the paper's benchmarks.
+//
+// Typical use:
+//
+//	unit, _ := antgrass.CompileC(src)
+//	res, _ := antgrass.Solve(unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true})
+//	for _, o := range res.PointsTo(v) { ... }
+package antgrass
+
+import (
+	"fmt"
+	"io"
+
+	"antgrass/internal/blq"
+	"antgrass/internal/cgen"
+	"antgrass/internal/constraint"
+	"antgrass/internal/core"
+	"antgrass/internal/hcd"
+	"antgrass/internal/olf"
+	"antgrass/internal/ovs"
+	"antgrass/internal/pts"
+	"antgrass/internal/steens"
+	"antgrass/internal/synth"
+)
+
+// VarID identifies a program variable (a memory location). IDs are dense
+// starting at 0.
+type VarID = constraint.VarID
+
+// Program is an inclusion-constraint system (see the constraint file
+// format in README.md).
+type Program = constraint.Program
+
+// Unit is a compiled C translation unit: constraints plus name tables.
+type Unit = cgen.Unit
+
+// Stats holds the solver cost counters of the paper's §5.3 plus timing and
+// analytic memory accounting.
+type Stats = core.Stats
+
+// Algorithm names a solver.
+type Algorithm string
+
+// The available solvers.
+const (
+	// Naive is the baseline worklist algorithm with no cycle detection
+	// (Figure 1 of the paper).
+	Naive Algorithm = "naive"
+	// LCD is Lazy Cycle Detection (Figure 2), one of the paper's two
+	// contributions.
+	LCD Algorithm = "lcd"
+	// HT is the Heintze–Tardieu pre-transitive-graph algorithm.
+	HT Algorithm = "ht"
+	// PKH is Pearce–Kelly–Hankin's periodic-sweep algorithm.
+	PKH Algorithm = "pkh"
+	// PKW is Pearce–Kelly–Hankin's earlier per-insertion algorithm
+	// (the over-aggressive ablation of §5.3).
+	PKW Algorithm = "pkw"
+	// BLQ is Berndl et al.'s BDD-relation solver.
+	BLQ Algorithm = "blq"
+)
+
+// Repr selects the points-to set representation (§5.4).
+type Repr string
+
+// The available representations.
+const (
+	// Bitmap uses GCC-style sparse bitmaps (Tables 3-4).
+	Bitmap Repr = "bitmap"
+	// BDD gives each variable its own BDD over a shared manager
+	// (Tables 5-6). Ignored by the BLQ solver, which always stores the
+	// whole relation in one BDD.
+	BDD Repr = "bdd"
+)
+
+// Options configures Solve.
+type Options struct {
+	// Algorithm selects the solver; empty means LCD.
+	Algorithm Algorithm
+	// HCD enables Hybrid Cycle Detection (the paper's second
+	// contribution): a linear-time offline pass whose table lets the
+	// online solver collapse cycles without graph traversal. LCD+HCD
+	// is the paper's headline configuration.
+	HCD bool
+	// OVS runs Offline Variable Substitution first, typically shrinking
+	// the constraint system substantially without changing any answer.
+	OVS bool
+	// Pts selects the points-to set representation; empty means Bitmap.
+	Pts Repr
+	// DiffProp enables difference propagation on the Naive and LCD
+	// solvers (Pearce et al.'s optimization; see the ablation study).
+	DiffProp bool
+	// BDDPoolNodes pre-sizes BDD pools (0 = default).
+	BDDPoolNodes int
+}
+
+// Result is a solved pointer analysis over the original variable ids (all
+// pre-processing and cycle collapsing is transparent to queries).
+type Result struct {
+	inner *core.Result
+	// OVSStats describes the pre-processing step when Options.OVS was
+	// set (nil otherwise).
+	OVSStats *ovs.Result
+}
+
+// Stats returns the solver's cost counters.
+func (r *Result) Stats() Stats { return r.inner.Stats }
+
+// PointsTo returns the points-to set of v in ascending order.
+func (r *Result) PointsTo(v VarID) []VarID { return r.inner.PointsToSlice(v) }
+
+// PointsToLen returns |pts(v)| without materializing the set.
+func (r *Result) PointsToLen(v VarID) int {
+	s := r.inner.PointsTo(v)
+	if s == nil {
+		return 0
+	}
+	return s.Len()
+}
+
+// Contains reports whether loc ∈ pts(v).
+func (r *Result) Contains(v, loc VarID) bool {
+	s := r.inner.PointsTo(v)
+	return s != nil && s.Contains(loc)
+}
+
+// Alias reports whether a and b may alias (their points-to sets
+// intersect).
+func (r *Result) Alias(a, b VarID) bool { return r.inner.Alias(a, b) }
+
+// Rep returns v's constraint-graph representative after cycle collapsing;
+// variables with equal representatives provably have identical points-to
+// sets.
+func (r *Result) Rep(v VarID) VarID { return r.inner.Rep(v) }
+
+// Solve runs the configured analysis on p. p itself is never modified.
+func Solve(p *Program, o Options) (*Result, error) {
+	if o.Algorithm == "" {
+		o.Algorithm = LCD
+	}
+	if o.Pts == "" {
+		o.Pts = Bitmap
+	}
+	res := &Result{}
+	prog := p
+	var preUnions [][2]uint32
+	if o.OVS {
+		red := ovs.Reduce(p)
+		res.OVSStats = red
+		prog = red.Reduced
+		preUnions = red.PreUnions
+	}
+	copts := core.Options{BDDPoolNodes: o.BDDPoolNodes, DiffProp: o.DiffProp}
+	switch o.Algorithm {
+	case Naive:
+		copts.Algorithm = core.Naive
+	case LCD:
+		copts.Algorithm = core.LCD
+	case HT:
+		copts.Algorithm = core.HT
+	case PKH:
+		copts.Algorithm = core.PKH
+	case PKW:
+		copts.Algorithm = core.PKW
+	case BLQ:
+		// handled below
+	default:
+		return nil, fmt.Errorf("antgrass: unknown algorithm %q", o.Algorithm)
+	}
+	if o.HCD || len(preUnions) > 0 {
+		table := &hcd.Result{Pairs: map[uint32]uint32{}}
+		if o.HCD {
+			table = hcd.Analyze(prog)
+		}
+		table.PreUnions = append(table.PreUnions, preUnions...)
+		copts.WithHCD = true
+		copts.HCDTable = table
+	}
+	if o.Pts == BDD && o.Algorithm != BLQ {
+		copts.Pts = pts.NewBDDFactory(uint32(prog.NumVars), o.BDDPoolNodes)
+	}
+	var (
+		inner *core.Result
+		err   error
+	)
+	if o.Algorithm == BLQ {
+		inner, err = blq.Solve(prog, copts)
+	} else {
+		inner, err = core.Solve(prog, copts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.inner = inner
+	return res, nil
+}
+
+// CompileC parses a C-subset source file and generates its inclusion
+// constraints (the front-end role CIL plays in the paper), using the sound
+// field-insensitive model.
+func CompileC(src string) (*Unit, error) { return cgen.Compile(src) }
+
+// CGenOptions configures the C front-end (see cgen.Options for the
+// field-based mode of the paper's footnote 2).
+type CGenOptions = cgen.Options
+
+// CompileCWith is CompileC with explicit front-end options.
+func CompileCWith(src string, opts CGenOptions) (*Unit, error) {
+	return cgen.CompileWith(src, opts)
+}
+
+// ReadProgram parses the text constraint-file format.
+func ReadProgram(r io.Reader) (*Program, error) { return constraint.Read(r) }
+
+// WriteProgram serializes a program in the text constraint-file format.
+func WriteProgram(w io.Writer, p *Program) error { return constraint.Write(w, p) }
+
+// NewProgram returns an empty constraint program for manual construction.
+func NewProgram() *Program { return constraint.NewProgram() }
+
+// Workload generates the named synthetic benchmark ("emacs",
+// "ghostscript", "gimp", "insight", "wine", "linux") at the given scale
+// (1.0 = the paper's reduced constraint counts).
+func Workload(name string, scale float64) (*Program, error) {
+	p, ok := synth.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("antgrass: unknown workload %q", name)
+	}
+	return synth.Generate(p.Scale(scale)), nil
+}
+
+// WorkloadNames lists the available synthetic benchmarks in Table 2 order.
+func WorkloadNames() []string {
+	out := make([]string, len(synth.PaperProfiles))
+	for i, p := range synth.PaperProfiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Reduce runs Offline Variable Substitution on p, returning the reduction
+// result (reduced program, pre-unions, statistics).
+func Reduce(p *Program) *ovs.Result { return ovs.Reduce(p) }
+
+// UnificationResult is a solved Steensgaard (unification-based) analysis,
+// the less-precise near-linear-time baseline the paper's introduction
+// positions inclusion-based analysis against.
+type UnificationResult = steens.Result
+
+// SolveSteensgaard runs Steensgaard's unification-based analysis on p. Its
+// solution is a sound over-approximation of Solve's (use it to reproduce
+// the precision comparison motivating the paper).
+func SolveSteensgaard(p *Program) (*UnificationResult, error) { return steens.Solve(p) }
+
+// OneLevelFlowResult is a solved One-Level Flow analysis (Das-style), the
+// middle point of the precision spectrum the paper's related work maps
+// out: Andersen ⊆ OneLevelFlow ⊆ Steensgaard, pointwise.
+type OneLevelFlowResult = olf.Result
+
+// SolveOneLevelFlow runs the One-Level Flow analysis on p.
+func SolveOneLevelFlow(p *Program) (*OneLevelFlowResult, error) { return olf.Solve(p) }

@@ -1,0 +1,60 @@
+package antgrass
+
+import "sort"
+
+// CallEdge is one resolved call-graph edge.
+type CallEdge struct {
+	// Caller is the calling function ("<toplevel>" for initializers).
+	Caller string
+	// Callee is the resolved target function.
+	Callee string
+	// Line is the call site's source line.
+	Line int
+	// Indirect marks edges resolved through a function pointer's
+	// points-to set.
+	Indirect bool
+}
+
+// CallGraph resolves every call site of a compiled unit against a solved
+// analysis: direct calls contribute their static target, indirect calls
+// contribute one edge per function in the pointer's points-to set. This is
+// the client analysis the paper's indirect-call handling exists for.
+func CallGraph(u *Unit, r *Result) []CallEdge {
+	fnName := make(map[VarID]string, len(u.Funcs))
+	for name, id := range u.Funcs {
+		fnName[id] = name
+	}
+	var edges []CallEdge
+	seen := map[CallEdge]bool{}
+	add := func(e CallEdge) {
+		if e.Caller == "" {
+			e.Caller = "<toplevel>"
+		}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for _, cs := range u.CallSites {
+		if !cs.Indirect {
+			add(CallEdge{Caller: cs.Caller, Callee: cs.Callee, Line: cs.Line})
+			continue
+		}
+		for _, o := range r.PointsTo(cs.FuncPtr) {
+			if name, isFn := fnName[o]; isFn {
+				add(CallEdge{Caller: cs.Caller, Callee: name, Line: cs.Line, Indirect: true})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.Caller != b.Caller {
+			return a.Caller < b.Caller
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Callee < b.Callee
+	})
+	return edges
+}

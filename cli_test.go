@@ -1,0 +1,130 @@
+package antgrass
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd binaries into a shared temp dir.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", filepath.Base(bin), args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+// TestCLIPipeline drives the full toolchain: antcgen compiles C to a
+// constraint file, antsolve solves it, antsynth generates a workload that
+// antsolve also solves, and antcall prints a call graph.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	antcgen := buildTool(t, dir, "antcgen")
+	antsolve := buildTool(t, dir, "antsolve")
+	antsynth := buildTool(t, dir, "antsynth")
+	antcall := buildTool(t, dir, "antcall")
+
+	// 1. C → constraints.
+	csrc := filepath.Join(dir, "prog.c")
+	if err := os.WriteFile(csrc, []byte(`
+int g1, g2;
+int *pick(int c) { if (c) return &g1; return &g2; }
+int *(*sel)(int);
+int *result;
+void main(void) { sel = pick; result = sel(1); }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfile := filepath.Join(dir, "prog.constraints")
+	_, cgenErr := run(t, antcgen, "-o", cfile, csrc)
+	if !strings.Contains(cgenErr, "constraints") {
+		t.Errorf("antcgen summary missing: %q", cgenErr)
+	}
+
+	// 2. Solve it and query one variable by name.
+	out, _ := run(t, antsolve, "-alg", "lcd", "-hcd", "-stats", "-var", "result", cfile)
+	if !strings.Contains(out, "result -> {") {
+		t.Errorf("antsolve output missing variable dump:\n%s", out)
+	}
+	if !strings.Contains(out, "g1") || !strings.Contains(out, "g2") {
+		t.Errorf("pts(result) should name g1 and g2:\n%s", out)
+	}
+	if !strings.Contains(out, "nodes collapsed") {
+		t.Errorf("stats block missing:\n%s", out)
+	}
+
+	// 3. Synthetic workload → solve with OVS.
+	wfile := filepath.Join(dir, "w.constraints")
+	run(t, antsynth, "-bench", "emacs", "-scale", "0.02", "-o", wfile)
+	out, _ = run(t, antsolve, "-alg", "pkh", "-ovs", wfile)
+	if !strings.Contains(out, "ovs:") {
+		t.Errorf("antsolve -ovs output missing reduction line:\n%s", out)
+	}
+	if !strings.Contains(out, "solved") {
+		t.Errorf("antsolve summary missing:\n%s", out)
+	}
+
+	// 4. Call graph straight from C.
+	out, _ = run(t, antcall, "-modref", "-transitive", csrc)
+	if !strings.Contains(out, "main") || !strings.Contains(out, "pick") {
+		t.Errorf("antcall output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "MOD/REF") {
+		t.Errorf("antcall -modref summary missing:\n%s", out)
+	}
+
+	// 5. Round trip: solving the same file with two algorithms agrees on
+	// the summary's set statistics.
+	out1, _ := run(t, antsolve, "-alg", "lcd", wfile)
+	out2, _ := run(t, antsolve, "-alg", "ht", wfile)
+	stat1 := extractLine(out1, "non-empty")
+	stat2 := extractLine(out2, "non-empty")
+	if stat1 == "" || stat1 != stat2 {
+		t.Errorf("solution statistics differ between solvers:\n%q\n%q", stat1, stat2)
+	}
+}
+
+func extractLine(s, prefix string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return line
+		}
+	}
+	return ""
+}
+
+// TestCLIBenchSmoke runs antbench on a tiny scale for one table.
+func TestCLIBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	antbench := buildTool(t, dir, "antbench")
+	out, _ := run(t, antbench, "-scale", "0.004", "-table", "3")
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "lcd+hcd") {
+		t.Errorf("antbench table output incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "ERR") {
+		t.Errorf("antbench cell failed:\n%s", out)
+	}
+}

@@ -1,0 +1,99 @@
+// Command antbench runs the paper's evaluation matrix (§5) on the
+// synthetic Table 2 workloads and prints each table and figure.
+//
+// Usage:
+//
+//	antbench [-scale 0.1] [-table N | -figure N | -stats | -all] [-v]
+//
+// -scale multiplies the paper's reduced constraint counts (1.0 = full
+// paper size; the default keeps a laptop run in minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"antgrass/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper-sized constraint counts)")
+	table := flag.Int("table", 0, "print one table (2-6)")
+	figure := flag.Int("figure", 0, "print one figure (6-10)")
+	stats := flag.Bool("stats", false, "print the §5.3 cost-counter comparison")
+	ablations := flag.Bool("ablations", false, "print the design-choice ablations (PKW aggressiveness, worklist strategies, difference propagation)")
+	precision := flag.Bool("precision", false, "print the Andersen-vs-Steensgaard precision comparison")
+	all := flag.Bool("all", false, "print every table and figure")
+	pool := flag.Int("pool", 0, "BDD node-pool size (0 = default)")
+	verbose := flag.Bool("v", false, "log each run as it completes")
+	flag.Parse()
+
+	h := bench.NewHarness(*scale)
+	h.PoolNodes = *pool
+	if *verbose {
+		h.Progress = os.Stderr
+	}
+	out := os.Stdout
+
+	if !*all && *table == 0 && *figure == 0 && !*stats && !*ablations && !*precision {
+		*all = true
+	}
+	if *all {
+		h.Table2(out)
+		h.Table3(out)
+		h.Table4(out)
+		h.Table5(out)
+		h.Table6(out)
+		h.Figure6(out)
+		h.Figure7(out)
+		h.Figure8(out)
+		h.Figure9(out)
+		h.Figure10(out)
+		h.StatsTable(out)
+		h.Ablations(out)
+		h.PrecisionTable(out)
+		return
+	}
+	switch *table {
+	case 0:
+	case 2:
+		h.Table2(out)
+	case 3:
+		h.Table3(out)
+	case 4:
+		h.Table4(out)
+	case 5:
+		h.Table5(out)
+	case 6:
+		h.Table6(out)
+	default:
+		fmt.Fprintf(os.Stderr, "antbench: no table %d (tables 2-6)\n", *table)
+		os.Exit(2)
+	}
+	switch *figure {
+	case 0:
+	case 6:
+		h.Figure6(out)
+	case 7:
+		h.Figure7(out)
+	case 8:
+		h.Figure8(out)
+	case 9:
+		h.Figure9(out)
+	case 10:
+		h.Figure10(out)
+	default:
+		fmt.Fprintf(os.Stderr, "antbench: no figure %d (figures 6-10)\n", *figure)
+		os.Exit(2)
+	}
+	if *stats {
+		h.StatsTable(out)
+	}
+	if *ablations {
+		h.Ablations(out)
+	}
+	if *precision {
+		h.PrecisionTable(out)
+	}
+}

@@ -1,0 +1,143 @@
+// Command antsolve runs a pointer analysis over a constraint file.
+//
+// Usage:
+//
+//	antsolve [-alg lcd] [-hcd] [-ovs] [-pts bitmap|bdd] [-stats] [-print] [-var name] file
+//
+// The input is the antgrass text constraint format (see README.md); "-"
+// reads stdin. With -print the full solution is dumped (one line per
+// variable with a non-empty points-to set); -var restricts output to one
+// variable by name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"antgrass"
+)
+
+func main() {
+	alg := flag.String("alg", "lcd", "algorithm: naive, lcd, ht, pkh, pkw, blq")
+	hcd := flag.Bool("hcd", false, "enable hybrid cycle detection")
+	ovs := flag.Bool("ovs", false, "run offline variable substitution first")
+	repr := flag.String("pts", "bitmap", "points-to representation: bitmap or bdd")
+	stats := flag.Bool("stats", false, "print solver cost counters")
+	print := flag.Bool("print", false, "print the full points-to solution")
+	varName := flag.String("var", "", "print the solution of one variable")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: antsolve [flags] <file.constraints | ->")
+		os.Exit(2)
+	}
+
+	var in io.Reader
+	if flag.Arg(0) == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	prog, err := antgrass.ReadProgram(in)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := antgrass.Solve(prog, antgrass.Options{
+		Algorithm: antgrass.Algorithm(*alg),
+		HCD:       *hcd,
+		OVS:       *ovs,
+		Pts:       antgrass.Repr(*repr),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	s := res.Stats()
+	nonEmpty, totalSize := 0, 0
+	for v := uint32(0); v < uint32(prog.NumVars); v++ {
+		if n := res.PointsToLen(v); n > 0 {
+			nonEmpty++
+			totalSize += n
+		}
+	}
+	fmt.Printf("solved %d constraints over %d vars with %s%s in %v\n",
+		len(prog.Constraints), prog.NumVars, *alg, suffixes(*hcd, *ovs), s.SolveDuration)
+	avg := 0.0
+	if nonEmpty > 0 {
+		avg = float64(totalSize) / float64(nonEmpty)
+	}
+	fmt.Printf("non-empty points-to sets: %d (avg size %.2f), memory %.1f MB\n",
+		nonEmpty, avg, float64(s.MemBytes)/(1<<20))
+	if res.OVSStats != nil {
+		fmt.Printf("ovs: %d -> %d constraints (%.0f%% reduction) in %v\n",
+			res.OVSStats.Before, res.OVSStats.After, res.OVSStats.ReductionPercent(), res.OVSStats.Duration)
+	}
+	if *stats {
+		fmt.Printf("nodes collapsed:  %d\n", s.NodesCollapsed)
+		fmt.Printf("nodes searched:   %d\n", s.NodesSearched)
+		fmt.Printf("propagations:     %d\n", s.Propagations)
+		fmt.Printf("edges added:      %d\n", s.EdgesAdded)
+		fmt.Printf("cycle checks:     %d\n", s.CycleChecks)
+		fmt.Printf("hcd collapses:    %d\n", s.HCDCollapses)
+		if *hcd {
+			fmt.Printf("hcd offline time: %v\n", s.OfflineDuration)
+		}
+	}
+	if *varName != "" {
+		id, found := findVar(prog, *varName)
+		if !found {
+			fatal(fmt.Errorf("no variable named %q", *varName))
+		}
+		printVar(prog, res, id)
+		return
+	}
+	if *print {
+		for v := uint32(0); v < uint32(prog.NumVars); v++ {
+			if res.PointsToLen(v) > 0 {
+				printVar(prog, res, v)
+			}
+		}
+	}
+}
+
+func suffixes(hcd, ovs bool) string {
+	out := ""
+	if hcd {
+		out += "+hcd"
+	}
+	if ovs {
+		out += "+ovs"
+	}
+	return out
+}
+
+func findVar(p *antgrass.Program, name string) (uint32, bool) {
+	for v := uint32(0); v < uint32(p.NumVars); v++ {
+		if p.NameOf(v) == name {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func printVar(p *antgrass.Program, r *antgrass.Result, v uint32) {
+	fmt.Printf("%s -> {", p.NameOf(v))
+	for i, o := range r.PointsTo(v) {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Print(p.NameOf(o))
+	}
+	fmt.Println("}")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "antsolve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Compare: run the paper's full algorithm matrix on one synthetic
+// workload, verify that every configuration computes the identical
+// solution, and print a miniature version of Table 3's comparison with the
+// §5.3 cost counters.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"antgrass"
+)
+
+func main() {
+	prog, err := antgrass.Workload("ghostscript", 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	na, nc, nl, ns := prog.Counts()
+	fmt.Printf("workload: ghostscript@0.05 — %d vars, %d constraints (%d addr / %d copy / %d load / %d store)\n\n",
+		prog.NumVars, len(prog.Constraints), na, nc, nl, ns)
+
+	type config struct {
+		name string
+		opts antgrass.Options
+	}
+	configs := []config{
+		{"ht", antgrass.Options{Algorithm: antgrass.HT}},
+		{"pkh", antgrass.Options{Algorithm: antgrass.PKH}},
+		{"blq", antgrass.Options{Algorithm: antgrass.BLQ}},
+		{"lcd", antgrass.Options{Algorithm: antgrass.LCD}},
+		{"hcd", antgrass.Options{Algorithm: antgrass.Naive, HCD: true}},
+		{"ht+hcd", antgrass.Options{Algorithm: antgrass.HT, HCD: true}},
+		{"pkh+hcd", antgrass.Options{Algorithm: antgrass.PKH, HCD: true}},
+		{"blq+hcd", antgrass.Options{Algorithm: antgrass.BLQ, HCD: true}},
+		{"lcd+hcd", antgrass.Options{Algorithm: antgrass.LCD, HCD: true}},
+	}
+
+	var baseline *antgrass.Result
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "config\ttime\tmem(MB)\tcollapsed\tsearched\tpropagations\t")
+	for _, c := range configs {
+		res, err := antgrass.Solve(prog, c.opts)
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		if baseline == nil {
+			baseline = res
+		} else if !sameSolution(prog, baseline, res) {
+			log.Fatalf("%s computed a different solution!", c.name)
+		}
+		s := res.Stats()
+		fmt.Fprintf(tw, "%s\t%v\t%.1f\t%d\t%d\t%d\t\n",
+			c.name, s.SolveDuration.Round(10000), float64(s.MemBytes)/(1<<20),
+			s.NodesCollapsed, s.NodesSearched, s.Propagations)
+	}
+	tw.Flush()
+	fmt.Println("\nall nine configurations computed the identical points-to solution.")
+}
+
+func sameSolution(p *antgrass.Program, a, b *antgrass.Result) bool {
+	for v := uint32(0); v < uint32(p.NumVars); v++ {
+		x, y := a.PointsTo(v), b.PointsTo(v)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

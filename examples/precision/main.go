@@ -1,0 +1,82 @@
+// Precision: compare inclusion-based analysis (this paper's LCD+HCD)
+// against Steensgaard's unification-based analysis on a structured C
+// program — the comparison that motivates the paper: unification is fast
+// but merges everything assignments ever connect, while inclusion keeps
+// direction and stays precise.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"antgrass"
+)
+
+// A dispatcher copies many distinct resources through one generic variable;
+// unification fuses them all, inclusion keeps them apart.
+const src = `
+int file_obj, sock_obj, timer_obj, mem_obj;
+
+int *file_res, *sock_res, *timer_res, *mem_res;
+int *generic;
+
+void route(int which) {
+	file_res = &file_obj;
+	sock_res = &sock_obj;
+	timer_res = &timer_obj;
+	mem_res = &mem_obj;
+	/* one generic conduit variable observes everything */
+	if (which == 0) generic = file_res;
+	if (which == 1) generic = sock_res;
+	if (which == 2) generic = timer_res;
+	if (which == 3) generic = mem_res;
+}
+
+void main(void) { route(2); }
+`
+
+func main() {
+	unit, err := antgrass.CompileC(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	andersen, err := antgrass.Solve(unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oneLevel, err := antgrass.SolveOneLevelFlow(unit.Prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	steens, err := antgrass.SolveSteensgaard(unit.Prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := func(ids []uint32) string {
+		out := ""
+		for i, o := range ids {
+			if i > 0 {
+				out += " "
+			}
+			out += unit.Prog.NameOf(o)
+		}
+		return "{" + out + "}"
+	}
+	fmt.Printf("%-12s %-40s %-40s %s\n", "variable", "inclusion (Andersen/LCD+HCD)",
+		"one-level flow (Das)", "unification (Steensgaard)")
+	for _, name := range []string{"file_res", "sock_res", "timer_res", "mem_res", "generic"} {
+		v, _ := unit.VarByName(name)
+		fmt.Printf("%-12s %-40s %-40s %s\n", name, names(andersen.PointsTo(v)),
+			names(oneLevel.PointsToSlice(v)), names(steens.PointsToSlice(v)))
+	}
+
+	fr, _ := unit.VarByName("file_res")
+	sr, _ := unit.VarByName("sock_res")
+	fmt.Printf("\nmay-alias(file_res, sock_res): inclusion=%v  one-level=%v  unification=%v\n",
+		andersen.Alias(fr, sr), oneLevel.Alias(fr, sr), steens.Alias(fr, sr))
+	fmt.Println("\nunification fused every resource through the generic conduit;")
+	fmt.Println("one-level flow keeps the top level directional and stays exact here;")
+	fmt.Println("inclusion-based analysis is exact always — the precision the paper's")
+	fmt.Println("techniques make affordable at millions of lines.")
+}

@@ -1,0 +1,3 @@
+module antgrass
+
+go 1.22

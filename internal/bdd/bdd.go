@@ -1,0 +1,565 @@
+// Package bdd implements reduced ordered binary decision diagrams, the
+// substrate the paper's BLQ solver and BDD-backed points-to sets require
+// (the paper uses the BuDDy library [16]; this is a from-scratch Go
+// equivalent with the operations those clients need: apply-style Boolean
+// connectives, existential quantification, relational product, variable
+// replacement, satisfying-assignment enumeration, and a finite-domain
+// layer).
+//
+// Nodes are hash-consed into a manager-owned table and identified by dense
+// int32 ids; node 0 is the constant false, node 1 the constant true. Nodes
+// are never freed: like the paper's configuration of BuDDy, the manager
+// behaves as a pre-allocated pool whose footprint the benchmark harness
+// reports (§5.2 notes BLQ's memory is dominated by the initial pool and
+// nearly independent of benchmark size). Operation results are memoized in
+// BuDDy-style direct-mapped (lossy) caches.
+package bdd
+
+import "fmt"
+
+// Node identifies a BDD node within its Manager.
+type Node = int32
+
+const (
+	// False is the constant-false node.
+	False Node = 0
+	// True is the constant-true node.
+	True Node = 1
+)
+
+const termLevel = int32(1 << 30) // pseudo-level of terminals (below all vars)
+
+type nodeData struct {
+	level int32
+	lo    Node  // low child  (variable = 0)
+	hi    Node  // high child (variable = 1)
+	next  int32 // unique-table chain
+}
+
+type applyEntry struct {
+	key uint64
+	res Node
+}
+
+type iteEntry struct {
+	f, g, h Node
+	res     Node
+	valid   bool
+}
+
+type relEntry struct {
+	f, g, cube Node
+	res        Node
+	valid      bool
+}
+
+// Manager owns a universe of BDD nodes over variables (levels) 0..nvars-1,
+// where a smaller level is tested nearer the root.
+type Manager struct {
+	nvars int32
+	nodes []nodeData
+
+	// Chained unique table.
+	heads []int32 // bucket heads (node index + 1; 0 = empty)
+	mask  uint32
+
+	// Direct-mapped operation caches.
+	applyCache []applyEntry
+	iteCache   []iteEntry
+	quantCache []applyEntry
+	relCache   []relEntry
+	cacheMask  uint32
+
+	// Epoch-stamped memo for Replace/Restrict.
+	memo      []Node
+	memoStamp []uint32
+	epoch     uint32
+}
+
+// New returns a manager over nvars Boolean variables. initialPool reserves
+// capacity for that many nodes up front (0 picks a small default).
+func New(nvars int, initialPool int) *Manager {
+	if nvars < 0 || nvars >= 1<<12 {
+		panic(fmt.Sprintf("bdd: unsupported variable count %d", nvars))
+	}
+	if initialPool < 1024 {
+		initialPool = 1024
+	}
+	m := &Manager{
+		nvars: int32(nvars),
+		nodes: make([]nodeData, 2, initialPool),
+	}
+	m.nodes[False] = nodeData{level: termLevel}
+	m.nodes[True] = nodeData{level: termLevel}
+	// Unique table sized for the pool.
+	size := uint32(1)
+	for int(size) < initialPool {
+		size <<= 1
+	}
+	m.heads = make([]int32, size)
+	m.mask = size - 1
+	// Caches: a quarter of the pool, at least 4K entries.
+	csize := size / 4
+	if csize < 1<<12 {
+		csize = 1 << 12
+	}
+	m.applyCache = make([]applyEntry, csize)
+	m.iteCache = make([]iteEntry, csize)
+	m.quantCache = make([]applyEntry, csize)
+	m.relCache = make([]relEntry, csize)
+	m.cacheMask = csize - 1
+	return m
+}
+
+// NumVars returns the number of Boolean variables.
+func (m *Manager) NumVars() int { return int(m.nvars) }
+
+// NumNodes returns the number of live nodes (including terminals).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// MemBytes estimates the manager's heap footprint: node table capacity,
+// unique table, and operation caches.
+func (m *Manager) MemBytes() int {
+	const nodeBytes = 16
+	return cap(m.nodes)*nodeBytes +
+		len(m.heads)*4 +
+		len(m.applyCache)*16 + len(m.iteCache)*20 +
+		len(m.quantCache)*16 + len(m.relCache)*20 +
+		len(m.memo)*4 + len(m.memoStamp)*4
+}
+
+func (m *Manager) level(n Node) int32 { return m.nodes[n].level }
+
+func hash3(a, b, c uint32) uint32 {
+	h := a*0x9e3779b9 ^ b*0x85ebca6b ^ c*0xc2b2ae35
+	h ^= h >> 15
+	return h
+}
+
+// mk returns the canonical node (level, lo, hi).
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	b := hash3(uint32(level), uint32(lo), uint32(hi)) & m.mask
+	for i := m.heads[b]; i != 0; i = m.nodes[i-1].next {
+		nd := &m.nodes[i-1]
+		if nd.level == level && nd.lo == lo && nd.hi == hi {
+			return i - 1
+		}
+	}
+	if len(m.nodes) >= 1<<26 {
+		panic("bdd: node table overflow (2^26 nodes)")
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi, next: m.heads[b]})
+	m.heads[b] = n + 1
+	if uint32(len(m.nodes)) > m.mask+1 {
+		m.rehash()
+	}
+	return n
+}
+
+// rehash doubles the unique table when the load factor reaches 1.
+func (m *Manager) rehash() {
+	size := (m.mask + 1) * 2
+	m.heads = make([]int32, size)
+	m.mask = size - 1
+	for i := 2; i < len(m.nodes); i++ {
+		nd := &m.nodes[i]
+		b := hash3(uint32(nd.level), uint32(nd.lo), uint32(nd.hi)) & m.mask
+		nd.next = m.heads[b]
+		m.heads[b] = int32(i) + 1
+	}
+}
+
+// Var returns the BDD for variable v (level v).
+func (m *Manager) Var(v int) Node {
+	if v < 0 || int32(v) >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", v))
+	}
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD for the negation of variable v.
+func (m *Manager) NVar(v int) Node {
+	if v < 0 || int32(v) >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", v))
+	}
+	return m.mk(int32(v), True, False)
+}
+
+// Binary operator codes for the apply cache.
+const (
+	opAnd = iota + 1
+	opOr
+	opDiff
+	opXor
+	opQuant // reserved for Exist keys
+)
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Node) Node { return m.apply(opAnd, f, g) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Node) Node { return m.apply(opOr, f, g) }
+
+// Diff returns f ∧ ¬g.
+func (m *Manager) Diff(f, g Node) Node { return m.apply(opDiff, f, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Node) Node { return m.apply(opXor, f, g) }
+
+// Not returns ¬f.
+func (m *Manager) Not(f Node) Node { return m.apply(opDiff, True, f) }
+
+func applyTerminal(op int, f, g Node) (Node, bool) {
+	switch op {
+	case opAnd:
+		if f == False || g == False {
+			return False, true
+		}
+		if f == True {
+			return g, true
+		}
+		if g == True || f == g {
+			return f, true
+		}
+	case opOr:
+		if f == True || g == True {
+			return True, true
+		}
+		if f == False {
+			return g, true
+		}
+		if g == False || f == g {
+			return f, true
+		}
+	case opDiff:
+		if f == False || g == True || f == g {
+			return False, true
+		}
+		if g == False {
+			return f, true
+		}
+	case opXor:
+		if f == g {
+			return False, true
+		}
+		if f == False {
+			return g, true
+		}
+		if g == False {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+func (m *Manager) apply(op int, f, g Node) Node {
+	if r, done := applyTerminal(op, f, g); done {
+		return r
+	}
+	// Commutative ops: normalize operand order for better cache hits.
+	if (op == opAnd || op == opOr || op == opXor) && f > g {
+		f, g = g, f
+	}
+	key := uint64(op)<<56 | uint64(uint32(f))<<28 | uint64(uint32(g))
+	// Real keys are never zero (op ≥ 1 occupies the top byte), so the
+	// zero-valued empty slot can never false-positive.
+	slot := &m.applyCache[uint32(key^key>>29)&m.cacheMask]
+	if slot.key == key {
+		return slot.res
+	}
+	fl, gl := m.level(f), m.level(g)
+	lvl := fl
+	if gl < lvl {
+		lvl = gl
+	}
+	var f0, f1, g0, g1 Node
+	if fl == lvl {
+		f0, f1 = m.nodes[f].lo, m.nodes[f].hi
+	} else {
+		f0, f1 = f, f
+	}
+	if gl == lvl {
+		g0, g1 = m.nodes[g].lo, m.nodes[g].hi
+	} else {
+		g0, g1 = g, g
+	}
+	r := m.mk(lvl, m.apply(op, f0, g0), m.apply(op, f1, g1))
+	slot = &m.applyCache[uint32(key^key>>29)&m.cacheMask] // table may have moved
+	slot.key, slot.res = key, r
+	return r
+}
+
+// ITE returns if-then-else(f, g, h) = (f ∧ g) ∨ (¬f ∧ h).
+func (m *Manager) ITE(f, g, h Node) Node {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	slot := &m.iteCache[hash3(uint32(f), uint32(g), uint32(h))&m.cacheMask]
+	if slot.valid && slot.f == f && slot.g == g && slot.h == h {
+		return slot.res
+	}
+	lvl := m.level(f)
+	if l := m.level(g); l < lvl {
+		lvl = l
+	}
+	if l := m.level(h); l < lvl {
+		lvl = l
+	}
+	cof := func(n Node) (Node, Node) {
+		if m.level(n) == lvl {
+			return m.nodes[n].lo, m.nodes[n].hi
+		}
+		return n, n
+	}
+	f0, f1 := cof(f)
+	g0, g1 := cof(g)
+	h0, h1 := cof(h)
+	r := m.mk(lvl, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	slot = &m.iteCache[hash3(uint32(f), uint32(g), uint32(h))&m.cacheMask]
+	*slot = iteEntry{f: f, g: g, h: h, res: r, valid: true}
+	return r
+}
+
+// Cube builds the conjunction of the given variables (all positive); used
+// as the quantified-variable set for Exist and RelProd. Variables may be
+// given in any order.
+func (m *Manager) Cube(vars []int) Node {
+	sorted := append([]int(nil), vars...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	r := True
+	for _, v := range sorted {
+		r = m.mk(int32(v), False, r)
+	}
+	return r
+}
+
+// Exist existentially quantifies the variables of cube out of f.
+func (m *Manager) Exist(f, cube Node) Node {
+	if f == False || f == True || cube == True {
+		return f
+	}
+	key := uint64(opQuant)<<56 | uint64(uint32(f))<<28 | uint64(uint32(cube))
+	slot := &m.quantCache[uint32(key^key>>29)&m.cacheMask]
+	if slot.key == key {
+		return slot.res
+	}
+	fl := m.level(f)
+	c := cube
+	for c != True && m.level(c) < fl {
+		c = m.nodes[c].hi
+	}
+	var r Node
+	if c == True {
+		r = f
+	} else if m.level(c) == fl {
+		lo := m.Exist(m.nodes[f].lo, m.nodes[c].hi)
+		hi := m.Exist(m.nodes[f].hi, m.nodes[c].hi)
+		r = m.Or(lo, hi)
+	} else {
+		r = m.mk(fl, m.Exist(m.nodes[f].lo, c), m.Exist(m.nodes[f].hi, c))
+	}
+	slot = &m.quantCache[uint32(key^key>>29)&m.cacheMask]
+	slot.key, slot.res = key, r
+	return r
+}
+
+// RelProd returns ∃cube. f ∧ g, the relational product at the heart of
+// BDD-based points-to propagation, computed without materializing f ∧ g.
+func (m *Manager) RelProd(f, g, cube Node) Node {
+	if f == False || g == False {
+		return False
+	}
+	if f == True && g == True {
+		return True
+	}
+	slot := &m.relCache[hash3(uint32(f), uint32(g), uint32(cube))&m.cacheMask]
+	if slot.valid && slot.f == f && slot.g == g && slot.cube == cube {
+		return slot.res
+	}
+	fl, gl := m.level(f), m.level(g)
+	lvl := fl
+	if gl < lvl {
+		lvl = gl
+	}
+	c := cube
+	for c != True && m.level(c) < lvl {
+		c = m.nodes[c].hi
+	}
+	cof := func(n Node) (Node, Node) {
+		if m.level(n) == lvl {
+			return m.nodes[n].lo, m.nodes[n].hi
+		}
+		return n, n
+	}
+	f0, f1 := cof(f)
+	g0, g1 := cof(g)
+	var r Node
+	if c != True && m.level(c) == lvl {
+		lo := m.RelProd(f0, g0, m.nodes[c].hi)
+		if lo == True {
+			r = True
+		} else {
+			r = m.Or(lo, m.RelProd(f1, g1, m.nodes[c].hi))
+		}
+	} else {
+		r = m.mk(lvl, m.RelProd(f0, g0, c), m.RelProd(f1, g1, c))
+	}
+	slot = &m.relCache[hash3(uint32(f), uint32(g), uint32(cube))&m.cacheMask]
+	*slot = relEntry{f: f, g: g, cube: cube, res: r, valid: true}
+	return r
+}
+
+// beginMemo starts a fresh epoch of the node-indexed memo table used by
+// Replace and Restrict; lookups are valid only for nodes that existed when
+// the epoch began.
+func (m *Manager) beginMemo() int {
+	n := len(m.nodes)
+	if len(m.memo) < n {
+		m.memo = append(m.memo, make([]Node, n-len(m.memo))...)
+		m.memoStamp = append(m.memoStamp, make([]uint32, n-len(m.memoStamp))...)
+	}
+	m.epoch++
+	return n
+}
+
+// Replace renames variables of f according to the injective map shift
+// (old level → new level), rebuilding with ITE so arbitrary renamings —
+// including ones that cross other variables in the order — stay canonical
+// (the technique BuDDy's bdd_replace uses).
+func (m *Manager) Replace(f Node, shift map[int]int) Node {
+	bound := m.beginMemo()
+	var rec func(Node) Node
+	rec = func(n Node) Node {
+		if n == False || n == True {
+			return n
+		}
+		if int(n) < bound && m.memoStamp[n] == m.epoch {
+			return m.memo[n]
+		}
+		nd := m.nodes[n]
+		lo, hi := rec(nd.lo), rec(nd.hi)
+		lvl := int(nd.level)
+		if nl, ok := shift[lvl]; ok {
+			lvl = nl
+		}
+		r := m.ITE(m.Var(lvl), hi, lo)
+		if int(n) < bound {
+			m.memo[n] = r
+			m.memoStamp[n] = m.epoch
+		}
+		return r
+	}
+	return rec(f)
+}
+
+// Restrict fixes variable v of f to the given value.
+func (m *Manager) Restrict(f Node, v int, value bool) Node {
+	bound := m.beginMemo()
+	lvl := int32(v)
+	var rec func(Node) Node
+	rec = func(n Node) Node {
+		nd := m.nodes[n]
+		if nd.level > lvl {
+			return n // v does not occur below here
+		}
+		if int(n) < bound && m.memoStamp[n] == m.epoch {
+			return m.memo[n]
+		}
+		var r Node
+		if nd.level == lvl {
+			if value {
+				r = nd.hi
+			} else {
+				r = nd.lo
+			}
+		} else {
+			r = m.mk(nd.level, rec(nd.lo), rec(nd.hi))
+		}
+		if int(n) < bound {
+			m.memo[n] = r
+			m.memoStamp[n] = m.epoch
+		}
+		return r
+	}
+	return rec(f)
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// nvars variables, as a float64 (which saturates gracefully for the sizes
+// we use).
+func (m *Manager) SatCount(f Node) float64 {
+	memo := make(map[Node]float64)
+	var rec func(Node) float64 // assignments over vars strictly below level(n)
+	rec = func(n Node) float64 {
+		if n == False {
+			return 0
+		}
+		if n == True {
+			return 1
+		}
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		nd := m.nodes[n]
+		lo := rec(nd.lo) * pow2(m.gap(nd.level, nd.lo))
+		hi := rec(nd.hi) * pow2(m.gap(nd.level, nd.hi))
+		c := lo + hi
+		memo[n] = c
+		return c
+	}
+	return rec(f) * pow2(int(m.topGap(f)))
+}
+
+// gap counts the variables skipped between a parent at level l and child c.
+func (m *Manager) gap(l int32, c Node) int {
+	cl := m.level(c)
+	if cl == termLevel {
+		cl = m.nvars
+	}
+	return int(cl - l - 1)
+}
+
+func (m *Manager) topGap(f Node) int32 {
+	fl := m.level(f)
+	if fl == termLevel {
+		fl = m.nvars
+	}
+	return fl
+}
+
+func pow2(k int) float64 {
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= 2
+	}
+	return r
+}
+
+// Eval evaluates f under the assignment given by env (indexed by level).
+func (m *Manager) Eval(f Node, env []bool) bool {
+	n := f
+	for n != False && n != True {
+		nd := m.nodes[n]
+		if env[nd.level] {
+			n = nd.hi
+		} else {
+			n = nd.lo
+		}
+	}
+	return n == True
+}

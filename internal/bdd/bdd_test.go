@@ -1,0 +1,379 @@
+package bdd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandom constructs a random BDD over m's variables and, in parallel,
+// its truth table as a function, giving an oracle for the operations.
+func buildRandom(m *Manager, rng *rand.Rand, depth int) Node {
+	if depth == 0 {
+		if rng.Intn(2) == 0 {
+			return False
+		}
+		return True
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return m.Var(rng.Intn(m.NumVars()))
+	case 1:
+		return m.NVar(rng.Intn(m.NumVars()))
+	case 2:
+		return m.And(buildRandom(m, rng, depth-1), buildRandom(m, rng, depth-1))
+	default:
+		return m.Or(buildRandom(m, rng, depth-1), buildRandom(m, rng, depth-1))
+	}
+}
+
+// allEnvs enumerates all assignments of n variables.
+func allEnvs(n int) [][]bool {
+	total := 1 << n
+	out := make([][]bool, total)
+	for i := 0; i < total; i++ {
+		env := make([]bool, n)
+		for j := 0; j < n; j++ {
+			env[j] = i&(1<<j) != 0
+		}
+		out[i] = env
+	}
+	return out
+}
+
+func TestConstants(t *testing.T) {
+	m := New(3, 0)
+	if m.Not(False) != True || m.Not(True) != False {
+		t.Error("Not on constants")
+	}
+	if m.And(True, False) != False || m.Or(True, False) != True {
+		t.Error("And/Or on constants")
+	}
+	if m.NumNodes() != 2 {
+		t.Errorf("fresh manager has %d nodes, want 2", m.NumNodes())
+	}
+}
+
+func TestVarSemantics(t *testing.T) {
+	m := New(4, 0)
+	x := m.Var(2)
+	env := make([]bool, 4)
+	if m.Eval(x, env) {
+		t.Error("x2 false under all-false env")
+	}
+	env[2] = true
+	if !m.Eval(x, env) {
+		t.Error("x2 true when set")
+	}
+	if m.Var(2) != x {
+		t.Error("hash-consing: Var(2) must be canonical")
+	}
+}
+
+func TestQuickBooleanOps(t *testing.T) {
+	const nv = 5
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(nv, 0)
+		a := buildRandom(m, rng, 4)
+		b := buildRandom(m, rng, 4)
+		and, or, diff, xor, not := m.And(a, b), m.Or(a, b), m.Diff(a, b), m.Xor(a, b), m.Not(a)
+		ite := m.ITE(a, b, not)
+		for _, env := range allEnvs(nv) {
+			ea, eb := m.Eval(a, env), m.Eval(b, env)
+			if m.Eval(and, env) != (ea && eb) {
+				return false
+			}
+			if m.Eval(or, env) != (ea || eb) {
+				return false
+			}
+			if m.Eval(diff, env) != (ea && !eb) {
+				return false
+			}
+			if m.Eval(xor, env) != (ea != eb) {
+				return false
+			}
+			if m.Eval(not, env) != !ea {
+				return false
+			}
+			want := !ea // ite(a, b, ¬a)
+			if ea {
+				want = eb
+			}
+			if m.Eval(ite, env) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCanonicity: equivalent formulas share one node id.
+func TestCanonicity(t *testing.T) {
+	m := New(4, 0)
+	x, y := m.Var(0), m.Var(1)
+	a := m.Or(m.And(x, y), m.And(x, m.Not(y))) // = x
+	if a != x {
+		t.Errorf("canonical reduction failed: %d vs %d", a, x)
+	}
+	deMorgan := m.Not(m.And(x, y))
+	orForm := m.Or(m.Not(x), m.Not(y))
+	if deMorgan != orForm {
+		t.Error("De Morgan forms must be identical nodes")
+	}
+}
+
+func TestQuickExist(t *testing.T) {
+	const nv = 5
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(nv, 0)
+		a := buildRandom(m, rng, 4)
+		v := rng.Intn(nv)
+		w := rng.Intn(nv)
+		cube := m.Cube([]int{v, w})
+		ex := m.Exist(a, cube)
+		for _, env := range allEnvs(nv) {
+			// ∃v,w. a — true iff some setting of v,w satisfies a.
+			want := false
+			for _, bv := range []bool{false, true} {
+				for _, bw := range []bool{false, true} {
+					e2 := append([]bool(nil), env...)
+					e2[v], e2[w] = bv, bw
+					if m.Eval(a, e2) {
+						want = true
+					}
+				}
+			}
+			if m.Eval(ex, env) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRelProdMatchesExistAnd(t *testing.T) {
+	const nv = 6
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(nv, 0)
+		a := buildRandom(m, rng, 4)
+		b := buildRandom(m, rng, 4)
+		vars := []int{rng.Intn(nv), rng.Intn(nv)}
+		cube := m.Cube(vars)
+		return m.RelProd(a, b, cube) == m.Exist(m.And(a, b), cube)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplaceSimple(t *testing.T) {
+	m := New(4, 0)
+	x0, x2 := m.Var(0), m.Var(2)
+	if m.Replace(x0, map[int]int{0: 2}) != x2 {
+		t.Error("Replace var 0 -> 2 failed")
+	}
+	// Order-crossing rename: f over vars {1,2}, rename 2 -> 0.
+	f := m.And(m.Var(1), m.Var(2))
+	g := m.Replace(f, map[int]int{2: 0})
+	want := m.And(m.Var(1), m.Var(0))
+	if g != want {
+		t.Error("order-crossing Replace failed")
+	}
+}
+
+func TestQuickReplaceSemantics(t *testing.T) {
+	const nv = 6
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(nv, 0)
+		a := buildRandom(m, rng, 4)
+		// Injective rename of vars 0,1 to two distinct free slots.
+		shift := map[int]int{0: 4, 1: 5}
+		// a must not depend on targets for a clean semantic check:
+		// quantify 4,5 out first.
+		a = m.Exist(a, m.Cube([]int{4, 5}))
+		b := m.Replace(a, shift)
+		for _, env := range allEnvs(nv) {
+			e2 := append([]bool(nil), env...)
+			e2[0], e2[1] = env[4], env[5]
+			if m.Eval(b, env) != m.Eval(a, e2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := New(3, 0)
+	f := m.And(m.Var(0), m.Or(m.Var(1), m.Var(2)))
+	r1 := m.Restrict(f, 0, true)
+	if r1 != m.Or(m.Var(1), m.Var(2)) {
+		t.Error("Restrict x0=1")
+	}
+	if m.Restrict(f, 0, false) != False {
+		t.Error("Restrict x0=0")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(4, 0)
+	if got := m.SatCount(True); got != 16 {
+		t.Errorf("SatCount(True) = %v, want 16", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("SatCount(False) = %v", got)
+	}
+	if got := m.SatCount(m.Var(2)); got != 8 {
+		t.Errorf("SatCount(x2) = %v, want 8", got)
+	}
+	xor := m.Xor(m.Var(0), m.Var(3))
+	if got := m.SatCount(xor); got != 8 {
+		t.Errorf("SatCount(x0 xor x3) = %v, want 8", got)
+	}
+}
+
+func TestCubeOrderIndependent(t *testing.T) {
+	m := New(5, 0)
+	if m.Cube([]int{3, 1, 4}) != m.Cube([]int{4, 3, 1}) {
+		t.Error("Cube must not depend on argument order")
+	}
+}
+
+func TestMemBytesGrows(t *testing.T) {
+	m := New(8, 0)
+	before := m.NumNodes()
+	rng := rand.New(rand.NewSource(1))
+	buildRandom(m, rng, 6)
+	if m.NumNodes() <= before {
+		t.Error("node table should grow")
+	}
+	if m.MemBytes() <= 0 {
+		t.Error("MemBytes must be positive")
+	}
+}
+
+// --- Domain layer ---
+
+func TestDomainEq(t *testing.T) {
+	m, doms := NewManagerWithDomains(10, 2, 0)
+	d1, d2 := doms[0], doms[1]
+	for v := uint32(0); v < 10; v++ {
+		f := d1.Eq(v)
+		got := d1.Values(f)
+		if !reflect.DeepEqual(got, []uint32{v}) {
+			t.Fatalf("Values(Eq(%d)) = %v", v, got)
+		}
+	}
+	// Different domains encode independently.
+	p := Pair(d1, 3, d2, 7)
+	if d1.Values(m.Exist(p, d2.Cube()))[0] != 3 {
+		t.Error("pair: d1 side")
+	}
+	if d2.Values(m.Exist(p, d1.Cube()))[0] != 7 {
+		t.Error("pair: d2 side")
+	}
+}
+
+func TestDomainSetValues(t *testing.T) {
+	_, doms := NewManagerWithDomains(20, 1, 0)
+	d := doms[0]
+	vals := []uint32{0, 3, 7, 19}
+	f := d.Set(vals)
+	if got := d.Values(f); !reflect.DeepEqual(got, vals) {
+		t.Errorf("Values = %v, want %v", got, vals)
+	}
+	if d.Count(f) != 4 {
+		t.Errorf("Count = %d", d.Count(f))
+	}
+}
+
+func TestDomainForEachEarlyStop(t *testing.T) {
+	_, doms := NewManagerWithDomains(16, 1, 0)
+	d := doms[0]
+	f := d.Set([]uint32{1, 2, 3, 4})
+	n := 0
+	d.ForEach(f, func(uint32) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("visited %d, want 2", n)
+	}
+}
+
+// TestDomainDontCareCapped: True restricted to the domain enumerates only
+// values below Size even when size is not a power of two.
+func TestDomainDontCareCapped(t *testing.T) {
+	_, doms := NewManagerWithDomains(5, 1, 0)
+	d := doms[0]
+	got := d.Values(True)
+	if !reflect.DeepEqual(got, []uint32{0, 1, 2, 3, 4}) {
+		t.Errorf("Values(True) = %v", got)
+	}
+}
+
+func TestDomainShiftTo(t *testing.T) {
+	m, doms := NewManagerWithDomains(32, 3, 0)
+	d1, d2, d3 := doms[0], doms[1], doms[2]
+	// Build a relation over (d2, d3), rename d3 -> d1.
+	rel := m.Or(Pair(d2, 4, d3, 9), Pair(d2, 1, d3, 30))
+	ren := m.Replace(rel, d3.ShiftTo(d1))
+	// Now over (d1, d2): check both tuples.
+	for _, tt := range [][2]uint32{{9, 4}, {30, 1}} {
+		row := m.And(ren, d1.Eq(tt[0]))
+		vals := d2.Values(m.Exist(row, d1.Cube()))
+		if !reflect.DeepEqual(vals, []uint32{tt[1]}) {
+			t.Errorf("tuple (%d,%d): got %v", tt[0], tt[1], vals)
+		}
+	}
+	// Nothing else.
+	if cnt := d1.Count(m.Exist(ren, d2.Cube())); cnt != 2 {
+		t.Errorf("renamed relation has %d rows, want 2", cnt)
+	}
+}
+
+func TestDomainSimultaneousRename(t *testing.T) {
+	m, doms := NewManagerWithDomains(16, 3, 0)
+	d1, d2, d3 := doms[0], doms[1], doms[2]
+	// (d3=a, d2=v) -> (d1=a... the BLQ store rule: d3 -> d1, d2 -> d3.
+	rel := Pair(d3, 5, d2, 11)
+	shift := d3.ShiftTo(d1)
+	for k, v := range d2.ShiftTo(d3) {
+		shift[k] = v
+	}
+	ren := m.Replace(rel, shift)
+	want := Pair(d1, 5, d3, 11)
+	if ren != want {
+		t.Error("simultaneous rename mismatch")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[uint32]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for size, want := range cases {
+		if got := bitsFor(size); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestVarPanics(t *testing.T) {
+	m := New(2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Var out of range must panic")
+		}
+	}()
+	m.Var(5)
+}

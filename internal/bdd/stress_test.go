@@ -1,0 +1,144 @@
+package bdd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestRehashPreservesCanonicity grows the node table far past its initial
+// pool so the unique table rehashes repeatedly, then verifies hash-consing
+// still works (rebuilding a function yields the same node id).
+func TestRehashPreservesCanonicity(t *testing.T) {
+	m := New(24, 1024) // tiny pool forces several rehashes
+	rng := rand.New(rand.NewSource(3))
+	var fs []Node
+	for i := 0; i < 60; i++ {
+		fs = append(fs, buildRandom(m, rng, 7))
+	}
+	if m.NumNodes() <= 1024 {
+		t.Skipf("node table did not outgrow the pool (%d nodes)", m.NumNodes())
+	}
+	// Re-deriving an existing function must return the identical node.
+	for _, f := range fs[:10] {
+		if g := m.Or(f, f); g != f {
+			t.Fatal("idempotent Or changed the node")
+		}
+		if g := m.And(f, True); g != f {
+			t.Fatal("And with True changed the node")
+		}
+		if g := m.Not(m.Not(f)); g != f {
+			t.Fatal("double negation not canonical")
+		}
+	}
+}
+
+// TestMemoEpochsIsolated: interleaved Replace/Restrict calls must not see
+// each other's memo entries.
+func TestMemoEpochsIsolated(t *testing.T) {
+	m := New(8, 0)
+	rng := rand.New(rand.NewSource(9))
+	f := buildRandom(m, rng, 6)
+	f = m.Exist(f, m.Cube([]int{6, 7})) // keep 6,7 free as rename targets
+	r1 := m.Replace(f, map[int]int{0: 6})
+	g := m.Restrict(f, 0, true)
+	r2 := m.Replace(f, map[int]int{0: 7})
+	r1b := m.Replace(f, map[int]int{0: 6})
+	if r1 != r1b {
+		t.Error("Replace must be deterministic across interleaved memo epochs")
+	}
+	// Semantics: restrict after replace on the renamed var equals the
+	// original restricted.
+	if m.Restrict(r1, 6, true) != g {
+		t.Error("Restrict(Replace(f,0→6), 6) != Restrict(f, 0)")
+	}
+	if m.Restrict(r2, 7, false) != m.Restrict(f, 0, false) {
+		t.Error("Restrict(Replace(f,0→7), 7=0) mismatch")
+	}
+}
+
+// TestLargeDomainRoundTrip exercises ~17-bit domains (the BLQ regime for a
+// 100K-variable universe).
+func TestLargeDomainRoundTrip(t *testing.T) {
+	const size = 100000
+	m, doms := NewManagerWithDomains(size, 3, 0)
+	d1, d2 := doms[0], doms[1]
+	vals := []uint32{0, 1, 99999, 54321, 65536}
+	rel := False
+	for i, v := range vals {
+		rel = m.Or(rel, Pair(d1, v, d2, uint32(i*7)))
+	}
+	for i, v := range vals {
+		row := m.Exist(m.And(rel, d1.Eq(v)), d1.Cube())
+		got := d2.Values(row)
+		if !reflect.DeepEqual(got, []uint32{uint32(i * 7)}) {
+			t.Errorf("row %d = %v", v, got)
+		}
+	}
+	if n := d1.Count(m.Exist(rel, d2.Cube())); n != len(vals) {
+		t.Errorf("distinct d1 values = %d, want %d", n, len(vals))
+	}
+}
+
+// TestExistOverManyCubes: quantification distributes correctly when cube
+// variables interleave with kept ones.
+func TestExistOverManyCubes(t *testing.T) {
+	const nv = 10
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		m := New(nv, 0)
+		f := buildRandom(m, rng, 6)
+		// Quantify variables one at a time vs all at once.
+		vars := []int{1, 4, 7}
+		all := m.Exist(f, m.Cube(vars))
+		step := f
+		for _, v := range vars {
+			step = m.Exist(step, m.Cube([]int{v}))
+		}
+		if all != step {
+			t.Fatal("Exist over a cube != iterated Exist")
+		}
+	}
+}
+
+// TestSatCountMatchesEnumeration cross-checks SatCount against brute force.
+func TestSatCountMatchesEnumeration(t *testing.T) {
+	const nv = 6
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		m := New(nv, 0)
+		f := buildRandom(m, rng, 5)
+		want := 0
+		for _, env := range allEnvs(nv) {
+			if m.Eval(f, env) {
+				want++
+			}
+		}
+		if got := m.SatCount(f); got != float64(want) {
+			t.Fatalf("SatCount = %v, want %d", got, want)
+		}
+	}
+}
+
+// TestCacheCollisionsHarmless floods the tiny op caches with distinct
+// operations and re-verifies results (lossy caches must only lose speed,
+// never correctness).
+func TestCacheCollisionsHarmless(t *testing.T) {
+	m := New(16, 0)
+	rng := rand.New(rand.NewSource(77))
+	type q struct {
+		a, b Node
+		and  Node
+	}
+	var qs []q
+	for i := 0; i < 500; i++ {
+		a := buildRandom(m, rng, 5)
+		b := buildRandom(m, rng, 5)
+		qs = append(qs, q{a, b, m.And(a, b)})
+	}
+	for _, x := range qs {
+		if m.And(x.a, x.b) != x.and {
+			t.Fatal("And result changed after cache churn")
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"antgrass/internal/core"
+	"antgrass/internal/worklist"
+)
+
+// Ablations prints the design-choice studies the paper discusses in prose:
+//
+//   - §5.3 "could we do better by being even more aggressive?": PKW (cycle
+//     detection at every ordering-violating edge insertion, Pearce et al.'s
+//     2003 algorithm) against LCD and PKH — the paper reports such eager
+//     schemes are an order of magnitude slower;
+//   - §5.1 "the divided worklist yields significantly better performance
+//     than a single worklist": LCD with divided vs. single worklists;
+//   - the LRF priority suggestion of Pearce et al. [22]: LCD under LRF,
+//     FIFO, and LIFO strategies.
+func (h *Harness) Ablations(w io.Writer) {
+	fmt.Fprintf(w, "Ablations (scale %.3g)\n\n", h.Scale)
+
+	// 1. Aggressiveness: PKW vs PKH vs LCD.
+	fmt.Fprintln(w, "A1: eager per-insertion cycle detection (PKW) vs periodic (PKH) vs lazy (LCD)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "algo\tbench\tseconds\tnodes-searched\tcycle-checks\t")
+	for _, p := range h.Profiles() {
+		prog := h.Program(p)
+		for _, a := range []AlgoID{
+			{Name: "pkw", Alg: core.PKW},
+			{Name: "pkh", Alg: core.PKH},
+			{Name: "lcd", Alg: core.LCD},
+		} {
+			c := h.RunOne(p.Name, prog, a, "bitmap")
+			if c.Err != nil {
+				fmt.Fprintf(tw, "%s\t%s\tERR\t\t\t\n", a.Name, p.Name)
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%d\t%d\t\n",
+				a.Name, p.Name, c.Seconds, c.Stats.NodesSearched, c.Stats.CycleChecks)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "paper: per-insertion detection is ~an order of magnitude slower (§5.3).")
+	fmt.Fprintln(w)
+
+	// 2 & 3. Worklist strategy and division, on LCD.
+	fmt.Fprintln(w, "A2: LCD worklist strategies (divided vs single; LRF vs FIFO vs LIFO)")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "worklist\tbench\tseconds\tpropagations\t")
+	for _, p := range h.Profiles() {
+		prog := h.Program(p)
+		for _, cfg := range []struct {
+			name    string
+			kind    worklist.Kind
+			undivid bool
+		}{
+			{"divided-lrf", worklist.LRF, false},
+			{"single-lrf", worklist.LRF, true},
+			{"divided-fifo", worklist.FIFO, false},
+			{"divided-lifo", worklist.LIFO, false},
+		} {
+			res, err := core.Solve(prog, core.Options{
+				Algorithm:         core.LCD,
+				Worklist:          cfg.kind,
+				UndividedWorklist: cfg.undivid,
+			})
+			if err != nil {
+				fmt.Fprintf(tw, "%s\t%s\tERR\t\t\n", cfg.name, p.Name)
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%d\t\n",
+				cfg.name, p.Name, res.Stats.SolveDuration.Seconds(), res.Stats.Propagations)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "paper: the divided worklist is significantly faster than a single one (§5.1).")
+	fmt.Fprintln(w)
+
+	// 4. Difference propagation (Pearce et al. [22]).
+	fmt.Fprintln(w, "A3: LCD with and without difference propagation")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "variant\tbench\tseconds\tpropagations\t")
+	for _, p := range h.Profiles() {
+		prog := h.Program(p)
+		for _, cfg := range []struct {
+			name string
+			diff bool
+		}{{"full-sets", false}, {"diff-prop", true}} {
+			res, err := core.Solve(prog, core.Options{Algorithm: core.LCD, DiffProp: cfg.diff})
+			if err != nil {
+				fmt.Fprintf(tw, "%s\t%s\tERR\t\t\n", cfg.name, p.Name)
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%d\t\n",
+				cfg.name, p.Name, res.Stats.SolveDuration.Seconds(), res.Stats.Propagations)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,258 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§5) on the synthetic Table 2 workloads,
+// running the full algorithm matrix and printing rows in the paper's
+// layout. Absolute numbers differ from the paper (different machine,
+// runtime, and substituted workloads); the harness is about reproducing the
+// *shape*: orderings, ratios, and crossovers.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+	"time"
+
+	"antgrass/internal/blq"
+	"antgrass/internal/constraint"
+	"antgrass/internal/core"
+	"antgrass/internal/hcd"
+	"antgrass/internal/pts"
+	"antgrass/internal/synth"
+)
+
+// AlgoID identifies one solver configuration of the paper's matrix.
+type AlgoID struct {
+	// Name is the paper's label ("ht", "pkh", "blq", "lcd", "hcd",
+	// "ht+hcd", ...).
+	Name string
+	// Alg is the core algorithm (ignored when BLQ).
+	Alg core.Algorithm
+	// HCD enables hybrid cycle detection.
+	HCD bool
+	// BLQ selects the BDD-relation solver.
+	BLQ bool
+}
+
+// MainAlgos are the five algorithms of Tables 3-4 (plus the paper's
+// baseline comparisons), in the paper's row order.
+var MainAlgos = []AlgoID{
+	{Name: "ht", Alg: core.HT},
+	{Name: "pkh", Alg: core.PKH},
+	{Name: "blq", BLQ: true},
+	{Name: "lcd", Alg: core.LCD},
+	{Name: "hcd", Alg: core.Naive, HCD: true},
+}
+
+// HCDAlgos are the HCD-enhanced combinations.
+var HCDAlgos = []AlgoID{
+	{Name: "ht+hcd", Alg: core.HT, HCD: true},
+	{Name: "pkh+hcd", Alg: core.PKH, HCD: true},
+	{Name: "blq+hcd", BLQ: true, HCD: true},
+	{Name: "lcd+hcd", Alg: core.LCD, HCD: true},
+}
+
+// AllAlgos is the full matrix in Table 3 row order.
+var AllAlgos = append(append([]AlgoID{}, MainAlgos...), HCDAlgos...)
+
+// NoBLQAlgos is the Table 5/6 matrix (BDD points-to sets; BLQ excluded
+// because its representation is already a relation BDD).
+var NoBLQAlgos = []AlgoID{
+	{Name: "ht", Alg: core.HT},
+	{Name: "pkh", Alg: core.PKH},
+	{Name: "lcd", Alg: core.LCD},
+	{Name: "hcd", Alg: core.Naive, HCD: true},
+	{Name: "ht+hcd", Alg: core.HT, HCD: true},
+	{Name: "pkh+hcd", Alg: core.PKH, HCD: true},
+	{Name: "lcd+hcd", Alg: core.LCD, HCD: true},
+}
+
+// Cell is one (benchmark, algorithm) measurement.
+type Cell struct {
+	Seconds float64
+	MemMB   float64
+	Stats   core.Stats
+	Err     error
+}
+
+// Matrix holds measurements for one points-to representation.
+type Matrix struct {
+	// PtsName is "bitmap" or "bdd".
+	PtsName string
+	// Benches lists workload names in order.
+	Benches []string
+	// OfflineSeconds is the HCD offline analysis time per benchmark.
+	OfflineSeconds map[string]float64
+	// Cells is indexed by benchmark then algorithm name.
+	Cells map[string]map[string]Cell
+}
+
+// Harness runs the experiment matrix at a given scale and caches results
+// so every table/figure renders from one run.
+type Harness struct {
+	// Scale multiplies the Table 2 constraint counts (1.0 = paper
+	// size).
+	Scale float64
+	// PoolNodes is the BDD pool size (0 = default).
+	PoolNodes int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+
+	progs    map[string]*constraint.Program
+	tables   map[string]*hcd.Result
+	matrices map[string]*Matrix
+}
+
+// NewHarness returns a harness at the given scale.
+func NewHarness(scale float64) *Harness {
+	return &Harness{
+		Scale:    scale,
+		progs:    map[string]*constraint.Program{},
+		tables:   map[string]*hcd.Result{},
+		matrices: map[string]*Matrix{},
+	}
+}
+
+func (h *Harness) logf(format string, args ...interface{}) {
+	if h.Progress != nil {
+		fmt.Fprintf(h.Progress, format, args...)
+	}
+}
+
+// Profiles returns the scaled benchmark profiles.
+func (h *Harness) Profiles() []synth.Profile {
+	out := make([]synth.Profile, len(synth.PaperProfiles))
+	for i, p := range synth.PaperProfiles {
+		out[i] = p.Scale(h.Scale)
+	}
+	return out
+}
+
+// Program returns (generating on first use) the workload for a profile.
+func (h *Harness) Program(p synth.Profile) *constraint.Program {
+	if prog, ok := h.progs[p.Name]; ok {
+		return prog
+	}
+	prog := synth.Generate(p)
+	h.progs[p.Name] = prog
+	return prog
+}
+
+// hcdTable returns the cached offline analysis for a benchmark.
+func (h *Harness) hcdTable(name string, prog *constraint.Program) *hcd.Result {
+	if t, ok := h.tables[name]; ok {
+		return t
+	}
+	t := hcd.Analyze(prog)
+	h.tables[name] = t
+	return t
+}
+
+// RunOne executes a single (workload, algorithm, representation) cell.
+func (h *Harness) RunOne(name string, prog *constraint.Program, algo AlgoID, ptsName string) Cell {
+	opts := core.Options{Algorithm: algo.Alg, WithHCD: algo.HCD, BDDPoolNodes: h.PoolNodes}
+	if algo.HCD {
+		opts.HCDTable = h.hcdTable(name, prog)
+	}
+	if ptsName == "bdd" {
+		opts.Pts = pts.NewBDDFactory(uint32(prog.NumVars), h.PoolNodes)
+	}
+	var (
+		res *core.Result
+		err error
+	)
+	start := time.Now()
+	if algo.BLQ {
+		res, err = blq.Solve(prog, opts)
+	} else {
+		res, err = core.Solve(prog, opts)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return Cell{Err: err}
+	}
+	c := Cell{
+		Seconds: res.Stats.SolveDuration.Seconds(),
+		MemMB:   float64(res.Stats.MemBytes) / (1 << 20),
+		Stats:   res.Stats,
+	}
+	h.logf("  %-12s %-8s %-7s %8.3fs %9.1f MB\n", name, algo.Name, ptsName, elapsed.Seconds(), c.MemMB)
+	return c
+}
+
+// MatrixFor runs (or returns cached) the full algorithm matrix with the
+// given representation ("bitmap" or "bdd").
+func (h *Harness) MatrixFor(ptsName string) *Matrix {
+	if m, ok := h.matrices[ptsName]; ok {
+		return m
+	}
+	algos := AllAlgos
+	if ptsName == "bdd" {
+		algos = NoBLQAlgos
+	}
+	m := &Matrix{
+		PtsName:        ptsName,
+		OfflineSeconds: map[string]float64{},
+		Cells:          map[string]map[string]Cell{},
+	}
+	for _, p := range h.Profiles() {
+		prog := h.Program(p)
+		m.Benches = append(m.Benches, p.Name)
+		m.Cells[p.Name] = map[string]Cell{}
+		m.OfflineSeconds[p.Name] = h.hcdTable(p.Name, prog).Duration.Seconds()
+		for _, a := range algos {
+			m.Cells[p.Name][a.Name] = h.RunOne(p.Name, prog, a, ptsName)
+		}
+	}
+	h.matrices[ptsName] = m
+	return m
+}
+
+// geoMean returns the geometric mean of positive values.
+func geoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	prod := 1.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+// ratioTable prints per-benchmark ratios plus a geometric mean column.
+func ratioTable(w io.Writer, title string, benches []string, rows []string, val func(row, bench string) float64) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "\t%s\tgeomean\n", joinTabs(benches))
+	for _, r := range rows {
+		var vals []float64
+		fmt.Fprintf(tw, "%s", r)
+		for _, b := range benches {
+			v := val(r, b)
+			fmt.Fprintf(tw, "\t%.2f", v)
+			vals = append(vals, v)
+		}
+		fmt.Fprintf(tw, "\t%.2f\n", geoMean(vals))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func joinTabs(items []string) string {
+	out := ""
+	for i, s := range items {
+		if i > 0 {
+			out += "\t"
+		}
+		out += s
+	}
+	return out
+}

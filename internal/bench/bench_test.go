@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestHarnessRendersEverything runs the whole experiment matrix at a tiny
+// scale and checks every table and figure renders with populated cells.
+func TestHarnessRendersEverything(t *testing.T) {
+	h := NewHarness(0.005)
+	h.PoolNodes = 1 << 14
+	var buf bytes.Buffer
+	h.Table2(&buf)
+	h.Table3(&buf)
+	h.Table4(&buf)
+	h.Table5(&buf)
+	h.Table6(&buf)
+	h.Figure6(&buf)
+	h.Figure7(&buf)
+	h.Figure8(&buf)
+	h.Figure9(&buf)
+	h.Figure10(&buf)
+	h.StatsTable(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+		"Section 5.3",
+		"emacs", "wine", "linux",
+		"hcd-offline", "lcd+hcd", "blq+hcd",
+		"speedup vs ht", "speedup vs pkh", "speedup vs blq",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "ERR") {
+		t.Error("some matrix cell failed")
+	}
+}
+
+// TestMatrixCached: rendering two tables must not re-run the matrix.
+func TestMatrixCached(t *testing.T) {
+	h := NewHarness(0.005)
+	m1 := h.MatrixFor("bitmap")
+	m2 := h.MatrixFor("bitmap")
+	if m1 != m2 {
+		t.Error("matrix should be cached")
+	}
+}
+
+// TestCellsPopulated: every (bench, algo) cell must have run successfully
+// with sane values.
+func TestCellsPopulated(t *testing.T) {
+	h := NewHarness(0.005)
+	m := h.MatrixFor("bitmap")
+	if len(m.Benches) != 6 {
+		t.Fatalf("benches = %v", m.Benches)
+	}
+	for _, b := range m.Benches {
+		for _, a := range AllAlgos {
+			c, ok := m.Cells[b][a.Name]
+			if !ok {
+				t.Fatalf("missing cell %s/%s", b, a.Name)
+			}
+			if c.Err != nil {
+				t.Fatalf("%s/%s: %v", b, a.Name, c.Err)
+			}
+			if c.Seconds < 0 || c.MemMB <= 0 {
+				t.Errorf("%s/%s: bad measurements %+v", b, a.Name, c)
+			}
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := geoMean([]float64{2, 8}); g != 4 {
+		t.Errorf("geoMean(2,8) = %v", g)
+	}
+	if g := geoMean(nil); g != 0 {
+		t.Errorf("geoMean(nil) = %v", g)
+	}
+	if g := geoMean([]float64{0, 0}); g != 0 {
+		t.Errorf("geoMean(zeros) = %v", g)
+	}
+}
+
+// TestRunOneDirect: a single cell run works standalone (the path
+// cmd/antbench -table uses).
+func TestRunOneDirect(t *testing.T) {
+	h := NewHarness(0.005)
+	p := h.Profiles()[0]
+	prog := h.Program(p)
+	for _, a := range AllAlgos {
+		if c := h.RunOne(p.Name, prog, a, "bitmap"); c.Err != nil {
+			t.Fatalf("%s: %v", a.Name, c.Err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAblationsRender checks the design-study output: all three studies
+// present, no failed cells.
+func TestAblationsRender(t *testing.T) {
+	h := NewHarness(0.005)
+	var buf bytes.Buffer
+	h.Ablations(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"A1:", "A2:", "A3:",
+		"pkw", "divided-lrf", "single-lrf", "diff-prop", "full-sets",
+		"linux", "wine",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations missing %q", want)
+		}
+	}
+	if strings.Contains(out, "ERR") {
+		t.Error("ablation cell failed")
+	}
+}
+
+// TestPrecisionTableRender checks the three-way precision comparison and
+// its ordering invariant (averages must be monotone along the spectrum).
+func TestPrecisionTableRender(t *testing.T) {
+	h := NewHarness(0.005)
+	var buf bytes.Buffer
+	h.PrecisionTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"Precision:", "olf-blowup", "steens-blowup", "emacs", "linux"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("precision table missing %q", want)
+		}
+	}
+	if strings.Contains(out, "ERR") {
+		t.Error("precision cell failed")
+	}
+	// Every blowup factor printed must be ≥ 1.0 (coarser analyses can
+	// never be more precise); parse the trailing "Nx" columns.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		for _, f := range fields {
+			if strings.HasSuffix(f, "x") && len(f) > 1 {
+				var v float64
+				if _, err := fmt.Sscanf(f, "%fx", &v); err == nil && v < 0.95 {
+					t.Errorf("blowup %s < 1 in line %q", f, line)
+				}
+			}
+		}
+	}
+}

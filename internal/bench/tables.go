@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"antgrass/internal/ovs"
+)
+
+// Table2 prints the benchmark characteristics table: nominal KLOC, nominal
+// original constraint count, the generated (reduced-form) counts and their
+// breakdown, plus what our own OVS pass still squeezes out of the synthetic
+// workloads (the paper's inputs were already OVS-reduced by 60-77%).
+func (h *Harness) Table2(w io.Writer) {
+	fmt.Fprintf(w, "Table 2: Benchmarks (scale %.3g; constraint mix reproduces the paper's reduced files)\n", h.Scale)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Name\tLOC(K)\tOriginal\tReduced\tBase\tSimple\tComplex\tOVS-again%\t")
+	for _, p := range h.Profiles() {
+		prog := h.Program(p)
+		na, nc, nl, ns := prog.Counts()
+		r := ovs.Reduce(prog)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.0f%%\t\n",
+			p.Name, p.KLOC, p.Original, len(prog.Constraints), na, nc, nl+ns, r.ReductionPercent())
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// Table3 prints solve times (seconds) with bitmap points-to sets, with the
+// HCD offline analysis reported separately, exactly like the paper.
+func (h *Harness) Table3(w io.Writer) {
+	m := h.MatrixFor("bitmap")
+	fmt.Fprintf(w, "Table 3: Performance (seconds), bitmap points-to sets (scale %.3g)\n", h.Scale)
+	h.timeTable(w, m, AllAlgos, true)
+}
+
+// Table4 prints memory (MB) with bitmap points-to sets.
+func (h *Harness) Table4(w io.Writer) {
+	m := h.MatrixFor("bitmap")
+	fmt.Fprintf(w, "Table 4: Memory (MB), bitmap points-to sets (scale %.3g)\n", h.Scale)
+	h.memTable(w, m, AllAlgos)
+}
+
+// Table5 prints solve times with BDD points-to sets.
+func (h *Harness) Table5(w io.Writer) {
+	m := h.MatrixFor("bdd")
+	fmt.Fprintf(w, "Table 5: Performance (seconds), BDD points-to sets (scale %.3g)\n", h.Scale)
+	h.timeTable(w, m, NoBLQAlgos, false)
+}
+
+// Table6 prints memory with BDD points-to sets.
+func (h *Harness) Table6(w io.Writer) {
+	m := h.MatrixFor("bdd")
+	fmt.Fprintf(w, "Table 6: Memory (MB), BDD points-to sets (scale %.3g)\n", h.Scale)
+	h.memTable(w, m, NoBLQAlgos)
+}
+
+func (h *Harness) timeTable(w io.Writer, m *Matrix, algos []AlgoID, offlineRow bool) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "\t%s\t\n", joinTabs(m.Benches))
+	if offlineRow {
+		fmt.Fprint(tw, "hcd-offline")
+		for _, b := range m.Benches {
+			fmt.Fprintf(tw, "\t%.3f", m.OfflineSeconds[b])
+		}
+		fmt.Fprint(tw, "\t\n")
+	}
+	for _, a := range algos {
+		fmt.Fprint(tw, a.Name)
+		for _, b := range m.Benches {
+			c := m.Cells[b][a.Name]
+			if c.Err != nil {
+				fmt.Fprint(tw, "\tERR")
+			} else {
+				fmt.Fprintf(tw, "\t%.3f", c.Seconds)
+			}
+		}
+		fmt.Fprint(tw, "\t\n")
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func (h *Harness) memTable(w io.Writer, m *Matrix, algos []AlgoID) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "\t%s\t\n", joinTabs(m.Benches))
+	for _, a := range algos {
+		fmt.Fprint(tw, a.Name)
+		for _, b := range m.Benches {
+			c := m.Cells[b][a.Name]
+			if c.Err != nil {
+				fmt.Fprint(tw, "\tERR")
+			} else {
+				fmt.Fprintf(tw, "\t%.1f", c.MemMB)
+			}
+		}
+		fmt.Fprint(tw, "\t\n")
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// Figure6 prints the headline comparison: LCD+HCD against the three prior
+// state-of-the-art algorithms (the paper plots this on a log scale).
+func (h *Harness) Figure6(w io.Writer) {
+	m := h.MatrixFor("bitmap")
+	fmt.Fprintf(w, "Figure 6: LCD+HCD vs state of the art (seconds; paper plots log-scale)\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "\t%s\t\n", joinTabs(m.Benches))
+	for _, name := range []string{"ht", "pkh", "blq", "lcd+hcd"} {
+		fmt.Fprint(tw, name)
+		for _, b := range m.Benches {
+			fmt.Fprintf(tw, "\t%.3f", m.Cells[b][name].Seconds)
+		}
+		fmt.Fprint(tw, "\t\n")
+	}
+	tw.Flush()
+	// Headline speedups (geometric mean across benches).
+	for _, name := range []string{"ht", "pkh", "blq"} {
+		var ratios []float64
+		for _, b := range m.Benches {
+			denom := m.Cells[b]["lcd+hcd"].Seconds
+			if denom > 0 {
+				ratios = append(ratios, m.Cells[b][name].Seconds/denom)
+			}
+		}
+		fmt.Fprintf(w, "lcd+hcd speedup vs %s: %.1fx (paper: %s)\n", name, geoMean(ratios),
+			map[string]string{"ht": "3.2x", "pkh": "6.4x", "blq": "20.6x"}[name])
+	}
+	fmt.Fprintln(w)
+}
+
+// Figure7 prints per-benchmark times normalized to LCD.
+func (h *Harness) Figure7(w io.Writer) {
+	m := h.MatrixFor("bitmap")
+	ratioTable(w, "Figure 7: time normalized to LCD (bitmap)", m.Benches,
+		[]string{"ht", "pkh", "blq", "hcd"},
+		func(row, bench string) float64 {
+			denom := m.Cells[bench]["lcd"].Seconds
+			if denom == 0 {
+				return 0
+			}
+			return m.Cells[bench][row].Seconds / denom
+		})
+}
+
+// Figure8 prints each algorithm's time normalized to its HCD-enhanced
+// counterpart (how much HCD helps).
+func (h *Harness) Figure8(w io.Writer) {
+	m := h.MatrixFor("bitmap")
+	ratioTable(w, "Figure 8: time normalized to HCD-enhanced counterpart (bitmap)", m.Benches,
+		[]string{"ht", "pkh", "blq", "lcd"},
+		func(row, bench string) float64 {
+			denom := m.Cells[bench][row+"+hcd"].Seconds
+			if denom == 0 {
+				return 0
+			}
+			return m.Cells[bench][row].Seconds / denom
+		})
+}
+
+// Figure9 prints BDD-based time normalized to bitmap-based time per
+// algorithm (paper average: BDDs 2x slower).
+func (h *Harness) Figure9(w io.Writer) {
+	bm, bd := h.MatrixFor("bitmap"), h.MatrixFor("bdd")
+	rows := make([]string, len(NoBLQAlgos))
+	for i, a := range NoBLQAlgos {
+		rows[i] = a.Name
+	}
+	ratioTable(w, "Figure 9: BDD time / bitmap time (per algorithm)", bm.Benches, rows,
+		func(row, bench string) float64 {
+			denom := bm.Cells[bench][row].Seconds
+			if denom == 0 {
+				return 0
+			}
+			return bd.Cells[bench][row].Seconds / denom
+		})
+}
+
+// Figure10 prints bitmap memory normalized to BDD memory per algorithm
+// (paper average: bitmaps 5.5x bigger).
+func (h *Harness) Figure10(w io.Writer) {
+	bm, bd := h.MatrixFor("bitmap"), h.MatrixFor("bdd")
+	rows := make([]string, len(NoBLQAlgos))
+	for i, a := range NoBLQAlgos {
+		rows[i] = a.Name
+	}
+	ratioTable(w, "Figure 10: bitmap memory / BDD memory (per algorithm)", bm.Benches, rows,
+		func(row, bench string) float64 {
+			denom := bd.Cells[bench][row].MemMB
+			if denom == 0 {
+				return 0
+			}
+			return bm.Cells[bench][row].MemMB / denom
+		})
+}
+
+// StatsTable prints the §5.3 cost counters: nodes collapsed, nodes
+// searched, and propagations for each algorithm, summed across benchmarks,
+// plus the paper's observations to compare against.
+func (h *Harness) StatsTable(w io.Writer) {
+	m := h.MatrixFor("bitmap")
+	fmt.Fprintln(w, "Section 5.3: cost counters (bitmap, summed over benchmarks)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "algo\tcollapsed\tsearched\tpropagations\tcycle-checks\thcd-collapses\t")
+	for _, a := range AllAlgos {
+		var col, sea, pro, chk, hc int64
+		for _, b := range m.Benches {
+			s := m.Cells[b][a.Name].Stats
+			col += s.NodesCollapsed
+			sea += s.NodesSearched
+			pro += s.Propagations
+			chk += s.CycleChecks
+			hc += s.HCDCollapses
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t\n", a.Name, col, sea, pro, chk, hc)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, `Paper's observations to compare: HT/LCD collapse >99% of what PKH collapses;
+HCD alone collapses 46-74%; HCD searches 0 nodes; PKH searches ~2.6x HT;
+LCD searches most but propagates least; HCD propagates most (~5.2x LCD).`)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,440 @@
+// Package bitmap implements sparse bitmaps in the style of the GCC 4.1.1
+// compiler's bitmap.c: a sorted, doubly-linked list of fixed-size elements,
+// each covering a 128-bit aligned block of the index space, with a one-element
+// "current" cache to exploit locality of reference.
+//
+// The paper ("The Ant and the Grasshopper", PLDI 2007, §5.1) uses exactly this
+// data structure for both points-to sets and the constraint graph's edge sets;
+// this package is the Go equivalent.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const (
+	// WordBits is the number of bits in one machine word of an element.
+	WordBits = 64
+	// ElemWords is the number of words per element (GCC uses a 128-bit
+	// element on 64-bit hosts: 2 words).
+	ElemWords = 2
+	// ElemBits is the number of index bits covered by one element.
+	ElemBits = WordBits * ElemWords
+	// ElemBytes is the approximate in-memory footprint of one element,
+	// used for the paper's memory-consumption tables: two 8-byte words,
+	// two 8-byte links, and a 4-byte index rounded up to alignment.
+	ElemBytes = ElemWords*8 + 2*8 + 8
+)
+
+// element is one node of the sparse list, covering indices
+// [idx*ElemBits, (idx+1)*ElemBits).
+type element struct {
+	next, prev *element
+	idx        uint32
+	bits       [ElemWords]uint64
+}
+
+func (e *element) empty() bool {
+	for _, w := range e.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bitmap is a sparse bitmap. The zero value is an empty bitmap ready to use.
+// Bitmap is not safe for concurrent use.
+type Bitmap struct {
+	first   *element
+	last    *element
+	current *element // cache of the most recently accessed element
+	n       int      // number of elements in the list
+}
+
+// New returns a new empty bitmap. Equivalent to new(Bitmap); provided for
+// symmetry with other constructors in this module.
+func New() *Bitmap { return &Bitmap{} }
+
+// Elements returns the number of list elements currently allocated, the unit
+// of the analytic memory accounting used by the benchmark harness.
+func (b *Bitmap) Elements() int { return b.n }
+
+// MemBytes returns the approximate heap footprint of the bitmap.
+func (b *Bitmap) MemBytes() int { return b.n*ElemBytes + 40 }
+
+// Empty reports whether no bit is set.
+func (b *Bitmap) Empty() bool { return b.first == nil }
+
+// ClearAll removes every bit, releasing all elements.
+func (b *Bitmap) ClearAll() {
+	b.first, b.last, b.current, b.n = nil, nil, nil, 0
+}
+
+// find returns the element with index eidx, or nil if absent. It updates the
+// current-element cache to the element found (or to a neighbor of where it
+// would be inserted).
+func (b *Bitmap) find(eidx uint32) *element {
+	e := b.current
+	if e == nil {
+		e = b.first
+	}
+	if e == nil {
+		return nil
+	}
+	// Walk from the cached element in the right direction.
+	if e.idx < eidx {
+		for e.next != nil && e.idx < eidx {
+			e = e.next
+		}
+	} else {
+		for e.prev != nil && e.idx > eidx {
+			e = e.prev
+		}
+	}
+	b.current = e
+	if e.idx == eidx {
+		return e
+	}
+	return nil
+}
+
+// insertAfterCurrent links a fresh element with index eidx into the list in
+// sorted position, assuming b.current is adjacent to the insertion point
+// (guaranteed after a failed find).
+func (b *Bitmap) insert(eidx uint32) *element {
+	ne := &element{idx: eidx}
+	b.n++
+	if b.first == nil {
+		b.first, b.last, b.current = ne, ne, ne
+		return ne
+	}
+	e := b.current
+	if e.idx < eidx {
+		// Insert after e.
+		ne.prev = e
+		ne.next = e.next
+		e.next = ne
+		if ne.next != nil {
+			ne.next.prev = ne
+		} else {
+			b.last = ne
+		}
+	} else {
+		// Insert before e.
+		ne.next = e
+		ne.prev = e.prev
+		e.prev = ne
+		if ne.prev != nil {
+			ne.prev.next = ne
+		} else {
+			b.first = ne
+		}
+	}
+	b.current = ne
+	return ne
+}
+
+// unlink removes element e from the list.
+func (b *Bitmap) unlink(e *element) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.first = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.last = e.prev
+	}
+	if b.current == e {
+		if e.next != nil {
+			b.current = e.next
+		} else {
+			b.current = e.prev
+		}
+	}
+	b.n--
+}
+
+// Set sets bit x and reports whether the bitmap changed (x was newly set).
+func (b *Bitmap) Set(x uint32) bool {
+	eidx := x / ElemBits
+	word := (x % ElemBits) / WordBits
+	mask := uint64(1) << (x % WordBits)
+	e := b.find(eidx)
+	if e == nil {
+		e = b.insert(eidx)
+	}
+	if e.bits[word]&mask != 0 {
+		return false
+	}
+	e.bits[word] |= mask
+	return true
+}
+
+// Clear clears bit x and reports whether the bitmap changed.
+func (b *Bitmap) Clear(x uint32) bool {
+	eidx := x / ElemBits
+	word := (x % ElemBits) / WordBits
+	mask := uint64(1) << (x % WordBits)
+	e := b.find(eidx)
+	if e == nil || e.bits[word]&mask == 0 {
+		return false
+	}
+	e.bits[word] &^= mask
+	if e.empty() {
+		b.unlink(e)
+	}
+	return true
+}
+
+// Test reports whether bit x is set.
+func (b *Bitmap) Test(x uint32) bool {
+	eidx := x / ElemBits
+	e := b.find(eidx)
+	if e == nil {
+		return false
+	}
+	word := (x % ElemBits) / WordBits
+	return e.bits[word]&(1<<(x%WordBits)) != 0
+}
+
+// IorWith sets b = b | o and reports whether b changed. o is not modified.
+// b and o may be the same bitmap (a no-op).
+func (b *Bitmap) IorWith(o *Bitmap) bool {
+	if b == o || o.first == nil {
+		return false
+	}
+	changed := false
+	be := b.first
+	var tail *element // last element known to be in place before be
+	for oe := o.first; oe != nil; oe = oe.next {
+		for be != nil && be.idx < oe.idx {
+			tail = be
+			be = be.next
+		}
+		if be != nil && be.idx == oe.idx {
+			for w := 0; w < ElemWords; w++ {
+				nw := be.bits[w] | oe.bits[w]
+				if nw != be.bits[w] {
+					be.bits[w] = nw
+					changed = true
+				}
+			}
+			tail = be
+			be = be.next
+			continue
+		}
+		// Insert a copy of oe between tail and be.
+		ne := &element{idx: oe.idx, bits: oe.bits}
+		b.n++
+		changed = true
+		ne.prev = tail
+		ne.next = be
+		if tail != nil {
+			tail.next = ne
+		} else {
+			b.first = ne
+		}
+		if be != nil {
+			be.prev = ne
+		} else {
+			b.last = ne
+		}
+		tail = ne
+	}
+	if changed {
+		b.current = b.first
+	}
+	return changed
+}
+
+// AndWith sets b = b & o and reports whether b changed.
+func (b *Bitmap) AndWith(o *Bitmap) bool {
+	if b == o {
+		return false
+	}
+	changed := false
+	oe := o.first
+	for be := b.first; be != nil; {
+		next := be.next
+		for oe != nil && oe.idx < be.idx {
+			oe = oe.next
+		}
+		if oe == nil || oe.idx != be.idx {
+			b.unlink(be)
+			changed = true
+			be = next
+			continue
+		}
+		for w := 0; w < ElemWords; w++ {
+			nw := be.bits[w] & oe.bits[w]
+			if nw != be.bits[w] {
+				be.bits[w] = nw
+				changed = true
+			}
+		}
+		if be.empty() {
+			b.unlink(be)
+		}
+		be = next
+	}
+	return changed
+}
+
+// AndComplWith sets b = b &^ o (set difference) and reports whether b changed.
+func (b *Bitmap) AndComplWith(o *Bitmap) bool {
+	if b == o {
+		ch := b.first != nil
+		b.ClearAll()
+		return ch
+	}
+	changed := false
+	oe := o.first
+	for be := b.first; be != nil; {
+		next := be.next
+		for oe != nil && oe.idx < be.idx {
+			oe = oe.next
+		}
+		if oe != nil && oe.idx == be.idx {
+			for w := 0; w < ElemWords; w++ {
+				nw := be.bits[w] &^ oe.bits[w]
+				if nw != be.bits[w] {
+					be.bits[w] = nw
+					changed = true
+				}
+			}
+			if be.empty() {
+				b.unlink(be)
+			}
+		}
+		be = next
+	}
+	return changed
+}
+
+// Equal reports whether b and o contain exactly the same bits.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if b == o {
+		return true
+	}
+	be, oe := b.first, o.first
+	for be != nil && oe != nil {
+		if be.idx != oe.idx || be.bits != oe.bits {
+			return false
+		}
+		be, oe = be.next, oe.next
+	}
+	return be == nil && oe == nil
+}
+
+// Intersects reports whether b and o share at least one set bit.
+func (b *Bitmap) Intersects(o *Bitmap) bool {
+	be, oe := b.first, o.first
+	for be != nil && oe != nil {
+		switch {
+		case be.idx < oe.idx:
+			be = be.next
+		case be.idx > oe.idx:
+			oe = oe.next
+		default:
+			for w := 0; w < ElemWords; w++ {
+				if be.bits[w]&oe.bits[w] != 0 {
+					return true
+				}
+			}
+			be, oe = be.next, oe.next
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	n := 0
+	for e := b.first; e != nil; e = e.next {
+		for _, w := range e.bits {
+			n += bits.OnesCount64(w)
+		}
+	}
+	return n
+}
+
+// Copy returns an independent copy of b.
+func (b *Bitmap) Copy() *Bitmap {
+	nb := &Bitmap{}
+	var tail *element
+	for e := b.first; e != nil; e = e.next {
+		ne := &element{idx: e.idx, bits: e.bits, prev: tail}
+		if tail != nil {
+			tail.next = ne
+		} else {
+			nb.first = ne
+		}
+		tail = ne
+		nb.n++
+	}
+	nb.last = tail
+	nb.current = nb.first
+	return nb
+}
+
+// ForEach calls f for each set bit in ascending order. If f returns false,
+// iteration stops early. f must not modify the bitmap.
+func (b *Bitmap) ForEach(f func(x uint32) bool) {
+	for e := b.first; e != nil; e = e.next {
+		base := e.idx * ElemBits
+		for w := 0; w < ElemWords; w++ {
+			v := e.bits[w]
+			for v != 0 {
+				t := uint32(bits.TrailingZeros64(v))
+				if !f(base + uint32(w)*WordBits + t) {
+					return
+				}
+				v &= v - 1
+			}
+		}
+	}
+}
+
+// Slice returns all set bits in ascending order. Intended for tests and
+// small sets.
+func (b *Bitmap) Slice() []uint32 {
+	var out []uint32
+	b.ForEach(func(x uint32) bool { out = append(out, x); return true })
+	return out
+}
+
+// Min returns the smallest set bit, or (0, false) when empty.
+func (b *Bitmap) Min() (uint32, bool) {
+	e := b.first
+	if e == nil {
+		return 0, false
+	}
+	for w := 0; w < ElemWords; w++ {
+		if e.bits[w] != 0 {
+			return e.idx*ElemBits + uint32(w)*WordBits + uint32(bits.TrailingZeros64(e.bits[w])), true
+		}
+	}
+	return 0, false // unreachable: elements are never empty
+}
+
+// String renders the bitmap as "{1 5 130}" for debugging.
+func (b *Bitmap) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	firstItem := true
+	b.ForEach(func(x uint32) bool {
+		if !firstItem {
+			sb.WriteByte(' ')
+		}
+		firstItem = false
+		fmt.Fprintf(&sb, "%d", x)
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

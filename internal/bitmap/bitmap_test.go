@@ -1,0 +1,385 @@
+package bitmap
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var b Bitmap
+	if !b.Empty() {
+		t.Error("zero value should be empty")
+	}
+	if b.Count() != 0 {
+		t.Errorf("Count = %d, want 0", b.Count())
+	}
+	if b.Test(0) || b.Test(12345) {
+		t.Error("Test on empty bitmap should be false")
+	}
+	if b.Elements() != 0 {
+		t.Errorf("Elements = %d, want 0", b.Elements())
+	}
+	if got := b.String(); got != "{}" {
+		t.Errorf("String = %q, want {}", got)
+	}
+}
+
+func TestSetTestClear(t *testing.T) {
+	b := New()
+	vals := []uint32{0, 1, 63, 64, 127, 128, 129, 1000, 100000, 1 << 30}
+	for _, v := range vals {
+		if !b.Set(v) {
+			t.Errorf("Set(%d) first time should report change", v)
+		}
+		if b.Set(v) {
+			t.Errorf("Set(%d) second time should not report change", v)
+		}
+	}
+	for _, v := range vals {
+		if !b.Test(v) {
+			t.Errorf("Test(%d) = false after Set", v)
+		}
+	}
+	if b.Count() != len(vals) {
+		t.Errorf("Count = %d, want %d", b.Count(), len(vals))
+	}
+	for _, v := range vals {
+		if !b.Clear(v) {
+			t.Errorf("Clear(%d) should report change", v)
+		}
+		if b.Clear(v) {
+			t.Errorf("Clear(%d) twice should not report change", v)
+		}
+	}
+	if !b.Empty() {
+		t.Error("bitmap should be empty after clearing all")
+	}
+	if b.Elements() != 0 {
+		t.Errorf("Elements = %d after clearing, want 0", b.Elements())
+	}
+}
+
+func TestSetOutOfOrder(t *testing.T) {
+	b := New()
+	vals := []uint32{500, 100, 300, 200, 400, 0, 600}
+	for _, v := range vals {
+		b.Set(v)
+	}
+	want := append([]uint32(nil), vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if got := b.Slice(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Slice = %v, want %v", got, want)
+	}
+}
+
+func TestMin(t *testing.T) {
+	b := New()
+	if _, ok := b.Min(); ok {
+		t.Error("Min on empty should report !ok")
+	}
+	b.Set(777)
+	b.Set(301)
+	b.Set(999)
+	if m, ok := b.Min(); !ok || m != 301 {
+		t.Errorf("Min = %d,%v want 301,true", m, ok)
+	}
+}
+
+func TestIorWith(t *testing.T) {
+	a, b := New(), New()
+	a.Set(1)
+	a.Set(200)
+	b.Set(2)
+	b.Set(200)
+	b.Set(5000)
+	if !a.IorWith(b) {
+		t.Error("IorWith should report change")
+	}
+	if a.IorWith(b) {
+		t.Error("second IorWith should not report change")
+	}
+	want := []uint32{1, 2, 200, 5000}
+	if got := a.Slice(); !reflect.DeepEqual(got, want) {
+		t.Errorf("after Ior: %v, want %v", got, want)
+	}
+	// Source unchanged.
+	if got := b.Slice(); !reflect.DeepEqual(got, []uint32{2, 200, 5000}) {
+		t.Errorf("source changed: %v", got)
+	}
+	// Self-union is a no-op.
+	if a.IorWith(a) {
+		t.Error("self IorWith should not report change")
+	}
+}
+
+func TestIorIntoEmpty(t *testing.T) {
+	a, b := New(), New()
+	b.Set(10)
+	b.Set(300)
+	if !a.IorWith(b) {
+		t.Error("union into empty should change")
+	}
+	if !a.Equal(b) {
+		t.Error("union into empty should equal source")
+	}
+}
+
+func TestAndWith(t *testing.T) {
+	a, b := New(), New()
+	for _, v := range []uint32{1, 2, 3, 200, 300} {
+		a.Set(v)
+	}
+	for _, v := range []uint32{2, 200, 999} {
+		b.Set(v)
+	}
+	if !a.AndWith(b) {
+		t.Error("AndWith should report change")
+	}
+	if got := a.Slice(); !reflect.DeepEqual(got, []uint32{2, 200}) {
+		t.Errorf("after And: %v", got)
+	}
+	if a.AndWith(b) {
+		t.Error("second AndWith should not change")
+	}
+}
+
+func TestAndComplWith(t *testing.T) {
+	a, b := New(), New()
+	for _, v := range []uint32{1, 2, 3, 200, 300} {
+		a.Set(v)
+	}
+	for _, v := range []uint32{2, 200, 999} {
+		b.Set(v)
+	}
+	if !a.AndComplWith(b) {
+		t.Error("AndComplWith should report change")
+	}
+	if got := a.Slice(); !reflect.DeepEqual(got, []uint32{1, 3, 300}) {
+		t.Errorf("after AndCompl: %v", got)
+	}
+	// Difference with self empties the set.
+	if !a.AndComplWith(a) {
+		t.Error("self-diff of nonempty should change")
+	}
+	if !a.Empty() {
+		t.Error("self-diff should empty the bitmap")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(), New()
+	if !a.Equal(b) {
+		t.Error("two empties should be equal")
+	}
+	a.Set(5)
+	if a.Equal(b) {
+		t.Error("unequal sizes should differ")
+	}
+	b.Set(5)
+	if !a.Equal(b) {
+		t.Error("identical sets should be equal")
+	}
+	a.Set(1000)
+	b.Set(1001)
+	if a.Equal(b) {
+		t.Error("different bits should differ")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a, b := New(), New()
+	a.Set(100)
+	b.Set(101)
+	if a.Intersects(b) {
+		t.Error("disjoint sets should not intersect")
+	}
+	b.Set(100)
+	if !a.Intersects(b) {
+		t.Error("sharing 100 should intersect")
+	}
+}
+
+func TestCopy(t *testing.T) {
+	a := New()
+	for _, v := range []uint32{7, 130, 999999} {
+		a.Set(v)
+	}
+	c := a.Copy()
+	if !c.Equal(a) {
+		t.Error("copy should equal original")
+	}
+	c.Set(8)
+	if a.Test(8) {
+		t.Error("copy must be independent")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	a := New()
+	for i := uint32(0); i < 100; i++ {
+		a.Set(i)
+	}
+	n := 0
+	a.ForEach(func(x uint32) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("early stop visited %d, want 10", n)
+	}
+}
+
+// reference is a model implementation used by the property tests.
+type reference map[uint32]bool
+
+func (r reference) slice() []uint32 {
+	var out []uint32 // nil when empty, matching Bitmap.Slice
+	for k := range r {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestQuickAgainstReference drives a random operation sequence against both
+// the sparse bitmap and a model map, checking observable equivalence.
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(ops []uint32, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := New()
+		ref := reference{}
+		for _, op := range ops {
+			x := op % 2048 // keep the universe small enough to collide
+			switch rng.Intn(4) {
+			case 0:
+				got := b.Set(x)
+				want := !ref[x]
+				ref[x] = true
+				if got != want {
+					return false
+				}
+			case 1:
+				got := b.Clear(x)
+				want := ref[x]
+				delete(ref, x)
+				if got != want {
+					return false
+				}
+			case 2:
+				if b.Test(x) != ref[x] {
+					return false
+				}
+			case 3:
+				if b.Count() != len(ref) {
+					return false
+				}
+			}
+		}
+		return reflect.DeepEqual(b.Slice(), ref.slice()) || (len(ref) == 0 && b.Empty())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSetOps checks the algebra of Ior/And/AndCompl against the model.
+func TestQuickSetOps(t *testing.T) {
+	mk := func(xs []uint32) (*Bitmap, reference) {
+		b, r := New(), reference{}
+		for _, x := range xs {
+			v := x % 4096
+			b.Set(v)
+			r[v] = true
+		}
+		return b, r
+	}
+	f := func(xs, ys []uint32) bool {
+		a, ra := mk(xs)
+		b, rb := mk(ys)
+
+		u := a.Copy()
+		u.IorWith(b)
+		ru := reference{}
+		for k := range ra {
+			ru[k] = true
+		}
+		for k := range rb {
+			ru[k] = true
+		}
+		if !reflect.DeepEqual(u.Slice(), ru.slice()) {
+			return false
+		}
+
+		i := a.Copy()
+		i.AndWith(b)
+		ri := reference{}
+		for k := range ra {
+			if rb[k] {
+				ri[k] = true
+			}
+		}
+		if !reflect.DeepEqual(i.Slice(), ri.slice()) {
+			return false
+		}
+
+		d := a.Copy()
+		d.AndComplWith(b)
+		rd := reference{}
+		for k := range ra {
+			if !rb[k] {
+				rd[k] = true
+			}
+		}
+		if !reflect.DeepEqual(d.Slice(), rd.slice()) {
+			return false
+		}
+
+		// Count/Equal coherence.
+		if u.Count() != len(ru) || i.Count() != len(ri) || d.Count() != len(rd) {
+			return false
+		}
+		a2, _ := mk(xs)
+		return a.Equal(a2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemBytesGrows(t *testing.T) {
+	b := New()
+	base := b.MemBytes()
+	for i := uint32(0); i < 10; i++ {
+		b.Set(i * 1000)
+	}
+	if b.MemBytes() <= base {
+		t.Error("MemBytes should grow with elements")
+	}
+}
+
+func BenchmarkSetSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bm := New()
+		for j := uint32(0); j < 1024; j++ {
+			bm.Set(j)
+		}
+	}
+}
+
+func BenchmarkIorSparse(b *testing.B) {
+	x, y := New(), New()
+	for j := uint32(0); j < 10000; j += 7 {
+		x.Set(j)
+	}
+	for j := uint32(3); j < 10000; j += 11 {
+		y.Set(j)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := x.Copy()
+		c.IorWith(y)
+	}
+}

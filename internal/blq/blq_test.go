@@ -1,0 +1,278 @@
+package blq
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/core"
+)
+
+// checkAgainstLCD compares BLQ's solution (with and without HCD) to the
+// LCD solver's, which is itself property-tested against a brute-force
+// oracle in package core.
+func checkAgainstLCD(t *testing.T, p *constraint.Program) {
+	t.Helper()
+	want, err := core.Solve(p, core.Options{Algorithm: core.LCD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, withHCD := range []bool{false, true} {
+		r, err := Solve(p, core.Options{WithHCD: withHCD, BDDPoolNodes: 1 << 12})
+		if err != nil {
+			t.Fatalf("hcd=%v: %v", withHCD, err)
+		}
+		for v := uint32(0); v < uint32(p.NumVars); v++ {
+			got := r.PointsToSlice(v)
+			exp := want.PointsToSlice(v)
+			if len(got) == 0 && len(exp) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, exp) {
+				t.Fatalf("hcd=%v: pts(%s) = %v, want %v", withHCD, p.NameOf(v), got, exp)
+			}
+		}
+	}
+}
+
+func TestPaperFigure4(t *testing.T) {
+	p := constraint.NewProgram()
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	c := p.AddVar("c")
+	d := p.AddVar("d")
+	p.AddAddrOf(a, c)
+	p.AddCopy(d, c)
+	p.AddLoad(b, a, 0)
+	p.AddStore(a, b, 0)
+	checkAgainstLCD(t, p)
+	_, _, _, _ = a, b, c, d
+}
+
+func TestLoadStoreChain(t *testing.T) {
+	p := constraint.NewProgram()
+	x, y := p.AddVar("x"), p.AddVar("y")
+	pp, q, rr := p.AddVar("p"), p.AddVar("q"), p.AddVar("r")
+	p.AddAddrOf(pp, x)
+	p.AddAddrOf(q, y)
+	p.AddStore(pp, q, 0)
+	p.AddLoad(rr, pp, 0)
+	checkAgainstLCD(t, p)
+
+	r, err := Solve(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PointsToSlice(rr); !reflect.DeepEqual(got, []uint32{y}) {
+		t.Errorf("pts(r) = %v, want {y}", got)
+	}
+}
+
+func TestIndirectCallOffsets(t *testing.T) {
+	p := constraint.NewProgram()
+	g := p.AddVar("g")
+	f := p.AddFunc("f", 1)
+	fp := p.AddVar("fp")
+	x := p.AddVar("x")
+	r := p.AddVar("r")
+	p.AddCopy(f+constraint.RetOffset, f+constraint.ParamOffset)
+	p.AddAddrOf(fp, f)
+	p.AddAddrOf(x, g)
+	p.AddStore(fp, x, constraint.ParamOffset)
+	p.AddLoad(r, fp, constraint.RetOffset)
+	checkAgainstLCD(t, p)
+}
+
+func TestCopyCycle(t *testing.T) {
+	p := constraint.NewProgram()
+	o := p.AddVar("o")
+	x, y, z := p.AddVar("x"), p.AddVar("y"), p.AddVar("z")
+	p.AddAddrOf(x, o)
+	p.AddCopy(y, x)
+	p.AddCopy(z, y)
+	p.AddCopy(x, z)
+	checkAgainstLCD(t, p)
+}
+
+func TestHCDCollapsesInBDD(t *testing.T) {
+	// The Figure 3 program: HCD must fire and collapse pts(a) with b.
+	p := constraint.NewProgram()
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	c := p.AddVar("c")
+	p.AddAddrOf(a, c)
+	p.AddLoad(b, a, 0)
+	p.AddStore(a, b, 0)
+	r, err := Solve(p, core.Options{WithHCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.HCDCollapses == 0 {
+		t.Error("HCD rule should have fired")
+	}
+	if r.Rep(b) != r.Rep(c) {
+		t.Error("b and c should share a representative")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	p := constraint.NewProgram()
+	if _, err := Solve(p, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	p2 := constraint.NewProgram()
+	p2.AddVar("lonely")
+	r, err := Solve(p2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PointsToSlice(0); len(got) != 0 {
+		t.Errorf("pts of constraint-free var = %v", got)
+	}
+}
+
+func randomProgram(rng *rand.Rand) *constraint.Program {
+	p := constraint.NewProgram()
+	var funcs []uint32
+	for i := 0; i < rng.Intn(3); i++ {
+		funcs = append(funcs, p.AddFunc(fmt.Sprintf("f%d", i), rng.Intn(3)))
+	}
+	for i := 0; i < 3+rng.Intn(12); i++ {
+		p.AddVar(fmt.Sprintf("v%d", i))
+	}
+	n := uint32(p.NumVars)
+	for i := 0; i < 1+rng.Intn(35); i++ {
+		d, s := uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n)))
+		switch rng.Intn(8) {
+		case 0, 1:
+			p.AddAddrOf(d, s)
+		case 2, 3, 4:
+			p.AddCopy(d, s)
+		case 5:
+			p.AddLoad(d, s, 0)
+		case 6:
+			p.AddStore(d, s, 0)
+		case 7:
+			if len(funcs) > 0 {
+				off := uint32(1 + rng.Intn(3))
+				if rng.Intn(2) == 0 {
+					p.AddLoad(d, s, off)
+				} else {
+					p.AddStore(d, s, off)
+				}
+			}
+		}
+	}
+	return p
+}
+
+func TestQuickMatchesLCD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		if p.Validate() != nil {
+			return true
+		}
+		want, err := core.Solve(p, core.Options{Algorithm: core.LCD})
+		if err != nil {
+			return false
+		}
+		for _, withHCD := range []bool{false, true} {
+			r, err := Solve(p, core.Options{WithHCD: withHCD, BDDPoolNodes: 1 << 12})
+			if err != nil {
+				return false
+			}
+			for v := uint32(0); v < uint32(p.NumVars); v++ {
+				got := r.PointsToSlice(v)
+				exp := want.PointsToSlice(v)
+				if len(got) == 0 && len(exp) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, exp) {
+					t.Logf("seed %d hcd=%v: pts(v%d) = %v, want %v", seed, withHCD, v, got, exp)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAndAlias(t *testing.T) {
+	p := constraint.NewProgram()
+	o := p.AddVar("o")
+	x, y := p.AddVar("x"), p.AddVar("y")
+	p.AddAddrOf(x, o)
+	p.AddCopy(y, x)
+	r, err := Solve(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Alias(x, y) {
+		t.Error("x and y alias")
+	}
+	if r.Stats.MemBytes <= 0 || r.Stats.Propagations == 0 {
+		t.Errorf("stats not populated: %+v", r.Stats)
+	}
+}
+
+// TestRowSetInterface exercises the pts.Set view over the relation BDD
+// that BLQ results expose.
+func TestRowSetInterface(t *testing.T) {
+	p := constraint.NewProgram()
+	o1, o2 := p.AddVar("o1"), p.AddVar("o2")
+	x, y := p.AddVar("x"), p.AddVar("y")
+	p.AddAddrOf(x, o1)
+	p.AddAddrOf(x, o2)
+	p.AddAddrOf(y, o2)
+	r, err := Solve(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx := r.PointsTo(x)
+	sy := r.PointsTo(y)
+	if sx.Len() != 2 || sy.Len() != 1 || sx.Empty() {
+		t.Fatalf("set sizes: x=%d y=%d", sx.Len(), sy.Len())
+	}
+	if !sx.Contains(o1) || sx.Contains(x) {
+		t.Error("Contains wrong")
+	}
+	if sx.Equal(sy) {
+		t.Error("different sets Equal")
+	}
+	if !sx.Intersects(sy) {
+		t.Error("sets sharing o2 must intersect")
+	}
+	d := sx.SubtractCopy(sy)
+	if got := d.Slice(); len(got) != 1 || got[0] != o1 {
+		t.Errorf("SubtractCopy = %v, want {o1}", got)
+	}
+	if c := sx.SubtractCopy(nil); !c.Equal(sx) {
+		t.Error("SubtractCopy(nil) should copy")
+	}
+	// Mutators (used if a client unions rows).
+	cp := sy.SubtractCopy(nil)
+	if !cp.UnionWith(sx) || cp.Len() != 2 {
+		t.Error("UnionWith failed")
+	}
+	if cp.UnionWith(sx) {
+		t.Error("idempotent UnionWith reported change")
+	}
+	if !cp.Insert(y) || cp.Insert(y) {
+		t.Error("Insert change-reporting wrong")
+	}
+	n := 0
+	cp.ForEach(func(uint32) bool { n++; return true })
+	if n != 3 {
+		t.Errorf("ForEach visited %d", n)
+	}
+	if sx.MemBytes() <= 0 {
+		t.Error("MemBytes must be positive")
+	}
+}

@@ -1,0 +1,36 @@
+package blq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"antgrass/internal/core"
+)
+
+// Regression: rule-produced edges mention pointee values (raw location
+// ids); after an HCD pre-union collapsed a pointee's node, those edges
+// landed on the stale row and tuples were lost. Seed found by
+// TestQuickMatchesLCD.
+
+func TestRegressionCollapsedPointeeEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(-1962633301964134492))
+	p := randomProgram(rng)
+	if p.Validate() != nil {
+		t.Skip()
+	}
+	want, _ := core.Solve(p, core.Options{Algorithm: core.LCD})
+	r, err := Solve(p, core.Options{WithHCD: true, BDDPoolNodes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < uint32(p.NumVars); v++ {
+		g, w := r.PointsToSlice(v), want.PointsToSlice(v)
+		if len(g) == 0 && len(w) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("pts(v%d) = %v, want %v", v, g, w)
+		}
+	}
+}

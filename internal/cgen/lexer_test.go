@@ -1,0 +1,91 @@
+package cgen
+
+import "testing"
+
+func kinds(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := kinds(t, `int x = 42; // comment
+/* block
+   comment */ char *s = "hi\"there";`)
+	want := []struct {
+		kind tokKind
+		text string
+	}{
+		{tokKeyword, "int"}, {tokIdent, "x"}, {tokPunct, "="}, {tokNumber, "42"},
+		{tokPunct, ";"}, {tokKeyword, "char"}, {tokPunct, "*"}, {tokIdent, "s"},
+		{tokPunct, "="}, {tokString, `hi\"there`}, {tokPunct, ";"}, {tokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].kind != w.kind || toks[i].text != w.text {
+			t.Errorf("token %d = (%v, %q), want (%v, %q)", i, toks[i].kind, toks[i].text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexMultiCharPunct(t *testing.T) {
+	toks := kinds(t, "a->b ++ -- <<= >>= ... == != <= >= && || += &=")
+	var got []string
+	for _, tk := range toks {
+		if tk.kind == tokPunct {
+			got = append(got, tk.text)
+		}
+	}
+	want := []string{"->", "++", "--", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "+=", "&="}
+	if len(got) != len(want) {
+		t.Fatalf("punct = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("punct %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexPreprocessorSkipped(t *testing.T) {
+	toks := kinds(t, "#include <stdio.h>\n#define FOO \\\n  42\nint x;")
+	if toks[0].text != "int" {
+		t.Errorf("first token %q, want int (preprocessor lines skipped)", toks[0].text)
+	}
+}
+
+func TestLexCharAndFloat(t *testing.T) {
+	toks := kinds(t, `'a' '\n' 3.14 1e-5 0x1F`)
+	if toks[0].kind != tokChar || toks[1].kind != tokChar {
+		t.Error("char literals")
+	}
+	if toks[2].kind != tokNumber || toks[2].text != "3.14" {
+		t.Errorf("float: %v", toks[2])
+	}
+	if toks[3].kind != tokNumber || toks[3].text != "1e-5" {
+		t.Errorf("exponent: %v", toks[3])
+	}
+	if toks[4].kind != tokNumber || toks[4].text != "0x1F" {
+		t.Errorf("hex: %v", toks[4])
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks := kinds(t, "int\nx\n;\n")
+	if toks[0].line != 1 || toks[1].line != 2 || toks[2].line != 3 {
+		t.Errorf("lines: %d %d %d", toks[0].line, toks[1].line, toks[2].line)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "/* unterminated", "'x"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}

@@ -1,0 +1,830 @@
+package cgen
+
+import "fmt"
+
+// parser is a hand-written recursive-descent parser for the C subset. It
+// tracks typedef names so declarations and expressions disambiguate, and it
+// parses (then mostly discards) type structure: the analysis only needs to
+// know each declarator's name and whether it declares a function or an
+// array.
+type parser struct {
+	toks     []token
+	pos      int
+	typedefs map[string]bool
+	// recordFields holds struct field names parsed so far; unused by the
+	// field-insensitive generator but kept for diagnostics.
+	records map[string]bool
+}
+
+// ParseFile parses a translation unit.
+func ParseFile(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, typedefs: map[string]bool{}, records: map[string]bool{}}
+	f := &File{}
+	for !p.at(tokEOF) {
+		ds, err := p.parseTopDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Decls = append(f.Decls, ds...)
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) la(n int) token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) is(text string) bool {
+	return p.cur().text == text && p.cur().kind != tokString && p.cur().kind != tokChar
+}
+
+func (p *parser) accept(text string) bool {
+	if p.is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+var typeKeywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "signed": true, "unsigned": true,
+	"struct": true, "union": true, "enum": true, "const": true,
+	"volatile": true,
+}
+
+var storageKeywords = map[string]bool{
+	"static": true, "extern": true, "auto": true, "register": true,
+	"typedef": true,
+}
+
+// atTypeStart reports whether the current token can begin a declaration.
+func (p *parser) atTypeStart() bool {
+	t := p.cur()
+	if t.kind == tokKeyword && (typeKeywords[t.text] || storageKeywords[t.text]) {
+		return true
+	}
+	return t.kind == tokIdent && p.typedefs[t.text]
+}
+
+// skipDeclSpecifiers consumes type specifiers/qualifiers/storage classes,
+// returning whether a typedef storage class was present. struct/union/enum
+// bodies encountered here are parsed (and their contents skipped
+// field-insensitively, except enum constants which need no declarations
+// either — enumerators are integers).
+func (p *parser) skipDeclSpecifiers() (isTypedef bool, err error) {
+	seenType := false
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokKeyword && t.text == "typedef":
+			isTypedef = true
+			p.pos++
+		case t.kind == tokKeyword && storageKeywords[t.text]:
+			p.pos++
+		case t.kind == tokKeyword && (t.text == "struct" || t.text == "union" || t.text == "enum"):
+			p.pos++
+			if p.at(tokIdent) {
+				p.records[p.cur().text] = true
+				p.pos++
+			}
+			if p.is("{") {
+				if err := p.skipBalanced("{", "}"); err != nil {
+					return isTypedef, err
+				}
+			}
+			seenType = true
+		case t.kind == tokKeyword && typeKeywords[t.text]:
+			p.pos++
+			seenType = true
+		case t.kind == tokIdent && p.typedefs[t.text] && !seenType:
+			p.pos++
+			seenType = true
+		default:
+			return isTypedef, nil
+		}
+	}
+}
+
+// skipBalanced consumes from an opening delimiter to its match.
+func (p *parser) skipBalanced(open, close string) error {
+	if err := p.expect(open); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		if p.at(tokEOF) {
+			return p.errf("unbalanced %q", open)
+		}
+		if p.is(open) {
+			depth++
+		} else if p.is(close) {
+			depth--
+		}
+		p.pos++
+	}
+	return nil
+}
+
+// declInfo is the outcome of parsing one declarator.
+type declInfo struct {
+	name     string
+	isFunc   bool
+	isArray  bool
+	params   []Param
+	variadic bool
+}
+
+// parseDeclarator parses pointer stars, a direct declarator (name or
+// parenthesized inner declarator), and suffixes. abstractOK permits a
+// missing name (for prototypes' unnamed parameters).
+func (p *parser) parseDeclarator(abstractOK bool) (*declInfo, error) {
+	ptr := 0
+	for p.accept("*") {
+		ptr++
+		for p.accept("const") || p.accept("volatile") {
+		}
+	}
+	d := &declInfo{}
+	var inner *declInfo
+	switch {
+	case p.at(tokIdent) && !p.typedefs[p.cur().text]:
+		d.name = p.cur().text
+		p.pos++
+	case p.is("(") && (p.la(1).text == "*" || (p.la(1).kind == tokIdent && !p.typedefs[p.la(1).text])):
+		p.pos++ // '('
+		var err error
+		inner, err = p.parseDeclarator(abstractOK)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		d.name = inner.name
+		// An array-of-function-pointers declarator like
+		// (*table[4])(...) is an array variable.
+		d.isArray = inner.isArray
+	default:
+		if !abstractOK {
+			return nil, p.errf("expected declarator, found %q", p.cur().text)
+		}
+	}
+	// Suffixes.
+	for {
+		switch {
+		case p.is("["):
+			if err := p.skipBalanced("[", "]"); err != nil {
+				return nil, err
+			}
+			if inner == nil && !d.isFunc {
+				d.isArray = true
+			}
+		case p.is("("):
+			params, variadic, err := p.parseParams()
+			if err != nil {
+				return nil, err
+			}
+			// Pointer stars ahead of a plain name modify the
+			// return type (int *f(void) is a function); only a
+			// parenthesized inner declarator makes this a
+			// function-pointer variable (int (*fp)(void)).
+			if inner == nil && !d.isArray {
+				d.isFunc = true
+				d.params = params
+				d.variadic = variadic
+			}
+		default:
+			return d, nil
+		}
+	}
+}
+
+// parseParams parses a parenthesized parameter list.
+func (p *parser) parseParams() ([]Param, bool, error) {
+	if err := p.expect("("); err != nil {
+		return nil, false, err
+	}
+	if p.accept(")") {
+		return nil, false, nil
+	}
+	if p.is("void") && p.la(1).text == ")" {
+		p.pos += 2
+		return nil, false, nil
+	}
+	var params []Param
+	variadic := false
+	for {
+		if p.accept("...") {
+			variadic = true
+			break
+		}
+		if _, err := p.skipDeclSpecifiers(); err != nil {
+			return nil, false, err
+		}
+		d, err := p.parseDeclarator(true)
+		if err != nil {
+			return nil, false, err
+		}
+		params = append(params, Param{Name: d.name, IsArray: d.isArray})
+		if !p.accept(",") {
+			break
+		}
+	}
+	return params, variadic, p.expect(")")
+}
+
+// parseTopDecl parses one top-level construct, possibly yielding several
+// declarations (comma-separated declarators).
+func (p *parser) parseTopDecl() ([]TopDecl, error) {
+	if p.accept(";") {
+		return nil, nil
+	}
+	isTypedef, err := p.skipDeclSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	// A bare "struct S { ... };" has no declarator.
+	if p.accept(";") {
+		return []TopDecl{&RecordDef{}}, nil
+	}
+	var out []TopDecl
+	for {
+		line := p.cur().line
+		d, err := p.parseDeclarator(false)
+		if err != nil {
+			return nil, err
+		}
+		if isTypedef {
+			p.typedefs[d.name] = true
+			out = append(out, &TypedefDecl{Name: d.name})
+		} else if d.isFunc {
+			fd := &FuncDef{Name: d.name, Params: d.params, Variadic: d.variadic, Line: line}
+			if p.is("{") {
+				body, err := p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+				fd.Body = body
+				out = append(out, fd)
+				return out, nil // a definition ends the declaration
+			}
+			out = append(out, fd)
+		} else {
+			vd := &VarDecl{Name: d.name, IsArray: d.isArray, Line: line}
+			if p.accept("=") {
+				init, err := p.parseInitializer()
+				if err != nil {
+					return nil, err
+				}
+				vd.Init = init
+			}
+			out = append(out, vd)
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	return out, p.expect(";")
+}
+
+func (p *parser) parseInitializer() (Expr, error) {
+	if p.is("{") {
+		p.pos++
+		il := &InitList{}
+		for !p.is("}") {
+			e, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			il.Elems = append(il.Elems, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		return il, p.expect("}")
+	}
+	return p.parseAssign()
+}
+
+// --- statements ---
+
+func (p *parser) parseBlock() (*Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.is("}") {
+		if p.at(tokEOF) {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // '}'
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.is("{"):
+		return p.parseBlock()
+	case p.accept(";"):
+		return &EmptyStmt{}, nil
+	case p.is("if"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept("else") {
+			if els, err = p.parseStmt(); err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+	case p.is("while"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.is("do"):
+		p.pos++
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.is("for"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		f := &ForStmt{}
+		if !p.is(";") {
+			if p.atTypeStart() {
+				ds, err := p.parseDeclStmt()
+				if err != nil {
+					return nil, err
+				}
+				f.Init = ds
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				f.Init = &ExprStmt{X: e}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.pos++
+		}
+		if !p.is(";") {
+			c, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Cond = c
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.is(")") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Post = e
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Body = body
+		return f, nil
+	case p.is("switch"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		tag, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &SwitchStmt{Tag: tag, Body: body}, nil
+	case p.is("case"):
+		p.pos++
+		if _, err := p.parseCond(); err != nil { // constant expression
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		return p.parseStmt()
+	case p.is("default"):
+		p.pos++
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		return p.parseStmt()
+	case p.is("return"):
+		p.pos++
+		r := &ReturnStmt{}
+		if !p.is(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = e
+		}
+		return r, p.expect(";")
+	case p.is("break") || p.is("continue"):
+		p.pos++
+		return &EmptyStmt{}, p.expect(";")
+	case p.is("goto"):
+		p.pos++
+		if !p.at(tokIdent) {
+			return nil, p.errf("expected label after goto")
+		}
+		p.pos++
+		return &EmptyStmt{}, p.expect(";")
+	case p.at(tokIdent) && p.la(1).text == ":" && !p.typedefs[p.cur().text]:
+		// label:
+		p.pos += 2
+		return p.parseStmt()
+	case p.atTypeStart():
+		return p.parseDeclStmt()
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, p.expect(";")
+	}
+}
+
+// parseDeclStmt parses a local declaration statement (consuming the ';').
+func (p *parser) parseDeclStmt() (*DeclStmt, error) {
+	isTypedef, err := p.skipDeclSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	ds := &DeclStmt{}
+	if p.accept(";") { // bare struct definition in a block
+		return ds, nil
+	}
+	for {
+		line := p.cur().line
+		d, err := p.parseDeclarator(false)
+		if err != nil {
+			return nil, err
+		}
+		if isTypedef {
+			p.typedefs[d.name] = true
+		} else if d.isFunc {
+			// Local function prototype: ignore (callees resolve by
+			// name at generation time).
+		} else {
+			vd := &VarDecl{Name: d.name, IsArray: d.isArray, Line: line}
+			if p.accept("=") {
+				init, err := p.parseInitializer()
+				if err != nil {
+					return nil, err
+				}
+				vd.Init = init
+			}
+			ds.Decls = append(ds.Decls, vd)
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	return ds, p.expect(";")
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() (Expr, error) {
+	e, err := p.parseAssign()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(",") {
+		r, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		e = &Comma{X: e, Y: r}
+	}
+	return e, nil
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *parser) parseAssign() (Expr, error) {
+	l, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokPunct && assignOps[p.cur().text] {
+		op := p.cur().text
+		p.pos++
+		r, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseCond() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("?") {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{C: c, A: a, B: b}, nil
+	}
+	return c, nil
+}
+
+// binary operator precedence levels, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	l, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.cur().kind == tokPunct && p.cur().text == op {
+				p.pos++
+				r, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = &Binary{Op: op, X: l, Y: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokPunct && (t.text == "&" || t.text == "*" || t.text == "-" ||
+		t.text == "+" || t.text == "!" || t.text == "~" || t.text == "++" || t.text == "--"):
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.text, X: x}, nil
+	case t.kind == tokKeyword && t.text == "sizeof":
+		p.pos++
+		if p.is("(") && p.typeStartsAt(1) {
+			if err := p.skipBalanced("(", ")"); err != nil {
+				return nil, err
+			}
+			return &IntLit{Text: "sizeof"}, nil
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "sizeof", X: x}, nil
+	case t.kind == tokPunct && t.text == "(" && p.typeStartsAt(1):
+		// Cast: skip the type, parse the operand.
+		if err := p.skipBalanced("(", ")"); err != nil {
+			return nil, err
+		}
+		// A cast applied to an initializer list (compound literal) or
+		// a normal unary operand.
+		if p.is("{") {
+			il, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			return &Cast{X: il}, nil
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Cast{X: x}, nil
+	default:
+		return p.parsePostfix()
+	}
+}
+
+// typeStartsAt reports whether the token at lookahead offset n begins a
+// type name (for cast/sizeof disambiguation).
+func (p *parser) typeStartsAt(n int) bool {
+	t := p.la(n)
+	if t.kind == tokKeyword && typeKeywords[t.text] {
+		return true
+	}
+	return t.kind == tokIdent && p.typedefs[t.text]
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.is("["):
+			p.pos++
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{X: e, I: i}
+		case p.is("("):
+			p.pos++
+			c := &Call{Callee: e, Line: t.line}
+			for !p.is(")") {
+				a, err := p.parseAssign()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			e = c
+		case p.is("."):
+			p.pos++
+			if !p.at(tokIdent) {
+				return nil, p.errf("expected member name")
+			}
+			e = &Member{X: e, Name: p.cur().text}
+			p.pos++
+		case p.is("->"):
+			p.pos++
+			if !p.at(tokIdent) {
+				return nil, p.errf("expected member name")
+			}
+			e = &Member{X: e, Arrow: true, Name: p.cur().text}
+			p.pos++
+		case p.is("++") || p.is("--"):
+			p.pos++
+			e = &Postfix{Op: t.text, X: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		p.pos++
+		return &Ident{Name: t.text, Line: t.line}, nil
+	case tokNumber:
+		p.pos++
+		return &IntLit{Text: t.text}, nil
+	case tokChar:
+		p.pos++
+		return &IntLit{Text: t.text}, nil
+	case tokString:
+		p.pos++
+		// Adjacent string literals concatenate.
+		for p.at(tokString) {
+			p.pos++
+		}
+		return &StrLit{Text: t.text, Line: t.line}, nil
+	default:
+		if p.is("(") {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+		return nil, p.errf("unexpected token %q", t.text)
+	}
+}

@@ -1,0 +1,197 @@
+package cgen
+
+import "testing"
+
+func parse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+func TestParseGlobalsAndFuncs(t *testing.T) {
+	f := parse(t, `
+int g;
+int *p, arr[10];
+int add(int a, int b) { return a + b; }
+void proto(char *s);
+`)
+	var vars, funcs, protos int
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *VarDecl:
+			vars++
+		case *FuncDef:
+			if d.Body != nil {
+				funcs++
+				if d.Name != "add" || len(d.Params) != 2 {
+					t.Errorf("add: %+v", d)
+				}
+			} else {
+				protos++
+			}
+		}
+	}
+	if vars != 3 || funcs != 1 || protos != 1 {
+		t.Errorf("vars=%d funcs=%d protos=%d", vars, funcs, protos)
+	}
+}
+
+func TestParseDeclaratorShapes(t *testing.T) {
+	f := parse(t, `
+int a[5];
+int *b[5];
+int (*c)[5];
+int (*fp)(int, int);
+int f(void);
+char **argv;
+`)
+	shapes := map[string]struct{ isArray bool }{}
+	var fnames []string
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *VarDecl:
+			shapes[d.Name] = struct{ isArray bool }{d.IsArray}
+		case *FuncDef:
+			fnames = append(fnames, d.Name)
+		}
+	}
+	if !shapes["a"].isArray || !shapes["b"].isArray {
+		t.Error("a and b are arrays")
+	}
+	if shapes["c"].isArray {
+		t.Error("c is a pointer to array, not an array variable")
+	}
+	if _, ok := shapes["fp"]; !ok {
+		t.Error("fp is a function-pointer variable")
+	}
+	if shapes["argv"].isArray {
+		t.Error("argv is a plain pointer")
+	}
+	if len(fnames) != 1 || fnames[0] != "f" {
+		t.Errorf("functions: %v", fnames)
+	}
+}
+
+func TestParseTypedefDisambiguation(t *testing.T) {
+	f := parse(t, `
+typedef int myint;
+typedef struct Node { struct Node *next; } node_t;
+myint x;
+node_t *head;
+int use(void) { myint y; y = (myint)0; return y; }
+`)
+	found := 0
+	for _, d := range f.Decls {
+		if v, ok := d.(*VarDecl); ok && (v.Name == "x" || v.Name == "head") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("typedef-typed globals parsed: %d, want 2", found)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	parse(t, `
+int f(int n) {
+	int i;
+	for (i = 0; i < n; i++) { n += i; }
+	while (n > 0) n--;
+	do { n++; } while (n < 10);
+	if (n == 3) return 1; else return 0;
+	switch (n) {
+	case 1: n = 2; break;
+	case 2:
+	default: n = 3; break;
+	}
+	goto done;
+done:
+	return n;
+}
+`)
+}
+
+func TestParseExpressions(t *testing.T) {
+	parse(t, `
+int g(int *p, int **pp, char *s) {
+	int x = *p + **pp;
+	x = p[1] + s[x];
+	x = (x > 0) ? *p : x;
+	x += sizeof(int) + sizeof x;
+	*p = x, **pp = x;
+	return ((int)x) << 2 | x & 3;
+}
+`)
+}
+
+func TestParseFuncPointerCalls(t *testing.T) {
+	parse(t, `
+int apply(int (*f)(int), int x) { return f(x) + (*f)(x); }
+`)
+}
+
+func TestParseInitializers(t *testing.T) {
+	f := parse(t, `
+int a = 1, *b = &a;
+int tab[3] = {1, 2, 3};
+struct P { int x, y; } pt = {4, 5};
+char *names[2] = {"one", "two"};
+`)
+	inits := 0
+	for _, d := range f.Decls {
+		if v, ok := d.(*VarDecl); ok && v.Init != nil {
+			inits++
+		}
+	}
+	if inits != 5 {
+		t.Errorf("initializers parsed: %d, want 5", inits)
+	}
+}
+
+func TestParseVariadic(t *testing.T) {
+	f := parse(t, `int printf(const char *fmt, ...);`)
+	fd, ok := f.Decls[0].(*FuncDef)
+	if !ok || !fd.Variadic || len(fd.Params) != 1 {
+		t.Errorf("printf: %+v", f.Decls[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int f( {",
+		"int x = ;",
+		"int f(void) { return }",
+		"int f(void) { if (x { } }",
+		"}",
+	}
+	for _, src := range bad {
+		if _, err := ParseFile(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseStructMembersFieldInsensitive(t *testing.T) {
+	parse(t, `
+struct S { int *f; struct S *next; };
+int h(struct S *s, struct S t) {
+	s->f = t.f;
+	return *(s->next->f);
+}
+`)
+}
+
+func TestParseCastVsParenExpr(t *testing.T) {
+	parse(t, `
+typedef unsigned long size_t;
+int f(int x) {
+	int y = (x) + 1;          /* paren expr */
+	long z = (long)x;         /* cast */
+	size_t w = (size_t)(x+1); /* typedef cast */
+	return y + (int)z + (int)w;
+}
+`)
+}

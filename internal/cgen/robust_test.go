@@ -1,0 +1,117 @@
+package cgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fragments is C-ish material the robustness fuzzer splices together.
+var fragments = []string{
+	"int", "char", "void", "struct", "*", "&", "(", ")", "{", "}", "[", "]",
+	";", ",", "=", "+", "-", "x", "y", "f", "g", "p", "42", `"s"`, "'c'",
+	"if", "while", "for", "return", "typedef", "sizeof", "->", ".", "...",
+	"==", "++", "/*", "*/", "//", "\n", "#define X", "\\", "0x1", "1.5e3",
+}
+
+// TestParserNeverPanics splices random fragments and feeds them to the
+// front-end: any outcome is fine except a panic or a hang.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d panicked: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		n := rng.Intn(120)
+		for i := 0; i < n; i++ {
+			sb.WriteString(fragments[rng.Intn(len(fragments))])
+			if rng.Intn(3) == 0 {
+				sb.WriteByte(' ')
+			}
+		}
+		done := make(chan struct{})
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Logf("seed %d panicked in goroutine: %v", seed, r)
+				}
+				close(done)
+			}()
+			_, _ = Compile(sb.String())
+		}()
+		select {
+		case <-done:
+			return true
+		case <-time.After(5 * time.Second):
+			t.Logf("seed %d: front-end hung on %q", seed, sb.String())
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexerNeverPanics feeds raw random bytes to the lexer.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = lexAll(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterministicCompilation: compiling the same source twice yields the
+// identical constraint stream and variable numbering.
+func TestDeterministicCompilation(t *testing.T) {
+	src := `
+void *malloc(unsigned long);
+struct s { int *a; };
+int g;
+int *dup(int *p) { return p; }
+void main(void) {
+	struct s *x = malloc(8);
+	x->a = dup(&g);
+	int *(*fp)(int *) = dup;
+	fp(x->a);
+}
+`
+	u1, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.Prog.NumVars != u2.Prog.NumVars {
+		t.Fatal("variable universes differ")
+	}
+	if len(u1.Prog.Constraints) != len(u2.Prog.Constraints) {
+		t.Fatal("constraint counts differ")
+	}
+	for i := range u1.Prog.Constraints {
+		if u1.Prog.Constraints[i] != u2.Prog.Constraints[i] {
+			t.Fatalf("constraint %d differs: %v vs %v",
+				i, u1.Prog.Constraints[i], u2.Prog.Constraints[i])
+		}
+	}
+	for i := range u1.Prog.Names {
+		if u1.Prog.Names[i] != u2.Prog.Names[i] {
+			t.Fatalf("name %d differs", i)
+		}
+	}
+}

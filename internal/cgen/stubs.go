@@ -1,0 +1,174 @@
+package cgen
+
+import (
+	"fmt"
+
+	"antgrass/internal/constraint"
+)
+
+// stubFunc summarizes the pointer behaviour of one external library
+// function, playing the role of the paper's "hand-crafted function stubs"
+// for external library calls (§5.1). It receives the evaluated argument
+// variables and returns the variable holding the call's value.
+type stubFunc func(g *generator, c *Call, args []uint32) uint32
+
+// heapAlloc models an allocator: each call site yields a distinct abstract
+// heap object.
+func heapAlloc(g *generator, c *Call, _ []uint32) uint32 {
+	obj := g.prog.AddVar(fmt.Sprintf("heap@%d", c.Line))
+	t := g.temp()
+	g.prog.AddAddrOf(t, obj)
+	return t
+}
+
+// reallocStub: the result may be the old block or a fresh one.
+func reallocStub(g *generator, c *Call, args []uint32) uint32 {
+	t := heapAlloc(g, c, args)
+	if len(args) > 0 && args[0] != g.voidVar {
+		g.prog.AddCopy(t, args[0])
+	}
+	return t
+}
+
+// returnsArg returns a stub that passes argument i through as the result
+// (strcpy, memcpy, strcat, ... all return their destination).
+func returnsArg(i int) stubFunc {
+	return func(g *generator, _ *Call, args []uint32) uint32 {
+		if i < len(args) {
+			return args[i]
+		}
+		return g.voidVar
+	}
+}
+
+// copiesPointees models memcpy-style deep copies: *dst ⊇ *src, then
+// returns dst. Field-insensitively this covers struct copies containing
+// pointers.
+func copiesPointees(g *generator, _ *Call, args []uint32) uint32 {
+	if len(args) >= 2 && args[0] != g.voidVar && args[1] != g.voidVar {
+		t := g.temp()
+		g.prog.AddLoad(t, args[1], 0)
+		g.prog.AddStore(args[0], t, 0)
+	}
+	if len(args) > 0 {
+		return args[0]
+	}
+	return g.voidVar
+}
+
+// pure evaluates to nothing pointer-relevant (printf, strlen, close, ...).
+func pure(g *generator, _ *Call, _ []uint32) uint32 { return g.voidVar }
+
+// freshObject returns a pointer to a library-owned static object
+// (getenv, strerror, localtime, ...).
+func freshObject(g *generator, c *Call, _ []uint32) uint32 {
+	obj := g.prog.AddVar(fmt.Sprintf("libobj@%d", c.Line))
+	t := g.temp()
+	g.prog.AddAddrOf(t, obj)
+	return t
+}
+
+// strchrStub: result points into the argument string — same targets as the
+// argument.
+func strchrStub(g *generator, _ *Call, args []uint32) uint32 {
+	if len(args) > 0 {
+		return args[0]
+	}
+	return g.voidVar
+}
+
+// strdupStub: fresh heap block (contents are chars, no pointers).
+func strdupStub(g *generator, c *Call, args []uint32) uint32 {
+	return heapAlloc(g, c, args)
+}
+
+// stubs is the external-library model table.
+var stubs = map[string]stubFunc{
+	// Allocation.
+	"malloc":  heapAlloc,
+	"calloc":  heapAlloc,
+	"valloc":  heapAlloc,
+	"realloc": reallocStub,
+	"free":    pure,
+
+	// String/memory copying (return the destination; memcpy-like also
+	// copy pointees).
+	"memcpy":  copiesPointees,
+	"memmove": copiesPointees,
+	"strcpy":  returnsArg(0),
+	"strncpy": returnsArg(0),
+	"strcat":  returnsArg(0),
+	"strncat": returnsArg(0),
+	"memset":  returnsArg(0),
+
+	// Results pointing into an argument.
+	"strchr":  strchrStub,
+	"strrchr": strchrStub,
+	"strstr":  strchrStub,
+	"strpbrk": strchrStub,
+	"strtok":  strchrStub,
+
+	// Fresh library-owned objects.
+	"getenv":    freshObject,
+	"strerror":  freshObject,
+	"localtime": freshObject,
+	"gmtime":    freshObject,
+	"fopen":     freshObject,
+	"opendir":   freshObject,
+	"readdir":   freshObject,
+	"strdup":    strdupStub,
+	"strndup":   strdupStub,
+
+	// Pointer-free leaf functions.
+	"printf": pure, "fprintf": pure, "sprintf": returnsArg(0),
+	"snprintf": returnsArg(0), "puts": pure, "putchar": pure,
+	"scanf": pure, "fscanf": pure, "sscanf": pure,
+	"strlen": pure, "strcmp": pure, "strncmp": pure, "strcasecmp": pure,
+	"memcmp": pure, "atoi": pure, "atol": pure, "atof": pure,
+	"abs": pure, "exit": pure, "abort": pure, "assert": pure,
+	"fclose": pure, "fread": pure, "fwrite": pure, "fseek": pure,
+	"ftell": pure, "fflush": pure, "fgetc": pure, "fputc": pure,
+	"fputs": pure, "close": pure, "open": pure, "read": pure,
+	"write": pure, "closedir": pure,
+	"qsort": qsortStub, "bsearch": bsearchStub,
+	"fgets": returnsArg(0), "gets": returnsArg(0),
+	"signal": signalStub,
+}
+
+// qsortStub: the comparator is invoked on pointers into the array.
+// qsort(base, n, size, cmp): cmp's parameters receive base's value.
+func qsortStub(g *generator, _ *Call, args []uint32) uint32 {
+	if len(args) >= 4 && args[3] != g.voidVar && args[0] != g.voidVar {
+		// Indirect call cmp(base, base).
+		fp := args[3]
+		g.prog.AddStore(fp, args[0], constraint.ParamOffset)
+		g.prog.AddStore(fp, args[0], constraint.ParamOffset+1)
+	}
+	return g.voidVar
+}
+
+// bsearchStub: like qsort, and the result points into the array.
+func bsearchStub(g *generator, c *Call, args []uint32) uint32 {
+	if len(args) >= 5 && args[4] != g.voidVar {
+		fp := args[4]
+		if args[0] != g.voidVar {
+			g.prog.AddStore(fp, args[0], constraint.ParamOffset)
+		}
+		if args[1] != g.voidVar {
+			g.prog.AddStore(fp, args[1], constraint.ParamOffset+1)
+		}
+	}
+	if len(args) >= 2 {
+		return args[1]
+	}
+	return g.voidVar
+}
+
+// signalStub: signal(sig, handler) returns the previous handler and may
+// invoke handler; model the return as the handler itself.
+func signalStub(g *generator, _ *Call, args []uint32) uint32 {
+	if len(args) >= 2 {
+		return args[1]
+	}
+	return g.voidVar
+}

@@ -1,0 +1,200 @@
+package cgen
+
+import (
+	"strings"
+	"testing"
+
+	"antgrass/internal/core"
+)
+
+func solveStub(t *testing.T, src string) (*Unit, *core.Result) {
+	t.Helper()
+	u, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Solve(u.Prog, core.Options{Algorithm: core.LCD, WithHCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, r
+}
+
+func namesOf(u *Unit, r *core.Result, name string) map[string]bool {
+	v, ok := u.VarByName(name)
+	if !ok {
+		return nil
+	}
+	out := map[string]bool{}
+	for _, o := range r.PointsToSlice(v) {
+		out[u.Prog.NameOf(o)] = true
+	}
+	return out
+}
+
+func TestReallocStub(t *testing.T) {
+	u, r := solveStub(t, `
+int old;
+int *p, *q;
+void main(void) {
+	p = &old;
+	q = realloc(p, 32);
+}
+`)
+	got := namesOf(u, r, "q")
+	// realloc may return the old block or a fresh one.
+	if !got["old"] {
+		t.Errorf("pts(q) = %v, must include the old block", got)
+	}
+	hasHeap := false
+	for k := range got {
+		if strings.HasPrefix(k, "heap@") {
+			hasHeap = true
+		}
+	}
+	if !hasHeap {
+		t.Errorf("pts(q) = %v, must include a fresh heap block", got)
+	}
+}
+
+func TestFreshObjectStubs(t *testing.T) {
+	u, r := solveStub(t, `
+char *e;
+void *f;
+void main(void) {
+	e = getenv("HOME");
+	f = fopen("x", "r");
+}
+`)
+	for _, v := range []string{"e", "f"} {
+		got := namesOf(u, r, v)
+		if len(got) != 1 {
+			t.Fatalf("pts(%s) = %v, want one library object", v, got)
+		}
+		for k := range got {
+			if !strings.HasPrefix(k, "libobj@") {
+				t.Errorf("pts(%s) object %q", v, k)
+			}
+		}
+	}
+}
+
+func TestBsearchStub(t *testing.T) {
+	u, r := solveStub(t, `
+int keys[8];
+int key;
+int cmp(const void *a, const void *b) { return 0; }
+void main(void) {
+	int *hit = bsearch(&key, keys, 8, sizeof(int), cmp);
+}
+`)
+	// The comparator sees both the key and the array; the result points
+	// into the array.
+	a := namesOf(u, r, "cmp::a")
+	if !a["key"] {
+		t.Errorf("pts(cmp::a) = %v, must include key", a)
+	}
+	b := namesOf(u, r, "cmp::b")
+	if !b["keys"] {
+		t.Errorf("pts(cmp::b) = %v, must include keys", b)
+	}
+	hit := namesOf(u, r, "main::hit")
+	if !hit["keys"] {
+		t.Errorf("pts(hit) = %v, must include keys", hit)
+	}
+}
+
+func TestSignalStub(t *testing.T) {
+	u, r := solveStub(t, `
+void handler(int sig) { }
+void (*prev)(int);
+void main(void) {
+	prev = signal(2, handler);
+}
+`)
+	got := namesOf(u, r, "prev")
+	if !got["handler"] {
+		t.Errorf("pts(prev) = %v, must include handler (previous-handler model)", got)
+	}
+}
+
+func TestSprintfReturnsDst(t *testing.T) {
+	u, r := solveStub(t, `
+char buf[64];
+char *out;
+void main(void) {
+	out = sprintf(buf, "%d", 42);
+}
+`)
+	got := namesOf(u, r, "out")
+	if !got["buf"] {
+		t.Errorf("pts(out) = %v, must include buf", got)
+	}
+}
+
+func TestStrchrEmptyArgsSafe(t *testing.T) {
+	// Stub calls with too few arguments must not crash and must produce
+	// nothing.
+	u, r := solveStub(t, `
+char *x;
+void main(void) { x = strchr(); }
+`)
+	if got := namesOf(u, r, "x"); len(got) != 0 {
+		t.Errorf("pts(x) = %v, want empty for a malformed call", got)
+	}
+}
+
+func TestImplicitGlobalAssignment(t *testing.T) {
+	u, err := Compile(`
+void main(void) { mystery_global = 3; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Warnings) == 0 {
+		t.Error("assigning an undeclared name must warn")
+	}
+	if _, ok := u.VarByName("mystery_global"); !ok {
+		t.Error("the implicit global must exist afterwards")
+	}
+}
+
+func TestGenerateDefaultEntryPoint(t *testing.T) {
+	f, err := ParseFile(`int g; int *p; void main(void){ p = &g; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Generate(f) // the Options-free wrapper
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := u.VarByName("p"); !ok {
+		t.Error("Generate lost the globals")
+	}
+}
+
+func TestErrorStringsCarryPosition(t *testing.T) {
+	_, err := Compile("int f(void) { return }")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if e.Line == 0 || !strings.Contains(e.Error(), ":") {
+		t.Errorf("position missing: %v", e)
+	}
+}
+
+func TestTokKindStrings(t *testing.T) {
+	kinds := []tokKind{tokEOF, tokIdent, tokKeyword, tokNumber, tokString, tokChar, tokPunct}
+	for _, k := range kinds {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if tokKind(99).String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}

@@ -1,0 +1,59 @@
+/* A bump-pointer arena allocator with a free-list fallback: classic
+ * systems-code pointer structure (pointer arithmetic, multi-level
+ * pointers, heap blocks chained through their own storage). */
+void *malloc(unsigned long n);
+
+struct arena {
+	char *base;
+	char *cur;
+	char *limit;
+	struct arena *next;
+};
+
+struct arena *arenas;
+char backing[4096];
+
+struct arena *arena_new(void) {
+	struct arena *a = malloc(sizeof(struct arena));
+	a->base = backing;
+	a->cur = a->base;
+	a->limit = a->base + 4096;
+	a->next = arenas;
+	arenas = a;
+	return a;
+}
+
+char *arena_alloc(struct arena *a, int n) {
+	char *p;
+	if (a->cur + n > a->limit)
+		return (char *)0;
+	p = a->cur;
+	a->cur = a->cur + n;
+	return p;
+}
+
+/* free blocks are chained through their own first word */
+struct freeblock { struct freeblock *next; };
+struct freeblock *freelist;
+
+void arena_release(char *p) {
+	struct freeblock *b = (struct freeblock *)p;
+	b->next = freelist;
+	freelist = b;
+}
+
+char *arena_reuse(void) {
+	struct freeblock *b = freelist;
+	if (!b)
+		return (char *)0;
+	freelist = b->next;
+	return (char *)b;
+}
+
+void main(void) {
+	struct arena *a = arena_new();
+	char *x = arena_alloc(a, 16);
+	char *y = arena_alloc(a, 32);
+	arena_release(x);
+	char *z = arena_reuse();
+}

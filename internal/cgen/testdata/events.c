@@ -1,0 +1,47 @@
+/* Callback registry with user-data cookies: every handler receives the
+ * cookie registered with it; the analysis (context-insensitively) mixes
+ * cookies across handlers registered in the same table. */
+void *malloc(unsigned long n);
+
+typedef void (*callback)(void *cookie);
+
+struct registration {
+	callback fn;
+	void *cookie;
+};
+
+struct registration regs[8];
+int nregs;
+
+void subscribe(callback fn, void *cookie) {
+	regs[nregs].fn = fn;
+	regs[nregs].cookie = cookie;
+	nregs = nregs + 1;
+}
+
+void fire_all(void) {
+	int i;
+	for (i = 0; i < nregs; i++) {
+		callback f = regs[i].fn;
+		f(regs[i].cookie);
+	}
+}
+
+int log_state;
+int net_state;
+
+void on_log(void *cookie) {
+	int *st = (int *)cookie;
+	*st = 1;
+}
+
+void on_net(void *cookie) {
+	int *st = (int *)cookie;
+	*st = 2;
+}
+
+void main(void) {
+	subscribe(on_log, &log_state);
+	subscribe(on_net, &net_state);
+	fire_all();
+}

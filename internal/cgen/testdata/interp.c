@@ -1,0 +1,63 @@
+/* A tiny bytecode interpreter: dispatch table of opcode handlers sharing a
+ * machine state through pointers — deep pointer chains plus indirect calls. */
+void *malloc(unsigned long n);
+
+struct vm {
+	int *sp;
+	int stack[64];
+	int acc;
+};
+
+typedef void (*handler)(struct vm *m);
+
+void op_push(struct vm *m) {
+	*m->sp = m->acc;
+	m->sp = m->sp + 1;
+}
+
+void op_pop(struct vm *m) {
+	m->sp = m->sp - 1;
+	m->acc = *m->sp;
+}
+
+void op_add(struct vm *m) {
+	m->sp = m->sp - 1;
+	m->acc = m->acc + *m->sp;
+}
+
+void op_halt(struct vm *m) {
+	m->acc = -1;
+}
+
+handler dispatch[4];
+
+void install(void) {
+	dispatch[0] = op_push;
+	dispatch[1] = op_pop;
+	dispatch[2] = op_add;
+	dispatch[3] = op_halt;
+}
+
+struct vm *new_vm(void) {
+	struct vm *m = malloc(sizeof(struct vm));
+	m->sp = m->stack;
+	m->acc = 0;
+	return m;
+}
+
+int run(struct vm *m, int *code, int len) {
+	int pc;
+	for (pc = 0; pc < len; pc++) {
+		handler h = dispatch[code[pc]];
+		h(m);
+	}
+	return m->acc;
+}
+
+int program[5];
+
+void main(void) {
+	install();
+	struct vm *m = new_vm();
+	run(m, program, 5);
+}

@@ -1,0 +1,58 @@
+/* Singly-linked list with heap allocation: the classic pointer-analysis
+ * workout. All list nodes collapse into the one malloc site. */
+void *malloc(unsigned long n);
+void free(void *p);
+
+struct node {
+	struct node *next;
+	int *value;
+};
+
+struct node *head;
+int shared_slot;
+
+void push(int *v) {
+	struct node *n = malloc(sizeof(struct node));
+	n->value = v;
+	n->next = head;
+	head = n;
+}
+
+int *pop(void) {
+	struct node *n = head;
+	int *v;
+	if (!n)
+		return (int *)0;
+	head = n->next;
+	v = n->value;
+	free(n);
+	return v;
+}
+
+int count(void) {
+	int k = 0;
+	struct node *it;
+	for (it = head; it; it = it->next)
+		k++;
+	return k;
+}
+
+void reverse(void) {
+	struct node *prev = (struct node *)0;
+	struct node *cur = head;
+	while (cur) {
+		struct node *nxt = cur->next;
+		cur->next = prev;
+		prev = cur;
+		cur = nxt;
+	}
+	head = prev;
+}
+
+void main(void) {
+	push(&shared_slot);
+	push(&shared_slot);
+	reverse();
+	int *back = pop();
+	count();
+}

@@ -1,0 +1,39 @@
+/* Pointer arithmetic over buffers and row pointers: arrays decay, offsets
+ * collapse field-insensitively, swaps move row pointers around. */
+void *malloc(unsigned long n);
+
+double *rows[8];
+double storage[64];
+
+void setup(void) {
+	int i;
+	for (i = 0; i < 8; i++)
+		rows[i] = storage + i * 8;
+}
+
+double *cell(int r, int c) {
+	double *row = rows[r];
+	return row + c;
+}
+
+void swap_rows(int a, int b) {
+	double *t = rows[a];
+	rows[a] = rows[b];
+	rows[b] = t;
+}
+
+double *alloc_row(void) {
+	return (double *)malloc(8 * sizeof(double));
+}
+
+void replace_row(int r) {
+	rows[r] = alloc_row();
+}
+
+void main(void) {
+	setup();
+	swap_rows(0, 3);
+	replace_row(5);
+	double *p = cell(2, 2);
+	*p = 1.0;
+}

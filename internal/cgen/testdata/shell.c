@@ -1,0 +1,80 @@
+/* A miniature command shell: a command table mapping names to handler
+ * functions, argument vectors of strings, an environment list, and a
+ * pipeline of transformations — lots of pointer traffic across arrays,
+ * strings, and indirect calls. */
+void *malloc(unsigned long n);
+char *strdup(const char *s);
+int strcmp(const char *a, const char *b);
+char *strtok(char *s, const char *delim);
+int printf(const char *fmt, ...);
+
+struct command {
+	const char *name;
+	int (*handler)(int argc, char **argv);
+};
+
+char *environ_list[32];
+int nenv;
+
+int cmd_echo(int argc, char **argv) {
+	int i;
+	for (i = 1; i < argc; i++)
+		printf("%s ", argv[i]);
+	return 0;
+}
+
+int cmd_set(int argc, char **argv) {
+	if (argc >= 2) {
+		environ_list[nenv] = strdup(argv[1]);
+		nenv = nenv + 1;
+	}
+	return 0;
+}
+
+int cmd_get(int argc, char **argv) {
+	int i;
+	for (i = 0; i < nenv; i++)
+		if (strcmp(environ_list[i], argv[1]) == 0)
+			return 1;
+	return 0;
+}
+
+struct command table[3];
+
+void register_commands(void) {
+	table[0].name = "echo";
+	table[0].handler = cmd_echo;
+	table[1].name = "set";
+	table[1].handler = cmd_set;
+	table[2].name = "get";
+	table[2].handler = cmd_get;
+}
+
+char *argbuf[8];
+
+int dispatch(char *line) {
+	int argc = 0;
+	char *tok = strtok(line, " ");
+	while (tok && argc < 8) {
+		argbuf[argc] = tok;
+		argc = argc + 1;
+		tok = strtok((char *)0, " ");
+	}
+	if (argc == 0)
+		return -1;
+	int i;
+	for (i = 0; i < 3; i++) {
+		if (strcmp(table[i].name, argbuf[0]) == 0) {
+			int (*h)(int, char **) = table[i].handler;
+			return h(argc, argbuf);
+		}
+	}
+	return -1;
+}
+
+char input[64];
+
+void main(void) {
+	register_commands();
+	dispatch(input);
+}

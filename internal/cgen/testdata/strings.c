@@ -1,0 +1,50 @@
+/* String handling with library stubs: heap duplication, in-buffer
+ * pointers, tokenizing, and a qsort comparator. */
+void *malloc(unsigned long n);
+char *strdup(const char *s);
+char *strchr(const char *s, int c);
+char *strcpy(char *dst, const char *src);
+char *strtok(char *s, const char *delim);
+unsigned long strlen(const char *s);
+int strcmp(const char *a, const char *b);
+void qsort(void *base, unsigned long n, unsigned long sz,
+           int (*cmp)(const void *, const void *));
+
+char *table[16];
+int ntable;
+
+void intern(const char *s) {
+	table[ntable] = strdup(s);
+	ntable = ntable + 1;
+}
+
+char *find_dot(char *name) {
+	return strchr(name, '.');
+}
+
+int by_name(const void *a, const void *b) {
+	return strcmp((const char *)a, (const char *)b);
+}
+
+void sort_table(void) {
+	qsort(table, (unsigned long)ntable, sizeof(char *), by_name);
+}
+
+char scratch[256];
+
+void tokenize(char *line) {
+	char *tok = strtok(line, " ");
+	while (tok) {
+		intern(tok);
+		tok = strtok((char *)0, " ");
+	}
+}
+
+void main(void) {
+	char *greeting = "hello.world";
+	strcpy(scratch, greeting);
+	tokenize(scratch);
+	char *dot = find_dot(scratch);
+	intern(dot);
+	sort_table();
+}

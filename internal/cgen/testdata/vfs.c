@@ -1,0 +1,70 @@
+/* A miniature VFS: operation tables full of function pointers, dispatched
+ * through a mount table — the indirect-call pattern that motivates
+ * Pearce-style parameter offsets. */
+void *malloc(unsigned long n);
+
+struct file;
+
+struct ops {
+	int (*open)(struct file *f);
+	int (*read)(struct file *f, char *buf, int n);
+	int (*close)(struct file *f);
+};
+
+struct file {
+	struct ops *op;
+	int state;
+};
+
+/* --- disk implementation --- */
+int disk_open(struct file *f) { f->state = 1; return 0; }
+int disk_read(struct file *f, char *buf, int n) { return n; }
+int disk_close(struct file *f) { f->state = 0; return 0; }
+
+/* --- network implementation --- */
+int net_open(struct file *f) { f->state = 2; return 0; }
+int net_read(struct file *f, char *buf, int n) { return 0; }
+int net_close(struct file *f) { return 0; }
+
+/* --- an implementation that is never mounted --- */
+int ram_open(struct file *f) { return -1; }
+
+struct ops disk_ops;
+struct ops net_ops;
+struct ops ram_ops;
+
+void init_tables(void) {
+	disk_ops.open = disk_open;
+	disk_ops.read = disk_read;
+	disk_ops.close = disk_close;
+	net_ops.open = net_open;
+	net_ops.read = net_read;
+	net_ops.close = net_close;
+	/* ram_ops left unfilled: ram_open should stay out of the call graph */
+}
+
+struct file *mount(int kind) {
+	struct file *f = malloc(sizeof(struct file));
+	if (kind == 0)
+		f->op = &disk_ops;
+	else
+		f->op = &net_ops;
+	return f;
+}
+
+char iobuf[128];
+
+int use(struct file *f) {
+	int rc = f->op->open(f);
+	rc += f->op->read(f, iobuf, 64);
+	rc += f->op->close(f);
+	return rc;
+}
+
+void main(void) {
+	init_tables();
+	struct file *d = mount(0);
+	struct file *n = mount(1);
+	use(d);
+	use(n);
+}

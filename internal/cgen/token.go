@@ -1,0 +1,305 @@
+// Package cgen is the constraint generator: a from-scratch front-end for a
+// C subset that produces the inclusion constraints of Table 1, playing the
+// role of the CIL-based generator the paper uses (§5.1). It performs the
+// same normalizations the paper describes: nested dereferences are
+// flattened with auxiliary temporaries so each constraint has at most one
+// dereference; struct accesses are field-insensitive (x.f ≡ x,
+// (*z).f ≡ *z); indirect calls use Pearce-style parameter numbering
+// (function parameters live at fixed offsets after the function variable);
+// and external library calls are summarized by hand-written stubs.
+package cgen
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokChar
+	tokPunct
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokKeyword:
+		return "keyword"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokChar:
+		return "char"
+	case tokPunct:
+		return "punctuation"
+	}
+	return "unknown"
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+var keywords = map[string]bool{
+	"auto": true, "break": true, "case": true, "char": true, "const": true,
+	"continue": true, "default": true, "do": true, "double": true,
+	"else": true, "enum": true, "extern": true, "float": true, "for": true,
+	"goto": true, "if": true, "int": true, "long": true, "register": true,
+	"return": true, "short": true, "signed": true, "sizeof": true,
+	"static": true, "struct": true, "switch": true, "typedef": true,
+	"union": true, "unsigned": true, "void": true, "volatile": true,
+	"while": true,
+}
+
+// multi-character punctuators, longest first per leading byte.
+var puncts3 = []string{"<<=", ">>=", "..."}
+var puncts2 = []string{
+	"->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+}
+
+// Error is a front-end diagnostic with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer tokenizes C source.
+type lexer struct {
+	src  []byte
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []byte(src), line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) byteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace, comments, and preprocessor lines (which
+// the front-end treats as already-expanded or irrelevant: #include and
+// friends are skipped; real projects would run cpp first, as CIL does).
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.byteAt(1) == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.byteAt(1) == '*':
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.byteAt(1) == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		case c == '#' && l.col == 1:
+			// Preprocessor directive: skip to end of (logical) line.
+			for l.pos < len(l.src) {
+				if l.peekByte() == '\\' && l.byteAt(1) == '\n' {
+					l.advance()
+					l.advance()
+					continue
+				}
+				if l.peekByte() == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	tok := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		tok.kind = tokEOF
+		return tok, nil
+	}
+	c := l.peekByte()
+	switch {
+	case c == '_' || unicode.IsLetter(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		tok.text = string(l.src[start:l.pos])
+		if keywords[tok.text] {
+			tok.kind = tokKeyword
+		} else {
+			tok.kind = tokIdent
+		}
+		return tok, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if unicode.IsDigit(rune(c)) || unicode.IsLetter(rune(c)) || c == '.' ||
+				((c == '+' || c == '-') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		tok.kind = tokNumber
+		tok.text = string(l.src[start:l.pos])
+		return tok, nil
+	case c == '"':
+		l.advance()
+		start := l.pos
+		for {
+			if l.pos >= len(l.src) {
+				return tok, l.errf("unterminated string literal")
+			}
+			c := l.peekByte()
+			if c == '\\' {
+				l.advance()
+				if l.pos < len(l.src) {
+					l.advance()
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			l.advance()
+		}
+		tok.kind = tokString
+		tok.text = string(l.src[start:l.pos])
+		l.advance() // closing quote
+		return tok, nil
+	case c == '\'':
+		l.advance()
+		start := l.pos
+		for {
+			if l.pos >= len(l.src) {
+				return tok, l.errf("unterminated character literal")
+			}
+			c := l.peekByte()
+			if c == '\\' {
+				l.advance()
+				if l.pos < len(l.src) {
+					l.advance()
+				}
+				continue
+			}
+			if c == '\'' {
+				break
+			}
+			l.advance()
+		}
+		tok.kind = tokChar
+		tok.text = string(l.src[start:l.pos])
+		l.advance()
+		return tok, nil
+	default:
+		rest := l.src[l.pos:]
+		for _, p := range puncts3 {
+			if len(rest) >= 3 && string(rest[:3]) == p {
+				tok.kind, tok.text = tokPunct, p
+				l.advance()
+				l.advance()
+				l.advance()
+				return tok, nil
+			}
+		}
+		for _, p := range puncts2 {
+			if len(rest) >= 2 && string(rest[:2]) == p {
+				tok.kind, tok.text = tokPunct, p
+				l.advance()
+				l.advance()
+				return tok, nil
+			}
+		}
+		tok.kind, tok.text = tokPunct, string(c)
+		l.advance()
+		return tok, nil
+	}
+}
+
+// lexAll tokenizes the whole input (including a trailing EOF token).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package constraint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead is a native fuzz target for the constraint-file parser: any
+// input must either parse into a valid program (which must then survive a
+// write/read round trip) or fail cleanly.
+//
+// Run with: go test -fuzz FuzzRead ./internal/constraint
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"",
+		header + "\nnumvars 2\ncopy 0 1\n",
+		header + "\nnumvars 4\nname 0 a\nspan 0 3\naddr 0 3\nload 3 0 2\n",
+		header + "\nnumvars 1\n# comment\n\nstore 0 0\n",
+		"antgrass-constraints v2\nnumvars 1\n",
+		header + "\nnumvars 99999999999\n",
+		header + "\nnumvars 2\ncopy 0 1 9\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Read returned invalid program: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, p); err != nil {
+			t.Fatalf("Write failed on parsed program: %v", err)
+		}
+		q, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if q.NumVars != p.NumVars || len(q.Constraints) != len(p.Constraints) {
+			t.Fatal("round trip changed the program")
+		}
+	})
+}

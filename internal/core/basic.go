@@ -1,0 +1,184 @@
+package core
+
+import (
+	"antgrass/internal/pts"
+	"antgrass/internal/scc"
+)
+
+// solveBasic implements the basic dynamic-transitive-closure worklist
+// algorithm of Figure 1 and, when lazy is true, Lazy Cycle Detection
+// (Figure 2): before propagating across an edge n → z, if pts(z) = pts(n)
+// and the edge has not triggered a search before, a depth-first cycle
+// search is run rooted at z and any cycle found is collapsed.
+//
+// With Options.WithHCD the HCD online rule of Figure 5 runs first whenever
+// a node is taken off the worklist; Naive+HCD is the paper's standalone
+// "HCD" algorithm and LCD+HCD its headline combination.
+//
+// With Options.DiffProp each node tracks the part of its set that has
+// already been pushed: only new pointees feed complex constraints and only
+// deltas travel along existing edges; a freshly inserted edge receives the
+// full set at insertion time (Pearce et al.'s difference propagation).
+func solveBasic(g *graph, opts Options, lazy bool) error {
+	diff := opts.DiffProp
+	if diff {
+		g.propagated = make([]pts.Set, g.n)
+	}
+	w := newWorklist(opts, g.n)
+	for v := uint32(0); v < uint32(g.n); v++ {
+		r := g.find(v)
+		if g.sets[r] != nil && !g.sets[r].Empty() {
+			w.Push(r)
+		}
+	}
+	// fired records edges that already triggered a (possibly failed)
+	// cycle search; LCD never triggers on the same edge twice.
+	var fired map[uint64]struct{}
+	if lazy {
+		fired = make(map[uint64]struct{})
+	}
+	for {
+		x, ok := w.Pop()
+		if !ok {
+			break
+		}
+		n := g.find(x)
+		if x != n {
+			// x was absorbed since it was enqueued; its
+			// representative was (or will be) enqueued by unite's
+			// caller.
+			w.Push(n)
+			continue
+		}
+		n = g.applyHCD(n, func(rep uint32) { w.Push(rep) })
+		set := g.sets[n]
+		if set == nil || set.Empty() {
+			continue
+		}
+		// Under difference propagation, work only on the unseen part.
+		work := set
+		if diff {
+			old := g.propagated[n]
+			if old != nil && old.Equal(set) {
+				continue // nothing new since the last visit
+			}
+			work = set.SubtractCopy(old)
+		}
+		// Step 1 (Figure 1): realize complex constraints as new edges.
+		if len(g.loads[n]) > 0 || len(g.stores[n]) > 0 {
+			loads, stores := g.loads[n], g.stores[n]
+			onNewEdge := func(src, dst uint32) {
+				if diff {
+					// The new edge transfers the full
+					// current set right away; later growth
+					// arrives as deltas.
+					if g.sets[src] != nil {
+						g.stats.Propagations++
+						if g.ptsOf(dst).UnionWith(g.sets[src]) {
+							w.Push(dst)
+						}
+					}
+				} else {
+					w.Push(src)
+				}
+			}
+			work.ForEach(func(v uint32) bool {
+				for _, ld := range loads {
+					t, valid := g.validTarget(v, ld.off)
+					if !valid {
+						continue
+					}
+					src := g.find(t)
+					dst := g.find(ld.other)
+					if g.addEdge(src, dst) {
+						onNewEdge(src, dst)
+					}
+				}
+				for _, st := range stores {
+					t, valid := g.validTarget(v, st.off)
+					if !valid {
+						continue
+					}
+					src := g.find(st.other)
+					dst := g.find(t)
+					if g.addEdge(src, dst) {
+						onNewEdge(src, dst)
+					}
+				}
+				return true
+			})
+		}
+		// Step 2: propagate along outgoing copy edges, with the LCD
+		// trigger guarding each propagation.
+		collapsed := false
+		for {
+			restart := false
+			for _, z := range g.succsSnapshot(n) {
+				if z == n {
+					continue
+				}
+				if lazy && g.sets[z] != nil && g.sets[z].Equal(set) {
+					key := uint64(n)<<32 | uint64(z)
+					if _, seen := fired[key]; !seen {
+						fired[key] = struct{}{}
+						g.stats.CycleChecks++
+						if g.detectAndCollapse(z, w.Push) {
+							n = g.find(n)
+							set = g.ptsOf(n)
+							work = set
+							w.Push(n)
+							restart = true
+							collapsed = true
+							break
+						}
+					}
+				}
+				g.stats.Propagations++
+				if g.ptsOf(z).UnionWith(work) {
+					w.Push(z)
+				}
+			}
+			if !restart {
+				break
+			}
+		}
+		if diff && !collapsed {
+			// Remember what has now been fully pushed: exactly
+			// old ∪ work. pts(n) itself may already be larger
+			// (an edge inserted during step 1 can target n), and
+			// those later arrivals re-enqueued n, so they must
+			// stay out of the propagated set until their own
+			// visit. After a collapse unite() already reset the
+			// merged node's propagated set and re-enqueued it.
+			if old := g.propagated[n]; old != nil {
+				work.UnionWith(old)
+			}
+			g.propagated[n] = work
+		}
+	}
+	return nil
+}
+
+// detectAndCollapse runs a depth-first SCC search (Nuutila's variant, as in
+// §5.1) rooted at root and collapses every non-trivial component found.
+// Each merged representative is handed to push. Reports whether anything
+// was collapsed.
+func (g *graph) detectAndCollapse(root uint32, push func(uint32)) bool {
+	res := scc.Nuutila(g.n, []uint32{root}, func(x uint32) []uint32 {
+		return g.succsSnapshot(x)
+	})
+	g.stats.NodesSearched += int64(res.Visited)
+	collapsed := false
+	for _, comp := range res.Comps {
+		if len(comp) < 2 {
+			continue
+		}
+		rep := comp[0]
+		for _, m := range comp[1:] {
+			rep = g.unite(rep, m)
+		}
+		push(rep)
+		collapsed = true
+	}
+	return collapsed
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"antgrass/internal/pts"
+)
+
+// TestAllSolversWithBDDSets re-runs the solver-vs-oracle equivalence with
+// the BDD points-to representation of §5.4 (Tables 5 and 6 configuration).
+func TestAllSolversWithBDDSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 25; i++ {
+		p := randomSolverProgram(rng)
+		if p.Validate() != nil {
+			continue
+		}
+		want := referenceSolve(p)
+		for _, alg := range []Algorithm{Naive, LCD, HT, PKH, PKW} {
+			for _, withHCD := range []bool{false, true} {
+				factory := pts.NewBDDFactory(uint32(p.NumVars), 0)
+				r, err := Solve(p, Options{Algorithm: alg, WithHCD: withHCD, Pts: factory})
+				if err != nil {
+					t.Fatalf("%v hcd=%v: %v", alg, withHCD, err)
+				}
+				for v := uint32(0); v < uint32(p.NumVars); v++ {
+					got := r.PointsToSlice(v)
+					exp := sortedKeys(want[v])
+					if len(got) == 0 && len(exp) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(got, exp) {
+						t.Fatalf("%v hcd=%v: pts(v%d) = %v, want %v", alg, withHCD, v, got, exp)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBDDSetsMemoryAccounting: with BDD sets the factory overhead dominates
+// and is included in MemBytes.
+func TestBDDSetsMemoryAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomSolverProgram(rng)
+	factory := pts.NewBDDFactory(uint32(p.NumVars), 0)
+	r, err := Solve(p, Options{Algorithm: LCD, Pts: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.MemBytes < int64(factory.OverheadBytes()) {
+		t.Errorf("MemBytes %d must include factory overhead %d", r.Stats.MemBytes, factory.OverheadBytes())
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"sort"
+
+	"antgrass/internal/bitmap"
+	"antgrass/internal/constraint"
+	"antgrass/internal/hcd"
+	"antgrass/internal/pts"
+	"antgrass/internal/uf"
+)
+
+// deref records one complex constraint hanging off a dereferenced variable:
+// for loads, other = the destination a of a ⊇ *(n+off); for stores, other =
+// the source b of *(n+off) ⊇ b.
+type deref struct {
+	other uint32
+	off   uint32
+}
+
+// graph is the online constraint graph shared by the explicit-closure
+// solvers. Nodes are variables; collapsed nodes are tracked by a union-find
+// and all per-node state lives at the representative.
+//
+// Points-to set elements are always original variable ids (memory locations
+// are never merged by collapsing); only graph nodes are merged. Offset
+// arithmetic for indirect calls is performed on original ids: *(p+k)
+// resolves to v+k for v ∈ pts(p), valid only when k < span(v).
+type graph struct {
+	p     *constraint.Program
+	n     int
+	nodes *uf.UF
+
+	sets   []pts.Set        // points-to set, valid at rep
+	succs  []*bitmap.Bitmap // outgoing copy edges, valid at rep; members may be stale reps
+	loads  [][]deref        // loads keyed by dereferenced var, valid at rep
+	stores [][]deref        // stores keyed by dereferenced var, valid at rep
+
+	// hcdTargets lists, per rep, the collapse targets b of the offline
+	// tuples (a, b) whose a was merged into this rep.
+	hcdTargets [][]uint32
+
+	// propagated holds, per rep, the part of the points-to set already
+	// pushed to successors and resolved against complex constraints.
+	// Allocated only under difference propagation; cleared for a rep
+	// whenever a collapse changes its edge set or constraint lists.
+	propagated []pts.Set
+
+	span    []uint32 // expanded span table (length n, all ≥ 1)
+	factory pts.Factory
+	stats   *Stats
+
+	// reversed records the orientation of the adjacency: false means
+	// succs[x] holds copy-successors (edge x → w propagates pts(x) into
+	// pts(w)); true means succs[x] holds copy-PREDECESSORS, the
+	// orientation the Heintze–Tardieu solver queries. SCC structure is
+	// invariant under reversal, so collapsing works either way.
+	reversed bool
+
+	// onUnite, when non-nil, is called after every successful collapse
+	// with the surviving and absorbed representatives (HT uses it to
+	// invalidate its per-round points-to cache).
+	onUnite func(rep, lost uint32)
+
+	// scratch for succsOf
+	succScratch []uint32
+}
+
+// newGraph builds the initial constraint graph: base constraints populate
+// points-to sets, simple constraints become edges, complex constraints are
+// indexed by their dereferenced variable. If an HCD table is supplied, its
+// offline pre-unions are applied and its pairs attached.
+func newGraph(p *constraint.Program, factory pts.Factory, table *hcd.Result) *graph {
+	return newGraphDir(p, factory, table, false)
+}
+
+// newGraphDir is newGraph with an explicit adjacency orientation.
+func newGraphDir(p *constraint.Program, factory pts.Factory, table *hcd.Result, reversed bool) *graph {
+	n := p.NumVars
+	g := &graph{
+		p:        p,
+		n:        n,
+		nodes:    uf.New(n),
+		sets:     make([]pts.Set, n),
+		succs:    make([]*bitmap.Bitmap, n),
+		loads:    make([][]deref, n),
+		stores:   make([][]deref, n),
+		span:     make([]uint32, n),
+		factory:  factory,
+		stats:    &Stats{},
+		reversed: reversed,
+	}
+	for i := range g.span {
+		g.span[i] = p.SpanOf(uint32(i))
+	}
+	if table != nil {
+		g.hcdTargets = make([][]uint32, n)
+		for _, pu := range table.PreUnions {
+			g.unite(pu[0], pu[1])
+		}
+		// Attach tuples in key order so runs are fully deterministic.
+		keys := make([]uint32, 0, len(table.Pairs))
+		for a := range table.Pairs {
+			keys = append(keys, a)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, a := range keys {
+			ra := g.find(a)
+			g.hcdTargets[ra] = append(g.hcdTargets[ra], table.Pairs[a])
+		}
+	}
+	for _, c := range p.Constraints {
+		switch c.Kind {
+		case constraint.AddrOf:
+			g.ptsOf(g.find(c.Dst)).Insert(c.Src)
+		case constraint.Copy:
+			g.addCopyEdge(c.Src, c.Dst)
+		case constraint.Load:
+			r := g.find(c.Src)
+			g.loads[r] = append(g.loads[r], deref{other: c.Dst, off: c.Offset})
+		case constraint.Store:
+			r := g.find(c.Dst)
+			g.stores[r] = append(g.stores[r], deref{other: c.Src, off: c.Offset})
+		}
+	}
+	return g
+}
+
+func (g *graph) find(v uint32) uint32 { return g.nodes.Find(v) }
+
+// ptsOf returns the points-to set of rep r, allocating it on first use.
+func (g *graph) ptsOf(r uint32) pts.Set {
+	if g.sets[r] == nil {
+		g.sets[r] = g.factory.New()
+	}
+	return g.sets[r]
+}
+
+// succsBM returns the successor bitmap of rep r, allocating on first use.
+func (g *graph) succsBM(r uint32) *bitmap.Bitmap {
+	if g.succs[r] == nil {
+		g.succs[r] = bitmap.New()
+	}
+	return g.succs[r]
+}
+
+// addCopyEdge inserts the semantic copy edge src → dst (pts(src) flows into
+// pts(dst)) regardless of the adjacency orientation. Arguments may be
+// non-representatives.
+func (g *graph) addCopyEdge(src, dst uint32) bool {
+	rs, rd := g.find(src), g.find(dst)
+	if g.reversed {
+		return g.addEdge(rd, rs)
+	}
+	return g.addEdge(rs, rd)
+}
+
+// addEdge inserts the adjacency edge src → dst (both must be reps). Self-edges
+// are dropped. Reports whether the edge is new.
+func (g *graph) addEdge(src, dst uint32) bool {
+	if src == dst {
+		return false
+	}
+	if g.succsBM(src).Set(dst) {
+		g.stats.EdgesAdded++
+		return true
+	}
+	return false
+}
+
+// succsOf returns the current successor representatives of rep r, repairing
+// stale entries (successors that have since been collapsed) in place. The
+// returned slice is valid until the next succsOf call.
+func (g *graph) succsOf(r uint32) []uint32 {
+	bm := g.succs[r]
+	if bm == nil {
+		return nil
+	}
+	out := g.succScratch[:0]
+	stale := false
+	bm.ForEach(func(w uint32) bool {
+		rw := g.find(w)
+		if rw != w || rw == r {
+			stale = true // collapsed successor or self-edge: repair below
+		}
+		out = append(out, rw)
+		return true
+	})
+	if stale {
+		bm.ClearAll()
+		fresh := out[:0]
+		for _, w := range out {
+			if w != r && bm.Set(w) {
+				fresh = append(fresh, w)
+			}
+		}
+		out = fresh
+	}
+	g.succScratch = out
+	return out
+}
+
+// succsSnapshot returns an independent copy of succsOf(r), safe across
+// graph mutations.
+func (g *graph) succsSnapshot(r uint32) []uint32 {
+	return append([]uint32(nil), g.succsOf(r)...)
+}
+
+// unite collapses the nodes of a and b (any ids) into one representative,
+// merging points-to sets, edges, complex-constraint lists and HCD targets.
+// It returns the representative. NodesCollapsed counts absorbed nodes.
+func (g *graph) unite(a, b uint32) uint32 {
+	rep, lost := g.nodes.Union(a, b)
+	if rep == lost {
+		return rep
+	}
+	g.stats.NodesCollapsed++
+	if g.onUnite != nil {
+		g.onUnite(rep, lost)
+	}
+	if s := g.sets[lost]; s != nil {
+		g.ptsOf(rep).UnionWith(s)
+		g.sets[lost] = nil
+	}
+	if bm := g.succs[lost]; bm != nil {
+		g.succsBM(rep).IorWith(bm)
+		g.succs[lost] = nil
+	}
+	if l := g.loads[lost]; len(l) > 0 {
+		g.loads[rep] = append(g.loads[rep], l...)
+		g.loads[lost] = nil
+	}
+	if s := g.stores[lost]; len(s) > 0 {
+		g.stores[rep] = append(g.stores[rep], s...)
+		g.stores[lost] = nil
+	}
+	if g.hcdTargets != nil {
+		if h := g.hcdTargets[lost]; len(h) > 0 {
+			g.hcdTargets[rep] = append(g.hcdTargets[rep], h...)
+			g.hcdTargets[lost] = nil
+		}
+	}
+	if g.propagated != nil {
+		// The merged node has new edges and constraints: everything
+		// must be (re)propagated once.
+		g.propagated[rep] = nil
+		g.propagated[lost] = nil
+	}
+	return rep
+}
+
+// validTarget reports whether dereferencing v at offset off is meaningful,
+// and if so returns the target variable id (v+off).
+func (g *graph) validTarget(v, off uint32) (uint32, bool) {
+	if off == 0 {
+		return v, true
+	}
+	if off < g.span[v] {
+		return v + off, true
+	}
+	return 0, false
+}
+
+// applyHCD runs the HCD online rule for rep n (Figure 5): for every tuple
+// (n, b), union each member of pts(n) with b. Every union is reported to
+// onUnion so the caller can requeue the merged node. Returns the (possibly
+// new) representative of n.
+func (g *graph) applyHCD(n uint32, onUnion func(rep uint32)) uint32 {
+	if g.hcdTargets == nil || len(g.hcdTargets[n]) == 0 {
+		return n
+	}
+	targets := g.hcdTargets[n]
+	g.hcdTargets[n] = nil // each tuple fires at most once per merge-group
+	for _, b := range targets {
+		rb := g.find(b)
+		set := g.sets[g.find(n)]
+		merged := false
+		if set != nil {
+			for _, v := range set.Slice() {
+				rv := g.find(v)
+				rb = g.find(rb)
+				if rv == rb {
+					continue
+				}
+				rb = g.unite(rv, rb)
+				g.stats.HCDCollapses++
+				merged = true
+			}
+		}
+		if merged {
+			onUnion(g.find(rb))
+		}
+		// Keep the tuple armed: pts(n) may grow later and new members
+		// must also be collapsed into b.
+		rn := g.find(n)
+		g.hcdTargets[rn] = append(g.hcdTargets[rn], b)
+	}
+	return g.find(n)
+}
+
+// memBytes computes the analytic memory footprint of the final state.
+func (g *graph) memBytes() int64 {
+	var total int64
+	for i := 0; i < g.n; i++ {
+		if g.sets[i] != nil {
+			total += int64(g.sets[i].MemBytes())
+		}
+		if g.succs[i] != nil {
+			total += int64(g.succs[i].MemBytes())
+		}
+		total += int64(len(g.loads[i])+len(g.stores[i])) * 8
+	}
+	total += int64(g.nodes.MemBytes())
+	total += int64(g.factory.OverheadBytes())
+	return total
+}

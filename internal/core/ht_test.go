@@ -1,0 +1,152 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"antgrass/internal/constraint"
+)
+
+// TestHTCollapsesDuringQuery: a copy cycle must be collapsed as a side
+// effect of the reachability query, not by a separate pass — the defining
+// behaviour of the Heintze–Tardieu solver (§2: "cycle detection is
+// performed as a side-effect of these queries").
+func TestHTCollapsesDuringQuery(t *testing.T) {
+	p := constraint.NewProgram()
+	o := p.AddVar("o")
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	z := p.AddVar("z")
+	p.AddAddrOf(x, o)
+	p.AddCopy(y, x)
+	p.AddCopy(z, y)
+	p.AddCopy(x, z) // cycle x→y→z→x
+	// A complex constraint forces a query over the cycle.
+	w := p.AddVar("w")
+	q := p.AddVar("q")
+	p.AddAddrOf(q, y) // q = &y (y address-taken)
+	p.AddLoad(w, q, 0)
+
+	r, err := Solve(p, Options{Algorithm: HT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rep(x) != r.Rep(y) || r.Rep(y) != r.Rep(z) {
+		t.Error("query did not collapse the copy cycle")
+	}
+	if r.Stats.NodesCollapsed != 2 {
+		t.Errorf("NodesCollapsed = %d, want 2", r.Stats.NodesCollapsed)
+	}
+	if got := r.PointsToSlice(w); !reflect.DeepEqual(got, []uint32{o}) {
+		t.Errorf("pts(w) = %v, want {o}", got)
+	}
+	if r.Stats.NodesSearched == 0 {
+		t.Error("HT must count query visits as nodes searched")
+	}
+}
+
+// TestHTMultiRoundConvergence: a two-level pointer chain needs more than
+// one round (the first round's queries run before the derived edges
+// exist); the final answer must still be exact.
+func TestHTMultiRoundConvergence(t *testing.T) {
+	p := constraint.NewProgram()
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	c := p.AddVar("c")
+	pp := p.AddVar("p")
+	qq := p.AddVar("q")
+	rr := p.AddVar("r")
+	p.AddAddrOf(pp, a)
+	p.AddAddrOf(qq, pp) // q = &p
+	p.AddAddrOf(b, c)
+	t1 := p.AddVar("t1")
+	p.AddLoad(t1, qq, 0) // t1 = *q  (= p)
+	p.AddStore(t1, b, 0) // *t1 = b  (→ a ⊇ {c})
+	p.AddLoad(rr, pp, 0) // r = *p   (reads a)
+
+	r, err := Solve(p, Options{Algorithm: HT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PointsToSlice(rr); !reflect.DeepEqual(got, []uint32{c}) {
+		t.Errorf("pts(r) = %v, want {c}", got)
+	}
+	if got := r.PointsToSlice(a); !reflect.DeepEqual(got, []uint32{c}) {
+		t.Errorf("pts(a) = %v, want {c}", got)
+	}
+}
+
+// TestHTFinalPassMaterializesAll: variables that are never dereferenced
+// still get full points-to sets from the final materialization round.
+func TestHTFinalPassMaterializesAll(t *testing.T) {
+	p := constraint.NewProgram()
+	o := p.AddVar("o")
+	src := p.AddVar("src")
+	p.AddAddrOf(src, o)
+	// A long chain with no complex constraints anywhere.
+	prev := src
+	var last uint32
+	for i := 0; i < 20; i++ {
+		v := p.AddVar("")
+		p.AddCopy(v, prev)
+		prev = v
+		last = v
+	}
+	r, err := Solve(p, Options{Algorithm: HT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PointsToSlice(last); !reflect.DeepEqual(got, []uint32{o}) {
+		t.Errorf("pts(chain end) = %v, want {o}", got)
+	}
+}
+
+// TestPKHSweepCountsAndTopoOrder: PKH must sweep at least once, collapse
+// the planted cycle, and terminate with the exact solution.
+func TestPKHSweepBehaviour(t *testing.T) {
+	p := constraint.NewProgram()
+	o := p.AddVar("o")
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	p.AddAddrOf(x, o)
+	p.AddCopy(y, x)
+	p.AddCopy(x, y)
+	r, err := Solve(p, Options{Algorithm: PKH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.CycleChecks == 0 {
+		t.Error("PKH must record its sweeps")
+	}
+	if r.Rep(x) != r.Rep(y) {
+		t.Error("sweep did not collapse the cycle")
+	}
+	if got := r.PointsToSlice(y); !reflect.DeepEqual(got, []uint32{o}) {
+		t.Errorf("pts(y) = %v", got)
+	}
+}
+
+// TestPKWOrderViolationTriggersSearch: inserting a back edge must trigger
+// an immediate cycle check in PKW.
+func TestPKWOrderViolationTriggersSearch(t *testing.T) {
+	p := constraint.NewProgram()
+	o := p.AddVar("o")
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	q := p.AddVar("q")
+	p.AddAddrOf(q, b)
+	p.AddAddrOf(a, o)
+	p.AddCopy(b, a)     // forward edge a→b
+	p.AddStore(q, a, 0) // *q ⊇ a: derived edge a→b... and
+	p.AddLoad(a, q, 0)  // a ⊇ *q: derived edge b→a closes the cycle
+	r, err := Solve(p, Options{Algorithm: PKW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.CycleChecks == 0 {
+		t.Error("the back edge must have violated the topological order")
+	}
+	if r.Rep(a) != r.Rep(b) {
+		t.Error("PKW did not collapse the derived cycle")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+
+	"antgrass/internal/constraint"
+)
+
+// referenceSolve is a deliberately simple fixpoint solver used as the
+// oracle for every real solver: it iterates the constraint rules of
+// Table 1 over map-based sets until nothing changes. Exponentially slower
+// than the real solvers but obviously correct.
+func referenceSolve(p *constraint.Program) []map[uint32]bool {
+	n := p.NumVars
+	sets := make([]map[uint32]bool, n)
+	for i := range sets {
+		sets[i] = map[uint32]bool{}
+	}
+	span := func(v uint32) uint32 { return p.SpanOf(v) }
+	union := func(dst, src uint32) bool {
+		ch := false
+		for v := range sets[src] {
+			if !sets[dst][v] {
+				sets[dst][v] = true
+				ch = true
+			}
+		}
+		return ch
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range p.Constraints {
+			switch c.Kind {
+			case constraint.AddrOf:
+				if !sets[c.Dst][c.Src] {
+					sets[c.Dst][c.Src] = true
+					changed = true
+				}
+			case constraint.Copy:
+				if union(c.Dst, c.Src) {
+					changed = true
+				}
+			case constraint.Load:
+				for v := range copyKeys(sets[c.Src]) {
+					t := v + c.Offset
+					if c.Offset != 0 && c.Offset >= span(v) {
+						continue
+					}
+					if union(c.Dst, t) {
+						changed = true
+					}
+				}
+			case constraint.Store:
+				for v := range copyKeys(sets[c.Dst]) {
+					t := v + c.Offset
+					if c.Offset != 0 && c.Offset >= span(v) {
+						continue
+					}
+					if union(t, c.Src) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sets
+}
+
+func copyKeys(m map[uint32]bool) map[uint32]bool {
+	out := make(map[uint32]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func sortedKeys(m map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

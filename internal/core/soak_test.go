@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/pts"
+)
+
+// biggerRandomProgram builds a few-hundred-variable system with the
+// structural features real inputs have: copy chains, cycles, deep pointer
+// levels, and indirect calls.
+func biggerRandomProgram(rng *rand.Rand, nVars, nCons int) *constraint.Program {
+	p := constraint.NewProgram()
+	var funcs []uint32
+	for i := 0; i < nVars/50+2; i++ {
+		funcs = append(funcs, p.AddFunc(fmt.Sprintf("f%d", i), 1+rng.Intn(2)))
+	}
+	for i := 0; i < nVars; i++ {
+		p.AddVar("")
+	}
+	n := uint32(p.NumVars)
+	for i := 0; i < nCons; i++ {
+		d, s := uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n)))
+		switch rng.Intn(10) {
+		case 0, 1:
+			p.AddAddrOf(d, s)
+		case 2, 3, 4, 5:
+			p.AddCopy(d, s)
+		case 6:
+			p.AddLoad(d, s, 0)
+		case 7:
+			p.AddStore(d, s, 0)
+		case 8:
+			// read-modify-write pair (HCD fodder)
+			p.AddLoad(d, s, 0)
+			p.AddStore(s, d, 0)
+		case 9:
+			f := funcs[rng.Intn(len(funcs))]
+			p.AddAddrOf(d, f)
+			if rng.Intn(2) == 0 {
+				p.AddStore(d, s, constraint.ParamOffset)
+			} else {
+				p.AddLoad(s, d, constraint.RetOffset)
+			}
+		}
+	}
+	return p
+}
+
+// TestSoakAllSolversLargePrograms cross-checks every configuration on
+// systems large enough to exercise collapsing, multi-round convergence and
+// the divided worklist, using the (oracle-verified) naive solver as the
+// baseline.
+func TestSoakAllSolversLargePrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 5; trial++ {
+		p := biggerRandomProgram(rng, 300, 1200)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		base, err := Solve(p, Options{Algorithm: Naive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		configs := []Options{
+			{Algorithm: LCD},
+			{Algorithm: LCD, WithHCD: true},
+			{Algorithm: LCD, WithHCD: true, DiffProp: true},
+			{Algorithm: HT},
+			{Algorithm: HT, WithHCD: true},
+			{Algorithm: PKH},
+			{Algorithm: PKH, WithHCD: true},
+			{Algorithm: PKW},
+			{Algorithm: Naive, WithHCD: true},
+			{Algorithm: LCD, Pts: pts.NewBDDFactory(uint32(p.NumVars), 0)},
+		}
+		for _, opts := range configs {
+			r, err := Solve(p, opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, configName(opts), err)
+			}
+			for v := uint32(0); v < uint32(p.NumVars); v++ {
+				got, want := r.PointsToSlice(v), base.PointsToSlice(v)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d %s: pts(v%d) = %d elems, want %d",
+						trial, configName(opts), v, len(got), len(want))
+				}
+			}
+			// Cycle-collapsing solvers must actually collapse here:
+			// the generator plants cycles deliberately.
+			if opts.Algorithm == LCD && !opts.WithHCD && opts.Pts == nil &&
+				r.Stats.NodesCollapsed == 0 {
+				t.Error("LCD collapsed nothing on a cycle-rich input")
+			}
+		}
+	}
+}
+
+// TestSoakStatsShapes spot-checks §5.3 orderings that must hold on
+// cycle-rich inputs regardless of scale.
+func TestSoakStatsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(7))
+	p := biggerRandomProgram(rng, 400, 1600)
+	lcd, err := Solve(p, Options{Algorithm: LCD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcdOnly, err := Solve(p, Options{Algorithm: Naive, WithHCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkh, err := Solve(p, Options{Algorithm: PKH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkw, err := Solve(p, Options{Algorithm: PKW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hcdOnly.Stats.NodesSearched != 0 {
+		t.Error("HCD never searches")
+	}
+	if hcdOnly.Stats.NodesCollapsed >= pkh.Stats.NodesCollapsed {
+		t.Errorf("HCD alone (%d) must collapse fewer than PKH (%d)",
+			hcdOnly.Stats.NodesCollapsed, pkh.Stats.NodesCollapsed)
+	}
+	if lcd.Stats.NodesCollapsed == 0 || pkh.Stats.NodesCollapsed == 0 {
+		t.Error("cycle-rich input must produce collapses")
+	}
+	if pkw.Stats.NodesSearched <= lcd.Stats.NodesSearched {
+		t.Errorf("eager PKW (%d searched) must out-search lazy LCD (%d)",
+			pkw.Stats.NodesSearched, lcd.Stats.NodesSearched)
+	}
+}

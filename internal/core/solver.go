@@ -1,0 +1,222 @@
+// Package core implements the inclusion-based (Andersen-style) pointer
+// analysis solvers studied in the paper: the baseline worklist algorithm
+// (Figure 1), Lazy Cycle Detection (Figure 2), Hybrid Cycle Detection
+// (Figure 5), Heintze–Tardieu (HT), Pearce–Kelly–Hankin's periodic-sweep
+// algorithm (PKH), and Pearce et al.'s earlier dynamic-topological-order
+// algorithm (PKW). The BDD-based BLQ solver lives in the sibling package
+// blq because it replaces the entire graph machinery.
+//
+// All solvers share the same substrates — union-find node collapsing,
+// sparse-bitmap edge sets, pluggable points-to representations, and the
+// offline HCD table — mirroring the paper's methodology ("they use as many
+// common components as possible to provide a fair comparison", §5.1).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/hcd"
+	"antgrass/internal/pts"
+	"antgrass/internal/uf"
+	"antgrass/internal/worklist"
+)
+
+// Algorithm selects a solver.
+type Algorithm int
+
+const (
+	// Naive is the basic dynamic-transitive-closure worklist algorithm
+	// of Figure 1, with no cycle detection.
+	Naive Algorithm = iota
+	// LCD is Lazy Cycle Detection (Figure 2).
+	LCD
+	// HT is the Heintze–Tardieu pre-transitive-graph algorithm
+	// (field-insensitive variant).
+	HT
+	// PKH is Pearce, Kelly and Hankin's 2004 algorithm: explicit
+	// transitive closure with periodic whole-graph cycle sweeps.
+	PKH
+	// PKW is Pearce, Kelly and Hankin's original 2003 algorithm, which
+	// maintains a dynamic topological order and searches for cycles at
+	// every ordering-violating edge insertion. The paper discusses it in
+	// §5.3 as an over-aggressive design point.
+	PKW
+)
+
+// String returns the conventional name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Naive:
+		return "naive"
+	case LCD:
+		return "lcd"
+	case HT:
+		return "ht"
+	case PKH:
+		return "pkh"
+	case PKW:
+		return "pkw"
+	}
+	return "unknown"
+}
+
+// Options configures a solve.
+type Options struct {
+	// Algorithm selects the solver. The zero value is Naive.
+	Algorithm Algorithm
+	// WithHCD enables Hybrid Cycle Detection: the offline analysis runs
+	// first and its table drives preemptive online collapsing. Naive
+	// plus WithHCD is the paper's standalone "HCD" algorithm (Figure 5).
+	WithHCD bool
+	// HCDTable supplies a precomputed offline HCD result; when nil and
+	// WithHCD is set, the offline analysis is run (and timed) here.
+	HCDTable *hcd.Result
+	// Pts selects the points-to set representation; nil means sparse
+	// bitmaps.
+	Pts pts.Factory
+	// Worklist selects the strategy for worklist-driven solvers; the
+	// paper's configuration (and our default) is a divided LRF worklist.
+	Worklist worklist.Kind
+	// UndividedWorklist disables the current/next split (for the
+	// ablation of the divided worklist the paper mentions in §5.1).
+	UndividedWorklist bool
+	// DiffProp enables difference propagation (suggested by Pearce et
+	// al. [22], cited in §5.1): a node remembers what it has already
+	// propagated, pushes only the delta along existing edges, and
+	// resolves complex constraints against new pointees only. Newly
+	// inserted edges still receive the full set. Available for the
+	// basic worklist solvers (Naive and LCD); HT and PKH have their
+	// own propagation disciplines.
+	DiffProp bool
+	// BDDPoolNodes sets the initial BDD node-pool capacity for the BLQ
+	// solver and BDD-backed points-to sets (0 picks a default). It
+	// mirrors the paper's fixed BuDDy pool sizing (§5.2).
+	BDDPoolNodes int
+}
+
+// Stats records the cost counters that §5.3 of the paper analyzes, plus
+// timing and analytic memory accounting.
+type Stats struct {
+	// NodesCollapsed is the number of constraint-graph nodes absorbed
+	// into another node by cycle collapsing.
+	NodesCollapsed int64
+	// NodesSearched is the number of node visits made by depth-first
+	// cycle searches (pure overhead of cycle detection).
+	NodesSearched int64
+	// Propagations counts points-to set union operations across
+	// constraint-graph edges.
+	Propagations int64
+	// EdgesAdded counts constraint edges inserted (initial and derived).
+	EdgesAdded int64
+	// CycleChecks counts triggered cycle-detection attempts (LCD) or
+	// sweeps (PKH).
+	CycleChecks int64
+	// HCDCollapses counts unions performed by the HCD online rule.
+	HCDCollapses int64
+	// OfflineDuration is the HCD offline analysis time, reported
+	// separately as in Table 3.
+	OfflineDuration time.Duration
+	// SolveDuration is the online analysis wall-clock time.
+	SolveDuration time.Duration
+	// MemBytes is the analytic memory footprint of the final solver
+	// state (points-to sets + graph edges + shared representation
+	// overhead), the quantity Tables 4 and 6 track.
+	MemBytes int64
+}
+
+// Result is a solved points-to analysis.
+type Result struct {
+	// Prog is the analyzed program.
+	Prog *constraint.Program
+	// Stats holds the cost counters.
+	Stats Stats
+
+	nodes *uf.UF
+	sets  []pts.Set // indexed by representative
+}
+
+// NewResult assembles a Result; it is exported for the blq package.
+func NewResult(p *constraint.Program, nodes *uf.UF, sets []pts.Set, stats Stats) *Result {
+	return &Result{Prog: p, Stats: stats, nodes: nodes, sets: sets}
+}
+
+// Rep returns the constraint-graph representative of v after collapsing.
+func (r *Result) Rep(v uint32) uint32 { return r.nodes.Find(v) }
+
+// PointsTo returns the points-to set of v (possibly nil when empty).
+// The returned set must not be modified.
+func (r *Result) PointsTo(v uint32) pts.Set {
+	return r.sets[r.nodes.Find(v)]
+}
+
+// PointsToSlice returns the members of pts(v) in ascending order.
+func (r *Result) PointsToSlice(v uint32) []uint32 {
+	s := r.PointsTo(v)
+	if s == nil {
+		return nil
+	}
+	return s.Slice()
+}
+
+// Alias reports whether a and b may alias (their points-to sets intersect).
+func (r *Result) Alias(a, b uint32) bool {
+	sa, sb := r.PointsTo(a), r.PointsTo(b)
+	if sa == nil || sb == nil {
+		return false
+	}
+	return sa.Intersects(sb)
+}
+
+// Solve runs the selected algorithm on p.
+func Solve(p *constraint.Program, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Pts == nil {
+		opts.Pts = pts.NewBitmapFactory()
+	}
+	var table *hcd.Result
+	if opts.WithHCD {
+		table = opts.HCDTable
+		if table == nil {
+			table = hcd.Analyze(p)
+		}
+	}
+	g := newGraphDir(p, opts.Pts, table, opts.Algorithm == HT)
+	if opts.WithHCD && table != nil {
+		g.stats.OfflineDuration = table.Duration
+	}
+	start := time.Now()
+	var err error
+	switch opts.Algorithm {
+	case Naive:
+		err = solveBasic(g, opts, false)
+	case LCD:
+		err = solveBasic(g, opts, true)
+	case HT:
+		err = solveHT(g, opts)
+	case PKH:
+		err = solvePKH(g, opts)
+	case PKW:
+		err = solvePKW(g, opts)
+	default:
+		err = fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g.stats.SolveDuration = time.Since(start)
+	g.stats.MemBytes = g.memBytes()
+	return NewResult(p, g.nodes, g.sets, *g.stats), nil
+}
+
+// newWorklist builds the configured worklist sized for n nodes.
+func newWorklist(opts Options, n int) worklist.Worklist {
+	k := opts.Worklist
+	if opts.UndividedWorklist {
+		return worklist.New(k, n)
+	}
+	return worklist.NewDivided(k, n)
+}

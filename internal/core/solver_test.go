@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/worklist"
+)
+
+// allConfigs enumerates every solver configuration under test.
+func allConfigs() []Options {
+	var out []Options
+	for _, alg := range []Algorithm{Naive, LCD, HT, PKH, PKW} {
+		out = append(out, Options{Algorithm: alg})
+		out = append(out, Options{Algorithm: alg, WithHCD: true})
+	}
+	// Difference propagation applies to the basic worklist solvers.
+	for _, alg := range []Algorithm{Naive, LCD} {
+		out = append(out, Options{Algorithm: alg, DiffProp: true})
+		out = append(out, Options{Algorithm: alg, WithHCD: true, DiffProp: true})
+	}
+	return out
+}
+
+func configName(o Options) string {
+	name := o.Algorithm.String()
+	if o.WithHCD {
+		name += "+hcd"
+	}
+	if o.DiffProp {
+		name += "+diff"
+	}
+	return name
+}
+
+// checkAgainstReference solves p with every configuration and compares each
+// variable's points-to set against the oracle.
+func checkAgainstReference(t *testing.T, p *constraint.Program) {
+	t.Helper()
+	want := referenceSolve(p)
+	for _, opts := range allConfigs() {
+		r, err := Solve(p, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", configName(opts), err)
+		}
+		for v := uint32(0); v < uint32(p.NumVars); v++ {
+			got := r.PointsToSlice(v)
+			exp := sortedKeys(want[v])
+			if len(got) == 0 && len(exp) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, exp) {
+				t.Fatalf("%s: pts(%s) = %v, want %v", configName(opts), p.NameOf(v), got, exp)
+			}
+		}
+	}
+}
+
+// TestPaperFigure4 runs the running example of §4.2 end to end: after the
+// complex constraints resolve, c and b are in a cycle.
+func TestPaperFigure4(t *testing.T) {
+	p := constraint.NewProgram()
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	c := p.AddVar("c")
+	d := p.AddVar("d")
+	p.AddAddrOf(a, c)
+	p.AddCopy(d, c)
+	p.AddLoad(b, a, 0)
+	p.AddStore(a, b, 0)
+	checkAgainstReference(t, p)
+
+	// With LCD+HCD, b and c must end up in the same collapsed node.
+	r, err := Solve(p, Options{Algorithm: LCD, WithHCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rep(b) != r.Rep(c) {
+		t.Errorf("HCD should collapse b with c: rep(b)=%d rep(c)=%d", r.Rep(b), r.Rep(c))
+	}
+	if got := r.PointsToSlice(a); !reflect.DeepEqual(got, []uint32{c}) {
+		t.Errorf("pts(a) = %v, want {c}", got)
+	}
+	_ = d
+}
+
+func TestCopyChain(t *testing.T) {
+	p := constraint.NewProgram()
+	o := p.AddVar("o")
+	vs := make([]uint32, 6)
+	for i := range vs {
+		vs[i] = p.AddVar(fmt.Sprintf("x%d", i))
+	}
+	p.AddAddrOf(vs[0], o)
+	for i := 1; i < len(vs); i++ {
+		p.AddCopy(vs[i], vs[i-1])
+	}
+	checkAgainstReference(t, p)
+}
+
+func TestSimpleCycleCollapse(t *testing.T) {
+	p := constraint.NewProgram()
+	o1, o2 := p.AddVar("o1"), p.AddVar("o2")
+	x, y, z := p.AddVar("x"), p.AddVar("y"), p.AddVar("z")
+	p.AddAddrOf(x, o1)
+	p.AddAddrOf(y, o2)
+	p.AddCopy(y, x)
+	p.AddCopy(z, y)
+	p.AddCopy(x, z)
+	checkAgainstReference(t, p)
+
+	// LCD must collapse the 3-cycle.
+	r, err := Solve(p, Options{Algorithm: LCD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.NodesCollapsed != 2 {
+		t.Errorf("NodesCollapsed = %d, want 2", r.Stats.NodesCollapsed)
+	}
+	if r.Rep(x) != r.Rep(y) || r.Rep(y) != r.Rep(z) {
+		t.Error("x, y, z should share a representative after LCD")
+	}
+	// Naive never collapses.
+	rn, err := Solve(p, Options{Algorithm: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Stats.NodesCollapsed != 0 {
+		t.Errorf("naive collapsed %d nodes", rn.Stats.NodesCollapsed)
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	// p = &x; q = &y; *p = q; r = *p  =>  x ⊇ {y}, r ⊇ {y}
+	p := constraint.NewProgram()
+	x, y := p.AddVar("x"), p.AddVar("y")
+	pp, q, rr := p.AddVar("p"), p.AddVar("q"), p.AddVar("r")
+	p.AddAddrOf(pp, x)
+	p.AddAddrOf(q, y)
+	p.AddStore(pp, q, 0)
+	p.AddLoad(rr, pp, 0)
+	checkAgainstReference(t, p)
+
+	r, err := Solve(p, Options{Algorithm: LCD, WithHCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PointsToSlice(rr); !reflect.DeepEqual(got, []uint32{y}) {
+		t.Errorf("pts(r) = %v, want {y}", got)
+	}
+	if got := r.PointsToSlice(x); !reflect.DeepEqual(got, []uint32{y}) {
+		t.Errorf("pts(x) = %v, want {y}", got)
+	}
+}
+
+// TestIndirectCall exercises the offset encoding of indirect calls:
+//
+//	int f(int *q) { return *q; }      // params at f+2, ret at f+1
+//	fp = &f; x = &g; r = fp(x);
+func TestIndirectCall(t *testing.T) {
+	p := constraint.NewProgram()
+	g := p.AddVar("g")
+	f := p.AddFunc("f", 1)
+	fp := p.AddVar("fp")
+	x := p.AddVar("x")
+	r := p.AddVar("r")
+	// body of f: return value gets the parameter's pointee-of... keep it
+	// simple: f returns its parameter: ret ⊇ param.
+	p.AddCopy(f+constraint.RetOffset, f+constraint.ParamOffset)
+	p.AddAddrOf(fp, f) // fp = &f
+	p.AddAddrOf(x, g)  // x = &g
+	// indirect call r = fp(x):
+	p.AddStore(fp, x, constraint.ParamOffset) // *(fp+2) ⊇ x
+	p.AddLoad(r, fp, constraint.RetOffset)    // r ⊇ *(fp+1)
+	checkAgainstReference(t, p)
+
+	res, err := Solve(p, Options{Algorithm: LCD, WithHCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.PointsToSlice(r); !reflect.DeepEqual(got, []uint32{g}) {
+		t.Errorf("pts(r) = %v, want {g}", got)
+	}
+}
+
+// TestOffsetPastSpan: dereferencing a non-function var at an offset is
+// silently invalid, not a crash or a spurious edge.
+func TestOffsetPastSpan(t *testing.T) {
+	p := constraint.NewProgram()
+	o := p.AddVar("o")
+	f := p.AddFunc("f", 1)
+	q := p.AddVar("q")
+	r := p.AddVar("r")
+	p.AddAddrOf(q, o) // q points at a plain var...
+	p.AddAddrOf(q, f) // ...and at a function
+	p.AddLoad(r, q, constraint.ParamOffset)
+	checkAgainstReference(t, p)
+}
+
+func TestSelfAssignAndDuplicates(t *testing.T) {
+	p := constraint.NewProgram()
+	o := p.AddVar("o")
+	x := p.AddVar("x")
+	p.AddAddrOf(x, o)
+	p.AddCopy(x, x)
+	p.AddCopy(x, x)
+	p.AddLoad(x, x, 0)
+	p.AddStore(x, x, 0)
+	checkAgainstReference(t, p)
+}
+
+// TestPointerChainDeep: multi-level pointers force repeated rounds.
+func TestPointerChainDeep(t *testing.T) {
+	p := constraint.NewProgram()
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	c := p.AddVar("c")
+	d := p.AddVar("d")
+	pp := p.AddVar("p")
+	ppp := p.AddVar("pp")
+	x := p.AddVar("x")
+	p.AddAddrOf(pp, a)   // p = &a
+	p.AddAddrOf(ppp, pp) // pp = &p
+	p.AddAddrOf(a, b)    // a = &b
+	p.AddAddrOf(c, d)    // c = &d
+	// **pp = c  ==>  t = *pp; *t = c
+	t1 := p.AddVar("t1")
+	p.AddLoad(t1, ppp, 0)
+	p.AddStore(t1, c, 0)
+	// x = **pp  ==>  t2 = *pp; x = *t2
+	t2 := p.AddVar("t2")
+	p.AddLoad(t2, ppp, 0)
+	p.AddLoad(x, t2, 0)
+	checkAgainstReference(t, p)
+}
+
+// TestCycleViaComplex: a cycle that only appears after complex constraints
+// add edges (the case HCD is designed for).
+func TestCycleViaComplex(t *testing.T) {
+	p := constraint.NewProgram()
+	o := p.AddVar("o")
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	c := p.AddVar("c")
+	p.AddAddrOf(a, b)
+	p.AddAddrOf(b, o)
+	p.AddLoad(c, a, 0)  // c ⊇ *a  -> edge b → c
+	p.AddStore(a, c, 0) // *a ⊇ c  -> edge c → b  (cycle b ↔ c)
+	checkAgainstReference(t, p)
+
+	r, err := Solve(p, Options{Algorithm: Naive, WithHCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.HCDCollapses == 0 {
+		t.Error("HCD should have collapsed the online cycle")
+	}
+	if r.Rep(b) != r.Rep(c) {
+		t.Error("b and c should be collapsed")
+	}
+}
+
+func randomSolverProgram(rng *rand.Rand) *constraint.Program {
+	p := constraint.NewProgram()
+	nf := rng.Intn(3)
+	var funcs []uint32
+	for i := 0; i < nf; i++ {
+		funcs = append(funcs, p.AddFunc(fmt.Sprintf("f%d", i), rng.Intn(3)))
+	}
+	nv := 3 + rng.Intn(18)
+	for i := 0; i < nv; i++ {
+		p.AddVar(fmt.Sprintf("v%d", i))
+	}
+	n := uint32(p.NumVars)
+	nc := 1 + rng.Intn(50)
+	for i := 0; i < nc; i++ {
+		d, s := uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n)))
+		switch rng.Intn(8) {
+		case 0, 1:
+			p.AddAddrOf(d, s)
+		case 2, 3, 4:
+			p.AddCopy(d, s)
+		case 5:
+			p.AddLoad(d, s, 0)
+		case 6:
+			p.AddStore(d, s, 0)
+		case 7:
+			// offset constraint against a function var
+			if len(funcs) > 0 {
+				off := uint32(1 + rng.Intn(3))
+				if rng.Intn(2) == 0 {
+					p.AddLoad(d, s, off)
+				} else {
+					p.AddStore(d, s, off)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// TestQuickAllSolversMatchReference is the central equivalence property:
+// every algorithm (with and without HCD) computes exactly the oracle's
+// solution on random constraint systems.
+func TestQuickAllSolversMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomSolverProgram(rng)
+		if p.Validate() != nil {
+			return true
+		}
+		want := referenceSolve(p)
+		for _, opts := range allConfigs() {
+			r, err := Solve(p, opts)
+			if err != nil {
+				t.Logf("seed %d %s: %v", seed, configName(opts), err)
+				return false
+			}
+			for v := uint32(0); v < uint32(p.NumVars); v++ {
+				got := r.PointsToSlice(v)
+				exp := sortedKeys(want[v])
+				if len(got) == 0 && len(exp) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, exp) {
+					t.Logf("seed %d %s: pts(v%d) = %v, want %v", seed, configName(opts), v, got, exp)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorklistStrategiesAgree: the solution is independent of worklist
+// strategy and division.
+func TestWorklistStrategiesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		p := randomSolverProgram(rng)
+		if p.Validate() != nil {
+			continue
+		}
+		want := referenceSolve(p)
+		for _, k := range []worklist.Kind{worklist.LRF, worklist.FIFO, worklist.LIFO} {
+			for _, undiv := range []bool{false, true} {
+				r, err := Solve(p, Options{Algorithm: LCD, Worklist: k, UndividedWorklist: undiv})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := uint32(0); v < uint32(p.NumVars); v++ {
+					got := r.PointsToSlice(v)
+					exp := sortedKeys(want[v])
+					if len(got) == 0 && len(exp) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(got, exp) {
+						t.Fatalf("worklist %v undiv=%v: pts(v%d) = %v, want %v", k, undiv, v, got, exp)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAliasQuery(t *testing.T) {
+	p := constraint.NewProgram()
+	o := p.AddVar("o")
+	o2 := p.AddVar("o2")
+	x, y, z := p.AddVar("x"), p.AddVar("y"), p.AddVar("z")
+	p.AddAddrOf(x, o)
+	p.AddAddrOf(y, o)
+	p.AddAddrOf(z, o2)
+	r, err := Solve(p, Options{Algorithm: LCD, WithHCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Alias(x, y) {
+		t.Error("x and y alias")
+	}
+	if r.Alias(x, z) {
+		t.Error("x and z must not alias")
+	}
+	if r.Alias(x, o) {
+		t.Error("x and (empty) o must not alias")
+	}
+}
+
+func TestValidateRejected(t *testing.T) {
+	p := constraint.NewProgram()
+	p.AddVar("a")
+	p.AddCopy(0, 9)
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("invalid program must be rejected")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomSolverProgram(rng)
+	r, err := Solve(p, Options{Algorithm: LCD, WithHCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.SolveDuration <= 0 {
+		t.Error("SolveDuration not recorded")
+	}
+	if r.Stats.MemBytes <= 0 {
+		t.Error("MemBytes not recorded")
+	}
+	if r.Stats.EdgesAdded == 0 {
+		t.Error("EdgesAdded not recorded")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{Naive: "naive", LCD: "lcd", HT: "ht", PKH: "pkh", PKW: "pkw", Algorithm(99): "unknown"}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package hcd implements the offline half of Hybrid Cycle Detection
+// (§4.2 of the paper), a linear-time static analysis run before the pointer
+// analysis proper.
+//
+// The offline constraint graph has one node per program variable plus one
+// "ref" node per variable (standing for the variable's unknown points-to
+// set). Edges are derived from the simple and complex constraints:
+//
+//	a ⊇ b    yields  b      → a
+//	a ⊇ *b   yields  ref(b) → a
+//	*a ⊇ b   yields  b      → ref(a)
+//
+// Base (address-of) constraints are ignored. SCCs are then found with
+// Tarjan's algorithm:
+//
+//   - an SCC with only non-ref nodes is a genuine structural cycle and may
+//     be collapsed before solving starts (PreUnions);
+//   - an SCC containing a ref node ref(a) means that everything in pts(a)
+//     will join a cycle with the SCC's non-ref nodes once pts(a) is known,
+//     so for one chosen non-ref member b we record the tuple (a, b) for
+//     the online analysis to act on (Pairs).
+//
+// Constraints with a non-zero offset (indirect-call encodings) contribute no
+// offline edges: their targets depend on per-pointee arithmetic the offline
+// graph cannot express. This only makes HCD detect fewer cycles, which is
+// safe (HCD is incomplete by design).
+package hcd
+
+import (
+	"time"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/scc"
+)
+
+// Result is the output of the offline analysis, consumed by the solvers.
+type Result struct {
+	// Pairs maps a dereferenced variable a to a collapse target b:
+	// when the online analysis processes node a it may union every
+	// member of pts(a) with b (Figure 5 of the paper).
+	Pairs map[uint32]uint32
+	// PreUnions lists pairs of variables that are in a purely structural
+	// cycle and can be collapsed before solving begins.
+	PreUnions [][2]uint32
+	// Duration is the offline analysis time (reported separately in
+	// Table 3, "HCD-Offline").
+	Duration time.Duration
+	// SCCs is the number of non-trivial SCCs found in the offline graph.
+	SCCs int
+}
+
+// Analyze runs the offline analysis on p.
+func Analyze(p *constraint.Program) *Result {
+	start := time.Now()
+	n := uint32(p.NumVars)
+	// Offline graph nodes: v in [0,n) is variable v; n+v is ref(v).
+	adj := make([][]uint32, 2*n)
+	addEdge := func(from, to uint32) {
+		adj[from] = append(adj[from], to)
+	}
+	for _, c := range p.Constraints {
+		switch c.Kind {
+		case constraint.Copy:
+			addEdge(c.Src, c.Dst)
+		case constraint.Load:
+			if c.Offset == 0 {
+				addEdge(n+c.Src, c.Dst)
+			}
+		case constraint.Store:
+			if c.Offset == 0 {
+				addEdge(c.Src, n+c.Dst)
+			}
+		}
+	}
+	res := &Result{Pairs: make(map[uint32]uint32)}
+	sccRes := scc.Tarjan(int(2*n), nil, func(x uint32) []uint32 { return adj[x] })
+	for _, comp := range sccRes.Comps {
+		if len(comp) < 2 {
+			continue
+		}
+		res.SCCs++
+		// Partition into variable and ref members.
+		var vars, refs []uint32
+		for _, m := range comp {
+			if m < n {
+				vars = append(vars, m)
+			} else {
+				refs = append(refs, m-n)
+			}
+		}
+		if len(refs) == 0 {
+			// Structural cycle: collapse offline.
+			for i := 1; i < len(vars); i++ {
+				res.PreUnions = append(res.PreUnions, [2]uint32{vars[0], vars[i]})
+			}
+			continue
+		}
+		if len(vars) == 0 {
+			// Cannot happen: there are no constraints of the form
+			// *p ⊇ *q, so ref nodes never connect directly. Guard
+			// anyway.
+			continue
+		}
+		b := vars[0]
+		for _, a := range refs {
+			res.Pairs[a] = b
+		}
+		// The non-ref members of a mixed SCC are NOT collapsed
+		// offline: their mutual cycle only materializes online if the
+		// ref's points-to set turns out non-empty, and collapsing
+		// early could lose precision (§4.2).
+	}
+	res.Duration = time.Since(start)
+	return res
+}

@@ -1,0 +1,314 @@
+// Package olf implements a One-Level Flow pointer analysis in the style of
+// Das [7], the second cheap alternative the paper's related-work section
+// discusses: "unification-based pointer analysis with directional
+// assignments". Das's insight is that most of the precision of
+// inclusion-based analysis for C lives in the *top level* of assignments:
+// keep those directional, unify everything below the first dereference,
+// and precision stays close to Andersen's while the solver stays
+// near-linear (an assumption §2 notes "is usually (though not always)
+// true for C").
+//
+// Representation: every variable has a pointee node pt(v) in a
+// Steensgaard-style unification universe; the one-level refinement is
+// that nodes are connected by *directed flow edges* instead of being
+// unified at the top level:
+//
+//	a = &b   flow edge  node(b) → pt(a)
+//	a = b    flow edge  pt(b)  → pt(a)
+//	a = *b   unify  pt(a) ~ pt(pt(b))
+//	*a = b   unify  pt(pt(a)) ~ pt(b)
+//
+// and, crucially, every flow edge m → n also unifies pt(m) ~ pt(n) —
+// directionality exists for one level only. pts(v) materializes as the
+// set of location variables whose nodes reach pt(v) through flow edges.
+//
+// The tests verify the precision sandwich on random constraint systems:
+//
+//	Andersen ⊆ OneLevelFlow ⊆ Steensgaard   (pointwise, per variable)
+package olf
+
+import (
+	"sort"
+	"time"
+
+	"antgrass/internal/constraint"
+)
+
+// Stats describes a run.
+type Stats struct {
+	// Unions counts below-level unifications.
+	Unions int64
+	// Edges counts level-1 flow edges added.
+	Edges int64
+	// Passes counts sweeps to the fixpoint.
+	Passes int
+	// Duration is the solve wall-clock time.
+	Duration time.Duration
+}
+
+// Result is a solved one-level-flow analysis.
+type Result struct {
+	p     *constraint.Program
+	s     *solver
+	Stats Stats
+
+	// reach caches, per location variable, the set of node reps its
+	// node reaches through flow edges (computed at the fixpoint).
+	pts map[uint32][]uint32 // variable -> sorted locations
+}
+
+type solver struct {
+	p      *constraint.Program
+	parent []int32
+	rank   []uint8
+	pt     []int32
+	// succs holds outgoing flow edges per node (entries may be stale
+	// non-representatives; resolved through find on traversal).
+	succs [][]int32
+	span  []uint32
+	stats *Stats
+}
+
+// Solve runs the analysis.
+func Solve(p *constraint.Program) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := p.NumVars
+	s := &solver{
+		p:      p,
+		parent: make([]int32, n),
+		rank:   make([]uint8, n),
+		pt:     make([]int32, n),
+		succs:  make([][]int32, n),
+		span:   make([]uint32, n),
+		stats:  &Stats{},
+	}
+	for i := 0; i < n; i++ {
+		s.parent[i] = int32(i)
+		s.pt[i] = -1
+		s.span[i] = p.SpanOf(uint32(i))
+	}
+	// Non-offset constraints are structural and apply once; offset
+	// (indirect-call) constraints depend on materialized sets, so the
+	// whole thing iterates to a fixpoint.
+	for _, c := range p.Constraints {
+		switch c.Kind {
+		case constraint.AddrOf:
+			s.addFlow(int32(c.Src), s.getPt(int32(c.Dst)))
+		case constraint.Copy:
+			s.addFlow(s.getPt(int32(c.Src)), s.getPt(int32(c.Dst)))
+		case constraint.Load:
+			if c.Offset == 0 {
+				t := s.getPt(int32(c.Src))
+				s.join(s.getPt(int32(c.Dst)), s.getPt(t))
+			}
+		case constraint.Store:
+			if c.Offset == 0 {
+				t := s.getPt(int32(c.Dst))
+				s.join(s.getPt(t), s.getPt(int32(c.Src)))
+			}
+		}
+	}
+	for {
+		s.stats.Passes++
+		before := s.stats.Unions + s.stats.Edges
+		reach := s.materialize()
+		for _, c := range p.Constraints {
+			if c.Offset == 0 || (c.Kind != constraint.Load && c.Kind != constraint.Store) {
+				continue
+			}
+			var base uint32
+			if c.Kind == constraint.Load {
+				base = c.Src
+			} else {
+				base = c.Dst
+			}
+			for _, v := range reach[base] {
+				if c.Offset >= s.span[v] {
+					continue
+				}
+				t := int32(v + c.Offset)
+				if c.Kind == constraint.Load {
+					// a ⊇ *(b+k): contents of t flow to a.
+					s.addFlow(s.getPt(t), s.getPt(int32(c.Dst)))
+				} else {
+					// *(a+k) ⊇ b: b's contents flow to t.
+					s.addFlow(s.getPt(int32(c.Src)), s.getPt(t))
+				}
+			}
+		}
+		if s.stats.Unions+s.stats.Edges == before {
+			break
+		}
+	}
+	res := &Result{p: p, s: s, Stats: *s.stats}
+	res.pts = s.materialize()
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+func (s *solver) find(x int32) int32 {
+	root := x
+	for s.parent[root] != root {
+		root = s.parent[root]
+	}
+	for s.parent[x] != root {
+		s.parent[x], x = root, s.parent[x]
+	}
+	return root
+}
+
+func (s *solver) fresh() int32 {
+	id := int32(len(s.parent))
+	s.parent = append(s.parent, id)
+	s.rank = append(s.rank, 0)
+	s.pt = append(s.pt, -1)
+	s.succs = append(s.succs, nil)
+	return id
+}
+
+func (s *solver) getPt(x int32) int32 {
+	x = s.find(x)
+	if s.pt[x] == -1 {
+		s.pt[x] = s.fresh()
+	}
+	return s.find(s.pt[x])
+}
+
+// addFlow inserts the directed level-1 edge m → n and unifies the nodes'
+// pointees (flow is directional for one level only).
+func (s *solver) addFlow(m, n int32) {
+	m, n = s.find(m), s.find(n)
+	if m == n {
+		return
+	}
+	for _, w := range s.succs[m] {
+		if s.find(w) == n {
+			// Edge already present; pointees were unified then.
+			return
+		}
+	}
+	s.succs[m] = append(s.succs[m], n)
+	s.stats.Edges++
+	s.join(s.getPt(m), s.getPt(n))
+}
+
+// join unifies nodes, cascading through pointees and merging flow edges.
+func (s *solver) join(a, b int32) {
+	type pair struct{ x, y int32 }
+	queue := []pair{{a, b}}
+	for len(queue) > 0 {
+		pr := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		x, y := s.find(pr.x), s.find(pr.y)
+		if x == y {
+			continue
+		}
+		if s.rank[x] < s.rank[y] {
+			x, y = y, x
+		} else if s.rank[x] == s.rank[y] {
+			s.rank[x]++
+		}
+		s.parent[y] = x
+		s.stats.Unions++
+		px, py := s.pt[x], s.pt[y]
+		if px == -1 {
+			s.pt[x] = py
+		} else if py != -1 {
+			queue = append(queue, pair{px, py})
+		}
+		s.pt[y] = -1
+		if e := s.succs[y]; len(e) > 0 {
+			s.succs[x] = append(s.succs[x], e...)
+			s.succs[y] = nil
+		}
+	}
+}
+
+// materialize computes, for every variable, the sorted set of location
+// variables whose nodes reach the variable's pointee node: one forward
+// BFS per address-taken location over the flow graph, then inversion.
+func (s *solver) materialize() map[uint32][]uint32 {
+	addrTaken := map[uint32]bool{}
+	for _, c := range s.p.Constraints {
+		if c.Kind == constraint.AddrOf {
+			addrTaken[c.Src] = true
+		}
+	}
+	// byNode collects the locations arriving at each node rep.
+	byNode := map[int32][]uint32{}
+	visited := make(map[int32]bool)
+	var stack []int32
+	for l := range addrTaken {
+		for k := range visited {
+			delete(visited, k)
+		}
+		stack = append(stack[:0], s.find(int32(l)))
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			byNode[n] = append(byNode[n], l)
+			for _, w := range s.succs[n] {
+				if w = s.find(w); !visited[w] {
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	out := make(map[uint32][]uint32, s.p.NumVars)
+	for v := 0; v < s.p.NumVars; v++ {
+		rv := s.find(int32(v))
+		if s.pt[rv] == -1 {
+			continue
+		}
+		locs := byNode[s.find(s.pt[rv])]
+		if len(locs) == 0 {
+			continue
+		}
+		cp := append([]uint32(nil), locs...)
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		out[uint32(v)] = cp
+	}
+	return out
+}
+
+// PointsToSlice returns the materialized pts(v).
+func (r *Result) PointsToSlice(v uint32) []uint32 { return r.pts[v] }
+
+// Alias reports whether a and b may alias.
+func (r *Result) Alias(a, b uint32) bool {
+	sa, sb := r.pts[a], r.pts[b]
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] < sb[j]:
+			i++
+		case sa[i] > sb[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// AvgSetSize returns the average non-empty materialized set size.
+func (r *Result) AvgSetSize() float64 {
+	total, cnt := 0, 0
+	for _, s := range r.pts {
+		if len(s) > 0 {
+			total += len(s)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(total) / float64(cnt)
+}

@@ -1,0 +1,238 @@
+package olf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/core"
+	"antgrass/internal/steens"
+)
+
+func TestDirectionalityKept(t *testing.T) {
+	// x = &a; y = x; x and y keep {a}, and a later y = &b must NOT
+	// flow back into x (it would under full unification).
+	p := constraint.NewProgram()
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	p.AddAddrOf(x, a)
+	p.AddCopy(y, x)
+	p.AddAddrOf(y, b)
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PointsToSlice(x); len(got) != 1 || got[0] != a {
+		t.Errorf("pts(x) = %v, want {a} (directional top level)", got)
+	}
+	yy := r.PointsToSlice(y)
+	if len(yy) != 2 {
+		t.Errorf("pts(y) = %v, want {a b}", yy)
+	}
+	// Steensgaard, by contrast, fuses x into y's class.
+	st, err := steens.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PointsToSlice(x); len(got) != 2 {
+		t.Errorf("steens pts(x) = %v, want the fused {a b}", got)
+	}
+}
+
+func TestBelowLevelUnified(t *testing.T) {
+	// Two pointers into the same slot see unified second levels:
+	// p = &s; q = &s; *p = &x; r = *q must see x (like Andersen), and
+	// *q = &y then makes *p see y too (one-level coarsening keeps this
+	// sound — both analyses agree here because the slot is shared).
+	p := constraint.NewProgram()
+	s := p.AddVar("s")
+	x := p.AddVar("x")
+	pp := p.AddVar("p")
+	q := p.AddVar("q")
+	rr := p.AddVar("r")
+	p.AddAddrOf(pp, s)
+	p.AddAddrOf(q, s)
+	p.AddStore(pp, xAddr(p, x), 0)
+	p.AddLoad(rr, q, 0)
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.PointsToSlice(rr)
+	found := false
+	for _, o := range got {
+		if o == x {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pts(r) = %v, must include x", got)
+	}
+}
+
+// xAddr adds a helper temp holding &x and returns it.
+func xAddr(p *constraint.Program, x uint32) uint32 {
+	t := p.AddVar("")
+	p.AddAddrOf(t, x)
+	return t
+}
+
+func randomProgram(rng *rand.Rand) *constraint.Program {
+	p := constraint.NewProgram()
+	var funcs []uint32
+	for i := 0; i < rng.Intn(3); i++ {
+		funcs = append(funcs, p.AddFunc(fmt.Sprintf("f%d", i), rng.Intn(3)))
+	}
+	for i := 0; i < 3+rng.Intn(15); i++ {
+		p.AddVar("")
+	}
+	n := uint32(p.NumVars)
+	for i := 0; i < rng.Intn(40); i++ {
+		d, s := uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n)))
+		switch rng.Intn(8) {
+		case 0, 1:
+			p.AddAddrOf(d, s)
+		case 2, 3, 4:
+			p.AddCopy(d, s)
+		case 5:
+			p.AddLoad(d, s, 0)
+		case 6:
+			p.AddStore(d, s, 0)
+		case 7:
+			if len(funcs) > 0 {
+				off := uint32(1 + rng.Intn(3))
+				if rng.Intn(2) == 0 {
+					p.AddLoad(d, s, off)
+				} else {
+					p.AddStore(d, s, off)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// TestQuickPrecisionSandwich is the headline property: pointwise,
+// Andersen ⊆ OLF ⊆ Steensgaard.
+func TestQuickPrecisionSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		if p.Validate() != nil {
+			return true
+		}
+		and, err := core.Solve(p, core.Options{Algorithm: core.LCD})
+		if err != nil {
+			return false
+		}
+		mid, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		st, err := steens.Solve(p)
+		if err != nil {
+			return false
+		}
+		for v := uint32(0); v < uint32(p.NumVars); v++ {
+			olfSet := toSet(mid.PointsToSlice(v))
+			stSet := toSet(st.PointsToSlice(v))
+			for _, o := range and.PointsToSlice(v) {
+				if !olfSet[o] {
+					t.Logf("seed %d: OLF pts(v%d)=%v misses Andersen's %d", seed, v, mid.PointsToSlice(v), o)
+					return false
+				}
+			}
+			for o := range olfSet {
+				if !stSet[o] {
+					t.Logf("seed %d: Steens pts(v%d)=%v misses OLF's %d", seed, v, st.PointsToSlice(v), o)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func toSet(xs []uint32) map[uint32]bool {
+	out := map[uint32]bool{}
+	for _, x := range xs {
+		out[x] = true
+	}
+	return out
+}
+
+// TestQuickAvgOrdering: average set sizes respect the precision order.
+func TestQuickAvgOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		if p.Validate() != nil {
+			return true
+		}
+		mid, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		st, err := steens.Solve(p)
+		if err != nil {
+			return false
+		}
+		// Comparing averages of non-empty sets can be subtle when the
+		// supports differ; the robust invariant is the total solution
+		// size (sum over all variables), which subset-ordering forces.
+		return totalSize(mid, p.NumVars) <= totalSizeSteens(st, p.NumVars)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func totalSize(r *Result, n int) int {
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(r.PointsToSlice(uint32(v)))
+	}
+	return total
+}
+
+func totalSizeSteens(r *steens.Result, n int) int {
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(r.PointsToSlice(uint32(v)))
+	}
+	return total
+}
+
+func TestStatsAndEmpty(t *testing.T) {
+	p := constraint.NewProgram()
+	p.AddVar("only")
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PointsToSlice(0)) != 0 || r.AvgSetSize() != 0 {
+		t.Error("empty program should produce empty sets")
+	}
+	if r.Alias(0, 0) {
+		t.Error("empty sets cannot alias")
+	}
+	if r.Stats.Passes < 1 || r.Stats.Duration <= 0 {
+		t.Errorf("stats incomplete: %+v", r.Stats)
+	}
+}
+
+func TestValidateRejected(t *testing.T) {
+	p := constraint.NewProgram()
+	p.AddVar("a")
+	p.AddCopy(0, 9)
+	if _, err := Solve(p); err == nil {
+		t.Error("invalid program must be rejected")
+	}
+}

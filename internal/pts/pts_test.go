@@ -1,0 +1,217 @@
+package pts
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func factories() map[string]Factory {
+	return map[string]Factory{
+		"bitmap": NewBitmapFactory(),
+		"bdd":    NewBDDFactory(4096, 0),
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	for name, f := range factories() {
+		s := f.New()
+		if !s.Empty() || s.Len() != 0 {
+			t.Errorf("%s: new set not empty", name)
+		}
+		if !s.Insert(7) {
+			t.Errorf("%s: first insert should change", name)
+		}
+		if s.Insert(7) {
+			t.Errorf("%s: duplicate insert should not change", name)
+		}
+		s.Insert(100)
+		s.Insert(3)
+		if !s.Contains(100) || s.Contains(4) {
+			t.Errorf("%s: Contains wrong", name)
+		}
+		if got := s.Slice(); !reflect.DeepEqual(got, []uint32{3, 7, 100}) {
+			t.Errorf("%s: Slice = %v", name, got)
+		}
+		if s.Len() != 3 {
+			t.Errorf("%s: Len = %d", name, s.Len())
+		}
+	}
+}
+
+func TestUnionEqualIntersects(t *testing.T) {
+	for name, f := range factories() {
+		a, b := f.New(), f.New()
+		a.Insert(1)
+		a.Insert(2)
+		b.Insert(2)
+		b.Insert(3)
+		if a.Equal(b) {
+			t.Errorf("%s: unequal sets Equal", name)
+		}
+		if !a.Intersects(b) {
+			t.Errorf("%s: sets sharing 2 must intersect", name)
+		}
+		if !a.UnionWith(b) {
+			t.Errorf("%s: union should change", name)
+		}
+		if a.UnionWith(b) {
+			t.Errorf("%s: second union should not change", name)
+		}
+		if got := a.Slice(); !reflect.DeepEqual(got, []uint32{1, 2, 3}) {
+			t.Errorf("%s: union = %v", name, got)
+		}
+		c, d := f.New(), f.New()
+		c.Insert(9)
+		d.Insert(9)
+		if !c.Equal(d) {
+			t.Errorf("%s: equal sets not Equal", name)
+		}
+		e := f.New()
+		if c.Intersects(e) {
+			t.Errorf("%s: intersects empty", name)
+		}
+	}
+}
+
+func TestForEachOrderAndStop(t *testing.T) {
+	for name, f := range factories() {
+		s := f.New()
+		for _, v := range []uint32{40, 10, 30, 20} {
+			s.Insert(v)
+		}
+		var seen []uint32
+		s.ForEach(func(x uint32) bool {
+			seen = append(seen, x)
+			return len(seen) < 3
+		})
+		if !reflect.DeepEqual(seen, []uint32{10, 20, 30}) {
+			t.Errorf("%s: ForEach = %v", name, seen)
+		}
+	}
+}
+
+func TestFactoryNames(t *testing.T) {
+	if NewBitmapFactory().Name() != "bitmap" {
+		t.Error("bitmap name")
+	}
+	f := NewBDDFactory(10, 0)
+	if f.Name() != "bdd" {
+		t.Error("bdd name")
+	}
+	if f.OverheadBytes() <= 0 {
+		t.Error("bdd factory must report shared overhead")
+	}
+	if NewBitmapFactory().OverheadBytes() != 0 {
+		t.Error("bitmap factory has no shared overhead")
+	}
+}
+
+// TestQuickRepresentationsAgree drives identical random operations against
+// both representations and a model map.
+func TestQuickRepresentationsAgree(t *testing.T) {
+	bddF := NewBDDFactory(512, 0)
+	bmF := NewBitmapFactory()
+	f := func(ops []uint32, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a1, a2 := bmF.New(), bddF.New()
+		b1, b2 := bmF.New(), bddF.New()
+		model := map[uint32]bool{}
+		for _, op := range ops {
+			x := op % 512
+			switch rng.Intn(3) {
+			case 0:
+				if a1.Insert(x) != a2.Insert(x) {
+					return false
+				}
+				model[x] = true
+			case 1:
+				b1.Insert(x)
+				b2.Insert(x)
+			case 2:
+				if a1.UnionWith(b1) != a2.UnionWith(b2) {
+					return false
+				}
+				for _, v := range b1.Slice() {
+					model[v] = true
+				}
+			}
+			if a1.Len() != a2.Len() {
+				return false
+			}
+		}
+		want := make([]uint32, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got1, got2 := a1.Slice(), a2.Slice()
+		if len(want) == 0 {
+			return len(got1) == 0 && len(got2) == 0
+		}
+		return reflect.DeepEqual(got1, want) && reflect.DeepEqual(got2, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBDDEqualIsCanonical(t *testing.T) {
+	f := NewBDDFactory(256, 0)
+	a, b := f.New(), f.New()
+	for _, v := range []uint32{5, 100, 7} {
+		a.Insert(v)
+	}
+	for _, v := range []uint32{100, 7, 5} {
+		b.Insert(v)
+	}
+	if !a.Equal(b) {
+		t.Error("same contents built in different order must be node-equal")
+	}
+}
+
+func TestSubtractCopy(t *testing.T) {
+	for name, f := range factories() {
+		a, b := f.New(), f.New()
+		for _, v := range []uint32{1, 2, 3, 4} {
+			a.Insert(v)
+		}
+		b.Insert(2)
+		b.Insert(4)
+		d := a.SubtractCopy(b)
+		if got := d.Slice(); !reflect.DeepEqual(got, []uint32{1, 3}) {
+			t.Errorf("%s: SubtractCopy = %v", name, got)
+		}
+		// nil subtrahend = plain copy, and the copy is independent.
+		c := a.SubtractCopy(nil)
+		if !c.Equal(a) {
+			t.Errorf("%s: SubtractCopy(nil) should equal source", name)
+		}
+		c.Insert(99)
+		if a.Contains(99) {
+			t.Errorf("%s: SubtractCopy(nil) must be independent", name)
+		}
+		// Original operands untouched.
+		if a.Len() != 4 || b.Len() != 2 {
+			t.Errorf("%s: operands mutated", name)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	for name, f := range factories() {
+		s := f.New()
+		if s.MemBytes() < 0 {
+			t.Errorf("%s: negative MemBytes", name)
+		}
+		base := s.MemBytes()
+		for i := uint32(0); i < 300; i++ {
+			s.Insert(i * 13 % 4096)
+		}
+		if name == "bitmap" && s.MemBytes() <= base {
+			t.Errorf("%s: MemBytes should grow with contents", name)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package scc computes strongly connected components of directed graphs.
+//
+// Two algorithms are provided: Tarjan's classic single-pass algorithm [26]
+// and Nuutila and Soisalon-Soininen's variant [19], which avoids pushing
+// nodes of trivial components onto the component stack. The paper's solvers
+// use the Nuutila variant (§5.1); both are implemented here and
+// property-tested against each other and against a brute-force reachability
+// oracle.
+//
+// Both entry points visit only nodes reachable from the given roots, which
+// is what Lazy Cycle Detection needs (a search rooted at the target of a
+// propagation edge), and both report the number of nodes visited, which is
+// the "nodes searched" statistic of §5.3.
+package scc
+
+// Succs returns the successors of node x. The returned slice is owned by the
+// callee's caller: the algorithms retain it only while x's frame is live and
+// never modify it.
+type Succs func(x uint32) []uint32
+
+// Result holds the outcome of an SCC computation.
+type Result struct {
+	// Comps lists every visited component in reverse topological order:
+	// if the condensed graph has an edge C1 -> C2, then C2 appears before
+	// C1. Trivial (single-node) components are included.
+	Comps [][]uint32
+	// Visited is the number of distinct nodes visited by the search.
+	Visited int
+}
+
+// TopoOrder returns the visited component representatives (first member of
+// each component) in topological order (predecessors first).
+func (r *Result) TopoOrder() []uint32 {
+	out := make([]uint32, len(r.Comps))
+	for i, c := range r.Comps {
+		out[len(out)-1-i] = c[0]
+	}
+	return out
+}
+
+const unvisited = 0
+
+type tarjanState struct {
+	succs   Succs
+	index   []uint32 // 1-based discovery index; 0 = unvisited
+	lowlink []uint32
+	onstack []bool
+	stack   []uint32
+	frames  []frame
+	nextIdx uint32
+	res     *Result
+}
+
+type frame struct {
+	v    uint32
+	out  []uint32
+	next int
+}
+
+// Tarjan computes the SCCs reachable from roots in a graph with nodes
+// 0..n-1. If roots is nil, all nodes are used as roots.
+func Tarjan(n int, roots []uint32, succs Succs) *Result {
+	s := &tarjanState{
+		succs:   succs,
+		index:   make([]uint32, n),
+		lowlink: make([]uint32, n),
+		onstack: make([]bool, n),
+		res:     &Result{},
+	}
+	if roots == nil {
+		for v := 0; v < n; v++ {
+			if s.index[v] == unvisited {
+				s.visit(uint32(v))
+			}
+		}
+	} else {
+		for _, v := range roots {
+			if s.index[v] == unvisited {
+				s.visit(v)
+			}
+		}
+	}
+	return s.res
+}
+
+func (s *tarjanState) push(v uint32) {
+	s.nextIdx++
+	s.index[v] = s.nextIdx
+	s.lowlink[v] = s.nextIdx
+	s.onstack[v] = true
+	s.stack = append(s.stack, v)
+	s.frames = append(s.frames, frame{v: v, out: s.succs(v)})
+	s.res.Visited++
+}
+
+func (s *tarjanState) visit(root uint32) {
+	s.push(root)
+	for len(s.frames) > 0 {
+		f := &s.frames[len(s.frames)-1]
+		if f.next < len(f.out) {
+			w := f.out[f.next]
+			f.next++
+			if s.index[w] == unvisited {
+				s.push(w)
+			} else if s.onstack[w] && s.index[w] < s.lowlink[f.v] {
+				s.lowlink[f.v] = s.index[w]
+			}
+			continue
+		}
+		// All successors of f.v processed.
+		v := f.v
+		if s.lowlink[v] == s.index[v] {
+			var comp []uint32
+			for {
+				w := s.stack[len(s.stack)-1]
+				s.stack = s.stack[:len(s.stack)-1]
+				s.onstack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			s.res.Comps = append(s.res.Comps, comp)
+		}
+		s.frames = s.frames[:len(s.frames)-1]
+		if len(s.frames) > 0 {
+			p := &s.frames[len(s.frames)-1]
+			if s.lowlink[v] < s.lowlink[p.v] {
+				s.lowlink[p.v] = s.lowlink[v]
+			}
+		}
+	}
+}
+
+type nuutilaState struct {
+	succs       Succs
+	index       []uint32 // 1-based discovery index; 0 = unvisited
+	root        []uint32 // candidate root (by node id), valid once visited
+	inComponent []bool
+	stack       []uint32 // only potential non-root members are stacked
+	frames      []frame
+	nextIdx     uint32
+	res         *Result
+}
+
+// Nuutila computes the SCCs reachable from roots using Nuutila and
+// Soisalon-Soininen's variant of Tarjan's algorithm, which keeps only
+// candidate component members on the explicit stack. If roots is nil, all
+// nodes are used as roots.
+func Nuutila(n int, roots []uint32, succs Succs) *Result {
+	s := &nuutilaState{
+		succs:       succs,
+		index:       make([]uint32, n),
+		root:        make([]uint32, n),
+		inComponent: make([]bool, n),
+		res:         &Result{},
+	}
+	if roots == nil {
+		for v := 0; v < n; v++ {
+			if s.index[v] == unvisited {
+				s.visit(uint32(v))
+			}
+		}
+	} else {
+		for _, v := range roots {
+			if s.index[v] == unvisited {
+				s.visit(v)
+			}
+		}
+	}
+	return s.res
+}
+
+func (s *nuutilaState) push(v uint32) {
+	s.nextIdx++
+	s.index[v] = s.nextIdx
+	s.root[v] = v
+	s.frames = append(s.frames, frame{v: v, out: s.succs(v)})
+	s.res.Visited++
+}
+
+func (s *nuutilaState) visit(start uint32) {
+	s.push(start)
+	for len(s.frames) > 0 {
+		f := &s.frames[len(s.frames)-1]
+		if f.next < len(f.out) {
+			w := f.out[f.next]
+			f.next++
+			if s.index[w] == unvisited {
+				s.push(w)
+			} else if !s.inComponent[w] {
+				if s.index[s.root[w]] < s.index[s.root[f.v]] {
+					s.root[f.v] = s.root[w]
+				}
+			}
+			continue
+		}
+		v := f.v
+		s.frames = s.frames[:len(s.frames)-1]
+		if s.root[v] == v {
+			s.inComponent[v] = true
+			comp := []uint32{v}
+			for len(s.stack) > 0 && s.index[s.stack[len(s.stack)-1]] > s.index[v] {
+				w := s.stack[len(s.stack)-1]
+				s.stack = s.stack[:len(s.stack)-1]
+				s.inComponent[w] = true
+				comp = append(comp, w)
+			}
+			s.res.Comps = append(s.res.Comps, comp)
+		} else {
+			s.stack = append(s.stack, v)
+		}
+		if len(s.frames) > 0 {
+			p := &s.frames[len(s.frames)-1]
+			if !s.inComponent[v] && s.index[s.root[v]] < s.index[s.root[p.v]] {
+				s.root[p.v] = s.root[v]
+			}
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package steens implements Steensgaard's near-linear-time,
+// unification-based pointer analysis [25]. The paper's introduction and
+// conclusion position inclusion-based analysis against it: Steensgaard is
+// much faster but much less precise, because assignments unify the two
+// sides' pointees instead of constraining one to include the other. This
+// implementation exists to reproduce that precision comparison (see the
+// precision example and the harness's precision table): its result is a
+// sound over-approximation of the Andersen solution computed by the other
+// solvers, which the tests verify.
+//
+// Each variable maps to a node in a union-find universe; each node has at
+// most one pointee node. Constraints are processed as unifications:
+//
+//	a = &b   join(pt(a), node(b))
+//	a = b    join(pt(a), pt(b))
+//	a = *b   join(pt(a), pt(pt(b)))
+//	*a = b   join(pt(pt(a)), pt(b))
+//
+// where pt(n) materializes a fresh pointee node on demand and joining two
+// nodes recursively joins their pointees. Indirect-call offsets are
+// resolved against node membership and iterated to a fixpoint (unions are
+// monotone, so few passes suffice).
+package steens
+
+import (
+	"sort"
+	"time"
+
+	"antgrass/internal/constraint"
+)
+
+// Stats describes a run.
+type Stats struct {
+	// Unions is the number of node unifications performed.
+	Unions int64
+	// Passes is the number of constraint sweeps until stabilization.
+	Passes int
+	// Duration is the solve wall-clock time.
+	Duration time.Duration
+}
+
+// Result is a solved unification-based analysis.
+type Result struct {
+	p     *constraint.Program
+	s     *solver
+	Stats Stats
+
+	// locGroups caches, per pointee-node representative, the sorted
+	// address-taken variables living in that node.
+	locGroups map[int32][]uint32
+}
+
+type solver struct {
+	p *constraint.Program
+	// parent/rank implement union-find over the growable node universe
+	// (vars 0..n-1 plus anonymous pointee nodes).
+	parent []int32
+	rank   []uint8
+	// pt maps a node to its pointee node (-1 = none yet), valid at the
+	// representative.
+	pt []int32
+	// members lists, per representative, the variable ids unified into
+	// the node (needed to resolve offset dereferences).
+	members [][]uint32
+	span    []uint32
+	stats   *Stats
+}
+
+// Solve runs the analysis.
+func Solve(p *constraint.Program) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := p.NumVars
+	s := &solver{
+		p:       p,
+		parent:  make([]int32, n),
+		rank:    make([]uint8, n),
+		pt:      make([]int32, n),
+		members: make([][]uint32, n),
+		span:    make([]uint32, n),
+		stats:   &Stats{},
+	}
+	for i := 0; i < n; i++ {
+		s.parent[i] = int32(i)
+		s.pt[i] = -1
+		s.members[i] = []uint32{uint32(i)}
+		s.span[i] = p.SpanOf(uint32(i))
+	}
+	// Iterate to a fixpoint: offset constraints depend on node
+	// membership, which unions grow monotonically.
+	for {
+		s.stats.Passes++
+		before := s.stats.Unions
+		for _, c := range p.Constraints {
+			s.apply(c)
+		}
+		if s.stats.Unions == before {
+			break
+		}
+	}
+	res := &Result{p: p, s: s, Stats: *s.stats}
+	res.Stats.Duration = time.Since(start)
+	res.buildLocGroups()
+	return res, nil
+}
+
+func (s *solver) find(x int32) int32 {
+	root := x
+	for s.parent[root] != root {
+		root = s.parent[root]
+	}
+	for s.parent[x] != root {
+		s.parent[x], x = root, s.parent[x]
+	}
+	return root
+}
+
+// fresh allocates an anonymous pointee node.
+func (s *solver) fresh() int32 {
+	id := int32(len(s.parent))
+	s.parent = append(s.parent, id)
+	s.rank = append(s.rank, 0)
+	s.pt = append(s.pt, -1)
+	s.members = append(s.members, nil)
+	return id
+}
+
+// getPt returns (materializing if needed) the pointee node of rep x.
+func (s *solver) getPt(x int32) int32 {
+	x = s.find(x)
+	if s.pt[x] == -1 {
+		s.pt[x] = s.fresh()
+	}
+	return s.find(s.pt[x])
+}
+
+// join unifies nodes a and b (and, cascading, their pointees). Returns the
+// representative. Iterative: the pending pairs form a queue.
+func (s *solver) join(a, b int32) int32 {
+	type pair struct{ x, y int32 }
+	queue := []pair{{a, b}}
+	first := int32(-1)
+	for len(queue) > 0 {
+		pr := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		x, y := s.find(pr.x), s.find(pr.y)
+		if x == y {
+			if first == -1 {
+				first = x
+			}
+			continue
+		}
+		if s.rank[x] < s.rank[y] {
+			x, y = y, x
+		} else if s.rank[x] == s.rank[y] {
+			s.rank[x]++
+		}
+		s.parent[y] = x
+		s.stats.Unions++
+		// Merge pointees: if both sides point somewhere, those
+		// targets unify too (the hallmark of Steensgaard).
+		px, py := s.pt[x], s.pt[y]
+		if px == -1 {
+			s.pt[x] = py
+		} else if py != -1 {
+			queue = append(queue, pair{px, py})
+		}
+		s.pt[y] = -1
+		if m := s.members[y]; len(m) > 0 {
+			s.members[x] = append(s.members[x], m...)
+			s.members[y] = nil
+		}
+		if first == -1 {
+			first = x
+		}
+	}
+	return s.find(first)
+}
+
+func (s *solver) apply(c constraint.Constraint) {
+	switch c.Kind {
+	case constraint.AddrOf:
+		s.join(s.getPt(int32(c.Dst)), int32(c.Src))
+	case constraint.Copy:
+		s.join(s.getPt(int32(c.Dst)), s.getPt(int32(c.Src)))
+	case constraint.Load:
+		if c.Offset == 0 {
+			t := s.getPt(int32(c.Src))
+			s.join(s.getPt(int32(c.Dst)), s.getPt(t))
+			return
+		}
+		// a ⊇ *(b+k): unify a's pointee with the pointee of every
+		// member v+k of b's pointee node.
+		t := s.getPt(int32(c.Src))
+		for _, v := range s.memberVars(t, c.Offset) {
+			s.join(s.getPt(int32(c.Dst)), s.getPt(int32(v+c.Offset)))
+		}
+	case constraint.Store:
+		if c.Offset == 0 {
+			t := s.getPt(int32(c.Dst))
+			s.join(s.getPt(t), s.getPt(int32(c.Src)))
+			return
+		}
+		t := s.getPt(int32(c.Dst))
+		for _, v := range s.memberVars(t, c.Offset) {
+			s.join(s.getPt(int32(v+c.Offset)), s.getPt(int32(c.Src)))
+		}
+	}
+}
+
+// memberVars returns a snapshot of the variables in node t whose span
+// admits offset k.
+func (s *solver) memberVars(t int32, k uint32) []uint32 {
+	t = s.find(t)
+	var out []uint32
+	for _, v := range s.members[t] {
+		if k < s.span[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// buildLocGroups groups address-taken variables by their node, the basis
+// for materialized points-to sets.
+func (r *Result) buildLocGroups() {
+	addrTaken := map[uint32]bool{}
+	for _, c := range r.p.Constraints {
+		if c.Kind == constraint.AddrOf {
+			addrTaken[c.Src] = true
+		}
+	}
+	r.locGroups = map[int32][]uint32{}
+	for l := range addrTaken {
+		rep := r.s.find(int32(l))
+		r.locGroups[rep] = append(r.locGroups[rep], l)
+	}
+	for _, g := range r.locGroups {
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	}
+}
+
+// PointsToSlice materializes pts(v): every address-taken variable unified
+// into v's pointee node.
+func (r *Result) PointsToSlice(v uint32) []uint32 {
+	p := r.s.pt[r.s.find(int32(v))]
+	if p == -1 {
+		return nil
+	}
+	return r.locGroups[r.s.find(p)]
+}
+
+// Alias reports whether a and b may alias (same pointee node, or either
+// empty → false).
+func (r *Result) Alias(a, b uint32) bool {
+	pa := r.s.pt[r.s.find(int32(a))]
+	pb := r.s.pt[r.s.find(int32(b))]
+	if pa == -1 || pb == -1 {
+		return false
+	}
+	return r.s.find(pa) == r.s.find(pb)
+}
+
+// AvgSetSize returns the average size of non-empty materialized points-to
+// sets, the precision metric used for the Andersen comparison.
+func (r *Result) AvgSetSize() float64 {
+	total, cnt := 0, 0
+	for v := 0; v < r.p.NumVars; v++ {
+		if s := r.PointsToSlice(uint32(v)); len(s) > 0 {
+			total += len(s)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(total) / float64(cnt)
+}

@@ -1,0 +1,238 @@
+package steens
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/core"
+)
+
+func TestBasicAddrAndCopy(t *testing.T) {
+	p := constraint.NewProgram()
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	p.AddAddrOf(a, x) // a = &x
+	p.AddAddrOf(b, y) // b = &y
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PointsToSlice(a); len(got) != 1 || got[0] != x {
+		t.Errorf("pts(a) = %v, want {x}", got)
+	}
+	if r.Alias(a, b) {
+		t.Error("a and b must not alias before any copy")
+	}
+}
+
+// TestUnificationImprecision demonstrates the defining difference from
+// Andersen: after b = a, a and b share a pointee node, so a *also* appears
+// to point at everything b later points at.
+func TestUnificationImprecision(t *testing.T) {
+	p := constraint.NewProgram()
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	p.AddAddrOf(a, x)
+	p.AddCopy(b, a)   // b = a
+	p.AddAddrOf(b, y) // b = &y (later)
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Andersen: pts(a) = {x}; Steensgaard: pts(a) = {x, y}.
+	if got := r.PointsToSlice(a); len(got) != 2 {
+		t.Errorf("pts(a) = %v, want {x y} (unification merges)", got)
+	}
+	and, err := core.Solve(p, core.Options{Algorithm: core.LCD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := and.PointsToSlice(a); len(got) != 1 {
+		t.Errorf("Andersen pts(a) = %v, want {x}", got)
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	p := constraint.NewProgram()
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	pp := p.AddVar("p")
+	q := p.AddVar("q")
+	rr := p.AddVar("r")
+	p.AddAddrOf(pp, x)   // p = &x
+	p.AddAddrOf(q, y)    // q = &y
+	p.AddStore(pp, q, 0) // *p = q
+	p.AddLoad(rr, pp, 0) // r = *p
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.PointsToSlice(rr)
+	found := false
+	for _, o := range got {
+		if o == y {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pts(r) = %v, must include y", got)
+	}
+}
+
+func randomProgram(rng *rand.Rand) *constraint.Program {
+	p := constraint.NewProgram()
+	var funcs []uint32
+	for i := 0; i < rng.Intn(3); i++ {
+		funcs = append(funcs, p.AddFunc(fmt.Sprintf("f%d", i), rng.Intn(3)))
+	}
+	for i := 0; i < 3+rng.Intn(15); i++ {
+		p.AddVar("")
+	}
+	n := uint32(p.NumVars)
+	for i := 0; i < rng.Intn(40); i++ {
+		d, s := uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n)))
+		switch rng.Intn(8) {
+		case 0, 1:
+			p.AddAddrOf(d, s)
+		case 2, 3, 4:
+			p.AddCopy(d, s)
+		case 5:
+			p.AddLoad(d, s, 0)
+		case 6:
+			p.AddStore(d, s, 0)
+		case 7:
+			if len(funcs) > 0 {
+				off := uint32(1 + rng.Intn(3))
+				if rng.Intn(2) == 0 {
+					p.AddLoad(d, s, off)
+				} else {
+					p.AddStore(d, s, off)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// TestQuickSoundOverApproximation is the central property: Steensgaard's
+// solution must include everything Andersen's does, for every variable.
+func TestQuickSoundOverApproximation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		if p.Validate() != nil {
+			return true
+		}
+		and, err := core.Solve(p, core.Options{Algorithm: core.LCD})
+		if err != nil {
+			return false
+		}
+		st, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		for v := uint32(0); v < uint32(p.NumVars); v++ {
+			stSet := map[uint32]bool{}
+			for _, o := range st.PointsToSlice(v) {
+				stSet[o] = true
+			}
+			for _, o := range and.PointsToSlice(v) {
+				if !stSet[o] {
+					t.Logf("seed %d: pts_steens(v%d) = %v misses Andersen's %d",
+						seed, v, st.PointsToSlice(v), o)
+					return false
+				}
+			}
+			// Alias must also over-approximate.
+			for u := uint32(0); u < v; u++ {
+				if and.PointsTo(u) != nil && and.PointsTo(v) != nil &&
+					and.PointsTo(u).Intersects(and.PointsTo(v)) && !st.Alias(u, v) {
+					t.Logf("seed %d: steens misses alias (v%d, v%d)", seed, u, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLessOrEquallyPrecise: the average set size can never be smaller
+// than Andersen's (it's a coarsening).
+func TestQuickLessOrEquallyPrecise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		if p.Validate() != nil {
+			return true
+		}
+		and, err := core.Solve(p, core.Options{Algorithm: core.LCD})
+		if err != nil {
+			return false
+		}
+		st, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		for v := uint32(0); v < uint32(p.NumVars); v++ {
+			if len(st.PointsToSlice(v)) < len(and.PointsToSlice(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := randomProgram(rng)
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Passes < 1 {
+		t.Error("at least one pass required")
+	}
+	if r.Stats.Duration <= 0 {
+		t.Error("duration missing")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	p := constraint.NewProgram()
+	p.AddVar("lonely")
+	r, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PointsToSlice(0); len(got) != 0 {
+		t.Errorf("pts = %v", got)
+	}
+	if r.AvgSetSize() != 0 {
+		t.Error("avg of no sets is 0")
+	}
+	if r.Alias(0, 0) {
+		t.Error("variable with no pointee cannot alias")
+	}
+}
+
+func TestValidateRejected(t *testing.T) {
+	p := constraint.NewProgram()
+	p.AddVar("a")
+	p.AddCopy(0, 7)
+	if _, err := Solve(p); err == nil {
+		t.Error("invalid program must be rejected")
+	}
+}

@@ -1,0 +1,147 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/core"
+	"antgrass/internal/ovs"
+)
+
+func TestProfilesMatchTable2Counts(t *testing.T) {
+	for _, p := range PaperProfiles {
+		prog := Generate(p)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		na, nc, nl, ns := prog.Counts()
+		if na != p.Base {
+			t.Errorf("%s: base = %d, want %d", p.Name, na, p.Base)
+		}
+		if nc != p.Simple {
+			t.Errorf("%s: simple = %d, want %d", p.Name, nc, p.Simple)
+		}
+		if nl+ns != p.Complex {
+			t.Errorf("%s: complex = %d, want %d", p.Name, nl+ns, p.Complex)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p, _ := ProfileByName("emacs")
+	p = p.Scale(0.02)
+	a, b := Generate(p), Generate(p)
+	if a.NumVars != b.NumVars {
+		t.Fatal("variable universes differ")
+	}
+	if !reflect.DeepEqual(a.Constraints, b.Constraints) {
+		t.Fatal("constraint streams differ across runs")
+	}
+}
+
+func TestScale(t *testing.T) {
+	p, ok := ProfileByName("linux")
+	if !ok {
+		t.Fatal("linux profile missing")
+	}
+	q := p.Scale(0.1)
+	if q.Base >= p.Base || q.Simple >= p.Simple || q.Complex >= p.Complex {
+		t.Error("scaling down must shrink counts")
+	}
+	if q.Name != p.Name || q.Density != p.Density {
+		t.Error("scaling must keep identity/structure knobs")
+	}
+	tiny := p.Scale(0.000001)
+	if tiny.Base < 8 {
+		t.Error("scale floor violated")
+	}
+}
+
+func TestProfileByNameMissing(t *testing.T) {
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile should not resolve")
+	}
+}
+
+// TestWorkloadsAreSolvableAndNontrivial: a scaled-down profile must solve
+// identically across solvers and actually exercise cycles and indirect
+// calls.
+func TestWorkloadsAreSolvableAndNontrivial(t *testing.T) {
+	p, _ := ProfileByName("emacs")
+	prog := Generate(p.Scale(0.05))
+	want, err := core.Solve(prog, core.Options{Algorithm: core.Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []core.Algorithm{core.LCD, core.HT, core.PKH} {
+		r, err := core.Solve(prog, core.Options{Algorithm: alg, WithHCD: alg == core.LCD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg == core.LCD && r.Stats.NodesCollapsed == 0 {
+			t.Error("synthetic workload should contain cycles for LCD to collapse")
+		}
+		for v := uint32(0); v < uint32(prog.NumVars); v += 7 {
+			if !reflect.DeepEqual(r.PointsToSlice(v), want.PointsToSlice(v)) {
+				t.Fatalf("%v: solution mismatch at v%d", alg, v)
+			}
+		}
+	}
+}
+
+// TestOVSReducesWorkload: the synthetic copy chains must give OVS real
+// work, mirroring the paper's 60-77% reduction (we accept anything
+// substantial on the miniature version).
+func TestOVSReducesWorkload(t *testing.T) {
+	p, _ := ProfileByName("gimp")
+	prog := Generate(p.Scale(0.05))
+	r := ovs.Reduce(prog)
+	if r.ReductionPercent() < 10 {
+		t.Errorf("OVS reduction = %.1f%%, want a substantial cut", r.ReductionPercent())
+	}
+}
+
+// TestOffsetConstraintsPresent: the generator must emit indirect-call
+// encodings that resolve against function spans.
+func TestOffsetConstraintsPresent(t *testing.T) {
+	p, _ := ProfileByName("wine")
+	prog := Generate(p.Scale(0.05))
+	offs := 0
+	for _, c := range prog.Constraints {
+		if (c.Kind == constraint.Load || c.Kind == constraint.Store) && c.Offset > 0 {
+			offs++
+		}
+	}
+	if offs == 0 {
+		t.Error("no offset constraints generated")
+	}
+}
+
+// TestDensityInflatesSolutions: wine's profile must produce larger average
+// points-to sets than linux's at equal scale, the asymmetry §5.2 calls out.
+func TestDensityInflatesSolutions(t *testing.T) {
+	avg := func(name string) float64 {
+		p, _ := ProfileByName(name)
+		prog := Generate(p.Scale(0.02))
+		r, err := core.Solve(prog, core.Options{Algorithm: core.LCD, WithHCD: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalSize, nonEmpty := 0, 0
+		for v := uint32(0); v < uint32(prog.NumVars); v++ {
+			if s := r.PointsTo(v); s != nil && !s.Empty() {
+				totalSize += s.Len()
+				nonEmpty++
+			}
+		}
+		if nonEmpty == 0 {
+			return 0
+		}
+		return float64(totalSize) / float64(nonEmpty)
+	}
+	wine, linux := avg("wine"), avg("linux")
+	if wine <= linux {
+		t.Errorf("avg pts size: wine %.2f should exceed linux %.2f", wine, linux)
+	}
+}

@@ -1,0 +1,72 @@
+// Package uf implements a union-find (disjoint-set) structure with
+// union-by-rank and path compression, the structure the paper uses to
+// collapse strongly connected components of the constraint graph (§5.1:
+// "cycles ... are collapsed using a union-find data structure with both
+// union-by-rank and path compression heuristics").
+package uf
+
+// UF is a disjoint-set forest over the elements 0..n-1.
+type UF struct {
+	parent []uint32
+	rank   []uint8
+	sets   int
+}
+
+// New returns a union-find over n singleton sets.
+func New(n int) *UF {
+	u := &UF{
+		parent: make([]uint32, n),
+		rank:   make([]uint8, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = uint32(i)
+	}
+	return u
+}
+
+// Len returns the number of elements.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UF) Sets() int { return u.sets }
+
+// Find returns the representative of x, compressing the path.
+func (u *UF) Find(x uint32) uint32 {
+	// Iterative two-pass path compression.
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UF) Same(x, y uint32) bool { return u.Find(x) == u.Find(y) }
+
+// Union merges the sets of x and y. It returns the representative of the
+// merged set and the representative that lost (was absorbed). When x and y
+// were already in the same set, it returns (rep, rep).
+//
+// Callers that keep per-representative data use the (winner, loser) pair to
+// migrate the loser's data into the winner.
+func (u *UF) Union(x, y uint32) (rep, absorbed uint32) {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return rx, rx
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	} else if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.parent[ry] = rx
+	u.sets--
+	return rx, ry
+}
+
+// MemBytes returns the approximate heap footprint of the structure.
+func (u *UF) MemBytes() int { return len(u.parent)*4 + len(u.rank) + 48 }

@@ -1,0 +1,155 @@
+package uf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	u := New(10)
+	if u.Sets() != 10 {
+		t.Errorf("Sets = %d, want 10", u.Sets())
+	}
+	for i := uint32(0); i < 10; i++ {
+		if u.Find(i) != i {
+			t.Errorf("Find(%d) = %d, want %d", i, u.Find(i), i)
+		}
+	}
+	if u.Same(1, 2) {
+		t.Error("distinct singletons should not be Same")
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	u := New(5)
+	rep, absorbed := u.Union(1, 2)
+	if rep == absorbed {
+		t.Fatal("fresh union should return distinct winner/loser")
+	}
+	if !u.Same(1, 2) {
+		t.Error("1 and 2 should be Same after union")
+	}
+	if u.Sets() != 4 {
+		t.Errorf("Sets = %d, want 4", u.Sets())
+	}
+	r2, a2 := u.Union(2, 1)
+	if r2 != a2 {
+		t.Error("re-union should return (rep, rep)")
+	}
+	if u.Sets() != 4 {
+		t.Errorf("Sets changed on redundant union: %d", u.Sets())
+	}
+	if got := u.Find(1); got != rep {
+		t.Errorf("Find(1) = %d, want rep %d", got, rep)
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	u := New(100)
+	for i := uint32(0); i < 99; i++ {
+		u.Union(i, i+1)
+	}
+	if u.Sets() != 1 {
+		t.Errorf("Sets = %d, want 1", u.Sets())
+	}
+	r := u.Find(0)
+	for i := uint32(0); i < 100; i++ {
+		if u.Find(i) != r {
+			t.Errorf("Find(%d) = %d, want %d", i, u.Find(i), r)
+		}
+	}
+}
+
+// TestQuickAgainstModel compares against a naive model where each element
+// stores an explicit set identifier.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(pairs [][2]uint32, seed int64) bool {
+		const n = 64
+		u := New(n)
+		model := make([]int, n)
+		for i := range model {
+			model[i] = i
+		}
+		merge := func(a, b uint32) {
+			sa, sb := model[a], model[b]
+			if sa == sb {
+				return
+			}
+			for i := range model {
+				if model[i] == sb {
+					model[i] = sa
+				}
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, p := range pairs {
+			a, b := p[0]%n, p[1]%n
+			u.Union(a, b)
+			merge(a, b)
+			// Random probes.
+			x, y := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			if u.Same(x, y) != (model[x] == model[y]) {
+				return false
+			}
+		}
+		// The number of sets must agree.
+		distinct := map[int]bool{}
+		for _, s := range model {
+			distinct[s] = true
+		}
+		if u.Sets() != len(distinct) {
+			return false
+		}
+		// Representative must be a member of its own set and stable.
+		for i := uint32(0); i < n; i++ {
+			r := u.Find(i)
+			if model[r] != model[i] {
+				return false
+			}
+			if u.Find(r) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWinnerLoserDistinct(t *testing.T) {
+	u := New(16)
+	rep, lost := u.Union(3, 9)
+	if rep != u.Find(3) || rep != u.Find(9) {
+		t.Error("rep must be the representative of both")
+	}
+	if lost != 3 && lost != 9 {
+		t.Errorf("absorbed = %d, want 3 or 9", lost)
+	}
+	if lost == rep {
+		t.Error("absorbed must differ from rep on a fresh union")
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		u := New(1 << 12)
+		for j := uint32(0); j < 1<<12-1; j += 2 {
+			u.Union(j, j+1)
+		}
+		for j := uint32(0); j < 1<<12; j++ {
+			u.Find(j)
+		}
+	}
+}
+
+func TestLenAndMemBytes(t *testing.T) {
+	u := New(37)
+	if u.Len() != 37 {
+		t.Errorf("Len = %d", u.Len())
+	}
+	if u.MemBytes() <= 0 {
+		t.Error("MemBytes must be positive")
+	}
+}

@@ -1,0 +1,177 @@
+package worklist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func drain(w Worklist) []uint32 {
+	var out []uint32
+	for {
+		x, ok := w.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, x)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	w := New(FIFO, 10)
+	for _, x := range []uint32{3, 1, 4, 1, 5} { // duplicate 1 dropped
+		w.Push(x)
+	}
+	got := drain(w)
+	want := []uint32{3, 1, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	w := New(LIFO, 10)
+	for _, x := range []uint32{3, 1, 4} {
+		w.Push(x)
+	}
+	got := drain(w)
+	want := []uint32{4, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDedupAfterPop(t *testing.T) {
+	for _, k := range []Kind{FIFO, LIFO, LRF} {
+		w := New(k, 4)
+		w.Push(2)
+		if x, _ := w.Pop(); x != 2 {
+			t.Fatalf("%v: pop = %d", k, x)
+		}
+		w.Push(2) // re-push after pop must work
+		if w.Empty() || w.Len() != 1 {
+			t.Errorf("%v: re-push after pop failed", k)
+		}
+	}
+}
+
+func TestLRFPriority(t *testing.T) {
+	w := New(LRF, 8)
+	// Fire 5 then 3: 5 now has older "last fired" than 3.
+	w.Push(5)
+	w.Pop()
+	w.Push(3)
+	w.Pop()
+	// Both never-fired 7 and fired 5, 3 enqueued: 7 first (never fired),
+	// then 5 (fired longer ago), then 3.
+	w.Push(3)
+	w.Push(5)
+	w.Push(7)
+	got := drain(w)
+	want := []uint32{7, 5, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LRF order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDividedGenerations(t *testing.T) {
+	w := NewDivided(FIFO, 10)
+	w.Push(1)
+	w.Push(2)
+	// Popping 1 and pushing 3 mid-drain: 3 must come after 2.
+	x, _ := w.Pop()
+	if x != 1 {
+		t.Fatalf("pop = %d, want 1", x)
+	}
+	w.Push(3)
+	x, _ = w.Pop()
+	if x != 2 {
+		t.Fatalf("pop = %d, want 2", x)
+	}
+	x, _ = w.Pop()
+	if x != 3 {
+		t.Fatalf("pop = %d, want 3", x)
+	}
+	if !w.Empty() {
+		t.Error("should be empty")
+	}
+}
+
+func TestDividedReaddWhileInCurrent(t *testing.T) {
+	w := NewDivided(FIFO, 4)
+	w.Push(1)
+	w.Push(2)
+	w.Pop()   // serves 1 from current
+	w.Push(1) // 1 goes to next even though 2 still in current
+	if w.Len() != 2 {
+		t.Errorf("Len = %d, want 2", w.Len())
+	}
+	got := drain(w)
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("drained %v, want [2 1]", got)
+	}
+}
+
+// TestQuickNoLossNoDup: every pushed element is popped exactly once per
+// enqueue-epoch, regardless of strategy.
+func TestQuickNoLossNoDup(t *testing.T) {
+	f := func(xs []uint32, kind uint8) bool {
+		const n = 32
+		k := Kind(kind % 3)
+		for _, mk := range []func() Worklist{
+			func() Worklist { return New(k, n) },
+			func() Worklist { return NewDivided(k, n) },
+		} {
+			w := mk()
+			want := map[uint32]bool{}
+			for _, x := range xs {
+				v := x % n
+				w.Push(v)
+				want[v] = true
+			}
+			got := map[uint32]int{}
+			for {
+				x, ok := w.Pop()
+				if !ok {
+					break
+				}
+				got[x]++
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for v := range want {
+				// Simple worklists dedup globally; divided may hold one
+				// copy per section, but with no pops interleaved all
+				// pushes land in "next", so exactly one copy here too.
+				if got[v] != 1 {
+					return false
+				}
+			}
+			if !w.Empty() || w.Len() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if FIFO.String() != "fifo" || LIFO.String() != "lifo" || LRF.String() != "lrf" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unknown kind should stringify as unknown")
+	}
+}

@@ -1,0 +1,109 @@
+package antgrass
+
+import "sort"
+
+// ModRefInfo holds, per function, the memory locations possibly written
+// (Mod) and read (Ref) through pointer dereferences — the classic MOD/REF
+// side-effect summary client of pointer analysis (the paper's introduction
+// motivates pointer information as "a prerequisite for most program
+// analyses"; this is one of them).
+type ModRefInfo struct {
+	// Mod maps a function name to the sorted locations its stores may
+	// write through pointers.
+	Mod map[string][]VarID
+	// Ref maps a function name to the sorted locations its loads may
+	// read through pointers.
+	Ref map[string][]VarID
+}
+
+// Modifies reports whether fn may write loc (through a pointer).
+func (m *ModRefInfo) Modifies(fn string, loc VarID) bool {
+	return contains(m.Mod[fn], loc)
+}
+
+// References reports whether fn may read loc (through a pointer).
+func (m *ModRefInfo) References(fn string, loc VarID) bool {
+	return contains(m.Ref[fn], loc)
+}
+
+func contains(sorted []VarID, x VarID) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == x
+}
+
+// ComputeModRef summarizes every function's pointer-mediated side effects
+// from the compiled unit's dereference sites and the solved points-to
+// information. With transitive set, each function's sets also absorb its
+// (direct and resolved indirect) callees' sets, propagated over the call
+// graph to a fixpoint.
+func ComputeModRef(u *Unit, r *Result, transitive bool) *ModRefInfo {
+	mod := map[string]map[VarID]bool{}
+	ref := map[string]map[VarID]bool{}
+	add := func(m map[string]map[VarID]bool, fn string, locs []VarID) {
+		if m[fn] == nil {
+			m[fn] = map[VarID]bool{}
+		}
+		for _, l := range locs {
+			m[fn][l] = true
+		}
+	}
+	for _, d := range u.DerefSites {
+		fn := d.Fn
+		if fn == "" {
+			fn = "<toplevel>"
+		}
+		if d.Write {
+			add(mod, fn, r.PointsTo(d.Ptr))
+		} else {
+			add(ref, fn, r.PointsTo(d.Ptr))
+		}
+	}
+	if transitive {
+		edges := CallGraph(u, r)
+		for changed := true; changed; {
+			changed = false
+			for _, e := range edges {
+				for l := range mod[e.Callee] {
+					if mod[e.Caller] == nil {
+						mod[e.Caller] = map[VarID]bool{}
+					}
+					if !mod[e.Caller][l] {
+						mod[e.Caller][l] = true
+						changed = true
+					}
+				}
+				for l := range ref[e.Callee] {
+					if ref[e.Caller] == nil {
+						ref[e.Caller] = map[VarID]bool{}
+					}
+					if !ref[e.Caller][l] {
+						ref[e.Caller][l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := &ModRefInfo{Mod: map[string][]VarID{}, Ref: map[string][]VarID{}}
+	flatten := func(src map[string]map[VarID]bool, dst map[string][]VarID) {
+		for fn, set := range src {
+			locs := make([]VarID, 0, len(set))
+			for l := range set {
+				locs = append(locs, l)
+			}
+			sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+			dst[fn] = locs
+		}
+	}
+	flatten(mod, out.Mod)
+	flatten(ref, out.Ref)
+	return out
+}

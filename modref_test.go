@@ -1,0 +1,130 @@
+package antgrass
+
+import "testing"
+
+const modRefSrc = `
+int a, b, c;
+
+void writer(int *p) { *p = 1; }
+void reader(int *p) { int x = *p; }
+void untouched(void) { }
+
+void driver(void) {
+	writer(&a);
+	reader(&b);
+}
+
+void main(void) {
+	driver();
+	writer(&c);
+}
+`
+
+func solveModRef(t *testing.T, transitive bool) (*Unit, *ModRefInfo) {
+	t.Helper()
+	u, err := CompileC(modRefSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Solve(u.Prog, Options{Algorithm: LCD, HCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, ComputeModRef(u, r, transitive)
+}
+
+func TestModRefDirect(t *testing.T) {
+	u, mr := solveModRef(t, false)
+	aID, _ := u.VarByName("a")
+	bID, _ := u.VarByName("b")
+	cID, _ := u.VarByName("c")
+	// writer modifies whatever its parameter may point at: a and c
+	// (context-insensitively merged), never b.
+	if !mr.Modifies("writer", aID) || !mr.Modifies("writer", cID) {
+		t.Errorf("writer must modify a and c: %v", mr.Mod["writer"])
+	}
+	if mr.Modifies("writer", bID) {
+		t.Error("writer must not modify b")
+	}
+	if mr.References("writer", aID) {
+		t.Error("writer reads nothing through pointers")
+	}
+	// reader references only b.
+	if !mr.References("reader", bID) || mr.References("reader", aID) {
+		t.Errorf("reader refs = %v", mr.Ref["reader"])
+	}
+	// Without transitivity, driver has no direct dereferences.
+	if len(mr.Mod["driver"]) != 0 || len(mr.Ref["driver"]) != 0 {
+		t.Errorf("driver should be empty non-transitively: mod=%v ref=%v",
+			mr.Mod["driver"], mr.Ref["driver"])
+	}
+	if len(mr.Mod["untouched"])+len(mr.Ref["untouched"]) != 0 {
+		t.Error("untouched must stay empty")
+	}
+}
+
+func TestModRefTransitive(t *testing.T) {
+	u, mr := solveModRef(t, true)
+	aID, _ := u.VarByName("a")
+	bID, _ := u.VarByName("b")
+	cID, _ := u.VarByName("c")
+	// driver inherits writer's and reader's effects.
+	if !mr.Modifies("driver", aID) {
+		t.Errorf("driver must (transitively) modify a: %v", mr.Mod["driver"])
+	}
+	if !mr.References("driver", bID) {
+		t.Errorf("driver must (transitively) reference b: %v", mr.Ref["driver"])
+	}
+	// main inherits everything.
+	if !mr.Modifies("main", aID) || !mr.Modifies("main", cID) || !mr.References("main", bID) {
+		t.Errorf("main summary incomplete: mod=%v ref=%v", mr.Mod["main"], mr.Ref["main"])
+	}
+	if len(mr.Mod["untouched"])+len(mr.Ref["untouched"]) != 0 {
+		t.Error("untouched must stay empty even transitively")
+	}
+}
+
+func TestModRefThroughFunctionPointer(t *testing.T) {
+	src := `
+int g1, g2;
+void h1(int *p) { *p = 1; }
+void h2(int *p) { *p = 2; }
+void (*hook)(int *);
+void fire(void) { hook(&g1); }
+void main(void) { hook = h1; hook = h2; fire(); }
+`
+	u, err := CompileC(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Solve(u.Prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := ComputeModRef(u, r, true)
+	g1, _ := u.VarByName("g1")
+	// fire calls through the hook: both handlers' effects surface.
+	if !mr.Modifies("fire", g1) {
+		t.Errorf("fire must modify g1 via the resolved hook: %v", mr.Mod["fire"])
+	}
+	if !mr.Modifies("main", g1) {
+		t.Error("main inherits fire's effects")
+	}
+}
+
+func TestModRefContainsHelper(t *testing.T) {
+	m := &ModRefInfo{Mod: map[string][]VarID{"f": {2, 5, 9}}}
+	for _, v := range []VarID{2, 5, 9} {
+		if !m.Modifies("f", v) {
+			t.Errorf("Modifies(f, %d) = false", v)
+		}
+	}
+	for _, v := range []VarID{0, 3, 10} {
+		if m.Modifies("f", v) {
+			t.Errorf("Modifies(f, %d) = true", v)
+		}
+	}
+	if m.Modifies("missing", 2) {
+		t.Error("unknown function modifies nothing")
+	}
+}

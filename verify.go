@@ -1,0 +1,78 @@
+package antgrass
+
+import (
+	"fmt"
+
+	"antgrass/internal/constraint"
+)
+
+// VerifySolution checks that a solved result is a valid (sound) solution
+// of the constraint system: every constraint of Table 1 is satisfied by
+// the materialized points-to sets. It returns nil for a valid solution and
+// a descriptive error naming the first violated constraint otherwise.
+//
+// This is a certificate check: it validates soundness independently of
+// which solver produced the result, so downstream users can assert any
+// configuration they pick is safe to build on. (It does not check
+// minimality — a wildly over-approximate solution also verifies.)
+func VerifySolution(p *Program, r *Result) error {
+	span := func(v VarID) uint32 { return p.SpanOf(v) }
+	subset := func(small, big []VarID) (VarID, bool) {
+		i, j := 0, 0
+		for i < len(small) {
+			if j >= len(big) || small[i] < big[j] {
+				return small[i], false
+			}
+			if small[i] == big[j] {
+				i++
+			}
+			j++
+		}
+		return 0, true
+	}
+	// Cache materialized sets: constraints share variables heavily.
+	cache := map[VarID][]VarID{}
+	pts := func(v VarID) []VarID {
+		if s, ok := cache[v]; ok {
+			return s
+		}
+		s := r.PointsTo(v)
+		cache[v] = s
+		return s
+	}
+	for i, c := range p.Constraints {
+		switch c.Kind {
+		case constraint.AddrOf:
+			if !r.Contains(c.Dst, c.Src) {
+				return fmt.Errorf("antgrass: constraint %d (%s) violated: pts(%s) misses %s",
+					i, c, p.NameOf(c.Dst), p.NameOf(c.Src))
+			}
+		case constraint.Copy:
+			if missing, ok := subset(pts(c.Src), pts(c.Dst)); !ok {
+				return fmt.Errorf("antgrass: constraint %d (%s) violated: pts(%s) misses %s",
+					i, c, p.NameOf(c.Dst), p.NameOf(missing))
+			}
+		case constraint.Load: // dst ⊇ *(src+off)
+			for _, v := range pts(c.Src) {
+				if c.Offset != 0 && c.Offset >= span(v) {
+					continue
+				}
+				if missing, ok := subset(pts(v+c.Offset), pts(c.Dst)); !ok {
+					return fmt.Errorf("antgrass: constraint %d (%s) violated via %s: pts(%s) misses %s",
+						i, c, p.NameOf(v), p.NameOf(c.Dst), p.NameOf(missing))
+				}
+			}
+		case constraint.Store: // *(dst+off) ⊇ src
+			for _, v := range pts(c.Dst) {
+				if c.Offset != 0 && c.Offset >= span(v) {
+					continue
+				}
+				if missing, ok := subset(pts(c.Src), pts(v+c.Offset)); !ok {
+					return fmt.Errorf("antgrass: constraint %d (%s) violated via %s: pts(%s) misses %s",
+						i, c, p.NameOf(v), p.NameOf(v+c.Offset), p.NameOf(missing))
+				}
+			}
+		}
+	}
+	return nil
+}

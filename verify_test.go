@@ -1,0 +1,118 @@
+package antgrass
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVerifyAcceptsAllSolvers(t *testing.T) {
+	w, err := Workload("ghostscript", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []Options{
+		{Algorithm: Naive},
+		{Algorithm: LCD, HCD: true},
+		{Algorithm: LCD, HCD: true, DiffProp: true},
+		{Algorithm: HT},
+		{Algorithm: PKH, HCD: true},
+		{Algorithm: PKW},
+		{Algorithm: BLQ},
+		{Algorithm: BLQ, HCD: true},
+		{Algorithm: LCD, OVS: true},
+		{Algorithm: LCD, Pts: BDD},
+	} {
+		r, err := Solve(w, o)
+		if err != nil {
+			t.Fatalf("%+v: %v", o, err)
+		}
+		if err := VerifySolution(w, r); err != nil {
+			t.Errorf("%+v: %v", o, err)
+		}
+	}
+}
+
+// TestVerifyRejectsBrokenSolution mutates a valid program so the solved
+// result no longer satisfies it: verification must fail loudly.
+func TestVerifyRejectsBrokenSolution(t *testing.T) {
+	p := NewProgram()
+	x := p.AddVar("x")
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	p.AddAddrOf(a, x)
+	r, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySolution(p, r); err != nil {
+		t.Fatalf("valid solution rejected: %v", err)
+	}
+	// Append a constraint the solution was never solved against.
+	p2 := p.Clone()
+	p2.AddCopy(b, a) // pts(b) should now include x, but r has it empty
+	if err := VerifySolution(p2, r); err == nil {
+		t.Error("stale solution must fail verification")
+	}
+	p3 := p.Clone()
+	p3.AddAddrOf(b, x)
+	if err := VerifySolution(p3, r); err == nil {
+		t.Error("missing base fact must fail verification")
+	}
+}
+
+// TestQuickVerifyRandom: every solver's output verifies on random systems,
+// including offset constraints.
+func TestQuickVerifyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewProgram()
+		var funcs []uint32
+		for i := 0; i < rng.Intn(3); i++ {
+			funcs = append(funcs, p.AddFunc("", rng.Intn(3)))
+		}
+		for i := 0; i < 4+rng.Intn(12); i++ {
+			p.AddVar("")
+		}
+		n := uint32(p.NumVars)
+		for i := 0; i < rng.Intn(40); i++ {
+			d, s := uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n)))
+			switch rng.Intn(8) {
+			case 0, 1:
+				p.AddAddrOf(d, s)
+			case 2, 3, 4:
+				p.AddCopy(d, s)
+			case 5:
+				p.AddLoad(d, s, 0)
+			case 6:
+				p.AddStore(d, s, 0)
+			case 7:
+				if len(funcs) > 0 {
+					off := uint32(1 + rng.Intn(3))
+					if rng.Intn(2) == 0 {
+						p.AddLoad(d, s, off)
+					} else {
+						p.AddStore(d, s, off)
+					}
+				}
+			}
+		}
+		if p.Validate() != nil {
+			return true
+		}
+		for _, alg := range []Algorithm{LCD, HT, PKH, BLQ} {
+			r, err := Solve(p, Options{Algorithm: alg, HCD: true, BDDPoolNodes: 1 << 13})
+			if err != nil {
+				return false
+			}
+			if err := VerifySolution(p, r); err != nil {
+				t.Logf("seed %d %s: %v", seed, alg, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
