@@ -24,6 +24,7 @@
 package antgrass
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -105,10 +106,28 @@ type Options struct {
 	Pts Repr
 	// DiffProp enables difference propagation on the Naive and LCD
 	// solvers (Pearce et al.'s optimization; see the ablation study).
+	// Ignored under parallel solving, whose wave propagation computes
+	// deltas inherently.
 	DiffProp bool
 	// BDDPoolNodes pre-sizes BDD pools (0 = default).
 	BDDPoolNodes int
+	// Workers ≥ 2 enables bulk-synchronous parallel propagation for the
+	// Naive and LCD solvers with bitmap points-to sets; any other
+	// configuration solves sequentially regardless of Workers. The
+	// points-to solution is identical for every worker count. 0 and 1
+	// mean sequential.
+	Workers int
+	// Progress, when non-nil, is called at round boundaries of the
+	// parallel solver (and periodically by the sequential Naive/LCD
+	// solvers) with a snapshot of solver progress. It runs on the
+	// solving goroutine and must return quickly.
+	Progress func(ProgressEvent)
 }
+
+// ProgressEvent is a solver-progress snapshot delivered to
+// Options.Progress: the round number, the pending worklist size, and the
+// cumulative nodes-collapsed and points-to-union counters.
+type ProgressEvent = core.ProgressEvent
 
 // Result is a solved pointer analysis over the original variable ids (all
 // pre-processing and cycle collapsing is transparent to queries).
@@ -149,8 +168,26 @@ func (r *Result) Alias(a, b VarID) bool { return r.inner.Alias(a, b) }
 // sets.
 func (r *Result) Rep(v VarID) VarID { return r.inner.Rep(v) }
 
-// Solve runs the configured analysis on p. p itself is never modified.
+// Solve runs the configured analysis on p with no cancellation. It is a
+// thin wrapper over SolveContext with context.Background(); new code
+// should prefer SolveContext.
 func Solve(p *Program, o Options) (*Result, error) {
+	return SolveContext(context.Background(), p, o)
+}
+
+// SolveContext is the primary entry point: it runs the configured analysis
+// on p under ctx. p itself is never modified.
+//
+// Cancellation is cooperative: the solvers check ctx at round boundaries
+// (the parallel engine), every few thousand worklist pops (the sequential
+// worklist solvers), or between fixpoint iterations (HT, PKH, BLQ). When
+// ctx is canceled or its deadline passes, SolveContext returns an error
+// wrapping context.Canceled or context.DeadlineExceeded — test with
+// errors.Is — and never a partial Result.
+func SolveContext(ctx context.Context, p *Program, o Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if o.Algorithm == "" {
 		o.Algorithm = LCD
 	}
@@ -166,7 +203,12 @@ func Solve(p *Program, o Options) (*Result, error) {
 		prog = red.Reduced
 		preUnions = red.PreUnions
 	}
-	copts := core.Options{BDDPoolNodes: o.BDDPoolNodes, DiffProp: o.DiffProp}
+	copts := core.Options{
+		BDDPoolNodes: o.BDDPoolNodes,
+		DiffProp:     o.DiffProp,
+		Workers:      o.Workers,
+		Progress:     o.Progress,
+	}
 	switch o.Algorithm {
 	case Naive:
 		copts.Algorithm = core.Naive
@@ -200,9 +242,10 @@ func Solve(p *Program, o Options) (*Result, error) {
 		err   error
 	)
 	if o.Algorithm == BLQ {
+		copts.Ctx = ctx
 		inner, err = blq.Solve(prog, copts)
 	} else {
-		inner, err = core.Solve(prog, copts)
+		inner, err = core.SolveContext(ctx, prog, copts)
 	}
 	if err != nil {
 		return nil, err

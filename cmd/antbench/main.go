@@ -3,13 +3,21 @@
 //
 // Usage:
 //
-//	antbench [-scale 0.1] [-table N | -figure N | -stats | -all] [-v]
+//	antbench [-scale 0.1] [-table N | -figure N | -stats | -all]
+//	         [-workers N] [-timeout d] [-v]
 //
 // -scale multiplies the paper's reduced constraint counts (1.0 = full
 // paper size; the default keeps a laptop run in minutes).
+//
+// -workers N prints the parallel-vs-sequential wall-clock comparison of
+// the bulk-synchronous wave engine at N workers (emacs and wine, naive /
+// lcd / lcd+hcd). The comparison defaults to scale 0.25 — large enough for
+// multi-second solves — unless -scale is given explicitly. -timeout bounds
+// the whole antbench run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +34,28 @@ func main() {
 	precision := flag.Bool("precision", false, "print the Andersen-vs-Steensgaard precision comparison")
 	all := flag.Bool("all", false, "print every table and figure")
 	pool := flag.Int("pool", 0, "BDD node-pool size (0 = default)")
+	workers := flag.Int("workers", 0, "print the parallel-vs-sequential comparison at this worker count")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	verbose := flag.Bool("v", false, "log each run as it completes")
 	flag.Parse()
+	scaleSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "scale" {
+			scaleSet = true
+		}
+	})
+
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		go func() {
+			<-ctx.Done()
+			if ctx.Err() == context.DeadlineExceeded {
+				fmt.Fprintf(os.Stderr, "antbench: timed out after %v\n", *timeout)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	h := bench.NewHarness(*scale)
 	h.PoolNodes = *pool
@@ -36,6 +64,20 @@ func main() {
 	}
 	out := os.Stdout
 
+	if *workers > 0 {
+		ph := h
+		if !scaleSet {
+			// The parallel comparison needs multi-second solves to
+			// be meaningful; the table defaults smaller.
+			ph = bench.NewHarness(0.25)
+			ph.PoolNodes = *pool
+			ph.Progress = h.Progress
+		}
+		ph.ParallelTable(out, *workers)
+		if *table == 0 && *figure == 0 && !*stats && !*ablations && !*precision && !*all {
+			return
+		}
+	}
 	if !*all && *table == 0 && *figure == 0 && !*stats && !*ablations && !*precision {
 		*all = true
 	}

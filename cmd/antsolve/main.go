@@ -2,15 +2,18 @@
 //
 // Usage:
 //
-//	antsolve [-alg lcd] [-hcd] [-ovs] [-pts bitmap|bdd] [-stats] [-print] [-var name] file
+//	antsolve [-alg lcd] [-hcd] [-ovs] [-pts bitmap|bdd] [-workers n]
+//	         [-timeout d] [-stats] [-print] [-var name] file
 //
 // The input is the antgrass text constraint format (see README.md); "-"
 // reads stdin. With -print the full solution is dumped (one line per
 // variable with a non-empty points-to set); -var restricts output to one
-// variable by name.
+// variable by name. -workers ≥ 2 enables parallel propagation for the
+// naive and lcd solvers; -timeout aborts a runaway solve (exit status 1).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +27,8 @@ func main() {
 	hcd := flag.Bool("hcd", false, "enable hybrid cycle detection")
 	ovs := flag.Bool("ovs", false, "run offline variable substitution first")
 	repr := flag.String("pts", "bitmap", "points-to representation: bitmap or bdd")
+	workers := flag.Int("workers", 0, "parallel propagation workers for naive/lcd (0 or 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	stats := flag.Bool("stats", false, "print solver cost counters")
 	print := flag.Bool("print", false, "print the full points-to solution")
 	varName := flag.String("var", "", "print the solution of one variable")
@@ -48,11 +53,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := antgrass.Solve(prog, antgrass.Options{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := antgrass.SolveContext(ctx, prog, antgrass.Options{
 		Algorithm: antgrass.Algorithm(*alg),
 		HCD:       *hcd,
 		OVS:       *ovs,
 		Pts:       antgrass.Repr(*repr),
+		Workers:   *workers,
 	})
 	if err != nil {
 		fatal(err)

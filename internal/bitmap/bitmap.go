@@ -202,6 +202,98 @@ func (b *Bitmap) Test(x uint32) bool {
 	return e.bits[word]&(1<<(x%WordBits)) != 0
 }
 
+// TestRO reports whether bit x is set without updating the current-element
+// cache. Unlike Test it never mutates the bitmap, so any number of
+// goroutines may call it concurrently as long as no writer runs at the same
+// time. It pays for that safety with a scan from the front of the list.
+func (b *Bitmap) TestRO(x uint32) bool {
+	eidx := x / ElemBits
+	for e := b.first; e != nil && e.idx <= eidx; e = e.next {
+		if e.idx == eidx {
+			word := (x % ElemBits) / WordBits
+			return e.bits[word]&(1<<(x%WordBits)) != 0
+		}
+	}
+	return false
+}
+
+// IorDiffWith sets b = b | (src &^ excl) and reports whether b changed:
+// the delta-merge operation of the parallel solver, accumulating into a
+// worker-private buffer the part of src not already present in excl. src
+// and excl are only read (never through the cache), so concurrent
+// IorDiffWith calls on distinct receivers may share them. excl may be nil
+// (treated as empty); b must be distinct from both arguments.
+func (b *Bitmap) IorDiffWith(src, excl *Bitmap) bool {
+	if src == nil || src.first == nil {
+		return false
+	}
+	changed := false
+	var ee *element
+	if excl != nil {
+		ee = excl.first
+	}
+	be := b.first
+	var tail *element // last element known to be in place before be
+	for se := src.first; se != nil; se = se.next {
+		for ee != nil && ee.idx < se.idx {
+			ee = ee.next
+		}
+		var masked [ElemWords]uint64
+		any := false
+		for w := 0; w < ElemWords; w++ {
+			v := se.bits[w]
+			if ee != nil && ee.idx == se.idx {
+				v &^= ee.bits[w]
+			}
+			masked[w] = v
+			if v != 0 {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		for be != nil && be.idx < se.idx {
+			tail = be
+			be = be.next
+		}
+		if be != nil && be.idx == se.idx {
+			for w := 0; w < ElemWords; w++ {
+				nw := be.bits[w] | masked[w]
+				if nw != be.bits[w] {
+					be.bits[w] = nw
+					changed = true
+				}
+			}
+			tail = be
+			be = be.next
+			continue
+		}
+		// Insert a fresh element holding the masked words between tail
+		// and be.
+		ne := &element{idx: se.idx, bits: masked}
+		b.n++
+		changed = true
+		ne.prev = tail
+		ne.next = be
+		if tail != nil {
+			tail.next = ne
+		} else {
+			b.first = ne
+		}
+		if be != nil {
+			be.prev = ne
+		} else {
+			b.last = ne
+		}
+		tail = ne
+	}
+	if changed {
+		b.current = b.first
+	}
+	return changed
+}
+
 // IorWith sets b = b | o and reports whether b changed. o is not modified.
 // b and o may be the same bitmap (a no-op).
 func (b *Bitmap) IorWith(o *Bitmap) bool {

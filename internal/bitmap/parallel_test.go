@@ -1,0 +1,144 @@
+package bitmap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestTestRO(t *testing.T) {
+	b := New()
+	for _, x := range []uint32{0, 5, 130, 4096, 70000} {
+		b.Set(x)
+	}
+	for _, x := range []uint32{0, 5, 130, 4096, 70000} {
+		if !b.TestRO(x) {
+			t.Errorf("TestRO(%d) = false for member", x)
+		}
+	}
+	for _, x := range []uint32{1, 6, 129, 4097, 70001, 1 << 30} {
+		if b.TestRO(x) {
+			t.Errorf("TestRO(%d) = true for non-member", x)
+		}
+	}
+	if New().TestRO(0) {
+		t.Error("TestRO on empty bitmap")
+	}
+}
+
+// TestTestROPure checks TestRO agrees with Test on random sets and never
+// moves the search cache (the property concurrent readers rely on).
+func TestTestROPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		b := New()
+		for i := 0; i < rng.Intn(200); i++ {
+			b.Set(uint32(rng.Intn(5000)))
+		}
+		cache := b.current
+		for i := 0; i < 100; i++ {
+			x := uint32(rng.Intn(6000))
+			if got, want := b.TestRO(x), b.Test(x); got != want {
+				t.Fatalf("TestRO(%d) = %v, Test = %v", x, got, want)
+			}
+			// Test may move the cache; re-snapshot, then ensure the
+			// next TestRO leaves it alone.
+			cache = b.current
+			b.TestRO(x)
+			if b.current != cache {
+				t.Fatal("TestRO moved the search cache")
+			}
+		}
+	}
+}
+
+func TestIorDiffWith(t *testing.T) {
+	mk := func(xs ...uint32) *Bitmap {
+		b := New()
+		for _, x := range xs {
+			b.Set(x)
+		}
+		return b
+	}
+	for _, tc := range []struct {
+		name            string
+		dst, src, excl  []uint32
+		want            []uint32
+		wantChanged     bool
+		nilSrc, nilExcl bool
+	}{
+		{name: "basic", dst: []uint32{1}, src: []uint32{1, 2, 3}, excl: []uint32{2}, want: []uint32{1, 3}, wantChanged: true},
+		{name: "all-excluded", dst: []uint32{9}, src: []uint32{4, 5}, excl: []uint32{4, 5, 6}, want: []uint32{9}},
+		{name: "nil-excl", dst: []uint32{}, src: []uint32{10, 200, 4096}, nilExcl: true, want: []uint32{10, 200, 4096}, wantChanged: true},
+		{name: "nil-src", dst: []uint32{3}, nilSrc: true, excl: []uint32{1}, want: []uint32{3}},
+		{name: "already-present", dst: []uint32{7, 8}, src: []uint32{7, 8}, excl: []uint32{}, want: []uint32{7, 8}},
+		{name: "cross-element", dst: []uint32{100000}, src: []uint32{0, 64, 128, 100000, 200000}, excl: []uint32{64}, want: []uint32{0, 128, 100000, 200000}, wantChanged: true},
+	} {
+		dst := mk(tc.dst...)
+		var src, excl *Bitmap
+		if !tc.nilSrc {
+			src = mk(tc.src...)
+		}
+		if !tc.nilExcl {
+			excl = mk(tc.excl...)
+		}
+		changed := dst.IorDiffWith(src, excl)
+		if changed != tc.wantChanged {
+			t.Errorf("%s: changed = %v, want %v", tc.name, changed, tc.wantChanged)
+		}
+		if got := dst.Slice(); !reflect.DeepEqual(got, tc.want) &&
+			!(len(got) == 0 && len(tc.want) == 0) {
+			t.Errorf("%s: result = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestIorDiffWithQuick cross-checks b |= src &^ excl against a map model
+// on random sets.
+func TestIorDiffWithQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		model := map[uint32]bool{}
+		dst, src, excl := New(), New(), New()
+		for i := 0; i < rng.Intn(100); i++ {
+			x := uint32(rng.Intn(3000))
+			dst.Set(x)
+			model[x] = true
+		}
+		for i := 0; i < rng.Intn(100); i++ {
+			src.Set(uint32(rng.Intn(3000)))
+		}
+		for i := 0; i < rng.Intn(100); i++ {
+			excl.Set(uint32(rng.Intn(3000)))
+		}
+		before := len(model)
+		src.ForEach(func(x uint32) bool {
+			if !excl.Test(x) {
+				model[x] = true
+			}
+			return true
+		})
+		changed := dst.IorDiffWith(src, excl)
+		if changed != (len(model) != before) {
+			t.Fatalf("trial %d: changed = %v with %d→%d members", trial, changed, before, len(model))
+		}
+		if dst.Count() != len(model) {
+			t.Fatalf("trial %d: %d members, want %d", trial, dst.Count(), len(model))
+		}
+		ok := true
+		dst.ForEach(func(x uint32) bool {
+			if !model[x] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			t.Fatalf("trial %d: spurious member", trial)
+		}
+		// src and excl must be untouched.
+		if src.Count() == 0 && trial > 0 {
+			continue
+		}
+	}
+}

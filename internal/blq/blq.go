@@ -20,6 +20,8 @@
 package blq
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"time"
 
@@ -121,9 +123,15 @@ func Solve(p *constraint.Program, opts core.Options) (*core.Result, error) {
 		s.hcdPairs = table.Pairs
 	}
 
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	s.build()
-	s.run()
+	if err := s.run(ctx); err != nil {
+		return nil, err
+	}
 	sets := s.extract()
 	s.stats.SolveDuration = time.Since(start)
 	s.stats.MemBytes = int64(m.MemBytes() + s.nodes.MemBytes())
@@ -160,10 +168,14 @@ func (s *state) build() {
 	}
 }
 
-// run iterates propagation and rule application to a fixpoint.
-func (s *state) run() {
+// run iterates propagation and rule application to a fixpoint,
+// cooperatively checking ctx between iterations.
+func (s *state) run(ctx context.Context) error {
 	m := s.m
 	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("blq: solve canceled: %w", err)
+		}
 		s.propagate()
 		changed := false
 		// Load rule: a ⊇ *b. ∃d1. L(b,a) ∧ P(b,v) gives (d3=a, d2=v);
@@ -188,7 +200,7 @@ func (s *state) run() {
 			changed = true
 		}
 		if !changed {
-			return
+			return nil
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"antgrass/internal/pts"
 	"antgrass/internal/scc"
 )
@@ -19,7 +21,7 @@ import (
 // already been pushed: only new pointees feed complex constraints and only
 // deltas travel along existing edges; a freshly inserted edge receives the
 // full set at insertion time (Pearce et al.'s difference propagation).
-func solveBasic(g *graph, opts Options, lazy bool) error {
+func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 	diff := opts.DiffProp
 	if diff {
 		g.propagated = make([]pts.Set, g.n)
@@ -37,10 +39,25 @@ func solveBasic(g *graph, opts Options, lazy bool) error {
 	if lazy {
 		fired = make(map[uint64]struct{})
 	}
+	var pops, intervals int
 	for {
 		x, ok := w.Pop()
 		if !ok {
 			break
+		}
+		if pops++; pops%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return canceled(err, "worklist solving")
+			}
+			if opts.Progress != nil {
+				intervals++
+				opts.Progress(ProgressEvent{
+					Round:          intervals,
+					WorklistLen:    w.Len(),
+					NodesCollapsed: g.stats.NodesCollapsed,
+					Unions:         g.stats.Propagations,
+				})
+			}
 		}
 		n := g.find(x)
 		if x != n {
@@ -84,22 +101,22 @@ func solveBasic(g *graph, opts Options, lazy bool) error {
 			}
 			work.ForEach(func(v uint32) bool {
 				for _, ld := range loads {
-					t, valid := g.validTarget(v, ld.off)
+					t, valid := g.validTarget(v, ld.Off)
 					if !valid {
 						continue
 					}
 					src := g.find(t)
-					dst := g.find(ld.other)
+					dst := g.find(ld.Other)
 					if g.addEdge(src, dst) {
 						onNewEdge(src, dst)
 					}
 				}
 				for _, st := range stores {
-					t, valid := g.validTarget(v, st.off)
+					t, valid := g.validTarget(v, st.Off)
 					if !valid {
 						continue
 					}
-					src := g.find(st.other)
+					src := g.find(st.Other)
 					dst := g.find(t)
 					if g.addEdge(src, dst) {
 						onNewEdge(src, dst)

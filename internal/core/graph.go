@@ -6,17 +6,16 @@ import (
 	"antgrass/internal/bitmap"
 	"antgrass/internal/constraint"
 	"antgrass/internal/hcd"
+	"antgrass/internal/par"
 	"antgrass/internal/pts"
 	"antgrass/internal/uf"
 )
 
 // deref records one complex constraint hanging off a dereferenced variable:
-// for loads, other = the destination a of a ⊇ *(n+off); for stores, other =
-// the source b of *(n+off) ⊇ b.
-type deref struct {
-	other uint32
-	off   uint32
-}
+// for loads, Other = the destination a of a ⊇ *(n+Off); for stores, Other =
+// the source b of *(n+Off) ⊇ b. It is an alias of par.Deref so the parallel
+// compute phase can read the per-node constraint lists without conversion.
+type deref = par.Deref
 
 // graph is the online constraint graph shared by the explicit-closure
 // solvers. Nodes are variables; collapsed nodes are tracked by a union-find
@@ -45,6 +44,15 @@ type graph struct {
 	// Allocated only under difference propagation; cleared for a rep
 	// whenever a collapse changes its edge set or constraint lists.
 	propagated []pts.Set
+
+	// resolved holds, per rep, the part of the points-to set already
+	// resolved against the node's load/store constraints. Allocated only
+	// by the parallel solver, which tracks resolution separately from
+	// propagation: gaining an outgoing edge forces a node to re-push its
+	// set (cheap — the deltas compute to empty) but must not force it to
+	// re-resolve every pointee against every complex constraint. Cleared
+	// together with propagated on collapse.
+	resolved []pts.Set
 
 	span    []uint32 // expanded span table (length n, all ≥ 1)
 	factory pts.Factory
@@ -117,10 +125,10 @@ func newGraphDir(p *constraint.Program, factory pts.Factory, table *hcd.Result, 
 			g.addCopyEdge(c.Src, c.Dst)
 		case constraint.Load:
 			r := g.find(c.Src)
-			g.loads[r] = append(g.loads[r], deref{other: c.Dst, off: c.Offset})
+			g.loads[r] = append(g.loads[r], deref{Other: c.Dst, Off: c.Offset})
 		case constraint.Store:
 			r := g.find(c.Dst)
-			g.stores[r] = append(g.stores[r], deref{other: c.Src, off: c.Offset})
+			g.stores[r] = append(g.stores[r], deref{Other: c.Src, Off: c.Offset})
 		}
 	}
 	return g
@@ -245,6 +253,12 @@ func (g *graph) unite(a, b uint32) uint32 {
 		// must be (re)propagated once.
 		g.propagated[rep] = nil
 		g.propagated[lost] = nil
+	}
+	if g.resolved != nil {
+		// Likewise its constraint lists changed: every pointee must be
+		// re-resolved against the combined loads and stores.
+		g.resolved[rep] = nil
+		g.resolved[lost] = nil
 	}
 	return rep
 }

@@ -35,10 +35,10 @@ func TestGraphInitialState(t *testing.T) {
 	if got := g.succsOf(0); !reflect.DeepEqual(got, []uint32{1}) {
 		t.Errorf("succs(a) = %v", got)
 	}
-	if len(g.loads[0]) != 1 || g.loads[0][0].other != 2 {
+	if len(g.loads[0]) != 1 || g.loads[0][0].Other != 2 {
 		t.Errorf("loads(a) = %v", g.loads[0])
 	}
-	if len(g.stores[0]) != 1 || g.stores[0][0].other != 1 {
+	if len(g.stores[0]) != 1 || g.stores[0][0].Other != 1 {
 		t.Errorf("stores(a) = %v", g.stores[0])
 	}
 	if g.stats.EdgesAdded != 1 {

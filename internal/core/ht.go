@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"antgrass/internal/pts"
 )
 
@@ -41,7 +43,7 @@ type htFrame struct {
 	next  int
 }
 
-func solveHT(g *graph, opts Options) error {
+func solveHT(ctx context.Context, g *graph, opts Options) error {
 	h := &htState{
 		g:       g,
 		cache:   make([]pts.Set, g.n),
@@ -68,6 +70,9 @@ func solveHT(g *graph, opts Options) error {
 	defer func() { g.onUnite = nil }()
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return canceled(err, "HT round")
+		}
 		h.round++
 		h.nextIdx = 0
 		changed := false
@@ -94,21 +99,21 @@ func solveHT(g *graph, opts Options) error {
 			loads, stores := g.loads[n], g.stores[n]
 			set.ForEach(func(u uint32) bool {
 				for _, ld := range loads {
-					t, valid := g.validTarget(u, ld.off)
+					t, valid := g.validTarget(u, ld.Off)
 					if !valid {
 						continue
 					}
 					// New copy edge t → dst, stored reversed.
-					if g.addCopyEdge(t, ld.other) {
+					if g.addCopyEdge(t, ld.Other) {
 						changed = true
 					}
 				}
 				for _, st := range stores {
-					t, valid := g.validTarget(u, st.off)
+					t, valid := g.validTarget(u, st.Off)
 					if !valid {
 						continue
 					}
-					if g.addCopyEdge(st.other, t) {
+					if g.addCopyEdge(st.Other, t) {
 						changed = true
 					}
 				}

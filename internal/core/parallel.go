@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"antgrass/internal/bitmap"
+	"antgrass/internal/par"
+	"antgrass/internal/pts"
+	"antgrass/internal/worklist"
+)
+
+// solveParallel runs the Naive (lazy=false) or LCD (lazy=true) algorithm
+// with bulk-synchronous wave propagation. Each round:
+//
+//  1. a sequential prologue drains the frontier, fires the HCD online rule
+//     (Figure 5) for every node, and canonicalizes the frontier to live,
+//     deduplicated representatives in ascending order;
+//  2. the compute phase (package par) partitions the frontier across
+//     Options.Workers goroutines; the graph is frozen and workers fill
+//     private delta/edge/cycle buffers — no locks on the hot path;
+//  3. a sequential barrier merge applies points-to deltas, inserts derived
+//     copy edges (propagating the source's full set across each new edge,
+//     as difference propagation does), and runs LCD cycle collapses, all
+//     in worker order, building the next frontier.
+//
+// Cancellation is checked once per round; Options.Progress fires after
+// every merge. The result is the same least fixpoint the sequential
+// solvers compute — see docs/ALGORITHMS.md for the argument.
+func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error {
+	workers := opts.Workers
+	// The wave engine always difference-propagates; allocating
+	// g.propagated and g.resolved also makes unite() reset a merged
+	// node's markers, exactly as the sequential DiffProp solver relies
+	// on.
+	g.propagated = make([]pts.Set, g.n)
+	g.resolved = make([]pts.Set, g.n)
+	view := &par.View{
+		Sets:       make([]*bitmap.Bitmap, g.n),
+		Succs:      g.succs,
+		Loads:      g.loads,
+		Stores:     g.stores,
+		Span:       g.span,
+		Nodes:      g.nodes,
+		Propagated: make([]*bitmap.Bitmap, g.n),
+		Resolved:   make([]*bitmap.Bitmap, g.n),
+		LCD:        lazy,
+	}
+	var fired map[uint64]bool
+	if lazy {
+		fired = make(map[uint64]bool)
+		view.Fired = fired
+	}
+	front := worklist.NewFrontier(g.n)
+	for v := uint32(0); v < uint32(g.n); v++ {
+		r := g.find(v)
+		if g.sets[r] != nil && !g.sets[r].Empty() {
+			front.Push(r)
+		}
+	}
+	mark := make([]bool, g.n)
+	round := 0
+	for !front.Empty() {
+		if err := ctx.Err(); err != nil {
+			return canceled(err, fmt.Sprintf("parallel round %d", round+1))
+		}
+		round++
+		nodes := front.Drain()
+		// Prologue: canonicalize and dedupe the frontier FIRST — many
+		// drained ids alias the same representative after collapses, and
+		// the HCD online rule below walks a node's full points-to set
+		// per armed tuple, so it must run once per representative, not
+		// once per alias.
+		work := canonicalize(g, nodes, mark)
+		if g.hcdTargets != nil {
+			for _, x := range work {
+				g.applyHCD(g.find(x), func(rep uint32) { front.Push(rep) })
+			}
+			// HCD unions may have merged entries of work itself.
+			work = canonicalize(g, work, mark)
+		}
+		sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
+		// Repair successor bitmaps while the graph is still ours:
+		// canonicalize stale (absorbed) successors in place so workers
+		// iterate deduplicated live representatives instead of re-mapping
+		// millions of stale entries. This is the same repair the
+		// sequential solvers get from succsOf on every pop.
+		for _, n := range work {
+			g.succsOf(n)
+		}
+		// Freeze the graph: refresh the set views, then run the compute
+		// phase.
+		for i := 0; i < g.n; i++ {
+			if s := g.sets[i]; s != nil {
+				bm, ok := pts.AsBitmap(s)
+				if !ok {
+					return fmt.Errorf("core: parallel solving requires bitmap points-to sets, got %q", g.factory.Name())
+				}
+				view.Sets[i] = bm
+			} else {
+				view.Sets[i] = nil
+			}
+			if s := g.propagated[i]; s != nil {
+				bm, _ := pts.AsBitmap(s)
+				view.Propagated[i] = bm
+			} else {
+				view.Propagated[i] = nil
+			}
+			if s := g.resolved[i]; s != nil {
+				bm, _ := pts.AsBitmap(s)
+				view.Resolved[i] = bm
+			} else {
+				view.Resolved[i] = nil
+			}
+		}
+		outs := par.Round(workers, work, view)
+		// Barrier merge, in worker order for reproducibility. Deltas
+		// first, then the propagated-set bookkeeping, then edges, then
+		// cycle collapses (whose unites reset merged propagated sets —
+		// they must run after the bookkeeping so the reset wins).
+		for _, o := range outs {
+			g.stats.Propagations += o.Propagations
+			for _, z := range o.DeltaOrder {
+				rz := g.find(z)
+				dst, _ := pts.AsBitmap(g.ptsOf(rz))
+				if dst.IorWith(o.Deltas[z]) {
+					front.Push(rz)
+				}
+			}
+		}
+		for _, o := range outs {
+			for i, n := range o.Nodes {
+				// Remember what has now been fully pushed: exactly the
+				// snapshot work set. Bits that arrived during this
+				// merge stay out until their own round.
+				if g.propagated[n] == nil {
+					g.propagated[n] = g.factory.New()
+				}
+				bm, _ := pts.AsBitmap(g.propagated[n])
+				bm.IorWith(o.Works[i])
+			}
+			for i, n := range o.ResNodes {
+				if g.resolved[n] == nil {
+					g.resolved[n] = g.factory.New()
+				}
+				bm, _ := pts.AsBitmap(g.resolved[n])
+				bm.IorWith(o.ResWorks[i])
+			}
+		}
+		for _, o := range outs {
+			for _, e := range o.Edges {
+				rs, rd := g.find(e[0]), g.find(e[1])
+				if rs == rd || !g.addEdge(rs, rd) {
+					continue
+				}
+				// A fresh edge must carry the source's full current
+				// set, not just future deltas: forget what rs already
+				// propagated and requeue it. One requeue covers every
+				// edge rs gained this round — the batching that makes
+				// dense derived graphs (where cycle collapsing soon
+				// dedupes most of these edges) affordable.
+				if g.propagated[rs] != nil {
+					g.propagated[rs] = nil
+				}
+				if s := g.sets[rs]; s != nil && !s.Empty() {
+					front.Push(rs)
+				}
+			}
+		}
+		if lazy {
+			for _, o := range outs {
+				for _, c := range o.Cycles {
+					key := uint64(c[0])<<32 | uint64(c[1])
+					if fired[key] {
+						continue
+					}
+					fired[key] = true
+					rn, rz := g.find(c[0]), g.find(c[1])
+					if rn == rz {
+						continue
+					}
+					g.stats.CycleChecks++
+					if g.detectAndCollapse(rz, front.Push) {
+						front.Push(g.find(rn))
+					}
+				}
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress(ProgressEvent{
+				Round:          round,
+				WorklistLen:    front.Len(),
+				NodesCollapsed: g.stats.NodesCollapsed,
+				Unions:         g.stats.Propagations,
+			})
+		}
+	}
+	return nil
+}
+
+// canonicalize maps nodes to live representatives and drops duplicates,
+// in place. mark is an all-false scratch array, restored before return.
+func canonicalize(g *graph, nodes []uint32, mark []bool) []uint32 {
+	out := nodes[:0]
+	for _, x := range nodes {
+		n := g.find(x)
+		if mark[n] {
+			continue
+		}
+		mark[n] = true
+		out = append(out, n)
+	}
+	for _, n := range out {
+		mark[n] = false
+	}
+	return out
+}

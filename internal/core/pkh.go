@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 
 	"antgrass/internal/scc"
 )
@@ -13,7 +14,7 @@ import (
 // sweep are collapsed. Between sweeps, dirty nodes are processed in the
 // topological order the sweep produced; work discovered "upstream" of the
 // current position is deferred to the next round.
-func solvePKH(g *graph, opts Options) error {
+func solvePKH(ctx context.Context, g *graph, opts Options) error {
 	n := uint32(g.n)
 	pending := make([]uint32, 0, g.n)
 	inPending := make([]bool, g.n)
@@ -33,6 +34,9 @@ func solvePKH(g *graph, opts Options) error {
 	pos := make([]int32, g.n) // topological position of each rep this round
 	inRound := make([]bool, g.n)
 	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return canceled(err, "PKH sweep round")
+		}
 		// Periodic whole-graph sweep: find and collapse every cycle.
 		g.stats.CycleChecks++
 		roots := make([]uint32, 0, g.n)
@@ -108,21 +112,21 @@ func solvePKH(g *graph, opts Options) error {
 				loads, stores := g.loads[cur], g.stores[cur]
 				set.ForEach(func(v uint32) bool {
 					for _, ld := range loads {
-						t, valid := g.validTarget(v, ld.off)
+						t, valid := g.validTarget(v, ld.Off)
 						if !valid {
 							continue
 						}
 						src := g.find(t)
-						if g.addEdge(src, g.find(ld.other)) {
+						if g.addEdge(src, g.find(ld.Other)) {
 							schedule(src)
 						}
 					}
 					for _, st := range stores {
-						t, valid := g.validTarget(v, st.off)
+						t, valid := g.validTarget(v, st.Off)
 						if !valid {
 							continue
 						}
-						src := g.find(st.other)
+						src := g.find(st.Other)
 						if g.addEdge(src, g.find(t)) {
 							schedule(src)
 						}

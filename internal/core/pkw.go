@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // solvePKW is the "aggressive" ablation the paper discusses in §5.3:
 // Pearce, Kelly and Hankin's original 2003 algorithm [22] detects cycles at
 // every edge insertion, using a dynamically maintained topological order to
@@ -11,7 +13,7 @@ package core
 // region after u. Consistent with the paper's observation, this searches
 // far more nodes than LCD/HT/PKH and is roughly an order of magnitude
 // slower on cycle-heavy inputs.
-func solvePKW(g *graph, opts Options) error {
+func solvePKW(ctx context.Context, g *graph, opts Options) error {
 	n := uint32(g.n)
 	// Topological position per node; initialized by discovery order and
 	// maintained loosely (gaps allowed).
@@ -49,10 +51,16 @@ func solvePKW(g *graph, opts Options) error {
 		}
 		return true
 	}
+	var pops int
 	for {
 		x, ok := w.Pop()
 		if !ok {
 			break
+		}
+		if pops++; pops%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return canceled(err, "PKW worklist solving")
+			}
 		}
 		cur := g.find(x)
 		if cur != x {
@@ -70,21 +78,21 @@ func solvePKW(g *graph, opts Options) error {
 			// mutate the live set mid-iteration.
 			for _, v := range set.Slice() {
 				for _, ld := range loads {
-					t, valid := g.validTarget(v, ld.off)
+					t, valid := g.validTarget(v, ld.Off)
 					if !valid {
 						continue
 					}
 					src := g.find(t)
-					if insert(src, g.find(ld.other)) {
+					if insert(src, g.find(ld.Other)) {
 						w.Push(g.find(src))
 					}
 				}
 				for _, st := range stores {
-					t, valid := g.validTarget(v, st.off)
+					t, valid := g.validTarget(v, st.Off)
 					if !valid {
 						continue
 					}
-					src := g.find(st.other)
+					src := g.find(st.Other)
 					if insert(src, g.find(t)) {
 						w.Push(g.find(src))
 					}

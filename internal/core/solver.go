@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -94,10 +95,55 @@ type Options struct {
 	// solver and BDD-backed points-to sets (0 picks a default). It
 	// mirrors the paper's fixed BuDDy pool sizing (§5.2).
 	BDDPoolNodes int
+	// Workers selects bulk-synchronous parallel propagation when ≥ 2.
+	// It is honored by the Naive and LCD solvers with bitmap points-to
+	// sets (the configurations whose propagation discipline is a pure
+	// monotone fixpoint over independent nodes); every other
+	// configuration runs sequentially regardless. 0 and 1 mean
+	// sequential. The solution is identical for every value.
+	Workers int
+	// Progress, when non-nil, is invoked at round boundaries of the
+	// parallel solver and periodically by the sequential worklist
+	// solvers, giving callers an observability hook without log
+	// scraping. The callback runs on the solving goroutine and must be
+	// fast; it must not call back into the solver.
+	Progress func(ProgressEvent)
+	// Ctx, when non-nil, is checked cooperatively at round boundaries
+	// (parallel) or every few thousand worklist pops (sequential); a
+	// canceled context aborts the solve with a wrapped ctx.Err(). Set
+	// by SolveContext; plumbed through Options so the blq package's
+	// solver can honor it too.
+	Ctx context.Context
+}
+
+// ProgressEvent is a snapshot of solver progress delivered to
+// Options.Progress at a round boundary.
+type ProgressEvent struct {
+	// Round is the 1-based bulk-synchronous round number (for the
+	// parallel solver) or the number of progress intervals elapsed (for
+	// sequential solvers).
+	Round int
+	// WorklistLen is the number of nodes pending in the worklist or
+	// next-round frontier.
+	WorklistLen int
+	// NodesCollapsed and Unions are the cumulative Stats.NodesCollapsed
+	// and Stats.Propagations counters at the time of the event.
+	NodesCollapsed int64
+	Unions         int64
 }
 
 // Stats records the cost counters that §5.3 of the paper analyzes, plus
 // timing and analytic memory accounting.
+//
+// Under parallel solving (Options.Workers ≥ 2) every counter is still an
+// exact count of the operations this run performed — workers accumulate
+// into private counters that the barrier merge sums, never into shared
+// ints — but the counts themselves are schedule-dependent: Propagations,
+// EdgesAdded, CycleChecks, NodesSearched, NodesCollapsed, HCDCollapses
+// and MemBytes all depend on the order work is discovered (LCD's cycle
+// trigger is heuristic), so treat them as approximate when comparing runs
+// with different worker counts. Only the points-to solution itself is
+// schedule-independent.
 type Stats struct {
 	// NodesCollapsed is the number of constraint-graph nodes absorbed
 	// into another node by cycle collapsing.
@@ -169,10 +215,25 @@ func (r *Result) Alias(a, b uint32) bool {
 	return sa.Intersects(sb)
 }
 
-// Solve runs the selected algorithm on p.
+// Solve runs the selected algorithm on p with no cancellation.
 func Solve(p *constraint.Program, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext runs the selected algorithm on p under ctx. Cancellation is
+// cooperative — checked at round boundaries by the parallel solver and
+// every few thousand worklist pops by the sequential ones — and returns an
+// error wrapping ctx.Err(), never a partial Result.
+func SolveContext(ctx context.Context, p *constraint.Program, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.Ctx = ctx
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: solve aborted before start: %w", err)
 	}
 	if opts.Pts == nil {
 		opts.Pts = pts.NewBitmapFactory()
@@ -192,15 +253,23 @@ func Solve(p *constraint.Program, opts Options) (*Result, error) {
 	var err error
 	switch opts.Algorithm {
 	case Naive:
-		err = solveBasic(g, opts, false)
+		if useParallel(opts) {
+			err = solveParallel(ctx, g, opts, false)
+		} else {
+			err = solveBasic(ctx, g, opts, false)
+		}
 	case LCD:
-		err = solveBasic(g, opts, true)
+		if useParallel(opts) {
+			err = solveParallel(ctx, g, opts, true)
+		} else {
+			err = solveBasic(ctx, g, opts, true)
+		}
 	case HT:
-		err = solveHT(g, opts)
+		err = solveHT(ctx, g, opts)
 	case PKH:
-		err = solvePKH(g, opts)
+		err = solvePKH(ctx, g, opts)
 	case PKW:
-		err = solvePKW(g, opts)
+		err = solvePKW(ctx, g, opts)
 	default:
 		err = fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
 	}
@@ -210,6 +279,24 @@ func Solve(p *constraint.Program, opts Options) (*Result, error) {
 	g.stats.SolveDuration = time.Since(start)
 	g.stats.MemBytes = g.memBytes()
 	return NewResult(p, g.nodes, g.sets, *g.stats), nil
+}
+
+// useParallel reports whether this configuration runs the bulk-synchronous
+// parallel engine: ≥ 2 workers, a Naive/LCD algorithm (checked by the
+// caller) and bitmap-backed points-to sets (the compute phase needs
+// lock-free read-only set operations that the BDD representation, with its
+// shared mutable node table, cannot provide).
+func useParallel(opts Options) bool {
+	return opts.Workers >= 2 && opts.Pts.Name() == "bitmap"
+}
+
+// ctxCheckInterval is how many worklist pops a sequential solver processes
+// between cooperative cancellation checks and progress reports.
+const ctxCheckInterval = 4096
+
+// canceled wraps a context error with solve provenance.
+func canceled(err error, where string) error {
+	return fmt.Errorf("core: solve canceled during %s: %w", where, err)
 }
 
 // newWorklist builds the configured worklist sized for n nodes.

@@ -1,0 +1,244 @@
+// Package par implements the compute phase of bulk-synchronous ("wave")
+// parallel constraint propagation for the inclusion-based solvers, in the
+// spirit of Méndez-Lojo et al.'s parallel inclusion-based points-to
+// analysis (OOPSLA 2010).
+//
+// The solve proceeds in rounds. Each round the active frontier — the
+// representatives whose points-to sets changed since they were last
+// processed — is partitioned into contiguous shards, one per worker
+// goroutine. During the compute phase the constraint graph is frozen:
+// workers only read it (read-only union-find lookups, cache-free bitmap
+// probes) and write into private buffers:
+//
+//   - points-to deltas: for each copy successor z of a shard node n, the
+//     not-yet-propagated bits of pts(n) missing from pts(z), accumulated
+//     per destination (difference propagation is built in: each node
+//     remembers what it already pushed and ships only the delta);
+//   - candidate copy edges derived from load/store constraints resolved
+//     against the new pointees;
+//   - LCD cycle-trigger candidates (edges n → z with pts(z) = pts(n)).
+//
+// A single-threaded barrier merge (owned by package core, which holds the
+// graph mutators) then applies deltas, inserts edges, and runs cycle
+// collapses in worker order, producing the next frontier. Because workers
+// never touch shared mutable state, the hot path needs no locks, and
+// because the merge applies buffers in a fixed order, a run is
+// reproducible for a given worker count. The computed solution is the
+// unique least fixpoint of the constraint system, so every worker count —
+// including the sequential solvers — yields bit-identical points-to sets.
+package par
+
+import (
+	"sync"
+
+	"antgrass/internal/bitmap"
+	"antgrass/internal/uf"
+	"antgrass/internal/worklist"
+)
+
+// Deref records one complex constraint hanging off a dereferenced
+// variable: for loads, Other is the destination a of a ⊇ *(n+Off); for
+// stores, Other is the source b of *(n+Off) ⊇ b. Package core's constraint
+// graph stores its per-node load/store lists with this exact type so the
+// compute phase can read them without conversion.
+type Deref struct {
+	Other uint32
+	Off   uint32
+}
+
+// View is the frozen, read-only snapshot of the constraint graph that
+// workers consult during a compute phase. All slices are indexed by node
+// id and valid at representatives; entries for absorbed nodes are stale
+// and never consulted (the frontier holds representatives only).
+//
+// Nothing in a View may be mutated while Round is running.
+type View struct {
+	// Sets holds each representative's points-to set (nil = empty).
+	Sets []*bitmap.Bitmap
+	// Succs holds each representative's outgoing copy edges; members may
+	// be stale (absorbed) ids and are canonicalized through Nodes.
+	Succs []*bitmap.Bitmap
+	// Loads and Stores hold the complex constraints keyed by
+	// dereferenced representative.
+	Loads  [][]Deref
+	Stores [][]Deref
+	// Span is the dense offset-validity table: *(v+k) is meaningful only
+	// when k < Span[v].
+	Span []uint32
+	// Propagated holds, per representative, the part of its points-to
+	// set already pushed to successors (nil = nothing yet). Workers push
+	// only Sets[n] \ Propagated[n] — difference propagation is inherent
+	// to the wave engine, which is why Options.DiffProp is ignored under
+	// parallel solving.
+	Propagated []*bitmap.Bitmap
+	// Resolved holds, per representative, the part of its points-to set
+	// already resolved against the node's load/store constraints. It is
+	// tracked separately from Propagated because gaining an outgoing
+	// edge resets only the latter: the node must re-push its set, but
+	// re-resolving every old pointee against every complex constraint
+	// would re-derive (and re-buffer) millions of duplicate edge
+	// candidates per round.
+	Resolved []*bitmap.Bitmap
+	// Nodes is the union-find over graph nodes, queried via FindRO.
+	Nodes *uf.UF
+	// LCD enables the lazy-cycle-detection trigger; Fired then holds the
+	// (rep, rep) edge keys that already triggered a search. Workers only
+	// read Fired; the merge phase inserts.
+	LCD   bool
+	Fired map[uint64]bool
+}
+
+// Out is one worker's private output buffers for a round.
+type Out struct {
+	// Nodes lists the shard nodes that had unpropagated work this round,
+	// and Works the corresponding work sets (Sets[n] \ Propagated[n] at
+	// snapshot time). The merge folds each work set into Propagated[n]
+	// once the round's effects are applied. ResNodes and ResWorks do the
+	// same for resolution work (Sets[n] \ Resolved[n], recorded only for
+	// nodes with load/store constraints).
+	Nodes    []uint32
+	Works    []*bitmap.Bitmap
+	ResNodes []uint32
+	ResWorks []*bitmap.Bitmap
+	// DeltaOrder lists destination representatives in first-touch order;
+	// Deltas maps each to the accumulated points-to delta. Iterating
+	// DeltaOrder makes the merge deterministic.
+	DeltaOrder []uint32
+	Deltas     map[uint32]*bitmap.Bitmap
+	// Edges lists candidate copy edges (src, dst) discovered by
+	// resolving load/store constraints. Candidates are NOT deduplicated
+	// here: probing the shared successor bitmaps read-only costs a
+	// front-to-back scan per probe (no cache), which profiles an order
+	// of magnitude worse than letting the merge's addEdge — with its
+	// cache-accelerated bitmap insert — drop duplicates.
+	Edges [][2]uint32
+	// Cycles lists LCD trigger candidates (n, z).
+	Cycles [][2]uint32
+	// Propagations counts delta computations, the per-worker share of
+	// the Stats.Propagations counter (summed by the merge, never shared).
+	Propagations int64
+}
+
+// Round partitions the frontier (representatives in ascending order, all
+// with non-empty points-to sets) into at most workers contiguous shards,
+// runs the compute phase concurrently, and returns the per-worker buffers
+// in shard order. It blocks until every worker is done (the barrier).
+func Round(workers int, frontier []uint32, v *View) []*Out {
+	shards := worklist.Shards(frontier, workers)
+	outs := make([]*Out, len(shards))
+	if len(shards) == 1 {
+		outs[0] = computeShard(shards[0], v)
+		return outs
+	}
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh []uint32) {
+			defer wg.Done()
+			outs[i] = computeShard(sh, v)
+		}(i, sh)
+	}
+	wg.Wait()
+	return outs
+}
+
+// computeShard processes one worker's share of the frontier.
+func computeShard(nodes []uint32, v *View) *Out {
+	o := &Out{Deltas: map[uint32]*bitmap.Bitmap{}}
+	for _, n := range nodes {
+		set := v.Sets[n]
+		if set == nil || set.Empty() {
+			continue
+		}
+		// Work only on the unseen part: the bits not yet propagated the
+		// last time n was processed (everything, on a first visit or
+		// after a new edge or collapse reset Propagated[n]).
+		work := bitmap.New()
+		work.IorDiffWith(set, v.Propagated[n])
+		// Step 1 (Figure 1): resolve complex constraints against the
+		// not-yet-resolved pointees, yielding candidate edges. Resolution
+		// work is tracked separately from propagation work — see
+		// View.Resolved.
+		loads, stores := v.Loads[n], v.Stores[n]
+		if len(loads) > 0 || len(stores) > 0 {
+			res := bitmap.New()
+			res.IorDiffWith(set, v.Resolved[n])
+			if !res.Empty() {
+				o.ResNodes = append(o.ResNodes, n)
+				o.ResWorks = append(o.ResWorks, res)
+				res.ForEach(func(pv uint32) bool {
+					for _, ld := range loads {
+						if t, ok := target(pv, ld.Off, v.Span); ok {
+							o.edge(v.Nodes.FindRO(t), v.Nodes.FindRO(ld.Other))
+						}
+					}
+					for _, st := range stores {
+						if t, ok := target(pv, st.Off, v.Span); ok {
+							o.edge(v.Nodes.FindRO(st.Other), v.Nodes.FindRO(t))
+						}
+					}
+					return true
+				})
+			}
+		}
+		if work.Empty() {
+			continue
+		}
+		o.Nodes = append(o.Nodes, n)
+		o.Works = append(o.Works, work)
+		// Step 2: compute propagation deltas along outgoing copy edges,
+		// with the LCD trigger guarding each one.
+		bm := v.Succs[n]
+		if bm == nil {
+			continue
+		}
+		bm.ForEach(func(z0 uint32) bool {
+			z := v.Nodes.FindRO(z0)
+			if z == n {
+				return true
+			}
+			zs := v.Sets[z]
+			if v.LCD && zs != nil && !v.Fired[uint64(n)<<32|uint64(z)] && zs.Equal(set) {
+				// Equal full sets: nothing can flow, but the edge is a
+				// cycle candidate.
+				o.Cycles = append(o.Cycles, [2]uint32{n, z})
+				return true
+			}
+			o.Propagations++
+			d := o.Deltas[z]
+			if d == nil {
+				d = bitmap.New()
+				o.Deltas[z] = d
+				o.DeltaOrder = append(o.DeltaOrder, z)
+			}
+			d.IorDiffWith(work, zs)
+			return true
+		})
+	}
+	return o
+}
+
+// edge records the candidate copy edge src → dst unless it is a self-loop
+// or identical to the immediately preceding candidate (pointees resolve in
+// ascending order, so short duplicate runs are common and cheap to elide).
+func (o *Out) edge(src, dst uint32) {
+	if src == dst {
+		return
+	}
+	if k := len(o.Edges); k > 0 && o.Edges[k-1] == [2]uint32{src, dst} {
+		return
+	}
+	o.Edges = append(o.Edges, [2]uint32{src, dst})
+}
+
+// target mirrors the graph's validTarget rule: dereferencing v at offset
+// off resolves to v+off when off is within v's span.
+func target(v, off uint32, span []uint32) (uint32, bool) {
+	if off == 0 {
+		return v, true
+	}
+	if off < span[v] {
+		return v + off, true
+	}
+	return 0, false
+}

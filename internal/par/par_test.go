@@ -1,0 +1,200 @@
+package par
+
+import (
+	"reflect"
+	"testing"
+
+	"antgrass/internal/bitmap"
+	"antgrass/internal/uf"
+)
+
+func mkSet(xs ...uint32) *bitmap.Bitmap {
+	b := bitmap.New()
+	for _, x := range xs {
+		b.Set(x)
+	}
+	return b
+}
+
+// testView builds a 6-node view:
+//
+//	pts(0) = {3, 4}, succs 0 → {1, 2}
+//	pts(1) = {}, pts(2) = {4}
+//	node 5 has a load 5 ⊇ *(5+0) … pts(5) = {3}, so resolving yields
+//	candidate edge 3 → 0 (Other = 0).
+func testView() *View {
+	n := 6
+	v := &View{
+		Sets:       make([]*bitmap.Bitmap, n),
+		Succs:      make([]*bitmap.Bitmap, n),
+		Loads:      make([][]Deref, n),
+		Stores:     make([][]Deref, n),
+		Span:       []uint32{1, 1, 1, 1, 1, 1},
+		Propagated: make([]*bitmap.Bitmap, n),
+		Resolved:   make([]*bitmap.Bitmap, n),
+		Nodes:      uf.New(n),
+	}
+	v.Sets[0] = mkSet(3, 4)
+	v.Succs[0] = mkSet(1, 2)
+	v.Sets[2] = mkSet(4)
+	v.Sets[5] = mkSet(3)
+	v.Loads[5] = []Deref{{Other: 0, Off: 0}}
+	return v
+}
+
+func TestRoundDeltas(t *testing.T) {
+	v := testView()
+	outs := Round(1, []uint32{0, 5}, v)
+	if len(outs) != 1 {
+		t.Fatalf("1 worker produced %d outs", len(outs))
+	}
+	o := outs[0]
+	// Node 0 pushes {3,4} to 1 and {3} to 2 (4 is already there).
+	if !reflect.DeepEqual(o.DeltaOrder, []uint32{1, 2}) {
+		t.Fatalf("DeltaOrder = %v", o.DeltaOrder)
+	}
+	if got := o.Deltas[1].Slice(); !reflect.DeepEqual(got, []uint32{3, 4}) {
+		t.Fatalf("delta to 1 = %v", got)
+	}
+	if got := o.Deltas[2].Slice(); !reflect.DeepEqual(got, []uint32{3}) {
+		t.Fatalf("delta to 2 = %v", got)
+	}
+	if o.Propagations != 2 {
+		t.Fatalf("Propagations = %d", o.Propagations)
+	}
+	// Node 5's load resolves pointee 3 into candidate edge 3 → 0.
+	if !reflect.DeepEqual(o.Edges, [][2]uint32{{3, 0}}) {
+		t.Fatalf("Edges = %v", o.Edges)
+	}
+	if !reflect.DeepEqual(o.Nodes, []uint32{0, 5}) || len(o.Works) != 2 {
+		t.Fatalf("work bookkeeping: nodes %v works %d", o.Nodes, len(o.Works))
+	}
+	if !reflect.DeepEqual(o.ResNodes, []uint32{5}) || len(o.ResWorks) != 1 {
+		t.Fatalf("resolution bookkeeping: nodes %v works %d", o.ResNodes, len(o.ResWorks))
+	}
+}
+
+// TestRoundShardingDeterminism checks that the concatenated buffers are
+// identical regardless of worker count — the merge applies them in shard
+// order, so this is the engine's reproducibility property.
+func TestRoundShardingDeterminism(t *testing.T) {
+	frontier := []uint32{0, 2, 5}
+	var base []*Out
+	for _, workers := range []int{1, 2, 3, 8} {
+		outs := Round(workers, frontier, testView())
+		if want := min(workers, len(frontier)); len(outs) != want {
+			t.Fatalf("workers=%d: %d shards, want %d", workers, len(outs), want)
+		}
+		var merged Out
+		for _, o := range outs {
+			merged.Nodes = append(merged.Nodes, o.Nodes...)
+			merged.Edges = append(merged.Edges, o.Edges...)
+			merged.DeltaOrder = append(merged.DeltaOrder, o.DeltaOrder...)
+			merged.Propagations += o.Propagations
+		}
+		if base == nil {
+			base = []*Out{&merged}
+			continue
+		}
+		b := base[0]
+		if !reflect.DeepEqual(merged.Nodes, b.Nodes) ||
+			!reflect.DeepEqual(merged.Edges, b.Edges) ||
+			!reflect.DeepEqual(merged.DeltaOrder, b.DeltaOrder) ||
+			merged.Propagations != b.Propagations {
+			t.Fatalf("workers=%d produced different buffers", workers)
+		}
+	}
+}
+
+func TestRoundDifferencePropagation(t *testing.T) {
+	v := testView()
+	// Mark 3 as already propagated and resolved everywhere relevant.
+	v.Propagated[0] = mkSet(3)
+	v.Resolved[5] = mkSet(3)
+	v.Propagated[5] = mkSet(3)
+	outs := Round(1, []uint32{0, 5}, v)
+	o := outs[0]
+	// Only the unseen pointee 4 moves: delta {4} to node 1, and an empty
+	// delta to 2 (which already holds 4 — the computation still runs and
+	// counts, the merge discards it).
+	if !reflect.DeepEqual(o.DeltaOrder, []uint32{1, 2}) {
+		t.Fatalf("DeltaOrder = %v", o.DeltaOrder)
+	}
+	if got := o.Deltas[1].Slice(); !reflect.DeepEqual(got, []uint32{4}) {
+		t.Fatalf("delta to 1 = %v", got)
+	}
+	if !o.Deltas[2].Empty() {
+		t.Fatalf("delta to 2 = %v, want empty", o.Deltas[2].Slice())
+	}
+	// Node 5 has nothing new: no resolution, no work entry.
+	if len(o.Edges) != 0 || len(o.ResNodes) != 0 {
+		t.Fatalf("stale pointee re-resolved: edges %v res %v", o.Edges, o.ResNodes)
+	}
+	if !reflect.DeepEqual(o.Nodes, []uint32{0}) {
+		t.Fatalf("Nodes = %v", o.Nodes)
+	}
+}
+
+func TestRoundLCDCycleCandidate(t *testing.T) {
+	v := testView()
+	v.LCD = true
+	v.Fired = map[uint64]bool{}
+	// Give 1 the same set as 0: the edge 0 → 1 must become a cycle
+	// candidate instead of a propagation.
+	v.Sets[1] = mkSet(3, 4)
+	outs := Round(1, []uint32{0}, v)
+	o := outs[0]
+	if !reflect.DeepEqual(o.Cycles, [][2]uint32{{0, 1}}) {
+		t.Fatalf("Cycles = %v", o.Cycles)
+	}
+	if _, ok := o.Deltas[1]; ok {
+		t.Fatal("propagated across a cycle-candidate edge")
+	}
+	// Once fired, the same edge propagates normally (empty delta here).
+	v.Fired[uint64(0)<<32|1] = true
+	o = Round(1, []uint32{0}, v)[0]
+	if len(o.Cycles) != 0 {
+		t.Fatalf("re-fired cycle trigger: %v", o.Cycles)
+	}
+}
+
+func TestEdgeElision(t *testing.T) {
+	var o Out
+	o.edge(3, 3) // self-loop
+	o.edge(1, 2)
+	o.edge(1, 2) // consecutive duplicate
+	o.edge(2, 1)
+	o.edge(1, 2) // non-consecutive duplicate is kept (merge dedupes)
+	want := [][2]uint32{{1, 2}, {2, 1}, {1, 2}}
+	if !reflect.DeepEqual(o.Edges, want) {
+		t.Fatalf("Edges = %v, want %v", o.Edges, want)
+	}
+}
+
+func TestTarget(t *testing.T) {
+	span := []uint32{3, 1, 1, 1}
+	for _, tc := range []struct {
+		v, off uint32
+		want   uint32
+		ok     bool
+	}{
+		{0, 0, 0, true},
+		{0, 1, 1, true},
+		{0, 2, 2, true},
+		{0, 3, 0, false},
+		{1, 0, 1, true},
+		{1, 1, 0, false},
+	} {
+		got, ok := target(tc.v, tc.off, span)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("target(%d, %d) = %d, %v; want %d, %v", tc.v, tc.off, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

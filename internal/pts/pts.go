@@ -51,6 +51,19 @@ type Factory interface {
 	OverheadBytes() int
 }
 
+// AsBitmap returns the sparse bitmap backing s when s comes from the
+// bitmap factory, and ok=false for any other representation (or nil s).
+// The parallel solver uses it to run lock-free read-only set operations
+// that the Set interface cannot express; callers own the aliasing rules
+// (the returned bitmap IS the set's storage, not a copy).
+func AsBitmap(s Set) (*bitmap.Bitmap, bool) {
+	bs, ok := s.(*bitmapSet)
+	if !ok {
+		return nil, false
+	}
+	return &bs.b, true
+}
+
 // bitmapSet adapts bitmap.Bitmap to Set.
 type bitmapSet struct {
 	b bitmap.Bitmap

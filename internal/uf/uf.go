@@ -44,6 +44,17 @@ func (u *UF) Find(x uint32) uint32 {
 	return root
 }
 
+// FindRO returns the representative of x without path compression. Unlike
+// Find it never mutates the structure, so any number of goroutines may call
+// it concurrently as long as no Union runs at the same time (the parallel
+// solver's compute phase relies on this).
+func (u *UF) FindRO(x uint32) uint32 {
+	for u.parent[x] != x {
+		x = u.parent[x]
+	}
+	return x
+}
+
 // Same reports whether x and y are in the same set.
 func (u *UF) Same(x, y uint32) bool { return u.Find(x) == u.Find(y) }
 

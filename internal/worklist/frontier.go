@@ -1,0 +1,83 @@
+package worklist
+
+import "sort"
+
+// Frontier is the bulk-synchronous counterpart of Worklist: a deduplicating
+// set of node ids that is filled during one propagation round (the barrier
+// merge) and drained whole at the start of the next. Draining returns the
+// nodes in ascending id order regardless of push order, so a parallel round
+// sees a frontier that is deterministic for a given graph state — the
+// property the wave solver's reproducibility argument rests on.
+//
+// Frontier is not safe for concurrent use; the parallel solver only pushes
+// from the single-threaded merge phase.
+type Frontier struct {
+	nodes  []uint32
+	member []bool
+	sorted bool
+}
+
+// NewFrontier returns an empty frontier over nodes 0..n-1.
+func NewFrontier(n int) *Frontier {
+	return &Frontier{member: make([]bool, n), sorted: true}
+}
+
+// Push adds x unless it is already present.
+func (f *Frontier) Push(x uint32) {
+	if f.member[x] {
+		return
+	}
+	f.member[x] = true
+	if f.sorted && len(f.nodes) > 0 && x < f.nodes[len(f.nodes)-1] {
+		f.sorted = false
+	}
+	f.nodes = append(f.nodes, x)
+}
+
+// Len returns the number of pending nodes.
+func (f *Frontier) Len() int { return len(f.nodes) }
+
+// Empty reports whether no node is pending.
+func (f *Frontier) Empty() bool { return len(f.nodes) == 0 }
+
+// Drain removes and returns all pending nodes in ascending id order. The
+// returned slice is owned by the caller; the frontier is empty afterwards
+// and may be refilled.
+func (f *Frontier) Drain() []uint32 {
+	out := f.nodes
+	if !f.sorted {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	for _, x := range out {
+		f.member[x] = false
+	}
+	f.nodes = nil
+	f.sorted = true
+	return out
+}
+
+// Shards splits nodes into at most k contiguous, nearly equal-sized
+// slices, dropping empty shards (so the result has min(k, len(nodes))
+// entries). Contiguous ranges of the ascending drain order keep each
+// worker's accesses clustered in id space.
+func Shards(nodes []uint32, k int) [][]uint32 {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	if k == 0 {
+		return nil
+	}
+	out := make([][]uint32, 0, k)
+	chunk := (len(nodes) + k - 1) / k
+	for start := 0; start < len(nodes); start += chunk {
+		end := start + chunk
+		if end > len(nodes) {
+			end = len(nodes)
+		}
+		out = append(out, nodes[start:end])
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh — the repository's CI gate, in one command:
+#
+#   ./scripts/check.sh
+#
+# Runs, in order:
+#   1. go vet over every package;
+#   2. the full build;
+#   3. the full test suite;
+#   4. a race-detector pass over the concurrency-bearing packages
+#      (internal/par, internal/core) in -short mode, so the parallel
+#      engine's lock-free compute phase is exercised under the race
+#      detector on every change.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race -short ./internal/par ./internal/core"
+go test -race -short ./internal/par ./internal/core
+
+echo "OK"
