@@ -33,6 +33,7 @@ import (
 	"antgrass/internal/constraint"
 	"antgrass/internal/core"
 	"antgrass/internal/hcd"
+	"antgrass/internal/metrics"
 	"antgrass/internal/olf"
 	"antgrass/internal/ovs"
 	"antgrass/internal/pts"
@@ -122,7 +123,27 @@ type Options struct {
 	// solvers) with a snapshot of solver progress. It runs on the
 	// solving goroutine and must return quickly.
 	Progress func(ProgressEvent)
+	// Metrics, when non-nil, collects the solve's observability data:
+	// per-phase wall-clock attribution (offline passes vs. graph
+	// construction vs. propagation vs. cycle detection), peak-memory
+	// samples taken at round boundaries, and the final cost counters.
+	// Create one with NewMetrics and read it back with
+	// Metrics.Snapshot after the solve. nil disables instrumentation
+	// with no measurable overhead.
+	Metrics *Metrics
 }
+
+// Metrics is the solver observability registry: named counters, phase
+// timers, and peak-memory samples. A nil *Metrics is valid and disables
+// all instrumentation.
+type Metrics = metrics.Registry
+
+// MetricsSnapshot is a point-in-time, serializable copy of a Metrics
+// registry.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetrics returns an empty metrics registry to pass in Options.
+func NewMetrics() *Metrics { return metrics.New() }
 
 // ProgressEvent is a solver-progress snapshot delivered to
 // Options.Progress: the round number, the pending worklist size, and the
@@ -199,6 +220,7 @@ func SolveContext(ctx context.Context, p *Program, o Options) (*Result, error) {
 	var preUnions [][2]uint32
 	if o.OVS {
 		red := ovs.Reduce(p)
+		o.Metrics.AddPhase(metrics.PhaseOVS, red.Duration)
 		res.OVSStats = red
 		prog = red.Reduced
 		preUnions = red.PreUnions
@@ -208,6 +230,7 @@ func SolveContext(ctx context.Context, p *Program, o Options) (*Result, error) {
 		DiffProp:     o.DiffProp,
 		Workers:      o.Workers,
 		Progress:     o.Progress,
+		Metrics:      o.Metrics,
 	}
 	switch o.Algorithm {
 	case Naive:
@@ -229,6 +252,7 @@ func SolveContext(ctx context.Context, p *Program, o Options) (*Result, error) {
 		table := &hcd.Result{Pairs: map[uint32]uint32{}}
 		if o.HCD {
 			table = hcd.Analyze(prog)
+			o.Metrics.AddPhase(metrics.PhaseHCD, table.Duration)
 		}
 		table.PreUnions = append(table.PreUnions, preUnions...)
 		copts.WithHCD = true

@@ -1,6 +1,7 @@
 package antgrass
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -127,4 +128,77 @@ func TestCLIBenchSmoke(t *testing.T) {
 	if strings.Contains(out, "ERR") {
 		t.Errorf("antbench cell failed:\n%s", out)
 	}
+}
+
+// TestCLIBenchJSONAndBenchdiff drives the observability pipeline end to
+// end: antbench -json writes a schema-versioned report, and
+// scripts/benchdiff.go passes on identical reports but exits non-zero on
+// an injected 50% regression.
+func TestCLIBenchJSONAndBenchdiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	antbench := buildTool(t, dir, "antbench")
+	repPath := filepath.Join(dir, "old.json")
+	out, _ := run(t, antbench, "-json", "-scale", "0.01", "-benches", "emacs", "-out", repPath)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("antbench -json summary missing:\n%s", out)
+	}
+	raw, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"schema_version": 1`) {
+		t.Fatalf("report missing schema version:\n%.400s", raw)
+	}
+
+	// Inject a 50% wall-clock regression into a copy (textual surgery
+	// would be brittle; reparse with encoding/json via the bench types
+	// is what benchdiff itself does, so keep the test independent and
+	// rewrite one number with a scanner).
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(newPath, injectRegression(t, raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical reports: exit 0.
+	diff := exec.Command("go", "run", "./scripts/benchdiff.go", "-min-seconds", "0", repPath, repPath)
+	if out, err := diff.CombinedOutput(); err != nil {
+		t.Fatalf("benchdiff on identical reports failed: %v\n%s", err, out)
+	}
+	// Injected regression: exit non-zero and name the regression.
+	diff = exec.Command("go", "run", "./scripts/benchdiff.go", "-threshold", "15", "-min-seconds", "0", repPath, newPath)
+	out2, err := diff.CombinedOutput()
+	if err == nil {
+		t.Fatalf("benchdiff missed injected regression:\n%s", out2)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("benchdiff exit = %v, want status 1\n%s", err, out2)
+	}
+	if !strings.Contains(string(out2), "REGRESSION") {
+		t.Fatalf("benchdiff output missing REGRESSION marker:\n%s", out2)
+	}
+}
+
+// injectRegression multiplies every wall_seconds in a report by 1.5.
+func injectRegression(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var rep map[string]interface{}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	runs, ok := rep["runs"].([]interface{})
+	if !ok || len(runs) == 0 {
+		t.Fatalf("report has no runs")
+	}
+	for _, r := range runs {
+		m := r.(map[string]interface{})
+		m["wall_seconds"] = m["wall_seconds"].(float64) * 1.5
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }

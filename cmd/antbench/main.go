@@ -5,6 +5,7 @@
 //
 //	antbench [-scale 0.1] [-table N | -figure N | -stats | -all]
 //	         [-workers N] [-timeout d] [-v]
+//	antbench -json [-out FILE] [-benches a,b] [-scale S] [-workers N]
 //
 // -scale multiplies the paper's reduced constraint counts (1.0 = full
 // paper size; the default keeps a laptop run in minutes).
@@ -14,6 +15,14 @@
 // lcd / lcd+hcd). The comparison defaults to scale 0.25 — large enough for
 // multi-second solves — unless -scale is given explicitly. -timeout bounds
 // the whole antbench run.
+//
+// -json runs the instrumented algorithm matrix and writes a versioned,
+// machine-readable report (wall time, per-phase breakdown, peak memory,
+// cost counters per run) to BENCH_<timestamp>.json — or to -out — instead
+// of printing tables. -benches restricts it to a comma-separated workload
+// subset; with -workers N the wave-capable configurations are additionally
+// measured at N workers. Diff two reports with scripts/benchdiff.go (see
+// docs/BENCHMARKS.md).
 package main
 
 import (
@@ -21,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"antgrass/internal/bench"
 )
@@ -37,6 +48,9 @@ func main() {
 	workers := flag.Int("workers", 0, "print the parallel-vs-sequential comparison at this worker count")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	verbose := flag.Bool("v", false, "log each run as it completes")
+	jsonOut := flag.Bool("json", false, "write a machine-readable benchmark report instead of printing tables")
+	outPath := flag.String("out", "", "report file path for -json (default BENCH_<timestamp>.json)")
+	benches := flag.String("benches", "", "comma-separated workload subset for -json (default: all six)")
 	flag.Parse()
 	scaleSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -63,6 +77,41 @@ func main() {
 		h.Progress = os.Stderr
 	}
 	out := os.Stdout
+
+	if *jsonOut {
+		var names []string
+		if *benches != "" {
+			for _, b := range strings.Split(*benches, ",") {
+				names = append(names, strings.TrimSpace(b))
+			}
+		}
+		now := time.Now()
+		rep := h.Report(names, nil, *workers, now)
+		if len(rep.Runs) == 0 {
+			fmt.Fprintf(os.Stderr, "antbench: no workloads matched -benches %q\n", *benches)
+			os.Exit(2)
+		}
+		path := *outPath
+		if path == "" {
+			path = "BENCH_" + now.UTC().Format("20060102T150405Z") + ".json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "antbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "antbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "wrote %s (%d runs)\n", path, len(rep.Runs))
+		return
+	}
 
 	if *workers > 0 {
 		ph := h

@@ -3,13 +3,19 @@
 // Usage:
 //
 //	antsolve [-alg lcd] [-hcd] [-ovs] [-pts bitmap|bdd] [-workers n]
-//	         [-timeout d] [-stats] [-print] [-var name] file
+//	         [-timeout d] [-stats] [-phases] [-print] [-var name]
+//	         [-cpuprofile f] [-memprofile f] file
 //
 // The input is the antgrass text constraint format (see README.md); "-"
 // reads stdin. With -print the full solution is dumped (one line per
 // variable with a non-empty points-to set); -var restricts output to one
 // variable by name. -workers ≥ 2 enables parallel propagation for the
 // naive and lcd solvers; -timeout aborts a runaway solve (exit status 1).
+//
+// -phases prints the per-phase wall-clock breakdown recorded by the
+// metrics registry (graph build, cycle detection, propagation, ...).
+// -cpuprofile and -memprofile write runtime/pprof profiles covering the
+// solve, for use with `go tool pprof`.
 package main
 
 import (
@@ -18,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"antgrass"
 )
@@ -30,8 +38,11 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel propagation workers for naive/lcd (0 or 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	stats := flag.Bool("stats", false, "print solver cost counters")
+	phases := flag.Bool("phases", false, "print the per-phase timing breakdown")
 	print := flag.Bool("print", false, "print the full points-to solution")
 	varName := flag.String("var", "", "print the solution of one variable")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the solve to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the solve to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: antsolve [flags] <file.constraints | ->")
@@ -59,15 +70,42 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var reg *antgrass.Metrics
+	if *phases {
+		reg = antgrass.NewMetrics()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 	res, err := antgrass.SolveContext(ctx, prog, antgrass.Options{
 		Algorithm: antgrass.Algorithm(*alg),
 		HCD:       *hcd,
 		OVS:       *ovs,
 		Pts:       antgrass.Repr(*repr),
 		Workers:   *workers,
+		Metrics:   reg,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 
 	s := res.Stats()
@@ -99,6 +137,16 @@ func main() {
 		fmt.Printf("hcd collapses:    %d\n", s.HCDCollapses)
 		if *hcd {
 			fmt.Printf("hcd offline time: %v\n", s.OfflineDuration)
+		}
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		fmt.Println("phases:")
+		for _, p := range snap.Phases {
+			fmt.Printf("  %-18s %.6fs\n", p.Name, p.Seconds)
+		}
+		if snap.PeakHeapBytes > 0 {
+			fmt.Printf("  peak heap          %.1f MB\n", float64(snap.PeakHeapBytes)/(1<<20))
 		}
 	}
 	if *varName != "" {

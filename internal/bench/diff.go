@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// DiffOptions configures report comparison.
+type DiffOptions struct {
+	// ThresholdPercent is the wall-clock slowdown above which a run
+	// counts as a regression (e.g. 10 means ">10% slower fails").
+	ThresholdPercent float64
+	// MinSeconds suppresses regression verdicts when both measurements
+	// are below this floor: sub-noise runs produce huge spurious
+	// percentages. 0 means no floor.
+	MinSeconds float64
+}
+
+// DiffEntry compares one run present in both reports.
+type DiffEntry struct {
+	Key          string  `json:"key"`
+	OldSeconds   float64 `json:"old_seconds"`
+	NewSeconds   float64 `json:"new_seconds"`
+	DeltaPercent float64 `json:"delta_percent"` // positive = slower
+	// Regression marks entries beyond the threshold (and above the
+	// noise floor).
+	Regression bool `json:"regression"`
+	// BelowFloor marks entries exempted by MinSeconds.
+	BelowFloor bool `json:"below_floor,omitempty"`
+}
+
+// DiffResult is the outcome of comparing two reports.
+type DiffResult struct {
+	Entries []DiffEntry `json:"entries"`
+	// MissingInNew lists run keys present in the old report only —
+	// a silently dropped benchmark is itself a CI failure.
+	MissingInNew []string `json:"missing_in_new,omitempty"`
+	// AddedInNew lists run keys present in the new report only.
+	AddedInNew []string `json:"added_in_new,omitempty"`
+	// Regressions counts entries with Regression set.
+	Regressions int `json:"regressions"`
+}
+
+// DiffReports compares wall-clock times run by run. Runs are matched by
+// (bench, algo, pts, workers). Errored runs (zero wall time) are listed
+// but never produce a regression verdict in either direction.
+func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
+	res := &DiffResult{}
+	newByKey := map[string]Run{}
+	for _, r := range new.Runs {
+		newByKey[r.Key()] = r
+	}
+	seen := map[string]bool{}
+	for _, o := range old.Runs {
+		key := o.Key()
+		n, ok := newByKey[key]
+		if !ok {
+			res.MissingInNew = append(res.MissingInNew, key)
+			continue
+		}
+		seen[key] = true
+		e := DiffEntry{Key: key, OldSeconds: o.WallSeconds, NewSeconds: n.WallSeconds}
+		if o.WallSeconds > 0 && n.WallSeconds > 0 {
+			e.DeltaPercent = (n.WallSeconds - o.WallSeconds) / o.WallSeconds * 100
+			if opts.MinSeconds > 0 && o.WallSeconds < opts.MinSeconds && n.WallSeconds < opts.MinSeconds {
+				e.BelowFloor = true
+			} else if e.DeltaPercent > opts.ThresholdPercent {
+				e.Regression = true
+				res.Regressions++
+			}
+		}
+		res.Entries = append(res.Entries, e)
+	}
+	for _, n := range new.Runs {
+		if !seen[n.Key()] {
+			res.AddedInNew = append(res.AddedInNew, n.Key())
+		}
+	}
+	return res
+}
+
+// Print renders the diff as a human-readable table.
+func (d *DiffResult) Print(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "run\told\tnew\tdelta\t\n")
+	for _, e := range d.Entries {
+		verdict := ""
+		switch {
+		case e.Regression:
+			verdict = "REGRESSION"
+		case e.BelowFloor:
+			verdict = "(below noise floor)"
+		}
+		fmt.Fprintf(tw, "%s\t%.3fs\t%.3fs\t%+.1f%%\t%s\n",
+			e.Key, e.OldSeconds, e.NewSeconds, e.DeltaPercent, verdict)
+	}
+	tw.Flush()
+	for _, k := range d.MissingInNew {
+		fmt.Fprintf(w, "missing in new report: %s\n", k)
+	}
+	for _, k := range d.AddedInNew {
+		fmt.Fprintf(w, "added in new report: %s\n", k)
+	}
+	fmt.Fprintf(w, "%d regression(s)\n", d.Regressions)
+}
+
+// Failed reports whether the diff should fail a CI gate: any wall-clock
+// regression, or any run that silently disappeared.
+func (d *DiffResult) Failed() bool {
+	return d.Regressions > 0 || len(d.MissingInNew) > 0
+}

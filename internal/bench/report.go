@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"antgrass/internal/blq"
+	"antgrass/internal/constraint"
+	"antgrass/internal/core"
+	"antgrass/internal/metrics"
+)
+
+// ReportSchemaVersion identifies the BENCH_*.json layout. History:
+//
+//	1 — initial schema: host block, per-run wall/phases/counters/peaks.
+//
+// Consumers (scripts/benchdiff.go, CI) must refuse versions they do not
+// know; producers bump this when a field changes meaning or is removed
+// (adding fields is backward compatible and does not bump).
+const ReportSchemaVersion = 1
+
+// Report is the machine-readable benchmark report antbench -json emits.
+// It is the durable perf trajectory artifact: one file per run of the
+// suite, diffable with scripts/benchdiff.go.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at"` // RFC 3339
+	Host          Host   `json:"host"`
+	// Scale is the workload scale every run used (1.0 = paper-sized).
+	Scale float64 `json:"scale"`
+	Runs  []Run   `json:"runs"`
+}
+
+// Host describes the machine and toolchain, so regressions can be told
+// apart from hardware changes.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// Run is one (benchmark, solver configuration) measurement.
+type Run struct {
+	// Bench is the workload name ("emacs", ...); Algo the solver label
+	// in the paper's notation ("lcd+hcd", ...); Pts the points-to
+	// representation ("bitmap" or "bdd").
+	Bench string `json:"bench"`
+	Algo  string `json:"algo"`
+	Pts   string `json:"pts"`
+	// Workers is the parallel worker count the run was configured with
+	// (0 = sequential).
+	Workers int `json:"workers"`
+	// WallSeconds is the wall-clock time of the whole solve call.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Phases attributes the wall clock to solver phases (graph.build,
+	// solve.propagate, solve.cycledetect, ..., finalize), in
+	// registration order. The phases are disjoint and cover the solve,
+	// so their sum tracks WallSeconds closely; hcd.offline appears only
+	// when the offline pass ran inside the solve call (the suite
+	// precomputes and shares it — see OfflineSeconds).
+	Phases []metrics.PhaseValue `json:"phases"`
+	// Counters are the solver cost counters of the paper's §5.3
+	// (propagations, edges_added, cycle_checks, nodes_collapsed, ...)
+	// plus rounds, workers and mem_bytes.
+	Counters []metrics.CounterValue `json:"counters"`
+	// PeakHeapBytes / PeakSysBytes are the largest runtime.MemStats
+	// HeapAlloc / Sys observations sampled at round boundaries during
+	// the solve — the process-level analogue of the paper's memory
+	// columns (MemBytes below is the analytic footprint).
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	PeakSysBytes  uint64 `json:"peak_sys_bytes"`
+	// MemBytes is the analytic final-state footprint (Stats.MemBytes).
+	MemBytes int64 `json:"mem_bytes"`
+	// OfflineSeconds is the (shared, precomputed) HCD offline analysis
+	// time for this benchmark; zero for configurations without HCD. It
+	// is NOT part of WallSeconds, matching Table 3's separate column.
+	OfflineSeconds float64 `json:"offline_seconds,omitempty"`
+	// Error is the solve error, if any; all measurements are zero then.
+	Error string `json:"error,omitempty"`
+}
+
+// Key identifies a run for cross-report matching.
+func (r Run) Key() string {
+	return fmt.Sprintf("%s/%s/%s/w%d", r.Bench, r.Algo, r.Pts, r.Workers)
+}
+
+// hostInfo captures the current machine.
+func hostInfo() Host {
+	return Host{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Report runs the algorithm matrix with full instrumentation and returns
+// the machine-readable report. benches filters workloads (nil = all six);
+// algos is the configuration list (nil = AllAlgos, the Table 3 bitmap
+// matrix); workers > 0 additionally measures each wave-capable
+// configuration (ParallelAlgos) at that worker count. now stamps
+// GeneratedAt.
+func (h *Harness) Report(benches []string, algos []AlgoID, workers int, now time.Time) *Report {
+	if algos == nil {
+		algos = AllAlgos
+	}
+	rep := &Report{
+		SchemaVersion: ReportSchemaVersion,
+		GeneratedAt:   now.UTC().Format(time.RFC3339),
+		Host:          hostInfo(),
+		Scale:         h.Scale,
+	}
+	for _, p := range h.Profiles() {
+		if benches != nil && !contains(benches, p.Name) {
+			continue
+		}
+		prog := h.Program(p)
+		for _, a := range algos {
+			rep.Runs = append(rep.Runs, h.reportRun(p.Name, prog, a, 0))
+		}
+		if workers > 1 {
+			for _, a := range ParallelAlgos {
+				rep.Runs = append(rep.Runs, h.reportRun(p.Name, prog, a, workers))
+			}
+		}
+	}
+	return rep
+}
+
+// reportRun measures one instrumented cell.
+func (h *Harness) reportRun(bench string, prog *constraint.Program, a AlgoID, workers int) Run {
+	reg := metrics.New()
+	opts := core.Options{
+		Algorithm:    a.Alg,
+		WithHCD:      a.HCD,
+		BDDPoolNodes: h.PoolNodes,
+		Workers:      workers,
+		Metrics:      reg,
+	}
+	run := Run{Bench: bench, Algo: a.Name, Pts: "bitmap", Workers: workers}
+	if a.HCD {
+		table := h.hcdTable(bench, prog)
+		opts.HCDTable = table
+		run.OfflineSeconds = table.Duration.Seconds()
+	}
+	var (
+		res *core.Result
+		err error
+	)
+	start := time.Now()
+	if a.BLQ {
+		run.Pts = "bdd-relation"
+		res, err = blq.Solve(prog, opts)
+	} else {
+		res, err = core.Solve(prog, opts)
+	}
+	run.WallSeconds = time.Since(start).Seconds()
+	if err != nil {
+		run.Error = err.Error()
+		run.WallSeconds = 0
+		return run
+	}
+	snap := reg.Snapshot()
+	run.Phases = snap.Phases
+	run.Counters = snap.Counters
+	run.PeakHeapBytes = snap.PeakHeapBytes
+	run.PeakSysBytes = snap.PeakSysBytes
+	run.MemBytes = res.Stats.MemBytes
+	h.logf("  %-12s %-8s w%-2d %8.3fs %9.1f MB peak\n",
+		bench, a.Name, workers, run.WallSeconds, float64(run.PeakHeapBytes)/(1<<20))
+	return run
+}
+
+// WriteJSON serializes the report, indented, with a trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses and version-checks a report.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	if r.SchemaVersion != ReportSchemaVersion {
+		return nil, fmt.Errorf("bench: unsupported report schema_version %d (want %d)",
+			r.SchemaVersion, ReportSchemaVersion)
+	}
+	return &r, nil
+}
+
+// PhaseTotalSeconds sums a run's phase breakdown.
+func (r Run) PhaseTotalSeconds() float64 {
+	var total float64
+	for _, p := range r.Phases {
+		total += p.Seconds
+	}
+	return total
+}

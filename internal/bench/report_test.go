@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"antgrass/internal/core"
+)
+
+// reportAlgos is a small matrix covering both solver families and HCD.
+var reportAlgos = []AlgoID{
+	{Name: "lcd", Alg: core.LCD},
+	{Name: "lcd+hcd", Alg: core.LCD, HCD: true},
+	{Name: "blq", BLQ: true},
+}
+
+func testReport(t *testing.T, workers int) *Report {
+	t.Helper()
+	h := NewHarness(0.05)
+	return h.Report([]string{"emacs"}, reportAlgos, workers, time.Unix(1754400000, 0))
+}
+
+func TestReportSchema(t *testing.T) {
+	rep := testReport(t, 0)
+	if rep.SchemaVersion != ReportSchemaVersion {
+		t.Fatalf("schema version = %d, want %d", rep.SchemaVersion, ReportSchemaVersion)
+	}
+	if rep.GeneratedAt == "" || rep.Host.GoVersion == "" || rep.Host.NumCPU <= 0 {
+		t.Fatalf("incomplete header: %+v", rep)
+	}
+	if _, err := time.Parse(time.RFC3339, rep.GeneratedAt); err != nil {
+		t.Fatalf("GeneratedAt %q not RFC3339: %v", rep.GeneratedAt, err)
+	}
+	if len(rep.Runs) != len(reportAlgos) {
+		t.Fatalf("got %d runs, want %d", len(rep.Runs), len(reportAlgos))
+	}
+	for _, r := range rep.Runs {
+		if r.Error != "" {
+			t.Fatalf("%s: solve error: %s", r.Key(), r.Error)
+		}
+		if r.Bench != "emacs" || r.WallSeconds <= 0 {
+			t.Fatalf("bad run %+v", r)
+		}
+		if len(r.Phases) == 0 || len(r.Counters) == 0 {
+			t.Fatalf("%s: missing phases/counters: %+v", r.Key(), r)
+		}
+		if r.PeakHeapBytes == 0 {
+			t.Fatalf("%s: no peak-memory sample", r.Key())
+		}
+		if r.MemBytes <= 0 {
+			t.Fatalf("%s: no analytic memory", r.Key())
+		}
+	}
+}
+
+// TestReportPhasesCoverWall is the acceptance criterion: the per-run
+// phase breakdown must sum to within 10% of the measured wall time — the
+// spans are disjoint and cover the solve, so a large gap means a phase
+// went missing.
+func TestReportPhasesCoverWall(t *testing.T) {
+	// Averaging over attempts guards against a single descheduling
+	// blip on a loaded CI machine.
+	rep := testReport(t, 0)
+	for _, r := range rep.Runs {
+		sum := r.PhaseTotalSeconds()
+		if sum < 0.90*r.WallSeconds || sum > 1.10*r.WallSeconds {
+			t.Errorf("%s: phase sum %.6fs vs wall %.6fs (%.0f%% coverage); phases: %+v",
+				r.Key(), sum, r.WallSeconds, 100*sum/r.WallSeconds, r.Phases)
+		}
+	}
+}
+
+func TestReportParallelRuns(t *testing.T) {
+	rep := testReport(t, 2)
+	var seq, par int
+	for _, r := range rep.Runs {
+		switch r.Workers {
+		case 0:
+			seq++
+		case 2:
+			par++
+			found := false
+			for _, c := range r.Counters {
+				if c.Name == "rounds" && c.Value > 0 {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: parallel run reported no rounds", r.Key())
+			}
+		default:
+			t.Errorf("unexpected worker count in %s", r.Key())
+		}
+	}
+	if seq != len(reportAlgos) || par != len(ParallelAlgos) {
+		t.Fatalf("got %d sequential + %d parallel runs, want %d + %d",
+			seq, par, len(reportAlgos), len(ParallelAlgos))
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := testReport(t, 0)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != rep.SchemaVersion || len(back.Runs) != len(rep.Runs) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	for i := range rep.Runs {
+		if back.Runs[i].Key() != rep.Runs[i].Key() ||
+			back.Runs[i].WallSeconds != rep.Runs[i].WallSeconds {
+			t.Fatalf("run %d mismatch: %+v vs %+v", i, back.Runs[i], rep.Runs[i])
+		}
+	}
+}
+
+func TestReadReportRejectsUnknownSchema(t *testing.T) {
+	_, err := ReadReport(strings.NewReader(`{"schema_version": 999, "runs": []}`))
+	if err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("expected schema version error, got %v", err)
+	}
+}
+
+// TestDiffInjectedRegression is the acceptance criterion for the
+// comparator: an injected 50% slowdown must be flagged at a 15%
+// threshold.
+func TestDiffInjectedRegression(t *testing.T) {
+	mkRun := func(bench, algo string, wall float64) Run {
+		return Run{Bench: bench, Algo: algo, Pts: "bitmap", WallSeconds: wall}
+	}
+	oldRep := &Report{SchemaVersion: ReportSchemaVersion, Runs: []Run{
+		mkRun("emacs", "lcd", 1.0),
+		mkRun("emacs", "hcd", 2.0),
+		mkRun("wine", "lcd", 4.0),
+	}}
+	newRep := &Report{SchemaVersion: ReportSchemaVersion, Runs: []Run{
+		mkRun("emacs", "lcd", 1.02), // noise
+		mkRun("emacs", "hcd", 3.0),  // injected +50%
+		mkRun("wine", "lcd", 3.5),   // improvement
+	}}
+	diff := DiffReports(oldRep, newRep, DiffOptions{ThresholdPercent: 15})
+	if diff.Regressions != 1 || !diff.Failed() {
+		t.Fatalf("want exactly 1 regression, got %+v", diff)
+	}
+	for _, e := range diff.Entries {
+		want := e.Key == "emacs/hcd/bitmap/w0"
+		if e.Regression != want {
+			t.Errorf("entry %s: regression=%v, want %v", e.Key, e.Regression, want)
+		}
+	}
+	// A generous threshold passes the same pair.
+	if d := DiffReports(oldRep, newRep, DiffOptions{ThresholdPercent: 60}); d.Failed() {
+		t.Fatalf("60%% threshold should pass, got %+v", d)
+	}
+	var buf bytes.Buffer
+	diff.Print(&buf)
+	if !strings.Contains(buf.String(), "REGRESSION") || !strings.Contains(buf.String(), "1 regression(s)") {
+		t.Fatalf("diff output missing verdicts:\n%s", buf.String())
+	}
+}
+
+func TestDiffNoiseFloorAndMissingRuns(t *testing.T) {
+	oldRep := &Report{SchemaVersion: ReportSchemaVersion, Runs: []Run{
+		{Bench: "emacs", Algo: "lcd", Pts: "bitmap", WallSeconds: 0.001},
+		{Bench: "emacs", Algo: "ht", Pts: "bitmap", WallSeconds: 1.0},
+	}}
+	newRep := &Report{SchemaVersion: ReportSchemaVersion, Runs: []Run{
+		// 3x slower but both sides under the floor: not a regression.
+		{Bench: "emacs", Algo: "lcd", Pts: "bitmap", WallSeconds: 0.003},
+		// "ht" dropped entirely: must fail the gate.
+		{Bench: "emacs", Algo: "pkh", Pts: "bitmap", WallSeconds: 1.0},
+	}}
+	diff := DiffReports(oldRep, newRep, DiffOptions{ThresholdPercent: 15, MinSeconds: 0.05})
+	if diff.Regressions != 0 {
+		t.Fatalf("noise-floor run flagged: %+v", diff)
+	}
+	if len(diff.MissingInNew) != 1 || diff.MissingInNew[0] != "emacs/ht/bitmap/w0" {
+		t.Fatalf("missing run not detected: %+v", diff)
+	}
+	if len(diff.AddedInNew) != 1 || diff.AddedInNew[0] != "emacs/pkh/bitmap/w0" {
+		t.Fatalf("added run not detected: %+v", diff)
+	}
+	if !diff.Failed() {
+		t.Fatal("dropped run must fail the gate")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"antgrass/internal/constraint"
 	"antgrass/internal/core"
 	"antgrass/internal/hcd"
+	"antgrass/internal/metrics"
 	"antgrass/internal/pts"
 	"antgrass/internal/uf"
 )
@@ -83,6 +84,10 @@ func Solve(p *constraint.Program, opts core.Options) (*core.Result, error) {
 	if n == 0 {
 		return core.NewResult(p, uf.New(0), nil, core.Stats{}), nil
 	}
+	// Manager creation allocates the whole BDD node pool up front (the
+	// paper's fixed BuDDy sizing), a measurable slice of small solves:
+	// attribute it to graph.build alongside seeding the relations.
+	setupSpan := opts.Metrics.StartPhase(metrics.PhaseBuild)
 	m, doms := bdd.NewManagerWithDomains(uint32(n), 3, pool)
 	s := &state{
 		p:     p,
@@ -106,13 +111,18 @@ func Solve(p *constraint.Program, opts core.Options) (*core.Result, error) {
 	for k, v := range s.d2.ShiftTo(s.d3) {
 		s.shiftStore[k] = v
 	}
+	setupSpan.End() // ends before the HCD block, which bills its own phase
 
 	if opts.WithHCD {
 		table := opts.HCDTable
 		if table == nil {
 			table = hcd.Analyze(p)
+			// Offline pass ran inside this call: it is part of this
+			// solve's wall clock (a precomputed table's is not).
+			opts.Metrics.AddPhase(metrics.PhaseHCD, table.Duration)
 		}
 		s.stats.OfflineDuration = table.Duration
+		preSpan := opts.Metrics.StartPhase(metrics.PhaseBuild)
 		for _, pu := range table.PreUnions {
 			rep, lost := s.nodes.Union(pu[0], pu[1])
 			if rep != lost {
@@ -121,21 +131,32 @@ func Solve(p *constraint.Program, opts core.Options) (*core.Result, error) {
 			}
 		}
 		s.hcdPairs = table.Pairs
+		preSpan.End()
 	}
 
 	ctx := opts.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	reg := opts.Metrics
 	start := time.Now()
+	buildSpan := reg.StartPhase(metrics.PhaseBuild)
 	s.build()
-	if err := s.run(ctx); err != nil {
+	buildSpan.End()
+	solveSpan := reg.StartPhase(metrics.PhaseSolve)
+	if err := s.run(ctx, reg); err != nil {
 		return nil, err
 	}
+	solveSpan.End()
+	finalizeSpan := reg.StartPhase(metrics.PhaseFinalize)
 	sets := s.extract()
 	s.stats.SolveDuration = time.Since(start)
 	s.stats.MemBytes = int64(m.MemBytes() + s.nodes.MemBytes())
-	return core.NewResult(p, s.nodes, sets, s.stats), nil
+	res := core.NewResult(p, s.nodes, sets, s.stats)
+	finalizeSpan.End()
+	reg.SampleMem()
+	s.stats.Export(reg)
+	return res, nil
 }
 
 // build seeds the relation BDDs from the constraint list (through the
@@ -169,13 +190,17 @@ func (s *state) build() {
 }
 
 // run iterates propagation and rule application to a fixpoint,
-// cooperatively checking ctx between iterations.
-func (s *state) run(ctx context.Context) error {
+// cooperatively checking ctx between iterations. reg (nil ok) receives a
+// peak-memory sample per fixpoint round — the BDD node pool dominates
+// BLQ's footprint and grows between rounds.
+func (s *state) run(ctx context.Context, reg *metrics.Registry) error {
 	m := s.m
 	for {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("blq: solve canceled: %w", err)
 		}
+		s.stats.Rounds++
+		reg.SampleMem()
 		s.propagate()
 		changed := false
 		// Load rule: a ⊇ *b. ∃d1. L(b,a) ∧ P(b,v) gives (d3=a, d2=v);

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"antgrass/internal/pts"
 	"antgrass/internal/scc"
@@ -48,6 +49,11 @@ func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 		if pops++; pops%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return canceled(err, "worklist solving")
+			}
+			if pops%(ctxCheckInterval*16) == 0 {
+				// ReadMemStats stops the world; sample at a coarser
+				// stride than the cancellation check.
+				g.metrics.SampleMem()
 			}
 			if opts.Progress != nil {
 				intervals++
@@ -181,6 +187,10 @@ func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 // Each merged representative is handed to push. Reports whether anything
 // was collapsed.
 func (g *graph) detectAndCollapse(root uint32, push func(uint32)) bool {
+	if g.metrics != nil {
+		t0 := time.Now()
+		defer func() { g.cycleNS += time.Since(t0).Nanoseconds() }()
+	}
 	res := scc.Nuutila(g.n, []uint32{root}, func(x uint32) []uint32 {
 		return g.succsSnapshot(x)
 	})

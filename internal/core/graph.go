@@ -2,10 +2,12 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"antgrass/internal/bitmap"
 	"antgrass/internal/constraint"
 	"antgrass/internal/hcd"
+	"antgrass/internal/metrics"
 	"antgrass/internal/par"
 	"antgrass/internal/pts"
 	"antgrass/internal/uf"
@@ -57,6 +59,17 @@ type graph struct {
 	span    []uint32 // expanded span table (length n, all ≥ 1)
 	factory pts.Factory
 	stats   *Stats
+
+	// metrics is the observability registry (nil = disabled). The
+	// accumulators below attribute online time to sub-phases; they are
+	// plain ints because they are only touched from single-threaded
+	// solver code (the sequential loops and the parallel barrier merge),
+	// and only when metrics is non-nil — the disabled path never reads
+	// the clock.
+	metrics   *metrics.Registry
+	cycleNS   int64 // time inside cycle searches / sweeps
+	hcdNS     int64 // time inside the HCD online rule
+	computeNS int64 // time inside parallel compute phases
 
 	// reversed records the orientation of the adjacency: false means
 	// succs[x] holds copy-successors (edge x → w propagates pts(x) into
@@ -282,6 +295,10 @@ func (g *graph) validTarget(v, off uint32) (uint32, bool) {
 func (g *graph) applyHCD(n uint32, onUnion func(rep uint32)) uint32 {
 	if g.hcdTargets == nil || len(g.hcdTargets[n]) == 0 {
 		return n
+	}
+	if g.metrics != nil {
+		t0 := time.Now()
+		defer func() { g.hcdNS += time.Since(t0).Nanoseconds() }()
 	}
 	targets := g.hcdTargets[n]
 	g.hcdTargets[n] = nil // each tuple fires at most once per merge-group

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"antgrass/internal/pts"
 )
@@ -74,6 +75,8 @@ func solveHT(ctx context.Context, g *graph, opts Options) error {
 			return canceled(err, "HT round")
 		}
 		h.round++
+		g.stats.Rounds++
+		g.metrics.SampleMem()
 		h.nextIdx = 0
 		changed := false
 		collapsedBefore := g.stats.NodesCollapsed
@@ -129,6 +132,7 @@ func solveHT(ctx context.Context, g *graph, opts Options) error {
 	}
 	// Final round: materialize every variable's full points-to set.
 	h.round++
+	g.stats.Rounds++
 	h.nextIdx = 0
 	for v := uint32(0); v < uint32(g.n); v++ {
 		r := g.find(v)
@@ -150,6 +154,10 @@ func (h *htState) applyHCDHT(n uint32) bool {
 	targets := g.hcdTargets[n]
 	if len(targets) == 0 {
 		return false
+	}
+	if g.metrics != nil {
+		t0 := time.Now()
+		defer func() { g.hcdNS += time.Since(t0).Nanoseconds() }()
 	}
 	set := h.query(n)
 	merged := false

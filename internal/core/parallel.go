@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"antgrass/internal/bitmap"
 	"antgrass/internal/par"
@@ -114,7 +115,15 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 				view.Resolved[i] = nil
 			}
 		}
+		var computeStart time.Time
+		if g.metrics != nil {
+			computeStart = time.Now()
+		}
 		outs := par.Round(workers, work, view)
+		if g.metrics != nil {
+			g.computeNS += time.Since(computeStart).Nanoseconds()
+		}
+		g.stats.Rounds++
 		// Barrier merge, in worker order for reproducibility. Deltas
 		// first, then the propagated-set bookkeeping, then edges, then
 		// cycle collapses (whose unites reset merged propagated sets —
@@ -187,12 +196,21 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 				}
 			}
 		}
+		g.metrics.SampleMem()
 		if opts.Progress != nil {
+			// Per-shard propagation counts are the round's
+			// shard-utilization signal (see ProgressEvent.ShardWork).
+			shardWork := make([]int64, len(outs))
+			for i, o := range outs {
+				shardWork[i] = o.Propagations
+			}
 			opts.Progress(ProgressEvent{
 				Round:          round,
 				WorklistLen:    front.Len(),
 				NodesCollapsed: g.stats.NodesCollapsed,
 				Unions:         g.stats.Propagations,
+				Workers:        len(outs),
+				ShardWork:      shardWork,
 			})
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"context"
+	"time"
 
 	"antgrass/internal/scc"
 )
@@ -37,7 +38,13 @@ func solvePKH(ctx context.Context, g *graph, opts Options) error {
 		if err := ctx.Err(); err != nil {
 			return canceled(err, "PKH sweep round")
 		}
+		g.stats.Rounds++
+		g.metrics.SampleMem()
 		// Periodic whole-graph sweep: find and collapse every cycle.
+		var sweepStart time.Time
+		if g.metrics != nil {
+			sweepStart = time.Now()
+		}
 		g.stats.CycleChecks++
 		roots := make([]uint32, 0, g.n)
 		for v := uint32(0); v < n; v++ {
@@ -57,6 +64,9 @@ func solvePKH(ctx context.Context, g *graph, opts Options) error {
 			for _, m := range comp[1:] {
 				rep = g.unite(rep, m)
 			}
+		}
+		if g.metrics != nil {
+			g.cycleNS += time.Since(sweepStart).Nanoseconds()
 		}
 		// Topological positions: res.Comps is in reverse topological
 		// order, so the last component comes first.

@@ -61,6 +61,9 @@ func solvePKW(ctx context.Context, g *graph, opts Options) error {
 			if err := ctx.Err(); err != nil {
 				return canceled(err, "PKW worklist solving")
 			}
+			if pops%(ctxCheckInterval*16) == 0 {
+				g.metrics.SampleMem()
+			}
 		}
 		cur := g.find(x)
 		if cur != x {

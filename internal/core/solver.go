@@ -19,6 +19,7 @@ import (
 
 	"antgrass/internal/constraint"
 	"antgrass/internal/hcd"
+	"antgrass/internal/metrics"
 	"antgrass/internal/pts"
 	"antgrass/internal/uf"
 	"antgrass/internal/worklist"
@@ -114,6 +115,14 @@ type Options struct {
 	// by SolveContext; plumbed through Options so the blq package's
 	// solver can honor it too.
 	Ctx context.Context
+	// Metrics, when non-nil, receives per-phase timing spans
+	// (graph.build, solve.online and its sub-phases, finalize, and
+	// hcd.offline when the offline pass runs inside this call),
+	// peak-memory samples at round boundaries, and the final Stats
+	// counters. A nil registry disables all instrumentation at the cost
+	// of a nil check — the hot paths never touch the clock or the
+	// registry when it is nil.
+	Metrics *metrics.Registry
 }
 
 // ProgressEvent is a snapshot of solver progress delivered to
@@ -130,6 +139,18 @@ type ProgressEvent struct {
 	// and Stats.Propagations counters at the time of the event.
 	NodesCollapsed int64
 	Unions         int64
+	// Workers is the number of compute shards the parallel engine split
+	// this round's frontier into (0 for sequential-solver events). It can
+	// be smaller than Options.Workers when the frontier is shorter than
+	// the worker count.
+	Workers int
+	// ShardWork, for parallel-wave events, holds each shard's
+	// propagation (delta-computation) count for the round just merged,
+	// in shard order. The spread of these values is the round's
+	// shard-utilization signal: near-equal counts mean the contiguous
+	// partition balanced well. Nil for sequential events. The slice is
+	// owned by the callback and remains valid after it returns.
+	ShardWork []int64
 }
 
 // Stats records the cost counters that §5.3 of the paper analyzes, plus
@@ -161,6 +182,14 @@ type Stats struct {
 	CycleChecks int64
 	// HCDCollapses counts unions performed by the HCD online rule.
 	HCDCollapses int64
+	// Rounds counts solver iterations: bulk-synchronous waves for the
+	// parallel engine, fixpoint rounds for HT and BLQ, whole-graph sweep
+	// rounds for PKH. The purely worklist-driven sequential solvers
+	// (Naive, LCD, PKW) have no round structure and report 0.
+	Rounds int64
+	// Workers is the worker count the parallel wave engine ran with
+	// (0 = the solve was sequential).
+	Workers int
 	// OfflineDuration is the HCD offline analysis time, reported
 	// separately as in Table 3.
 	OfflineDuration time.Duration
@@ -238,28 +267,39 @@ func SolveContext(ctx context.Context, p *constraint.Program, opts Options) (*Re
 	if opts.Pts == nil {
 		opts.Pts = pts.NewBitmapFactory()
 	}
+	m := opts.Metrics
 	var table *hcd.Result
 	if opts.WithHCD {
 		table = opts.HCDTable
 		if table == nil {
 			table = hcd.Analyze(p)
+			// The offline pass ran inside this call, so its time is
+			// part of this solve's wall clock; a precomputed table's
+			// is not and stays out of the phase breakdown.
+			m.AddPhase(metrics.PhaseHCD, table.Duration)
 		}
 	}
+	buildSpan := m.StartPhase(metrics.PhaseBuild)
 	g := newGraphDir(p, opts.Pts, table, opts.Algorithm == HT)
+	buildSpan.End()
+	g.metrics = m
 	if opts.WithHCD && table != nil {
 		g.stats.OfflineDuration = table.Duration
 	}
+	parallel := false
 	start := time.Now()
 	var err error
 	switch opts.Algorithm {
 	case Naive:
 		if useParallel(opts) {
+			parallel = true
 			err = solveParallel(ctx, g, opts, false)
 		} else {
 			err = solveBasic(ctx, g, opts, false)
 		}
 	case LCD:
 		if useParallel(opts) {
+			parallel = true
 			err = solveParallel(ctx, g, opts, true)
 		} else {
 			err = solveBasic(ctx, g, opts, true)
@@ -276,9 +316,83 @@ func SolveContext(ctx context.Context, p *constraint.Program, opts Options) (*Re
 	if err != nil {
 		return nil, err
 	}
-	g.stats.SolveDuration = time.Since(start)
+	online := time.Since(start)
+	if parallel {
+		g.stats.Workers = opts.Workers
+	}
+	g.recordOnlinePhases(online, parallel)
+	finalizeSpan := m.StartPhase(metrics.PhaseFinalize)
+	g.stats.SolveDuration = online
 	g.stats.MemBytes = g.memBytes()
-	return NewResult(p, g.nodes, g.sets, *g.stats), nil
+	res := NewResult(p, g.nodes, g.sets, *g.stats)
+	finalizeSpan.End()
+	m.SampleMem()
+	g.stats.Export(m)
+	return res, nil
+}
+
+// recordOnlinePhases splits the online solve time into disjoint
+// sub-phases: cycle detection and the HCD online rule are accumulated by
+// the graph as they run; the remainder is propagation proper (reported as
+// solve.compute + solve.merge under parallel solving, where the compute
+// phase is separately timed). The sub-phases partition the online time
+// exactly, so a report's phase total tracks the wall clock.
+func (g *graph) recordOnlinePhases(online time.Duration, parallel bool) {
+	m := g.metrics
+	if m == nil {
+		return
+	}
+	cyc := time.Duration(g.cycleNS)
+	hcdOn := time.Duration(g.hcdNS)
+	m.AddPhase(PhaseCycleDetect, cyc)
+	m.AddPhase(PhaseHCDOnline, hcdOn)
+	rest := online - cyc - hcdOn
+	if parallel {
+		compute := time.Duration(g.computeNS)
+		m.AddPhase(PhaseCompute, compute)
+		m.AddPhase(PhaseMerge, rest-compute)
+	} else {
+		m.AddPhase(PhasePropagate, rest)
+	}
+}
+
+// Sub-phases of the online solve recorded in Options.Metrics. Together
+// with the shared metrics.Phase* names they partition a solve's wall
+// clock: wall ≈ graph.build + hcd.offline (when run in-call) +
+// solve.cycledetect + solve.hcd.online + (solve.propagate | solve.compute
+// + solve.merge) + finalize.
+const (
+	// PhaseCycleDetect is time inside depth-first cycle searches and
+	// PKH's whole-graph sweeps.
+	PhaseCycleDetect = "solve.cycledetect"
+	// PhaseHCDOnline is time inside the HCD online collapsing rule.
+	PhaseHCDOnline = "solve.hcd.online"
+	// PhasePropagate is sequential propagation: everything in the online
+	// solve that is not cycle detection or the HCD rule.
+	PhasePropagate = "solve.propagate"
+	// PhaseCompute is the parallel engine's lock-free compute phase
+	// (par.Round wall time, summed over rounds).
+	PhaseCompute = "solve.compute"
+	// PhaseMerge is the parallel engine's sequential remainder:
+	// prologue, barrier merge and frontier construction.
+	PhaseMerge = "solve.merge"
+)
+
+// Export writes the Stats counters into m under stable snake_case names,
+// making every §5.3 cost counter part of the machine-readable report.
+func (s *Stats) Export(m *metrics.Registry) {
+	if m == nil {
+		return
+	}
+	m.SetCounter("nodes_collapsed", s.NodesCollapsed)
+	m.SetCounter("nodes_searched", s.NodesSearched)
+	m.SetCounter("propagations", s.Propagations)
+	m.SetCounter("edges_added", s.EdgesAdded)
+	m.SetCounter("cycle_checks", s.CycleChecks)
+	m.SetCounter("hcd_collapses", s.HCDCollapses)
+	m.SetCounter("rounds", s.Rounds)
+	m.SetCounter("workers", int64(s.Workers))
+	m.SetCounter("mem_bytes", s.MemBytes)
 }
 
 // useParallel reports whether this configuration runs the bulk-synchronous

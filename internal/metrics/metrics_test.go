@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryNoOp exercises every method on a nil registry: the
+// disabled path must be safe to call unconditionally from solver code.
+func TestNilRegistryNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("pops")
+	if c != nil {
+		t.Fatalf("nil registry returned non-nil counter")
+	}
+	c.Add(5) // nil counter: must not panic
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", got)
+	}
+	r.SetCounter("pops", 7)
+	r.AddPhase(PhaseSolve, time.Second)
+	sp := r.StartPhase(PhaseSolve)
+	sp.End()
+	r.SampleMem()
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Phases) != 0 || s.PeakHeapBytes != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	if r.PhaseSeconds(PhaseSolve) != 0 || r.TotalPhaseSeconds() != 0 {
+		t.Fatalf("nil registry reports nonzero phase time")
+	}
+}
+
+// TestCounterConcurrent hammers one counter and one phase from many
+// goroutines; run under -race via scripts/check.sh.
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("unions")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Add(1)
+			}
+			// Concurrent lookups must return the same handle.
+			r.Counter("unions").Add(1)
+			sp := r.StartPhase("phase.shared")
+			sp.End()
+			r.SampleMem()
+		}()
+	}
+	wg.Wait()
+	want := int64(workers*per + workers)
+	if got := c.Value(); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if r.PhaseSeconds("phase.shared") < 0 {
+		t.Fatalf("negative phase time")
+	}
+	if s := r.Snapshot(); s.PeakHeapBytes == 0 {
+		t.Fatalf("SampleMem recorded no peak heap")
+	}
+}
+
+func TestPhasesAccumulateAndOrder(t *testing.T) {
+	r := New()
+	r.AddPhase("b", 2*time.Second)
+	r.AddPhase("a", time.Second)
+	r.AddPhase("b", time.Second)
+	r.AddPhase("neg", -time.Second) // ignored
+	s := r.Snapshot()
+	if len(s.Phases) != 2 {
+		t.Fatalf("got %d phases, want 2 (negative ignored): %+v", len(s.Phases), s.Phases)
+	}
+	// Registration order, not alphabetical.
+	if s.Phases[0].Name != "b" || s.Phases[1].Name != "a" {
+		t.Fatalf("phase order = %v, want [b a]", s.Phases)
+	}
+	if s.Phases[0].Seconds != 3 || s.Phases[1].Seconds != 1 {
+		t.Fatalf("phase seconds = %+v", s.Phases)
+	}
+	if got := r.TotalPhaseSeconds(); got != 4 {
+		t.Fatalf("TotalPhaseSeconds = %v, want 4", got)
+	}
+	if got := r.PhaseSeconds("a"); got != 1 {
+		t.Fatalf("PhaseSeconds(a) = %v, want 1", got)
+	}
+	if got := r.PhaseSeconds("missing"); got != 0 {
+		t.Fatalf("PhaseSeconds(missing) = %v, want 0", got)
+	}
+}
+
+func TestSpanMeasures(t *testing.T) {
+	r := New()
+	sp := r.StartPhase(PhaseBuild)
+	time.Sleep(5 * time.Millisecond)
+	sp.End()
+	if got := r.PhaseSeconds(PhaseBuild); got < 0.004 {
+		t.Fatalf("span measured %vs, want >= ~5ms", got)
+	}
+}
+
+func TestSetCounterOverwrites(t *testing.T) {
+	r := New()
+	r.Counter("edges").Add(10)
+	r.SetCounter("edges", 3)
+	if got := r.Counter("edges").Value(); got != 3 {
+		t.Fatalf("SetCounter: got %d, want 3", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0] != (CounterValue{Name: "edges", Value: 3}) {
+		t.Fatalf("snapshot counters = %+v", s.Counters)
+	}
+}
+
+// TestSnapshotIsCopy verifies a snapshot does not track later mutation.
+func TestSnapshotIsCopy(t *testing.T) {
+	r := New()
+	r.Counter("x").Add(1)
+	s := r.Snapshot()
+	r.Counter("x").Add(41)
+	if s.Counters[0].Value != 1 {
+		t.Fatalf("snapshot mutated: %+v", s.Counters)
+	}
+}
+
+func TestAtomicMax(t *testing.T) {
+	r := New()
+	r.SampleMem()
+	first := r.Snapshot().PeakSysBytes
+	if first == 0 {
+		t.Fatalf("no Sys sample")
+	}
+	r.SampleMem()
+	if got := r.Snapshot().PeakSysBytes; got < first {
+		t.Fatalf("peak decreased: %d -> %d", first, got)
+	}
+}
+
+// BenchmarkCounterAdd documents the hot-path cost: one atomic add, zero
+// allocations.
+func BenchmarkCounterAdd(b *testing.B) {
+	r := New()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkNilCounterAdd documents the disabled-path cost: a nil check.
+func BenchmarkNilCounterAdd(b *testing.B) {
+	var r *Registry
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

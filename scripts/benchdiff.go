@@ -1,0 +1,79 @@
+// Command benchdiff compares two antbench -json reports and fails on
+// wall-clock regressions, making perf trajectory a CI gate instead of a
+// hand-read text file.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff.go [-threshold 15] [-min-seconds 0.05] old.json new.json
+//
+// Runs are matched by (bench, algo, pts, workers). Exit status:
+//
+//	0 — no run slowed down by more than -threshold percent
+//	1 — at least one regression, or a run present in old.json is
+//	    missing from new.json (a silently dropped benchmark must not
+//	    pass)
+//	2 — usage or report-parsing error (including a schema_version this
+//	    tool does not understand)
+//
+// -min-seconds suppresses verdicts when both measurements are under the
+// floor: percentage deltas of sub-noise runs are meaningless. See
+// docs/BENCHMARKS.md for the report schema and the CI workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"antgrass/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 15, "fail when a run is more than this percent slower")
+	minSeconds := flag.Float64("min-seconds", 0.05, "ignore runs where both sides are under this many seconds")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-seconds s] old.json new.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := readReport(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := readReport(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	diff := bench.DiffReports(oldRep, newRep, bench.DiffOptions{
+		ThresholdPercent: *threshold,
+		MinSeconds:       *minSeconds,
+	})
+	diff.Print(os.Stdout)
+	if diff.Failed() {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL (threshold %.1f%%)\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}
+
+func readReport(path string) (*bench.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := bench.ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
