@@ -249,7 +249,7 @@ func SolveContext(ctx context.Context, p *Program, o Options) (*Result, error) {
 		return nil, fmt.Errorf("antgrass: unknown algorithm %q", o.Algorithm)
 	}
 	if o.HCD || len(preUnions) > 0 {
-		table := &hcd.Result{Pairs: map[uint32]uint32{}}
+		table := &hcd.Result{}
 		if o.HCD {
 			table = hcd.Analyze(prog)
 			o.Metrics.AddPhase(metrics.PhaseHCD, table.Duration)

@@ -22,7 +22,6 @@ package blq
 import (
 	"context"
 	"fmt"
-	"sort"
 	"time"
 
 	"antgrass/internal/bdd"
@@ -59,7 +58,7 @@ type state struct {
 	shiftLoad  map[int]int // d2 -> d1 (load rule result)
 	shiftStore map[int]int // d3 -> d1 and d2 -> d3 (store rule result)
 
-	hcdPairs map[uint32]uint32
+	hcdPairs []hcd.Pair
 	// renames records every collapse chronologically (lost, winner):
 	// rule-produced edges mention pointee values, i.e. raw location
 	// ids, which may name collapsed-away nodes; they are canonicalized
@@ -296,20 +295,16 @@ func (s *state) applyOffsets() bool {
 }
 
 // applyHCD fires the offline tuples: for (a, b), every member of pts(a) is
-// collapsed with b, renaming rows and columns of the relation BDDs.
+// collapsed with b, renaming rows and columns of the relation BDDs. Pairs
+// arrives sorted by Deref, so the collapse sequence is deterministic.
 func (s *state) applyHCD() bool {
 	if s.hcdPairs == nil {
 		return false
 	}
 	find := s.nodes.Find
 	changed := false
-	keys := make([]uint32, 0, len(s.hcdPairs))
-	for a := range s.hcdPairs {
-		keys = append(keys, a)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, a := range keys {
-		b := s.hcdPairs[a]
+	for _, pr := range s.hcdPairs {
+		a, b := pr.Deref, pr.Target
 		ra := find(a)
 		for _, v := range s.ptsOf(ra) {
 			rv, rb := find(v), find(b)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"antgrass/internal/bitmap"
@@ -119,15 +118,11 @@ func newGraphDir(p *constraint.Program, factory pts.Factory, table *hcd.Result, 
 		for _, pu := range table.PreUnions {
 			g.unite(pu[0], pu[1])
 		}
-		// Attach tuples in key order so runs are fully deterministic.
-		keys := make([]uint32, 0, len(table.Pairs))
-		for a := range table.Pairs {
-			keys = append(keys, a)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, a := range keys {
-			ra := g.find(a)
-			g.hcdTargets[ra] = append(g.hcdTargets[ra], table.Pairs[a])
+		// Pairs is sorted by Deref, so tuples attach — and later fire —
+		// in one deterministic order, run after run.
+		for _, pr := range table.Pairs {
+			ra := g.find(pr.Deref)
+			g.hcdTargets[ra] = append(g.hcdTargets[ra], pr.Target)
 		}
 	}
 	for _, c := range p.Constraints {

@@ -159,7 +159,7 @@ func TestApplyHCDReArmsForLaterGrowth(t *testing.T) {
 	c := p.AddVar("c")
 	d := p.AddVar("d")
 	p.AddAddrOf(a, c)
-	table := &hcd.Result{Pairs: map[uint32]uint32{a: b}}
+	table := &hcd.Result{Pairs: []hcd.Pair{{Deref: a, Target: b}}}
 	g := newGraphDir(p, pts.NewBitmapFactory(), table, false)
 	pushed := 0
 	g.applyHCD(g.find(a), func(uint32) { pushed++ })

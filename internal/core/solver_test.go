@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"antgrass/internal/constraint"
+	"antgrass/internal/synth"
 	"antgrass/internal/worklist"
 )
 
@@ -264,43 +265,11 @@ func TestCycleViaComplex(t *testing.T) {
 	}
 }
 
+// randomSolverProgram is the shared random-program generator; it lives in
+// internal/synth so the differential-testing oracle fuzzes the same
+// distribution these property tests sample.
 func randomSolverProgram(rng *rand.Rand) *constraint.Program {
-	p := constraint.NewProgram()
-	nf := rng.Intn(3)
-	var funcs []uint32
-	for i := 0; i < nf; i++ {
-		funcs = append(funcs, p.AddFunc(fmt.Sprintf("f%d", i), rng.Intn(3)))
-	}
-	nv := 3 + rng.Intn(18)
-	for i := 0; i < nv; i++ {
-		p.AddVar(fmt.Sprintf("v%d", i))
-	}
-	n := uint32(p.NumVars)
-	nc := 1 + rng.Intn(50)
-	for i := 0; i < nc; i++ {
-		d, s := uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n)))
-		switch rng.Intn(8) {
-		case 0, 1:
-			p.AddAddrOf(d, s)
-		case 2, 3, 4:
-			p.AddCopy(d, s)
-		case 5:
-			p.AddLoad(d, s, 0)
-		case 6:
-			p.AddStore(d, s, 0)
-		case 7:
-			// offset constraint against a function var
-			if len(funcs) > 0 {
-				off := uint32(1 + rng.Intn(3))
-				if rng.Intn(2) == 0 {
-					p.AddLoad(d, s, off)
-				} else {
-					p.AddStore(d, s, off)
-				}
-			}
-		}
-	}
-	return p
+	return synth.RandomProgram(rng)
 }
 
 // TestQuickAllSolversMatchReference is the central equivalence property:
@@ -337,6 +306,32 @@ func TestQuickAllSolversMatchReference(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestHCDRegressionSeed4666488491679278325: the random program behind seed
+// -4666488491679278325 made every *+hcd configuration over-collapse — the
+// offline pass emitted a pair for a ref node whose only offline cycle ran
+// through another (empty) ref node, and pts(v0) came back as {1,3,5} instead
+// of ∅. Both the original program and its oracle-minimized 8-constraint core
+// (internal/oracle/testdata/corpus/hcd_overcollapse_min.constraints) are
+// pinned here across every solver configuration.
+func TestHCDRegressionSeed4666488491679278325(t *testing.T) {
+	rng := rand.New(rand.NewSource(-4666488491679278325))
+	checkAgainstReference(t, synth.RandomProgram(rng))
+
+	m := constraint.NewProgram()
+	for i := 1; i <= 4; i++ {
+		m.AddVar(fmt.Sprintf("v%d", i))
+	}
+	m.AddCopy(2, 3)
+	m.AddLoad(1, 1, 0)
+	m.AddCopy(3, 0)
+	m.AddAddrOf(0, 0)
+	m.AddStore(2, 3, 0)
+	m.AddLoad(0, 2, 0)
+	m.AddCopy(3, 1)
+	m.AddStore(1, 0, 0)
+	checkAgainstReference(t, m)
 }
 
 // TestWorklistStrategiesAgree: the solution is independent of worklist

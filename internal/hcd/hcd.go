@@ -15,30 +15,64 @@
 //
 //   - an SCC with only non-ref nodes is a genuine structural cycle and may
 //     be collapsed before solving starts (PreUnions);
-//   - an SCC containing a ref node ref(a) means that everything in pts(a)
-//     will join a cycle with the SCC's non-ref nodes once pts(a) is known,
-//     so for one chosen non-ref member b we record the tuple (a, b) for
-//     the online analysis to act on (Pairs).
+//   - an SCC containing a ref node ref(a) may justify a tuple (a, b): the
+//     online analysis then unions every member of pts(a) with the non-ref
+//     node b as soon as it is discovered (Pairs).
+//
+// # The offline-pair precondition
+//
+// Recording (a, b) asserts unconditionally that every v ∈ pts(a) ends up in
+// a cycle with b in the online constraint graph. That is only guaranteed
+// when ref(a) and b lie on an offline cycle whose every OTHER node is a
+// non-ref node: var→var edges exist online from the start, the SCC's store
+// edges into ref(a) become online edges x → v for each v ∈ pts(a), and its
+// load edges out of ref(a) become online edges v → y, so the cycle
+// b →* x → v → y →* b materializes the moment v enters pts(a).
+//
+// If the only cycles connecting ref(a) and b thread through a second ref
+// node ref(c), the online cycle exists only if pts(c) turns out non-empty —
+// an assumption the offline analysis cannot make. Acting on such a pair
+// over-collapses: it can merge a variable the least fixpoint keeps separate
+// and leak points-to members into it (see docs/ALGORITHMS.md §HCD for the
+// worked example, minimized from random-program seed -4666488491679278325).
+// Analyze therefore emits (a, b) only when b is on a cycle with ref(a) in
+// the subgraph induced by the SCC's non-ref members plus ref(a) alone; ref
+// nodes whose every cycle is mediated by another ref node contribute no
+// pair. Dropping a pair is always safe — HCD is incomplete by design, and
+// the online cycle, if it ever materializes, is found by the solver's own
+// cycle detection (LCD, PKH, PKW) or plain propagation.
 //
 // Constraints with a non-zero offset (indirect-call encodings) contribute no
 // offline edges: their targets depend on per-pointee arithmetic the offline
 // graph cannot express. This only makes HCD detect fewer cycles, which is
-// safe (HCD is incomplete by design).
+// safe for the same reason.
 package hcd
 
 import (
+	"sort"
 	"time"
 
 	"antgrass/internal/constraint"
 	"antgrass/internal/scc"
 )
 
+// Pair is one offline tuple (a, b): when the online analysis discovers a
+// member v of pts(Deref), it may union v with Target (Figure 5 of the
+// paper).
+type Pair struct {
+	// Deref is the variable a whose ref node anchors the cycle.
+	Deref uint32
+	// Target is the chosen non-ref cycle member b.
+	Target uint32
+}
+
 // Result is the output of the offline analysis, consumed by the solvers.
 type Result struct {
-	// Pairs maps a dereferenced variable a to a collapse target b:
-	// when the online analysis processes node a it may union every
-	// member of pts(a) with b (Figure 5 of the paper).
-	Pairs map[uint32]uint32
+	// Pairs lists the offline tuples in ascending Deref order (each
+	// Deref appears at most once — a ref node lives in exactly one SCC).
+	// The deterministic order makes every consumer's collapse sequence,
+	// and therefore any failure, reproducible bit-identically.
+	Pairs []Pair
 	// PreUnions lists pairs of variables that are in a purely structural
 	// cycle and can be collapsed before solving begins.
 	PreUnions [][2]uint32
@@ -72,7 +106,7 @@ func Analyze(p *constraint.Program) *Result {
 			}
 		}
 	}
-	res := &Result{Pairs: make(map[uint32]uint32)}
+	res := &Result{}
 	sccRes := scc.Tarjan(int(2*n), nil, func(x uint32) []uint32 { return adj[x] })
 	for _, comp := range sccRes.Comps {
 		if len(comp) < 2 {
@@ -101,15 +135,89 @@ func Analyze(p *constraint.Program) *Result {
 			// anyway.
 			continue
 		}
-		b := vars[0]
-		for _, a := range refs {
-			res.Pairs[a] = b
-		}
+		res.pairsForSCC(n, adj, vars, refs)
 		// The non-ref members of a mixed SCC are NOT collapsed
 		// offline: their mutual cycle only materializes online if the
 		// ref's points-to set turns out non-empty, and collapsing
 		// early could lose precision (§4.2).
 	}
+	sort.Slice(res.Pairs, func(i, j int) bool { return res.Pairs[i].Deref < res.Pairs[j].Deref })
 	res.Duration = time.Since(start)
 	return res
+}
+
+// pairsForSCC emits the licensed tuples of one mixed SCC: for each ref
+// member ref(a), the pair (a, b) where b is the smallest var member on a
+// cycle with ref(a) in the subgraph restricted to the SCC's var members
+// plus ref(a) itself (no other ref nodes). Refs with no such cycle emit
+// nothing — their cycles are conditional on another ref's points-to set.
+func (res *Result) pairsForSCC(n uint32, adj [][]uint32, vars, refs []uint32) {
+	// local index of the SCC's var members
+	idx := make(map[uint32]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	// fwd/rev: var→var edges within the SCC, by local index.
+	fwd := make([][]int, len(vars))
+	rev := make([][]int, len(vars))
+	// refOut[a] / refIn[a]: SCC var members with an edge from / to
+	// ref(a), i.e. the SCC's loads of *a and stores into *a.
+	refOut := make(map[uint32][]int, len(refs))
+	refIn := make(map[uint32][]int, len(refs))
+	isRef := make(map[uint32]bool, len(refs))
+	for _, a := range refs {
+		isRef[a] = true
+	}
+	for i, v := range vars {
+		for _, w := range adj[v] {
+			if w < n {
+				if j, ok := idx[w]; ok {
+					fwd[i] = append(fwd[i], j)
+					rev[j] = append(rev[j], i)
+				}
+			} else if isRef[w-n] {
+				refIn[w-n] = append(refIn[w-n], i)
+			}
+		}
+	}
+	for _, a := range refs {
+		for _, w := range adj[n+a] {
+			if j, ok := idx[w]; ok {
+				refOut[a] = append(refOut[a], j)
+			}
+		}
+	}
+	reach := func(starts []int, edges [][]int) []bool {
+		seen := make([]bool, len(vars))
+		stack := append([]int(nil), starts...)
+		for _, s := range starts {
+			seen[s] = true
+		}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range edges[x] {
+				if !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+		return seen
+	}
+	for _, a := range refs {
+		// Vars reachable from ref(a), and vars reaching ref(a),
+		// through var members only.
+		from := reach(refOut[a], fwd)
+		to := reach(refIn[a], rev)
+		best, found := uint32(0), false
+		for i, v := range vars {
+			if from[i] && to[i] && (!found || v < best) {
+				best, found = v, true
+			}
+		}
+		if found {
+			res.Pairs = append(res.Pairs, Pair{Deref: a, Target: best})
+		}
+	}
 }

@@ -30,8 +30,8 @@ func TestPaperFigure3(t *testing.T) {
 	if len(r.Pairs) != 1 {
 		t.Fatalf("Pairs = %v, want exactly one", r.Pairs)
 	}
-	if got, ok := r.Pairs[a]; !ok || got != b {
-		t.Errorf("Pairs[a] = %d,%v, want %d", got, ok, b)
+	if r.Pairs[0] != (Pair{Deref: a, Target: b}) {
+		t.Errorf("Pairs = %v, want (%d, %d)", r.Pairs, a, b)
 	}
 	if r.SCCs != 1 {
 		t.Errorf("SCCs = %d, want 1", r.SCCs)
@@ -105,8 +105,142 @@ func TestMixedSCCSharedTarget(t *testing.T) {
 	if len(r.Pairs) != 2 {
 		t.Fatalf("Pairs = %v, want entries for a and b", r.Pairs)
 	}
-	if r.Pairs[a] != x || r.Pairs[b] != x {
-		t.Errorf("Pairs = %v, want both mapping to x", r.Pairs)
+	want := []Pair{{Deref: a, Target: x}, {Deref: b, Target: x}}
+	if r.Pairs[0] != want[0] || r.Pairs[1] != want[1] {
+		t.Errorf("Pairs = %v, want %v (sorted by Deref, both targeting x)", r.Pairs, want)
+	}
+}
+
+// TestMixedSCCRefMediatedCycleDropped: when the only cycle connecting two
+// ref nodes threads through both of them with no var-var return path, no
+// pair is licensed — the online cycle exists only if the other ref's
+// points-to set turns out non-empty, which the offline pass cannot assume.
+// This is the shape behind the seed -4666488491679278325 over-collapse.
+func TestMixedSCCRefMediatedCycleDropped(t *testing.T) {
+	p := constraint.NewProgram()
+	a := p.AddVar("a")
+	c := p.AddVar("c")
+	v0 := p.AddVar("v0")
+	v1 := p.AddVar("v1")
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	// Offline cycle ref(a) → v0 → ref(c) → v1 → ref(a) with no var-var
+	// chord: neither ref has a cycle avoiding the other.
+	p.AddLoad(v0, a, 0)  // ref(a) → v0
+	p.AddStore(c, v0, 0) // v0 → ref(c)
+	p.AddLoad(v1, c, 0)  // ref(c) → v1
+	p.AddStore(a, v1, 0) // v1 → ref(a)
+	p.AddAddrOf(a, x)    // pts(a) = {x}; pts(c) stays empty
+	p.AddAddrOf(x, y)
+	r := Analyze(p)
+	if r.SCCs != 1 {
+		t.Fatalf("SCCs = %d, want the one mixed SCC", r.SCCs)
+	}
+	if len(r.Pairs) != 0 {
+		t.Errorf("Pairs = %v, want none: every cycle is mediated by the other ref", r.Pairs)
+	}
+	if len(r.PreUnions) != 0 {
+		t.Errorf("PreUnions = %v, want none", r.PreUnions)
+	}
+}
+
+// TestMixedSCCPartialLicense: in one mixed SCC, a ref with a var-only
+// return path gets a pair while a ref without one does not — and the
+// licensed target must lie on the ref's own var-cycle, never on a
+// ref-mediated branch of the SCC.
+func TestMixedSCCPartialLicense(t *testing.T) {
+	p := constraint.NewProgram()
+	a := p.AddVar("a")
+	b := p.AddVar("b")
+	v1 := p.AddVar("v1")
+	v2 := p.AddVar("v2")
+	v3 := p.AddVar("v3")
+	// ref(a) has a var-only cycle: ref(a) → v1 → v2 → ref(a).
+	p.AddLoad(v1, a, 0)  // ref(a) → v1
+	p.AddCopy(v2, v1)    // v1 → v2
+	p.AddStore(a, v2, 0) // v2 → ref(a)
+	// ref(b) joins the same SCC, but its only return path runs through
+	// ref(a): v1 → ref(b) → v3 → ref(a) → v1.
+	p.AddStore(b, v1, 0) // v1 → ref(b)
+	p.AddLoad(v3, b, 0)  // ref(b) → v3
+	p.AddStore(a, v3, 0) // v3 → ref(a)
+	r := Analyze(p)
+	if r.SCCs != 1 {
+		t.Fatalf("SCCs = %d, want one mixed SCC containing both refs", r.SCCs)
+	}
+	if len(r.Pairs) != 1 {
+		t.Fatalf("Pairs = %v, want exactly the pair for a", r.Pairs)
+	}
+	if r.Pairs[0].Deref != a {
+		t.Errorf("Pairs = %v, want Deref a=%d (ref(b) has no var-only cycle)", r.Pairs, a)
+	}
+	if r.Pairs[0].Target != v1 {
+		t.Errorf("Target = %d, want the smallest licensed member %d", r.Pairs[0].Target, v1)
+	}
+}
+
+// TestHCDRegressionSeed4666488491679278325 pins the offline pairs computed
+// for the minimized reproducer of the over-collapse found by the oracle on
+// seed -4666488491679278325 (committed under
+// internal/oracle/testdata/corpus/hcd_overcollapse_min.constraints).
+//
+// The offline SCC is {v0, v1, v3, ref(1), ref(2)}. ref(2) has the var-only
+// return path v3 → ref(2) → v0 → v3, so the pair (2, 0) is licensed. ref(1)
+// has no var-only cycle — its every return path threads through ref(2) — so
+// the buggy table's pair targeting a member of pts-carrying v1's orbit must
+// NOT be emitted: with pts(2) empty at the crucial moment, the online cycle
+// it assumed never materializes, and collapsing through it leaked {1,3,5}
+// into pts(v0) on the original 17-constraint program.
+func TestHCDRegressionSeed4666488491679278325(t *testing.T) {
+	p := constraint.NewProgram()
+	for i := 1; i <= 4; i++ {
+		p.AddVar("v" + string(rune('0'+i)))
+	}
+	p.AddCopy(2, 3)
+	p.AddLoad(1, 1, 0)
+	p.AddCopy(3, 0)
+	p.AddAddrOf(0, 0)
+	p.AddStore(2, 3, 0)
+	p.AddLoad(0, 2, 0)
+	p.AddCopy(3, 1)
+	p.AddStore(1, 0, 0)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(p)
+	if len(r.Pairs) != 1 || r.Pairs[0] != (Pair{Deref: 2, Target: 0}) {
+		t.Errorf("Pairs = %v, want exactly (2, 0): ref(1) has no var-only cycle", r.Pairs)
+	}
+	for _, pr := range r.Pairs {
+		if pr.Deref == 1 {
+			t.Errorf("pair %v for ref(1) must not be licensed", pr)
+		}
+	}
+}
+
+// TestPairsSortedDeterministic: Pairs comes back sorted by Deref so every
+// consumer applies collapses in one reproducible order.
+func TestPairsSortedDeterministic(t *testing.T) {
+	p := constraint.NewProgram()
+	// Two disjoint Figure-3-style mixed SCCs, declared in reverse id
+	// order so an insertion-ordered implementation would emit them
+	// backwards.
+	a2 := p.AddVar("a2")
+	b2 := p.AddVar("b2")
+	a1 := p.AddVar("a1")
+	b1 := p.AddVar("b1")
+	p.AddLoad(b2, a2, 0)
+	p.AddStore(a2, b2, 0)
+	p.AddLoad(b1, a1, 0)
+	p.AddStore(a1, b1, 0)
+	for i := 0; i < 5; i++ {
+		r := Analyze(p)
+		if len(r.Pairs) != 2 {
+			t.Fatalf("Pairs = %v, want two", r.Pairs)
+		}
+		if r.Pairs[0].Deref != a2 || r.Pairs[1].Deref != a1 {
+			t.Fatalf("Pairs = %v, want sorted by Deref (%d before %d)", r.Pairs, a2, a1)
+		}
 	}
 }
 

@@ -1,0 +1,74 @@
+package oracle
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"antgrass/internal/constraint"
+)
+
+// corpusDir holds the committed regression corpus: every program that ever
+// made a solver configuration diverge from the reference, minimized, plus
+// hand-written structural edge cases. The same files seed the fuzz targets.
+const corpusDir = "testdata/corpus"
+
+func corpusFiles(t testing.TB) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.constraints"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no corpus files under %s", corpusDir)
+	}
+	return files
+}
+
+func readCorpus(t testing.TB, path string) *constraint.Program {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := constraint.Read(f)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return p
+}
+
+// TestCorpus replays every committed corpus program through the full
+// configuration matrix. Any divergence here is a regression of a
+// previously-fixed bug (or a brand-new one); the corpus runs as a plain
+// test so plain `go test ./...` and scripts/check.sh cover it without a
+// fuzzing toolchain.
+func TestCorpus(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			p := readCorpus(t, path)
+			d, err := Check(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != nil {
+				t.Errorf("divergence: %s", d)
+			}
+		})
+	}
+}
+
+// TestCorpusMinimizedReproducerShape pins the acceptance properties of the
+// minimized seed -4666488491679278325 reproducer: it must stay committed
+// and stay small (the shrinker got it to 8 constraints over 4 variables).
+func TestCorpusMinimizedReproducerShape(t *testing.T) {
+	p := readCorpus(t, filepath.Join(corpusDir, "hcd_overcollapse_min.constraints"))
+	if len(p.Constraints) > 10 {
+		t.Errorf("minimized reproducer has %d constraints, want <= 10", len(p.Constraints))
+	}
+	if p.NumVars > 6 {
+		t.Errorf("minimized reproducer has %d vars, want <= 6", p.NumVars)
+	}
+}

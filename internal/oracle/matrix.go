@@ -1,0 +1,122 @@
+package oracle
+
+import (
+	"fmt"
+
+	"antgrass/internal/blq"
+	"antgrass/internal/constraint"
+	"antgrass/internal/core"
+	"antgrass/internal/pts"
+)
+
+// Solution is the solver-side view the oracle compares against the
+// reference: a solved points-to relation queryable per original variable.
+// *core.Result (returned by every solver in the tree) satisfies it.
+type Solution interface {
+	PointsToSlice(v uint32) []uint32
+}
+
+// Config is one entry of the differential-testing matrix: a human-readable
+// name (stable — it appears in divergence reports, shrunk test cases and
+// CI logs) and a function that solves a program under that configuration.
+type Config struct {
+	Name  string
+	Solve func(p *constraint.Program) (Solution, error)
+}
+
+// matrixBDDPool is the initial BDD node-pool size used by matrix
+// configurations. The pool grows on demand, so this only needs to cover
+// the small programs differential testing runs on; the production default
+// (blq.DefaultPoolNodes) would allocate megabytes per configuration per
+// checked program.
+const matrixBDDPool = 1 << 12
+
+// matrixWorkers are the parallel worker counts exercised by the matrix.
+// The bulk-synchronous engine only engages for Naive/LCD with bitmap sets;
+// the counts bracket the interesting schedules (minimal contention vs.
+// more shards than a tiny frontier can fill).
+var matrixWorkers = []int{2, 4}
+
+// Matrix returns the full registered configuration set:
+//
+//   - all five core algorithms × {bitmap, BDD} points-to sets × {+hcd, −hcd};
+//   - parallel worker counts for the configurations the wave engine
+//     accepts (Naive and LCD over bitmaps), with and without HCD;
+//   - difference propagation for the basic worklist solvers;
+//   - the BLQ relational solver, with and without HCD.
+//
+// Every configuration must compute the identical least fixpoint; Check
+// runs them in this order and reports the first that does not. To register
+// a new solver configuration, append it here and it is automatically
+// covered by Check, the corpus tests, and the fuzz targets (see
+// docs/CORRECTNESS.md).
+func Matrix() []Config {
+	algs := []core.Algorithm{core.Naive, core.LCD, core.HT, core.PKH, core.PKW}
+	var out []Config
+	for _, alg := range algs {
+		for _, useBDD := range []bool{false, true} {
+			for _, withHCD := range []bool{false, true} {
+				out = append(out, coreConfig(alg, useBDD, withHCD, 0, false))
+			}
+		}
+	}
+	for _, alg := range []core.Algorithm{core.Naive, core.LCD} {
+		for _, withHCD := range []bool{false, true} {
+			for _, w := range matrixWorkers {
+				out = append(out, coreConfig(alg, false, withHCD, w, false))
+			}
+			out = append(out, coreConfig(alg, false, withHCD, 0, true))
+		}
+	}
+	out = append(out, blqConfig(false), blqConfig(true))
+	return out
+}
+
+func coreConfig(alg core.Algorithm, useBDD, withHCD bool, workers int, diff bool) Config {
+	name := alg.String()
+	if withHCD {
+		name += "+hcd"
+	}
+	if diff {
+		name += "+diff"
+	}
+	if useBDD {
+		name += "/bdd"
+	} else {
+		name += "/bitmap"
+	}
+	if workers > 0 {
+		name += fmt.Sprintf("/w%d", workers)
+	}
+	return Config{
+		Name: name,
+		Solve: func(p *constraint.Program) (Solution, error) {
+			opts := core.Options{
+				Algorithm: alg,
+				WithHCD:   withHCD,
+				Workers:   workers,
+				DiffProp:  diff,
+			}
+			if useBDD {
+				opts.Pts = pts.NewBDDFactory(uint32(p.NumVars), matrixBDDPool)
+			}
+			return core.Solve(p, opts)
+		},
+	}
+}
+
+func blqConfig(withHCD bool) Config {
+	name := "blq"
+	if withHCD {
+		name += "+hcd"
+	}
+	return Config{
+		Name: name,
+		Solve: func(p *constraint.Program) (Solution, error) {
+			return blq.Solve(p, core.Options{
+				WithHCD:      withHCD,
+				BDDPoolNodes: matrixBDDPool,
+			})
+		},
+	}
+}

@@ -1,0 +1,144 @@
+package oracle
+
+import "antgrass/internal/constraint"
+
+// Shrink greedily minimizes p while interesting(p) stays true, and returns
+// the smallest program found. The predicate must be true for p itself
+// (otherwise p is returned unchanged) and must be pure — Shrink may call it
+// many times on candidate programs.
+//
+// Two reductions alternate until neither makes progress:
+//
+//   - constraint deletion, ddmin-style: ever-smaller chunks of the
+//     constraint list are removed as long as the predicate holds;
+//   - variable removal: variables referenced by no remaining constraint
+//     (taking function span blocks as atomic units) are dropped and the
+//     universe renumbered.
+//
+// The typical predicate is "Check still reports a divergence":
+//
+//	d, _ := oracle.Check(p)
+//	min := oracle.Shrink(p, func(q *constraint.Program) bool {
+//		dq, err := oracle.Check(q)
+//		return err == nil && dq != nil
+//	})
+//
+// Greedy deletion preserves *a* divergence, not necessarily the original
+// one; pin the predicate to a specific configuration (WithConfigs) or
+// variable if the distinction matters.
+func Shrink(p *constraint.Program, interesting func(*constraint.Program) bool) *constraint.Program {
+	cur := p.Clone()
+	if !interesting(cur) {
+		return cur
+	}
+	for {
+		changed := false
+		if next, ok := shrinkConstraints(cur, interesting); ok {
+			cur, changed = next, true
+		}
+		if next, ok := dropUnusedVars(cur, interesting); ok {
+			cur, changed = next, true
+		}
+		if !changed {
+			return cur
+		}
+	}
+}
+
+// shrinkConstraints removes constraints in ddmin-style passes: chunks of
+// halving size are deleted whenever the predicate survives the deletion.
+func shrinkConstraints(p *constraint.Program, interesting func(*constraint.Program) bool) (*constraint.Program, bool) {
+	cur := p
+	removedAny := false
+	for chunk := len(cur.Constraints) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(cur.Constraints); {
+			end := start + chunk
+			if end > len(cur.Constraints) {
+				end = len(cur.Constraints)
+			}
+			cand := cur.Clone()
+			cand.Constraints = append(cand.Constraints[:start:start], cand.Constraints[end:]...)
+			if interesting(cand) {
+				cur = cand
+				removedAny = true
+				// Do not advance: the next chunk shifted into place.
+			} else {
+				start = end
+			}
+		}
+	}
+	return cur, removedAny
+}
+
+// dropUnusedVars removes every variable no remaining constraint references
+// and renumbers the universe densely. Function span blocks are atomic: a
+// block is removable only when none of its ids (the function variable, its
+// return slot, its parameter slots) is referenced, since offset
+// dereferences reach ids that appear in no constraint. The predicate is
+// re-checked on the renumbered program before it is accepted.
+func dropUnusedVars(p *constraint.Program, interesting func(*constraint.Program) bool) (*constraint.Program, bool) {
+	n := p.NumVars
+	used := make([]bool, n)
+	for _, c := range p.Constraints {
+		used[c.Dst] = true
+		used[c.Src] = true
+	}
+	// Close over span blocks: a used id with a span marks its whole
+	// block used, and an id inside a used block is itself used (so a
+	// nested function block is kept too). Iterate to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if !used[v] {
+				continue
+			}
+			for off := uint32(1); off < p.SpanOf(uint32(v)); off++ {
+				if !used[v+int(off)] {
+					used[v+int(off)] = true
+					changed = true
+				}
+			}
+		}
+	}
+	remap := make([]uint32, n)
+	kept := 0
+	for v := 0; v < n; v++ {
+		if used[v] {
+			remap[v] = uint32(kept)
+			kept++
+		}
+	}
+	if kept == n || kept == 0 {
+		return p, false
+	}
+	cand := &constraint.Program{NumVars: kept}
+	if len(p.Names) > 0 {
+		cand.Names = make([]string, kept)
+	}
+	if len(p.Span) > 0 {
+		cand.Span = make([]uint32, kept)
+		for i := range cand.Span {
+			cand.Span[i] = 1
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !used[v] {
+			continue
+		}
+		if len(cand.Names) > 0 {
+			cand.Names[remap[v]] = p.Names[v]
+		}
+		if len(cand.Span) > 0 {
+			cand.Span[remap[v]] = p.Span[v]
+		}
+	}
+	for _, c := range p.Constraints {
+		c.Dst = remap[c.Dst]
+		c.Src = remap[c.Src]
+		cand.Constraints = append(cand.Constraints, c)
+	}
+	if cand.Validate() != nil || !interesting(cand) {
+		return p, false
+	}
+	return cand, true
+}

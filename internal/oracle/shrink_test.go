@@ -1,0 +1,128 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/synth"
+)
+
+// divergesUnder is the standard shrinking predicate: the program still
+// makes the given configurations (default: full matrix) disagree with the
+// reference.
+func divergesUnder(cfgs ...Config) func(*constraint.Program) bool {
+	return func(q *constraint.Program) bool {
+		var opts []Option
+		if len(cfgs) > 0 {
+			opts = append(opts, WithConfigs(cfgs...))
+		}
+		d, err := Check(q, opts...)
+		return err == nil && d != nil
+	}
+}
+
+// TestShrinkMinimizesBrokenConfigFailure drives the whole
+// divergence-to-minimized-repro pipeline against the deliberately broken
+// configuration: a random program that diverges must shrink to the bare
+// skeleton that still exercises the dropped constraint.
+func TestShrinkMinimizesBrokenConfigFailure(t *testing.T) {
+	pred := divergesUnder(brokenConfig())
+	rng := rand.New(rand.NewSource(3))
+	shrunk := 0
+	for i := 0; i < 50 && shrunk < 5; i++ {
+		p := synth.RandomProgram(rng)
+		if p.Validate() != nil || !pred(p) {
+			continue
+		}
+		min := Shrink(p, pred)
+		if !pred(min) {
+			t.Fatalf("iteration %d: shrunk program no longer diverges", i)
+		}
+		if len(min.Constraints) > len(p.Constraints) || min.NumVars > p.NumVars {
+			t.Fatalf("iteration %d: shrink grew the program", i)
+		}
+		// The broken config drops exactly one constraint, so a
+		// 1-minimal divergence needs very few constraints (the dropped
+		// one plus what makes its effect observable).
+		if len(min.Constraints) > 4 {
+			t.Errorf("iteration %d: shrunk to %d constraints, want <= 4: %v",
+				i, len(min.Constraints), min.Constraints)
+		}
+		shrunk++
+	}
+	if shrunk == 0 {
+		t.Fatal("no diverging random program found; weaken the generator seed")
+	}
+}
+
+// TestShrinkUninterestingInput: the predicate failing on the input itself
+// returns the input unchanged (as a copy).
+func TestShrinkUninterestingInput(t *testing.T) {
+	p := constraint.NewProgram()
+	p.AddVar("a")
+	p.AddVar("b")
+	p.AddCopy(1, 0)
+	min := Shrink(p, func(q *constraint.Program) bool { return false })
+	if len(min.Constraints) != 1 || min.NumVars != 2 {
+		t.Errorf("uninteresting input must be returned unchanged, got %v", min)
+	}
+}
+
+// TestShrinkDropsUnusedFunctionBlocks: span blocks are removed atomically
+// and survivors are renumbered densely.
+func TestShrinkDropsUnusedFunctionBlocks(t *testing.T) {
+	p := constraint.NewProgram()
+	f := p.AddFunc("f", 2) // ids f..f+3, all unreferenced
+	o := p.AddVar("o")
+	x := p.AddVar("x")
+	p.AddAddrOf(x, o)
+	_ = f
+	// Interesting = "x still points at something under the reference".
+	min := Shrink(p, func(q *constraint.Program) bool {
+		sets := Reference(q)
+		for _, s := range sets {
+			if len(s) > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	if min.NumVars != 2 {
+		t.Errorf("NumVars = %d, want 2 (function block dropped)", min.NumVars)
+	}
+	if len(min.Constraints) != 1 || min.Constraints[0].Kind != constraint.AddrOf {
+		t.Errorf("Constraints = %v, want the single addr", min.Constraints)
+	}
+	if min.Validate() != nil {
+		t.Errorf("shrunk program invalid: %v", min.Validate())
+	}
+}
+
+// TestShrinkKeepsReferencedSpanInterior: a function block whose interior id
+// (return or parameter slot) is referenced must keep the whole block, so
+// offset dereferences stay meaningful.
+func TestShrinkKeepsReferencedSpanInterior(t *testing.T) {
+	p := constraint.NewProgram()
+	f := p.AddFunc("f", 1) // f, f$ret, f$arg0
+	o := p.AddVar("o")
+	x := p.AddVar("x")
+	p.AddAddrOf(x, f) // x = &f: offset derefs of x can reach f+1, f+2
+	p.AddAddrOf(f+constraint.RetOffset, o)
+	p.AddLoad(x, x, constraint.RetOffset)
+	pred := func(q *constraint.Program) bool {
+		for _, s := range Reference(q) {
+			if len(s) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(p, pred)
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunk program invalid: %v", err)
+	}
+	if !pred(min) {
+		t.Fatal("shrunk program lost the property")
+	}
+}

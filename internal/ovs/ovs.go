@@ -53,7 +53,7 @@ type Result struct {
 // PreUnionTable wraps the pre-unions in an hcd.Result so they can be handed
 // to any solver through its HCD-table hook (with no online pairs).
 func (r *Result) PreUnionTable() *hcd.Result {
-	return &hcd.Result{Pairs: map[uint32]uint32{}, PreUnions: r.PreUnions}
+	return &hcd.Result{PreUnions: r.PreUnions}
 }
 
 // ReductionPercent returns the percentage of constraints eliminated.

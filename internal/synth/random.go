@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"antgrass/internal/constraint"
+)
+
+// RandomProgram generates a small random constraint system for
+// property-based testing: a handful of function variables (so offset
+// constraints are exercised), a few dozen plain variables, and up to fifty
+// constraints drawn uniformly over the four kinds. It is the generator
+// behind the cross-solver equivalence tests and the differential-testing
+// oracle (internal/oracle); both must draw from the same distribution so a
+// seed reported by one reproduces under the other.
+func RandomProgram(rng *rand.Rand) *constraint.Program {
+	p := constraint.NewProgram()
+	nf := rng.Intn(3)
+	var funcs []uint32
+	for i := 0; i < nf; i++ {
+		funcs = append(funcs, p.AddFunc(fmt.Sprintf("f%d", i), rng.Intn(3)))
+	}
+	nv := 3 + rng.Intn(18)
+	for i := 0; i < nv; i++ {
+		p.AddVar(fmt.Sprintf("v%d", i))
+	}
+	n := uint32(p.NumVars)
+	nc := 1 + rng.Intn(50)
+	for i := 0; i < nc; i++ {
+		d, s := uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n)))
+		switch rng.Intn(8) {
+		case 0, 1:
+			p.AddAddrOf(d, s)
+		case 2, 3, 4:
+			p.AddCopy(d, s)
+		case 5:
+			p.AddLoad(d, s, 0)
+		case 6:
+			p.AddStore(d, s, 0)
+		case 7:
+			// offset constraint against a function var
+			if len(funcs) > 0 {
+				off := uint32(1 + rng.Intn(3))
+				if rng.Intn(2) == 0 {
+					p.AddLoad(d, s, off)
+				} else {
+					p.AddStore(d, s, off)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// FromBytes derives a constraint program deterministically from an opaque
+// byte string, for use as a fuzzing front end: unlike the text format every
+// input decodes to *some* valid program, so a coverage-guided fuzzer spends
+// its budget exploring constraint-system shapes rather than fighting the
+// parser. The first two bytes size the universe (functions, then plain
+// variables); each following 4-byte group encodes one constraint as
+// (kind, dst, src, offset), with ids and offsets reduced modulo the legal
+// range. Trailing partial groups are ignored.
+func FromBytes(data []byte) *constraint.Program {
+	p := constraint.NewProgram()
+	if len(data) < 2 {
+		p.AddVar("v0")
+		return p
+	}
+	nf := int(data[0]) % 3
+	for i := 0; i < nf; i++ {
+		p.AddFunc(fmt.Sprintf("f%d", i), i%3)
+	}
+	nv := 3 + int(data[1])%18
+	for i := 0; i < nv; i++ {
+		p.AddVar(fmt.Sprintf("v%d", i))
+	}
+	n := uint32(p.NumVars)
+	maxSpan := uint32(1)
+	for v := uint32(0); v < n; v++ {
+		if s := p.SpanOf(v); s > maxSpan {
+			maxSpan = s
+		}
+	}
+	for i := 2; i+4 <= len(data); i += 4 {
+		kind := data[i] % 4
+		d := uint32(data[i+1]) % n
+		s := uint32(data[i+2]) % n
+		off := uint32(data[i+3]) % maxSpan
+		switch constraint.Kind(kind) {
+		case constraint.AddrOf:
+			p.AddAddrOf(d, s)
+		case constraint.Copy:
+			p.AddCopy(d, s)
+		case constraint.Load:
+			p.AddLoad(d, s, off)
+		case constraint.Store:
+			p.AddStore(d, s, off)
+		}
+	}
+	return p
+}

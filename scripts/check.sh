@@ -8,7 +8,11 @@
 #   2. go vet over every package, once per build configuration;
 #   3. the full build;
 #   4. the full test suite;
-#   5. a race-detector pass over the concurrency-bearing packages
+#   5. an explicit replay of the differential-testing seed corpus
+#      (internal/oracle/testdata/corpus/) against the full solver
+#      configuration matrix — already part of stage 4, but run by name
+#      so a corpus regression is called out unmistakably in CI logs;
+#   6. a race-detector pass over the concurrency-bearing packages
 #      (internal/par, internal/core, internal/metrics) in -short mode,
 #      so the parallel engine's lock-free compute phase and the metrics
 #      registry are exercised under the race detector on every change.
@@ -58,6 +62,9 @@ go build ./...
 
 echo "==> go test ./..."
 go test ./...
+
+echo "==> go test -run 'TestCorpus|TestHCDRegressionSeed' -count=1 ./internal/oracle ./internal/hcd ./internal/core"
+go test -run 'TestCorpus|TestHCDRegressionSeed' -count=1 ./internal/oracle ./internal/hcd ./internal/core
 
 echo "==> go test -race -short ./internal/par ./internal/core ./internal/metrics"
 go test -race -short ./internal/par ./internal/core ./internal/metrics
