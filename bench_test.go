@@ -62,6 +62,50 @@ func solveOnce(b *testing.B, p *Program, o Options) *Result {
 	return r
 }
 
+// solveScale is the workload scale used by the BenchmarkSolve* targets:
+// large enough (0.2 of the paper's constraint counts) that allocation
+// behavior and set-operation cost dominate, small enough to iterate.
+const solveScale = 0.2
+
+// BenchmarkSolve measures end-to-end solves with bitmap points-to sets at
+// scale 0.2, reporting allocations: these are the targets the points-to
+// memory engine (element pooling, copy-on-write sharing, word-level
+// kernels) is tuned against. ghostscript covers the algorithm matrix;
+// wine — the paper's most expensive bitmap workload — covers the headline
+// LCD+HCD configuration.
+func BenchmarkSolve(b *testing.B) {
+	cases := []struct {
+		bench string
+		algo  benchAlgo
+	}{
+		{"ghostscript", benchAlgo{"naive", Options{Algorithm: Naive}}},
+		{"ghostscript", benchAlgo{"lcd", Options{Algorithm: LCD}}},
+		{"ghostscript", benchAlgo{"lcd+hcd", Options{Algorithm: LCD, HCD: true}}},
+		{"ghostscript", benchAlgo{"lcd+diff", Options{Algorithm: LCD, DiffProp: true}}},
+		{"ghostscript", benchAlgo{"ht+hcd", Options{Algorithm: HT, HCD: true}}},
+		{"ghostscript", benchAlgo{"pkh+hcd", Options{Algorithm: PKH, HCD: true}}},
+		{"wine", benchAlgo{"lcd+hcd", Options{Algorithm: LCD, HCD: true}}},
+	}
+	progs := map[string]*Program{}
+	for _, c := range cases {
+		if progs[c.bench] == nil {
+			p, err := Workload(c.bench, solveScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			progs[c.bench] = p
+		}
+		b.Run(fmt.Sprintf("%s/%s", c.algo.name, c.bench), func(b *testing.B) {
+			p := progs[c.bench]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solveOnce(b, p, c.algo.opts)
+			}
+		})
+	}
+}
+
 // BenchmarkTable2Workloads measures workload generation plus OVS reduction
 // for each Table 2 profile and reports the reduction percentage the paper
 // quotes (60-77%).

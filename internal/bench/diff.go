@@ -15,6 +15,15 @@ type DiffOptions struct {
 	// are below this floor: sub-noise runs produce huge spurious
 	// percentages. 0 means no floor.
 	MinSeconds float64
+	// AllocThresholdPercent is the allocs-per-run growth above which a
+	// run counts as an allocation regression. 0 disables the gate. The
+	// gate only applies to cells where both reports carry allocation
+	// counts (older reports predate the fields).
+	AllocThresholdPercent float64
+	// MemThresholdPercent is the peak-heap growth above which a run
+	// counts as a memory regression. 0 disables the gate; cells missing
+	// a peak sample on either side are exempt.
+	MemThresholdPercent float64
 }
 
 // DiffEntry compares one run present in both reports.
@@ -23,9 +32,21 @@ type DiffEntry struct {
 	OldSeconds   float64 `json:"old_seconds"`
 	NewSeconds   float64 `json:"new_seconds"`
 	DeltaPercent float64 `json:"delta_percent"` // positive = slower
-	// Regression marks entries beyond the threshold (and above the
-	// noise floor).
-	Regression bool `json:"regression"`
+	// OldAllocs / NewAllocs / AllocDeltaPercent compare allocator
+	// traffic (runtime Mallocs across the solve); zero counts mean the
+	// report predates the field.
+	OldAllocs         uint64  `json:"old_allocs,omitempty"`
+	NewAllocs         uint64  `json:"new_allocs,omitempty"`
+	AllocDeltaPercent float64 `json:"alloc_delta_percent,omitempty"`
+	// OldPeakBytes / NewPeakBytes / MemDeltaPercent compare peak heap.
+	OldPeakBytes    uint64  `json:"old_peak_bytes,omitempty"`
+	NewPeakBytes    uint64  `json:"new_peak_bytes,omitempty"`
+	MemDeltaPercent float64 `json:"mem_delta_percent,omitempty"`
+	// Regression marks entries beyond a threshold (and above the noise
+	// floor); Why names the dimensions that tripped ("wall", "allocs",
+	// "peak-mem").
+	Regression bool     `json:"regression"`
+	Why        []string `json:"why,omitempty"`
 	// BelowFloor marks entries exempted by MinSeconds.
 	BelowFloor bool `json:"below_floor,omitempty"`
 }
@@ -42,9 +63,11 @@ type DiffResult struct {
 	Regressions int `json:"regressions"`
 }
 
-// DiffReports compares wall-clock times run by run. Runs are matched by
-// (bench, algo, pts, workers). Errored runs (zero wall time) are listed
-// but never produce a regression verdict in either direction.
+// DiffReports compares wall-clock time, allocation traffic and peak memory
+// run by run. Runs are matched by (bench, algo, pts, workers). Errored
+// runs (zero wall time) are listed but never produce a regression verdict
+// in either direction, and runs below the MinSeconds noise floor are
+// exempt from every gate (tiny solves make every dimension noisy).
 func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
 	res := &DiffResult{}
 	newByKey := map[string]Run{}
@@ -60,14 +83,36 @@ func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
 			continue
 		}
 		seen[key] = true
-		e := DiffEntry{Key: key, OldSeconds: o.WallSeconds, NewSeconds: n.WallSeconds}
+		e := DiffEntry{
+			Key:        key,
+			OldSeconds: o.WallSeconds, NewSeconds: n.WallSeconds,
+			OldAllocs: o.Allocs, NewAllocs: n.Allocs,
+			OldPeakBytes: o.PeakHeapBytes, NewPeakBytes: n.PeakHeapBytes,
+		}
 		if o.WallSeconds > 0 && n.WallSeconds > 0 {
 			e.DeltaPercent = (n.WallSeconds - o.WallSeconds) / o.WallSeconds * 100
 			if opts.MinSeconds > 0 && o.WallSeconds < opts.MinSeconds && n.WallSeconds < opts.MinSeconds {
 				e.BelowFloor = true
-			} else if e.DeltaPercent > opts.ThresholdPercent {
-				e.Regression = true
-				res.Regressions++
+			} else {
+				if e.DeltaPercent > opts.ThresholdPercent {
+					e.Why = append(e.Why, "wall")
+				}
+				if o.Allocs > 0 && n.Allocs > 0 {
+					e.AllocDeltaPercent = (float64(n.Allocs) - float64(o.Allocs)) / float64(o.Allocs) * 100
+					if opts.AllocThresholdPercent > 0 && e.AllocDeltaPercent > opts.AllocThresholdPercent {
+						e.Why = append(e.Why, "allocs")
+					}
+				}
+				if o.PeakHeapBytes > 0 && n.PeakHeapBytes > 0 {
+					e.MemDeltaPercent = (float64(n.PeakHeapBytes) - float64(o.PeakHeapBytes)) / float64(o.PeakHeapBytes) * 100
+					if opts.MemThresholdPercent > 0 && e.MemDeltaPercent > opts.MemThresholdPercent {
+						e.Why = append(e.Why, "peak-mem")
+					}
+				}
+				if len(e.Why) > 0 {
+					e.Regression = true
+					res.Regressions++
+				}
 			}
 		}
 		res.Entries = append(res.Entries, e)
@@ -83,17 +128,27 @@ func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
 // Print renders the diff as a human-readable table.
 func (d *DiffResult) Print(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "run\told\tnew\tdelta\t\n")
+	fmt.Fprintf(tw, "run\told\tnew\tdelta\tallocs\tpeak\t\n")
 	for _, e := range d.Entries {
 		verdict := ""
 		switch {
 		case e.Regression:
 			verdict = "REGRESSION"
+			for _, why := range e.Why {
+				verdict += " " + why
+			}
 		case e.BelowFloor:
 			verdict = "(below noise floor)"
 		}
-		fmt.Fprintf(tw, "%s\t%.3fs\t%.3fs\t%+.1f%%\t%s\n",
-			e.Key, e.OldSeconds, e.NewSeconds, e.DeltaPercent, verdict)
+		allocCol, memCol := "-", "-"
+		if e.OldAllocs > 0 && e.NewAllocs > 0 {
+			allocCol = fmt.Sprintf("%+.1f%%", e.AllocDeltaPercent)
+		}
+		if e.OldPeakBytes > 0 && e.NewPeakBytes > 0 {
+			memCol = fmt.Sprintf("%+.1f%%", e.MemDeltaPercent)
+		}
+		fmt.Fprintf(tw, "%s\t%.3fs\t%.3fs\t%+.1f%%\t%s\t%s\t%s\n",
+			e.Key, e.OldSeconds, e.NewSeconds, e.DeltaPercent, allocCol, memCol, verdict)
 	}
 	tw.Flush()
 	for _, k := range d.MissingInNew {
@@ -105,8 +160,8 @@ func (d *DiffResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "%d regression(s)\n", d.Regressions)
 }
 
-// Failed reports whether the diff should fail a CI gate: any wall-clock
-// regression, or any run that silently disappeared.
+// Failed reports whether the diff should fail a CI gate: any regression
+// (wall, allocs or peak memory), or any run that silently disappeared.
 func (d *DiffResult) Failed() bool {
 	return d.Regressions > 0 || len(d.MissingInNew) > 0
 }

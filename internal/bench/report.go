@@ -73,6 +73,13 @@ type Run struct {
 	// columns (MemBytes below is the analytic footprint).
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 	PeakSysBytes  uint64 `json:"peak_sys_bytes"`
+	// Allocs / AllocBytes are the runtime.MemStats Mallocs / TotalAlloc
+	// deltas across the solve call: the allocator traffic the pooled
+	// memory engine exists to eliminate. Additive (schema stays 1);
+	// absent (zero) in reports from older builds, which disables the
+	// benchdiff allocation gate for those cells.
+	Allocs     uint64 `json:"allocs,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
 	// MemBytes is the analytic final-state footprint (Stats.MemBytes).
 	MemBytes int64 `json:"mem_bytes"`
 	// OfflineSeconds is the (shared, precomputed) HCD offline analysis
@@ -150,7 +157,10 @@ func (h *Harness) reportRun(bench string, prog *constraint.Program, a AlgoID, wo
 	var (
 		res *core.Result
 		err error
+		ms0 runtime.MemStats
+		ms1 runtime.MemStats
 	)
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	if a.BLQ {
 		run.Pts = "bdd-relation"
@@ -159,9 +169,13 @@ func (h *Harness) reportRun(bench string, prog *constraint.Program, a AlgoID, wo
 		res, err = core.Solve(prog, opts)
 	}
 	run.WallSeconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+	run.Allocs = ms1.Mallocs - ms0.Mallocs
+	run.AllocBytes = ms1.TotalAlloc - ms0.TotalAlloc
 	if err != nil {
 		run.Error = err.Error()
 		run.WallSeconds = 0
+		run.Allocs, run.AllocBytes = 0, 0
 		return run
 	}
 	snap := reg.Snapshot()

@@ -166,6 +166,48 @@ func TestDiffInjectedRegression(t *testing.T) {
 	}
 }
 
+// TestDiffAllocAndMemGates covers the allocation/peak-memory regression
+// gates: each trips independently of the wall clock, and both are vacuous
+// when either report lacks the measurement (older schema producers).
+func TestDiffAllocAndMemGates(t *testing.T) {
+	mkRun := func(algo string, wall float64, allocs, peak uint64) Run {
+		return Run{Bench: "emacs", Algo: algo, Pts: "bitmap",
+			WallSeconds: wall, Allocs: allocs, PeakHeapBytes: peak}
+	}
+	oldRep := &Report{SchemaVersion: ReportSchemaVersion, Runs: []Run{
+		mkRun("lcd", 1.0, 1000, 1<<20),
+		mkRun("ht", 1.0, 1000, 1<<20),
+		mkRun("pkh", 1.0, 0, 0), // old report without the fields
+	}}
+	newRep := &Report{SchemaVersion: ReportSchemaVersion, Runs: []Run{
+		mkRun("lcd", 1.0, 1500, 1<<20),    // +50% allocs, flat wall/mem
+		mkRun("ht", 1.0, 1000, 3*(1<<20)), // 3x peak heap
+		mkRun("pkh", 1.0, 9999, 1<<30),    // no baseline: exempt
+	}}
+	opts := DiffOptions{ThresholdPercent: 15, AllocThresholdPercent: 10, MemThresholdPercent: 10}
+	diff := DiffReports(oldRep, newRep, opts)
+	if diff.Regressions != 2 || !diff.Failed() {
+		t.Fatalf("want 2 regressions (allocs, peak-mem), got %+v", diff)
+	}
+	why := map[string]string{}
+	for _, e := range diff.Entries {
+		why[e.Key] = strings.Join(e.Why, ",")
+	}
+	if why["emacs/lcd/bitmap/w0"] != "allocs" {
+		t.Fatalf("lcd should trip the alloc gate, got %q", why["emacs/lcd/bitmap/w0"])
+	}
+	if why["emacs/ht/bitmap/w0"] != "peak-mem" {
+		t.Fatalf("ht should trip the peak-mem gate, got %q", why["emacs/ht/bitmap/w0"])
+	}
+	if why["emacs/pkh/bitmap/w0"] != "" {
+		t.Fatalf("pkh lacks a baseline and must be exempt, got %q", why["emacs/pkh/bitmap/w0"])
+	}
+	// Disabling the gates (0) passes the same pair.
+	if d := DiffReports(oldRep, newRep, DiffOptions{ThresholdPercent: 15}); d.Failed() {
+		t.Fatalf("disabled gates should pass, got %+v", d)
+	}
+}
+
 func TestDiffNoiseFloorAndMissingRuns(t *testing.T) {
 	oldRep := &Report{SchemaVersion: ReportSchemaVersion, Runs: []Run{
 		{Bench: "emacs", Algo: "lcd", Pts: "bitmap", WallSeconds: 0.001},

@@ -45,18 +45,31 @@ func (e *element) empty() bool {
 	return true
 }
 
-// Bitmap is a sparse bitmap. The zero value is an empty bitmap ready to use.
-// Bitmap is not safe for concurrent use.
+// Bitmap is a sparse bitmap. The zero value is an empty bitmap ready to use
+// (with no element pool). Bitmap is not safe for concurrent use.
 type Bitmap struct {
 	first   *element
 	last    *element
 	current *element // cache of the most recently accessed element
 	n       int      // number of elements in the list
+	pool    *Pool    // element allocator; nil = plain heap allocation
 }
 
-// New returns a new empty bitmap. Equivalent to new(Bitmap); provided for
-// symmetry with other constructors in this module.
+// New returns a new empty bitmap with no element pool. Equivalent to
+// new(Bitmap); provided for symmetry with other constructors in this module.
 func New() *Bitmap { return &Bitmap{} }
+
+// NewIn returns a new empty bitmap drawing elements from pool (which may
+// be nil for plain heap allocation). All bitmaps sharing a pool must be
+// mutated from a single goroutine at a time — the pool is not locked.
+func NewIn(pool *Pool) *Bitmap { return &Bitmap{pool: pool} }
+
+// UsePool sets the element allocator for subsequent allocations and
+// frees. It is intended for bitmaps embedded by value in another struct,
+// where NewIn cannot be used. Elements already allocated stay where they
+// are; mixing pooled and unpooled elements in one list is harmless
+// because recycling happens element by element.
+func (b *Bitmap) UsePool(pool *Pool) { b.pool = pool }
 
 // Elements returns the number of list elements currently allocated, the unit
 // of the analytic memory accounting used by the benchmark harness.
@@ -68,8 +81,16 @@ func (b *Bitmap) MemBytes() int { return b.n*ElemBytes + 40 }
 // Empty reports whether no bit is set.
 func (b *Bitmap) Empty() bool { return b.first == nil }
 
-// ClearAll removes every bit, releasing all elements.
+// ClearAll removes every bit, returning all elements to the pool (or the
+// garbage collector when the bitmap has none).
 func (b *Bitmap) ClearAll() {
+	if b.pool != nil {
+		for e := b.first; e != nil; {
+			next := e.next
+			b.pool.put(e)
+			e = next
+		}
+	}
 	b.first, b.last, b.current, b.n = nil, nil, nil, 0
 }
 
@@ -105,7 +126,7 @@ func (b *Bitmap) find(eidx uint32) *element {
 // sorted position, assuming b.current is adjacent to the insertion point
 // (guaranteed after a failed find).
 func (b *Bitmap) insert(eidx uint32) *element {
-	ne := &element{idx: eidx}
+	ne := b.pool.get(eidx)
 	b.n++
 	if b.first == nil {
 		b.first, b.last, b.current = ne, ne, ne
@@ -137,7 +158,7 @@ func (b *Bitmap) insert(eidx uint32) *element {
 	return ne
 }
 
-// unlink removes element e from the list.
+// unlink removes element e from the list and returns it to the pool.
 func (b *Bitmap) unlink(e *element) {
 	if e.prev != nil {
 		e.prev.next = e.next
@@ -157,6 +178,7 @@ func (b *Bitmap) unlink(e *element) {
 		}
 	}
 	b.n--
+	b.pool.put(e)
 }
 
 // Set sets bit x and reports whether the bitmap changed (x was newly set).
@@ -205,16 +227,69 @@ func (b *Bitmap) Test(x uint32) bool {
 // TestRO reports whether bit x is set without updating the current-element
 // cache. Unlike Test it never mutates the bitmap, so any number of
 // goroutines may call it concurrently as long as no writer runs at the same
-// time. It pays for that safety with a scan from the front of the list.
+// time. It pays for that safety with a scan from the front of the list;
+// readers probing with locality should carry a Cursor and call TestROAt
+// instead, which replaces the O(n) front scan with a walk from the
+// caller-owned cursor position.
 func (b *Bitmap) TestRO(x uint32) bool {
+	var c Cursor
+	return b.TestROAt(x, &c)
+}
+
+// Cursor is a caller-owned position hint for read-only probes of one
+// bitmap. It is the sharded replacement for the bitmap's single
+// current-element cache: concurrent readers cannot share the cache (the
+// update would be a data race), so each reader keeps its own cursor and
+// TestROAt writes only to it, never to the bitmap.
+//
+// Validity rules:
+//
+//   - a Cursor belongs to one (reader, bitmap) pair; probing a different
+//     bitmap through it requires Reset first;
+//   - ANY mutation of the bitmap invalidates its cursors — with element
+//     pooling a stale cursor may point to an element recycled into
+//     another bitmap, so the rule is strict. The read-only phases the
+//     parallel engine runs (graph frozen, workers probing) are exactly
+//     the windows in which cursors are valid.
+//
+// The zero value is a valid empty cursor.
+type Cursor struct {
+	e *element
+}
+
+// Reset clears the cursor so the next probe scans from the front.
+func (c *Cursor) Reset() { c.e = nil }
+
+// TestROAt reports whether bit x is set, starting the element search at
+// the cursor's remembered position and walking the doubly-linked list in
+// the right direction, exactly as the writer-side cache does. The cursor
+// is advanced to the element nearest x, so probe sequences with locality
+// cost O(distance) instead of a front scan per probe. The bitmap is never
+// written; only the caller-owned cursor is.
+func (b *Bitmap) TestROAt(x uint32, c *Cursor) bool {
 	eidx := x / ElemBits
-	for e := b.first; e != nil && e.idx <= eidx; e = e.next {
-		if e.idx == eidx {
-			word := (x % ElemBits) / WordBits
-			return e.bits[word]&(1<<(x%WordBits)) != 0
+	e := c.e
+	if e == nil {
+		e = b.first
+	}
+	if e == nil {
+		return false
+	}
+	if e.idx < eidx {
+		for e.next != nil && e.idx < eidx {
+			e = e.next
+		}
+	} else {
+		for e.prev != nil && e.idx > eidx {
+			e = e.prev
 		}
 	}
-	return false
+	c.e = e
+	if e.idx != eidx {
+		return false
+	}
+	word := (x % ElemBits) / WordBits
+	return e.bits[word]&(1<<(x%WordBits)) != 0
 }
 
 // IorDiffWith sets b = b | (src &^ excl) and reports whether b changed:
@@ -271,7 +346,8 @@ func (b *Bitmap) IorDiffWith(src, excl *Bitmap) bool {
 		}
 		// Insert a fresh element holding the masked words between tail
 		// and be.
-		ne := &element{idx: se.idx, bits: masked}
+		ne := b.pool.get(se.idx)
+		ne.bits = masked
 		b.n++
 		changed = true
 		ne.prev = tail
@@ -321,7 +397,8 @@ func (b *Bitmap) IorWith(o *Bitmap) bool {
 			continue
 		}
 		// Insert a copy of oe between tail and be.
-		ne := &element{idx: oe.idx, bits: oe.bits}
+		ne := b.pool.get(oe.idx)
+		ne.bits = oe.bits
 		b.n++
 		changed = true
 		ne.prev = tail
@@ -409,9 +486,20 @@ func (b *Bitmap) AndComplWith(o *Bitmap) bool {
 }
 
 // Equal reports whether b and o contain exactly the same bits.
+//
+// Cheap structural facts are compared before walking the lists: elements
+// are never empty and cover disjoint index ranges, so bitmaps with
+// different element counts — or different first or last element indices —
+// cannot be equal. The full walk runs only for plausibly-equal operands.
 func (b *Bitmap) Equal(o *Bitmap) bool {
 	if b == o {
 		return true
+	}
+	if b.n != o.n {
+		return false
+	}
+	if b.first != nil && (b.first.idx != o.first.idx || b.last.idx != o.last.idx) {
+		return false
 	}
 	be, oe := b.first, o.first
 	for be != nil && oe != nil {
@@ -423,8 +511,13 @@ func (b *Bitmap) Equal(o *Bitmap) bool {
 	return be == nil && oe == nil
 }
 
-// Intersects reports whether b and o share at least one set bit.
+// Intersects reports whether b and o share at least one set bit. Disjoint
+// index ranges (first/last comparison) are rejected without walking.
 func (b *Bitmap) Intersects(o *Bitmap) bool {
+	if b.first == nil || o.first == nil ||
+		b.last.idx < o.first.idx || o.last.idx < b.first.idx {
+		return false
+	}
 	be, oe := b.first, o.first
 	for be != nil && oe != nil {
 		switch {
@@ -455,12 +548,19 @@ func (b *Bitmap) Count() int {
 	return n
 }
 
-// Copy returns an independent copy of b.
-func (b *Bitmap) Copy() *Bitmap {
-	nb := &Bitmap{}
+// Copy returns an independent copy of b, drawing elements from the same
+// pool as b.
+func (b *Bitmap) Copy() *Bitmap { return b.CopyIn(b.pool) }
+
+// CopyIn returns an independent copy of b drawing elements from pool
+// (which may be nil for plain heap allocation).
+func (b *Bitmap) CopyIn(pool *Pool) *Bitmap {
+	nb := NewIn(pool)
 	var tail *element
 	for e := b.first; e != nil; e = e.next {
-		ne := &element{idx: e.idx, bits: e.bits, prev: tail}
+		ne := pool.get(e.idx)
+		ne.bits = e.bits
+		ne.prev = tail
 		if tail != nil {
 			tail.next = ne
 		} else {
@@ -492,12 +592,50 @@ func (b *Bitmap) ForEach(f func(x uint32) bool) {
 	}
 }
 
+// AppendTo appends all set bits to dst in ascending order and returns the
+// extended slice. It is the word-level decoding kernel behind Slice: the
+// hot solver loops use it with a reusable scratch buffer to snapshot a set
+// without the per-bit closure call ForEach costs.
+func (b *Bitmap) AppendTo(dst []uint32) []uint32 {
+	for e := b.first; e != nil; e = e.next {
+		base := e.idx * ElemBits
+		for w := 0; w < ElemWords; w++ {
+			v := e.bits[w]
+			wordBase := base + uint32(w)*WordBits
+			for v != 0 {
+				dst = append(dst, wordBase+uint32(bits.TrailingZeros64(v)))
+				v &= v - 1
+			}
+		}
+	}
+	return dst
+}
+
 // Slice returns all set bits in ascending order. Intended for tests and
 // small sets.
 func (b *Bitmap) Slice() []uint32 {
-	var out []uint32
-	b.ForEach(func(x uint32) bool { out = append(out, x); return true })
-	return out
+	if b.first == nil {
+		return nil
+	}
+	return b.AppendTo(make([]uint32, 0, 8))
+}
+
+// Hash returns a content hash of the bitmap (FNV-1a over element indices
+// and words), suitable for hash-consing equal sets: Equal bitmaps hash
+// identically regardless of how they were built.
+func (b *Bitmap) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for e := b.first; e != nil; e = e.next {
+		h = (h ^ uint64(e.idx)) * prime64
+		for _, w := range e.bits {
+			h = (h ^ w) * prime64
+		}
+	}
+	return h
 }
 
 // Min returns the smallest set bit, or (0, false) when empty.

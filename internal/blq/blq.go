@@ -421,3 +421,11 @@ func (r *rowSet) Len() int                     { return r.s.d2.Count(r.node) }
 func (r *rowSet) Empty() bool                  { return r.node == bdd.False }
 func (r *rowSet) Slice() []uint32              { return r.s.d2.Values(r.node) }
 func (r *rowSet) MemBytes() int                { return 16 }
+
+func (r *rowSet) AppendTo(dst []uint32) []uint32 {
+	r.s.d2.ForEach(r.node, func(x uint32) bool {
+		dst = append(dst, x)
+		return true
+	})
+	return dst
+}

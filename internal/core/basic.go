@@ -41,6 +41,7 @@ func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 		fired = make(map[uint64]struct{})
 	}
 	var pops, intervals int
+	var derefScratch []uint32
 	for {
 		x, ok := w.Pop()
 		if !ok {
@@ -105,7 +106,11 @@ func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 					w.Push(src)
 				}
 			}
-			work.ForEach(func(v uint32) bool {
+			// Word-level snapshot instead of a per-bit closure walk; it
+			// also insulates the iteration from the set unions onNewEdge
+			// performs under difference propagation.
+			derefScratch = work.AppendTo(derefScratch[:0])
+			for _, v := range derefScratch {
 				for _, ld := range loads {
 					t, valid := g.validTarget(v, ld.Off)
 					if !valid {
@@ -128,8 +133,7 @@ func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 						onNewEdge(src, dst)
 					}
 				}
-				return true
-			})
+			}
 		}
 		// Step 2: propagate along outgoing copy edges, with the LCD
 		// trigger guarding each propagation.
@@ -147,6 +151,9 @@ func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 						g.stats.CycleChecks++
 						if g.detectAndCollapse(z, w.Push) {
 							n = g.find(n)
+							if diff && work != set {
+								pts.Release(work) // dead delta buffer
+							}
 							set = g.ptsOf(n)
 							work = set
 							w.Push(n)
@@ -175,6 +182,7 @@ func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 			// merged node's propagated set and re-enqueued it.
 			if old := g.propagated[n]; old != nil {
 				work.UnionWith(old)
+				pts.Release(old)
 			}
 			g.propagated[n] = work
 		}

@@ -82,8 +82,16 @@ type graph struct {
 	// invalidate its per-round points-to cache).
 	onUnite func(rep, lost uint32)
 
-	// scratch for succsOf
+	// edgePool recycles the elements of the successor bitmaps: cycle
+	// collapsing unions one edge set into another and drops the loser,
+	// and succsOf rewrites stale sets in place — both return their dead
+	// elements here. Touched only by single-threaded solver code (the
+	// parallel engine mutates edges in its barrier merge only).
+	edgePool *bitmap.Pool
+
+	// scratch for succsOf / applyHCD
 	succScratch []uint32
+	hcdScratch  []uint32
 }
 
 // newGraph builds the initial constraint graph: base constraints populate
@@ -109,6 +117,7 @@ func newGraphDir(p *constraint.Program, factory pts.Factory, table *hcd.Result, 
 		factory:  factory,
 		stats:    &Stats{},
 		reversed: reversed,
+		edgePool: bitmap.NewPool(),
 	}
 	for i := range g.span {
 		g.span[i] = p.SpanOf(uint32(i))
@@ -155,7 +164,7 @@ func (g *graph) ptsOf(r uint32) pts.Set {
 // succsBM returns the successor bitmap of rep r, allocating on first use.
 func (g *graph) succsBM(r uint32) *bitmap.Bitmap {
 	if g.succs[r] == nil {
-		g.succs[r] = bitmap.New()
+		g.succs[r] = bitmap.NewIn(g.edgePool)
 	}
 	return g.succs[r]
 }
@@ -192,16 +201,15 @@ func (g *graph) succsOf(r uint32) []uint32 {
 	if bm == nil {
 		return nil
 	}
-	out := g.succScratch[:0]
+	out := bm.AppendTo(g.succScratch[:0])
 	stale := false
-	bm.ForEach(func(w uint32) bool {
+	for i, w := range out {
 		rw := g.find(w)
 		if rw != w || rw == r {
 			stale = true // collapsed successor or self-edge: repair below
 		}
-		out = append(out, rw)
-		return true
-	})
+		out[i] = rw
+	}
 	if stale {
 		bm.ClearAll()
 		fresh := out[:0]
@@ -236,10 +244,12 @@ func (g *graph) unite(a, b uint32) uint32 {
 	}
 	if s := g.sets[lost]; s != nil {
 		g.ptsOf(rep).UnionWith(s)
+		pts.Release(s) // recycle (or un-share) the absorbed set's backing
 		g.sets[lost] = nil
 	}
 	if bm := g.succs[lost]; bm != nil {
 		g.succsBM(rep).IorWith(bm)
+		bm.ClearAll() // return the absorbed edge set's elements to the pool
 		g.succs[lost] = nil
 	}
 	if l := g.loads[lost]; len(l) > 0 {
@@ -259,12 +269,16 @@ func (g *graph) unite(a, b uint32) uint32 {
 	if g.propagated != nil {
 		// The merged node has new edges and constraints: everything
 		// must be (re)propagated once.
+		pts.Release(g.propagated[rep])
+		pts.Release(g.propagated[lost])
 		g.propagated[rep] = nil
 		g.propagated[lost] = nil
 	}
 	if g.resolved != nil {
 		// Likewise its constraint lists changed: every pointee must be
 		// re-resolved against the combined loads and stores.
+		pts.Release(g.resolved[rep])
+		pts.Release(g.resolved[lost])
 		g.resolved[rep] = nil
 		g.resolved[lost] = nil
 	}
@@ -302,7 +316,10 @@ func (g *graph) applyHCD(n uint32, onUnion func(rep uint32)) uint32 {
 		set := g.sets[g.find(n)]
 		merged := false
 		if set != nil {
-			for _, v := range set.Slice() {
+			// Snapshot through the scratch buffer: unite below mutates
+			// sets, so we cannot iterate the live set.
+			g.hcdScratch = set.AppendTo(g.hcdScratch[:0])
+			for _, v := range g.hcdScratch {
 				rv := g.find(v)
 				rb = g.find(rb)
 				if rv == rb {
@@ -338,5 +355,6 @@ func (g *graph) memBytes() int64 {
 	}
 	total += int64(g.nodes.MemBytes())
 	total += int64(g.factory.OverheadBytes())
+	total += int64(g.edgePool.MemBytes())
 	return total
 }

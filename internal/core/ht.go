@@ -36,6 +36,10 @@ type htState struct {
 	frames []htFrame
 	stack  []uint32 // Tarjan candidate stack (ids with valid index, on stack)
 	onstk  []bool
+
+	// computePts dedup stamps (replaces a per-call map allocation).
+	qseen  []uint32
+	qround uint32
 }
 
 type htFrame struct {
@@ -52,6 +56,7 @@ func solveHT(ctx context.Context, g *graph, opts Options) error {
 		index:   make([]uint32, g.n),
 		idxSeen: make([]uint32, g.n),
 		onstk:   make([]bool, g.n),
+		qseen:   make([]uint32, g.n),
 	}
 	g.onUnite = func(rep, lost uint32) {
 		// Merge the query caches of collapsed nodes so partially
@@ -64,6 +69,9 @@ func solveHT(ctx context.Context, g *graph, opts Options) error {
 				h.stamp[rep] = h.stamp[lost]
 			} else {
 				h.cache[rep].UnionWith(h.cache[lost])
+				// The lost handle is NOT released: applyHCDHT may
+				// still be iterating it (unite fires from inside its
+				// loop), so its storage is left to the GC.
 			}
 			h.cache[lost] = nil
 		}
@@ -140,6 +148,9 @@ func solveHT(ctx context.Context, g *graph, opts Options) error {
 	}
 	for v := 0; v < g.n; v++ {
 		if g.find(uint32(v)) == uint32(v) && h.cache[v] != nil {
+			if old := g.sets[v]; old != nil && old != h.cache[v] {
+				pts.Release(old) // superseded by the materialized set
+			}
 			g.sets[v] = h.cache[v]
 		}
 	}
@@ -163,7 +174,9 @@ func (h *htState) applyHCDHT(n uint32) bool {
 	merged := false
 	for _, b := range targets {
 		rb := g.find(b)
-		for _, u := range set.Slice() {
+		// Snapshot via the scratch buffer: unite below mutates the caches.
+		g.hcdScratch = set.AppendTo(g.hcdScratch[:0])
+		for _, u := range g.hcdScratch {
 			ru := g.find(u)
 			rb = g.find(rb)
 			if ru == rb {
@@ -266,18 +279,26 @@ func (h *htState) computePts(rep uint32) {
 	if g.sets[rep] != nil {
 		set.UnionWith(g.sets[rep]) // base facts (merged by unite)
 	}
-	inComp := func(w uint32) bool { return g.find(w) == rep }
-	seen := map[uint32]bool{}
+	h.qround++
+	if h.qround == 0 { // stamp wraparound: invalidate all entries
+		for i := range h.qseen {
+			h.qseen[i] = 0
+		}
+		h.qround = 1
+	}
 	for _, p0 := range g.succsSnapshot(rep) {
 		p := g.find(p0)
-		if inComp(p) || seen[p] {
+		if p == rep || h.qseen[p] == h.qround {
 			continue
 		}
-		seen[p] = true
+		h.qseen[p] = h.qround
 		if h.stamp[p] == h.round && h.cache[p] != nil {
 			g.stats.Propagations++
 			set.UnionWith(h.cache[p])
 		}
+	}
+	if old := h.cache[rep]; old != nil {
+		pts.Release(old) // stale previous-round entry: recycle its storage
 	}
 	h.cache[rep] = set
 	h.stamp[rep] = h.round

@@ -132,7 +132,10 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 			g.stats.Propagations += o.Propagations
 			for _, z := range o.DeltaOrder {
 				rz := g.find(z)
-				dst, _ := pts.AsBitmap(g.ptsOf(rz))
+				// MutableBitmap, not AsBitmap: the set may share a COW
+				// backing (after unite adoptions) and must be un-shared
+				// before the in-place merge.
+				dst, _ := pts.MutableBitmap(g.ptsOf(rz))
 				if dst.IorWith(o.Deltas[z]) {
 					front.Push(rz)
 				}
@@ -146,14 +149,14 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 				if g.propagated[n] == nil {
 					g.propagated[n] = g.factory.New()
 				}
-				bm, _ := pts.AsBitmap(g.propagated[n])
+				bm, _ := pts.MutableBitmap(g.propagated[n])
 				bm.IorWith(o.Works[i])
 			}
 			for i, n := range o.ResNodes {
 				if g.resolved[n] == nil {
 					g.resolved[n] = g.factory.New()
 				}
-				bm, _ := pts.AsBitmap(g.resolved[n])
+				bm, _ := pts.MutableBitmap(g.resolved[n])
 				bm.IorWith(o.ResWorks[i])
 			}
 		}
@@ -170,6 +173,7 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 				// dense derived graphs (where cycle collapsing soon
 				// dedupes most of these edges) affordable.
 				if g.propagated[rs] != nil {
+					pts.Release(g.propagated[rs])
 					g.propagated[rs] = nil
 				}
 				if s := g.sets[rs]; s != nil && !s.Empty() {

@@ -34,6 +34,7 @@ func solvePKH(ctx context.Context, g *graph, opts Options) error {
 
 	pos := make([]int32, g.n) // topological position of each rep this round
 	inRound := make([]bool, g.n)
+	var derefScratch []uint32
 	for len(pending) > 0 {
 		if err := ctx.Err(); err != nil {
 			return canceled(err, "PKH sweep round")
@@ -120,7 +121,9 @@ func solvePKH(ctx context.Context, g *graph, opts Options) error {
 			}
 			if len(g.loads[cur]) > 0 || len(g.stores[cur]) > 0 {
 				loads, stores := g.loads[cur], g.stores[cur]
-				set.ForEach(func(v uint32) bool {
+				// Word-level snapshot instead of a per-bit closure walk.
+				derefScratch = set.AppendTo(derefScratch[:0])
+				for _, v := range derefScratch {
 					for _, ld := range loads {
 						t, valid := g.validTarget(v, ld.Off)
 						if !valid {
@@ -141,8 +144,7 @@ func solvePKH(ctx context.Context, g *graph, opts Options) error {
 							schedule(src)
 						}
 					}
-					return true
-				})
+				}
 			}
 			for _, z := range g.succsSnapshot(cur) {
 				if z == cur {

@@ -52,6 +52,7 @@ func solvePKW(ctx context.Context, g *graph, opts Options) error {
 		return true
 	}
 	var pops int
+	var derefScratch []uint32
 	for {
 		x, ok := w.Pop()
 		if !ok {
@@ -79,7 +80,8 @@ func solvePKW(ctx context.Context, g *graph, opts Options) error {
 			loads, stores := g.loads[cur], g.stores[cur]
 			// Iterate a snapshot: insert may collapse a cycle and
 			// mutate the live set mid-iteration.
-			for _, v := range set.Slice() {
+			derefScratch = set.AppendTo(derefScratch[:0])
+			for _, v := range derefScratch {
 				for _, ld := range loads {
 					t, valid := g.validTarget(v, ld.Off)
 					if !valid {

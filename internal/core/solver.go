@@ -323,12 +323,45 @@ func SolveContext(ctx context.Context, p *constraint.Program, opts Options) (*Re
 	g.recordOnlinePhases(online, parallel)
 	finalizeSpan := m.StartPhase(metrics.PhaseFinalize)
 	g.stats.SolveDuration = online
+	// Hash-cons the solution: collapse-heavy solves leave many
+	// content-equal sets behind, and folding them onto canonical backings
+	// shrinks the held footprint (reflected in MemBytes below) and makes
+	// later Result.PointsTo(...).Equal comparisons pointer-fast.
+	for i := 0; i < g.n; i++ {
+		if g.sets[i] != nil {
+			pts.Dedup(g.sets[i])
+		}
+	}
 	g.stats.MemBytes = g.memBytes()
 	res := NewResult(p, g.nodes, g.sets, *g.stats)
 	finalizeSpan.End()
 	m.SampleMem()
 	g.stats.Export(m)
+	g.exportAllocStats(m, opts.Pts)
 	return res, nil
+}
+
+// exportAllocStats writes the memory-engine counters (element pools,
+// copy-on-write traffic, dedup hit rate) into the metrics registry, from
+// which they flow into antbench -json reports.
+func (g *graph) exportAllocStats(m *metrics.Registry, factory pts.Factory) {
+	if m == nil {
+		return
+	}
+	if src, ok := factory.(pts.StatsSource); ok {
+		as := src.AllocStats()
+		m.SetCounter("pool_element_gets", as.PoolGets)
+		m.SetCounter("pool_element_recycled", as.PoolRecycled)
+		m.SetCounter("pool_element_puts", as.PoolPuts)
+		m.SetCounter("pool_chunks", as.PoolChunks)
+		m.SetCounter("cow_shares", as.CowShares)
+		m.SetCounter("cow_clones", as.CowClones)
+		m.SetCounter("dedup_lookups", as.DedupLookups)
+		m.SetCounter("dedup_hits", as.DedupHits)
+	}
+	eps := g.edgePool.Stats()
+	m.SetCounter("edge_pool_element_gets", eps.Gets)
+	m.SetCounter("edge_pool_element_recycled", eps.Recycled)
 }
 
 // recordOnlinePhases splits the online solve time into disjoint
@@ -401,7 +434,8 @@ func (s *Stats) Export(m *metrics.Registry) {
 // lock-free read-only set operations that the BDD representation, with its
 // shared mutable node table, cannot provide).
 func useParallel(opts Options) bool {
-	return opts.Workers >= 2 && opts.Pts.Name() == "bitmap"
+	name := opts.Pts.Name()
+	return opts.Workers >= 2 && (name == "bitmap" || name == "bitmap-plain")
 }
 
 // ctxCheckInterval is how many worklist pops a sequential solver processes

@@ -40,8 +40,12 @@ var matrixWorkers = []int{2, 4}
 // Matrix returns the full registered configuration set:
 //
 //   - all five core algorithms × {bitmap, BDD} points-to sets × {+hcd, −hcd};
+//   - the five algorithms (±hcd) again with the plain bitmap factory —
+//     pooling, copy-on-write sharing and dedup disabled — so the memory
+//     engine is differentially tested against its own ablation;
 //   - parallel worker counts for the configurations the wave engine
-//     accepts (Naive and LCD over bitmaps), with and without HCD;
+//     accepts (Naive and LCD over bitmaps), with and without HCD, plus
+//     one parallel run over the plain factory;
 //   - difference propagation for the basic worklist solvers;
 //   - the BLQ relational solver, with and without HCD.
 //
@@ -54,25 +58,31 @@ func Matrix() []Config {
 	algs := []core.Algorithm{core.Naive, core.LCD, core.HT, core.PKH, core.PKW}
 	var out []Config
 	for _, alg := range algs {
-		for _, useBDD := range []bool{false, true} {
+		for _, repr := range []string{"bitmap", "bdd"} {
 			for _, withHCD := range []bool{false, true} {
-				out = append(out, coreConfig(alg, useBDD, withHCD, 0, false))
+				out = append(out, coreConfig(alg, repr, withHCD, 0, false))
 			}
+		}
+	}
+	for _, alg := range algs {
+		for _, withHCD := range []bool{false, true} {
+			out = append(out, coreConfig(alg, "bitmap-plain", withHCD, 0, false))
 		}
 	}
 	for _, alg := range []core.Algorithm{core.Naive, core.LCD} {
 		for _, withHCD := range []bool{false, true} {
 			for _, w := range matrixWorkers {
-				out = append(out, coreConfig(alg, false, withHCD, w, false))
+				out = append(out, coreConfig(alg, "bitmap", withHCD, w, false))
 			}
-			out = append(out, coreConfig(alg, false, withHCD, 0, true))
+			out = append(out, coreConfig(alg, "bitmap", withHCD, 0, true))
 		}
 	}
+	out = append(out, coreConfig(core.LCD, "bitmap-plain", true, 2, false))
 	out = append(out, blqConfig(false), blqConfig(true))
 	return out
 }
 
-func coreConfig(alg core.Algorithm, useBDD, withHCD bool, workers int, diff bool) Config {
+func coreConfig(alg core.Algorithm, repr string, withHCD bool, workers int, diff bool) Config {
 	name := alg.String()
 	if withHCD {
 		name += "+hcd"
@@ -80,11 +90,7 @@ func coreConfig(alg core.Algorithm, useBDD, withHCD bool, workers int, diff bool
 	if diff {
 		name += "+diff"
 	}
-	if useBDD {
-		name += "/bdd"
-	} else {
-		name += "/bitmap"
-	}
+	name += "/" + repr
 	if workers > 0 {
 		name += fmt.Sprintf("/w%d", workers)
 	}
@@ -97,8 +103,11 @@ func coreConfig(alg core.Algorithm, useBDD, withHCD bool, workers int, diff bool
 				Workers:   workers,
 				DiffProp:  diff,
 			}
-			if useBDD {
+			switch repr {
+			case "bdd":
 				opts.Pts = pts.NewBDDFactory(uint32(p.NumVars), matrixBDDPool)
+			case "bitmap-plain":
+				opts.Pts = pts.NewPlainBitmapFactory()
 			}
 			return core.Solve(p, opts)
 		},

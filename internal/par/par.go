@@ -145,6 +145,14 @@ func Round(workers int, frontier []uint32, v *View) []*Out {
 // computeShard processes one worker's share of the frontier.
 func computeShard(nodes []uint32, v *View) *Out {
 	o := &Out{Deltas: map[uint32]*bitmap.Bitmap{}}
+	// Worker-private element pool: the work/res/delta buffers draw from
+	// storage no other goroutine touches, so the compute phase gets
+	// chunk-batched allocation without locks. The buffers handed back in
+	// Out keep their elements alive until the merge drops the Out (and
+	// the pool with it). The merge copies bits into graph-owned bitmaps;
+	// it never adopts elements across pools.
+	pool := bitmap.NewPool()
+	var resScratch, succScratch []uint32
 	for _, n := range nodes {
 		set := v.Sets[n]
 		if set == nil || set.Empty() {
@@ -153,7 +161,7 @@ func computeShard(nodes []uint32, v *View) *Out {
 		// Work only on the unseen part: the bits not yet propagated the
 		// last time n was processed (everything, on a first visit or
 		// after a new edge or collapse reset Propagated[n]).
-		work := bitmap.New()
+		work := bitmap.NewIn(pool)
 		work.IorDiffWith(set, v.Propagated[n])
 		// Step 1 (Figure 1): resolve complex constraints against the
 		// not-yet-resolved pointees, yielding candidate edges. Resolution
@@ -161,12 +169,13 @@ func computeShard(nodes []uint32, v *View) *Out {
 		// View.Resolved.
 		loads, stores := v.Loads[n], v.Stores[n]
 		if len(loads) > 0 || len(stores) > 0 {
-			res := bitmap.New()
+			res := bitmap.NewIn(pool)
 			res.IorDiffWith(set, v.Resolved[n])
 			if !res.Empty() {
 				o.ResNodes = append(o.ResNodes, n)
 				o.ResWorks = append(o.ResWorks, res)
-				res.ForEach(func(pv uint32) bool {
+				resScratch = res.AppendTo(resScratch[:0])
+				for _, pv := range resScratch {
 					for _, ld := range loads {
 						if t, ok := target(pv, ld.Off, v.Span); ok {
 							o.edge(v.Nodes.FindRO(t), v.Nodes.FindRO(ld.Other))
@@ -177,8 +186,7 @@ func computeShard(nodes []uint32, v *View) *Out {
 							o.edge(v.Nodes.FindRO(st.Other), v.Nodes.FindRO(t))
 						}
 					}
-					return true
-				})
+				}
 			}
 		}
 		if work.Empty() {
@@ -187,33 +195,35 @@ func computeShard(nodes []uint32, v *View) *Out {
 		o.Nodes = append(o.Nodes, n)
 		o.Works = append(o.Works, work)
 		// Step 2: compute propagation deltas along outgoing copy edges,
-		// with the LCD trigger guarding each one.
+		// with the LCD trigger guarding each one. The successor list is
+		// decoded with the word-level AppendTo kernel (cache-free, like
+		// every worker-side read of a shared bitmap).
 		bm := v.Succs[n]
 		if bm == nil {
 			continue
 		}
-		bm.ForEach(func(z0 uint32) bool {
+		succScratch = bm.AppendTo(succScratch[:0])
+		for _, z0 := range succScratch {
 			z := v.Nodes.FindRO(z0)
 			if z == n {
-				return true
+				continue
 			}
 			zs := v.Sets[z]
 			if v.LCD && zs != nil && !v.Fired[uint64(n)<<32|uint64(z)] && zs.Equal(set) {
 				// Equal full sets: nothing can flow, but the edge is a
 				// cycle candidate.
 				o.Cycles = append(o.Cycles, [2]uint32{n, z})
-				return true
+				continue
 			}
 			o.Propagations++
 			d := o.Deltas[z]
 			if d == nil {
-				d = bitmap.New()
+				d = bitmap.NewIn(pool)
 				o.Deltas[z] = d
 				o.DeltaOrder = append(o.DeltaOrder, z)
 			}
 			d.IorDiffWith(work, zs)
-			return true
-		})
+		}
 	}
 	return o
 }

@@ -74,6 +74,14 @@ func (s *bddSet) Empty() bool { return s.node == bdd.False }
 
 func (s *bddSet) Slice() []uint32 { return s.f.dom.Values(s.node) }
 
+func (s *bddSet) AppendTo(dst []uint32) []uint32 {
+	s.f.dom.ForEach(s.node, func(x uint32) bool {
+		dst = append(dst, x)
+		return true
+	})
+	return dst
+}
+
 // MemBytes reports only the per-set handle; the node table is shared and
 // accounted by the factory.
 func (s *bddSet) MemBytes() int { return 16 }

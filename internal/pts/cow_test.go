@@ -1,0 +1,324 @@
+package pts
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"antgrass/internal/bitmap"
+)
+
+func asBitmapSet(t *testing.T, s Set) *bitmapSet {
+	t.Helper()
+	bs, ok := s.(*bitmapSet)
+	if !ok {
+		t.Fatalf("expected *bitmapSet, got %T", s)
+	}
+	return bs
+}
+
+func TestCOWSubtractCopyShares(t *testing.T) {
+	f := NewBitmapFactory()
+	a := f.New()
+	a.Insert(1)
+	a.Insert(300)
+	cp := a.SubtractCopy(nil)
+	if asBitmapSet(t, a).s != asBitmapSet(t, cp).s {
+		t.Fatal("SubtractCopy(nil) should share the backing under COW")
+	}
+	if !a.Equal(cp) || !cp.Equal(a) {
+		t.Fatal("shared handles must compare equal")
+	}
+	// Writing the copy clones; the original must not see the write.
+	cp.Insert(77)
+	if asBitmapSet(t, a).s == asBitmapSet(t, cp).s {
+		t.Fatal("write did not un-share the backing")
+	}
+	if a.Contains(77) {
+		t.Fatal("write to the copy leaked into the original")
+	}
+	if !cp.Contains(1) || !cp.Contains(300) || !cp.Contains(77) {
+		t.Fatal("clone lost content")
+	}
+	// Writing the original after the clone stays private too.
+	a.Insert(500)
+	if cp.Contains(500) {
+		t.Fatal("write to the original leaked into the clone")
+	}
+}
+
+func TestCOWNoOpWritesDoNotClone(t *testing.T) {
+	f := NewBitmapFactory().(*bitmapFactory)
+	a := f.New()
+	a.Insert(9)
+	cp := a.SubtractCopy(nil)
+	before := f.stats.CowClones
+	if cp.Insert(9) {
+		t.Fatal("duplicate insert reported change")
+	}
+	if f.stats.CowClones != before {
+		t.Fatal("no-op insert paid a clone")
+	}
+	if asBitmapSet(t, a).s != asBitmapSet(t, cp).s {
+		t.Fatal("no-op insert un-shared the backing")
+	}
+}
+
+func TestCOWUnionIntoEmptyAdopts(t *testing.T) {
+	f := NewBitmapFactory()
+	src := f.New()
+	src.Insert(4)
+	src.Insert(999)
+	dst := f.New()
+	if !dst.UnionWith(src) {
+		t.Fatal("union reported no change")
+	}
+	if asBitmapSet(t, dst).s != asBitmapSet(t, src).s {
+		t.Fatal("union into empty should adopt the source backing")
+	}
+	// Second union from the shared backing is a no-op pointer compare.
+	if dst.UnionWith(src) {
+		t.Fatal("union from shared backing should be a no-op")
+	}
+	dst.Insert(5)
+	if src.Contains(5) {
+		t.Fatal("adopted backing leaked a write back to the source")
+	}
+}
+
+func TestReleaseRecyclesThroughPool(t *testing.T) {
+	f := NewBitmapFactory().(*bitmapFactory)
+	a := f.New()
+	for i := uint32(0); i < 40; i++ {
+		a.Insert(i * bitmap.ElemBits)
+	}
+	st := f.AllocStats()
+	if st.PoolGets == 0 {
+		t.Fatal("inserts did not draw from the pool")
+	}
+	Release(a)
+	st = f.AllocStats()
+	if st.PoolGets != st.PoolPuts {
+		t.Fatalf("release leaked elements: gets=%d puts=%d", st.PoolGets, st.PoolPuts)
+	}
+	b := f.New()
+	b.Insert(7)
+	st = f.AllocStats()
+	if st.PoolRecycled == 0 {
+		t.Fatal("new set did not recycle the released elements")
+	}
+}
+
+func TestReleaseSharedBackingIsSafe(t *testing.T) {
+	f := NewBitmapFactory()
+	a := f.New()
+	a.Insert(123)
+	cp := a.SubtractCopy(nil)
+	Release(a) // cp still owns a reference
+	if !cp.Contains(123) || cp.Len() != 1 {
+		t.Fatal("releasing one handle corrupted the surviving one")
+	}
+	Release(cp)
+}
+
+func TestDedupFoldsEqualSets(t *testing.T) {
+	f := NewBitmapFactory().(*bitmapFactory)
+	mk := func() Set {
+		s := f.New()
+		s.Insert(10)
+		s.Insert(2000)
+		return s
+	}
+	a, b, c := mk(), mk(), mk()
+	Dedup(a)
+	Dedup(b)
+	Dedup(c)
+	if asBitmapSet(t, a).s != asBitmapSet(t, b).s || asBitmapSet(t, b).s != asBitmapSet(t, c).s {
+		t.Fatal("dedup did not fold equal sets onto one backing")
+	}
+	st := f.AllocStats()
+	if st.DedupLookups != 3 || st.DedupHits != 2 {
+		t.Fatalf("dedup stats lookups=%d hits=%d, want 3/2", st.DedupLookups, st.DedupHits)
+	}
+	// Writing one of them clones; the others keep the canonical content.
+	b.Insert(5)
+	if a.Contains(5) || c.Contains(5) {
+		t.Fatal("write after dedup leaked into siblings")
+	}
+	if !a.Equal(c) {
+		t.Fatal("siblings diverged")
+	}
+	// Re-interning the written set must not corrupt the canonical entry.
+	Dedup(b)
+	if !b.Contains(5) || b.Len() != 3 {
+		t.Fatal("re-dedup corrupted the written set")
+	}
+	// Empty sets are never interned.
+	e := f.New()
+	lookups := f.AllocStats().DedupLookups
+	Dedup(e)
+	if f.AllocStats().DedupLookups != lookups {
+		t.Fatal("empty set hit the dedup table")
+	}
+}
+
+func TestDedupNoOpForOtherRepresentations(t *testing.T) {
+	plain := NewPlainBitmapFactory().New()
+	plain.Insert(1)
+	if Dedup(plain) != plain {
+		t.Fatal("Dedup changed the plain handle")
+	}
+	bdd := NewBDDFactory(64, 0).New()
+	bdd.Insert(1)
+	if Dedup(bdd) != bdd {
+		t.Fatal("Dedup changed the bdd handle")
+	}
+}
+
+func TestMutableBitmapUnshares(t *testing.T) {
+	f := NewBitmapFactory()
+	a := f.New()
+	a.Insert(1)
+	cp := a.SubtractCopy(nil)
+	roA, _ := AsBitmap(a)
+	roCp, _ := AsBitmap(cp)
+	if roA != roCp {
+		t.Fatal("AsBitmap should expose the shared backing")
+	}
+	mb, ok := MutableBitmap(cp)
+	if !ok {
+		t.Fatal("MutableBitmap failed on a bitmap set")
+	}
+	roA2, _ := AsBitmap(a)
+	if mb == roA2 {
+		t.Fatal("MutableBitmap did not un-share")
+	}
+	mb.Set(42)
+	if a.Contains(42) {
+		t.Fatal("mutation through MutableBitmap leaked")
+	}
+	if !cp.Contains(42) {
+		t.Fatal("mutation through MutableBitmap not visible in its set")
+	}
+}
+
+func TestPlainFactoryDisablesEngine(t *testing.T) {
+	f := NewPlainBitmapFactory()
+	if f.Name() != "bitmap-plain" {
+		t.Fatalf("plain factory name = %q", f.Name())
+	}
+	a := f.New()
+	a.Insert(3)
+	cp := a.SubtractCopy(nil)
+	if asBitmapSet(t, a).s == asBitmapSet(t, cp).s {
+		t.Fatal("plain factory must deep-copy, not share")
+	}
+	dst := f.New()
+	dst.UnionWith(a)
+	if asBitmapSet(t, dst).s == asBitmapSet(t, a).s {
+		t.Fatal("plain factory must not adopt backings")
+	}
+	st := f.(*bitmapFactory).AllocStats()
+	if st != (AllocStats{}) {
+		t.Fatalf("plain factory counted engine traffic: %+v", st)
+	}
+}
+
+// TestCOWQuickAgainstModel drives random Insert/UnionWith/SubtractCopy/
+// Release/Dedup sequences over a small population of COW sets and a
+// map-backed model, verifying contents (and Equal) never diverge no matter
+// how the backings end up shared.
+func TestCOWQuickAgainstModel(t *testing.T) {
+	const slots, universe = 6, 1 << 10
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f := NewBitmapFactory()
+		sets := make([]Set, slots)
+		model := make([]map[uint32]bool, slots)
+		for i := range sets {
+			sets[i] = f.New()
+			model[i] = map[uint32]bool{}
+		}
+		for op := 0; op < 3000; op++ {
+			i, j := rng.Intn(slots), rng.Intn(slots)
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // Insert
+				x := uint32(rng.Intn(universe))
+				if sets[i].Insert(x) == model[i][x] {
+					t.Fatalf("seed %d op %d: Insert(%d) change mismatch", seed, op, x)
+				}
+				model[i][x] = true
+			case 4, 5: // UnionWith
+				if i == j {
+					continue
+				}
+				sets[i].UnionWith(sets[j])
+				for x := range model[j] {
+					model[i][x] = true
+				}
+			case 6: // SubtractCopy (shared copy or true difference)
+				var old Set
+				if rng.Intn(2) == 0 {
+					old = sets[j]
+				}
+				repl := sets[i].SubtractCopy(old)
+				nm := map[uint32]bool{}
+				for x := range model[i] {
+					if old == nil || !model[j][x] {
+						nm[x] = true
+					}
+				}
+				Release(sets[j])
+				sets[j] = repl
+				model[j] = nm
+			case 7: // Release and replace with a fresh set
+				Release(sets[i])
+				sets[i] = f.New()
+				model[i] = map[uint32]bool{}
+			case 8: // Dedup
+				Dedup(sets[i])
+			case 9: // Equal / Intersects cross-check
+				eq := len(model[i]) == len(model[j])
+				if eq {
+					for x := range model[i] {
+						if !model[j][x] {
+							eq = false
+							break
+						}
+					}
+				}
+				if got := sets[i].Equal(sets[j]); got != eq {
+					t.Fatalf("seed %d op %d: Equal=%v model says %v", seed, op, got, eq)
+				}
+				inter := false
+				for x := range model[i] {
+					if model[j][x] {
+						inter = true
+						break
+					}
+				}
+				if got := sets[i].Intersects(sets[j]); got != inter {
+					t.Fatalf("seed %d op %d: Intersects=%v model says %v", seed, op, got, inter)
+				}
+			}
+		}
+		for i := range sets {
+			var want []uint32
+			for x := range model[i] {
+				want = append(want, x)
+			}
+			got := sets[i].Slice()
+			if len(got) != len(want) {
+				t.Fatalf("seed %d slot %d: %d members, model %d", seed, i, len(got), len(want))
+			}
+			for _, x := range got {
+				if !model[i][x] {
+					t.Fatalf("seed %d slot %d: stray member %d", seed, i, x)
+				}
+			}
+			if !reflect.DeepEqual(got, sets[i].AppendTo(nil)) {
+				t.Fatalf("seed %d slot %d: Slice and AppendTo disagree", seed, i)
+			}
+		}
+	}
+}

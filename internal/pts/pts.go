@@ -3,6 +3,25 @@
 // the paper's §5.4 study ("Representing Points-to Sets"). Unlike BLQ, which
 // stores the whole points-to relation in a single BDD, the BDD-backed Set
 // gives each variable its own BDD, exactly as the paper describes.
+//
+// The bitmap representation is backed by a per-factory memory engine:
+//
+//   - an element pool (bitmap.Pool) owned by the factory, so set churn
+//     recycles storage instead of allocating — see NewBitmapFactory;
+//   - copy-on-write sharing: a Set is a handle on a refcounted backing
+//     bitmap; SubtractCopy(nil) and union-into-empty share the backing and
+//     writers clone on demand, so the rampant duplicate sets that cycle
+//     collapsing produces cost one bitmap, and Equal on shared handles is
+//     a pointer compare;
+//   - hash-consed deduplication: Dedup folds content-equal sets onto one
+//     canonical backing via a factory-owned hash table (the MDE-style
+//     "deduplicate repetitive points-to data" lever).
+//
+// A factory and every set created by it are confined to one goroutine at
+// a time: the pool, the refcounts and the dedup table are unsynchronized.
+// The parallel engine respects this by mutating sets only in its
+// single-threaded barrier merge; workers read frozen backings via AsBitmap
+// and allocate from worker-private pools (see internal/par).
 package pts
 
 import "antgrass/internal/bitmap"
@@ -17,8 +36,9 @@ type Set interface {
 	// Factory) and reports whether the set changed.
 	UnionWith(o Set) bool
 	// SubtractCopy returns a fresh set holding the elements of this set
-	// that are not in o (nil o means a plain copy). Used by difference
-	// propagation.
+	// that are not in o (nil o means a plain copy — which the bitmap
+	// representation implements as a copy-on-write share). Used by
+	// difference propagation.
 	SubtractCopy(o Set) Set
 	// Equal reports whether the two sets (from the same Factory) hold
 	// exactly the same elements.
@@ -28,6 +48,10 @@ type Set interface {
 	// ForEach visits every element in ascending order until f returns
 	// false.
 	ForEach(f func(x uint32) bool)
+	// AppendTo appends the elements in ascending order to dst and
+	// returns the extended slice: the allocation-free snapshot kernel
+	// the hot solver loops use with a reusable scratch buffer.
+	AppendTo(dst []uint32) []uint32
 	// Len returns the number of elements.
 	Len() int
 	// Empty reports whether the set has no elements.
@@ -35,8 +59,9 @@ type Set interface {
 	// Slice returns the elements in ascending order (for tests/clients).
 	Slice() []uint32
 	// MemBytes estimates the set's private heap footprint. Shared
-	// storage (e.g. a BDD manager's node table) is reported by the
-	// Factory instead.
+	// storage (a BDD manager's node table, a COW backing shared by k
+	// handles — reported as 1/k per handle) is amortized so that
+	// summing MemBytes over all sets approximates the true footprint.
 	MemBytes() int
 }
 
@@ -47,63 +72,306 @@ type Factory interface {
 	// Name identifies the representation ("bitmap" or "bdd").
 	Name() string
 	// OverheadBytes estimates representation-wide shared memory
-	// (the BDD manager's tables; zero for bitmaps).
+	// (the BDD manager's tables; the bitmap pool's free list).
 	OverheadBytes() int
 }
 
-// AsBitmap returns the sparse bitmap backing s when s comes from the
-// bitmap factory, and ok=false for any other representation (or nil s).
-// The parallel solver uses it to run lock-free read-only set operations
-// that the Set interface cannot express; callers own the aliasing rules
-// (the returned bitmap IS the set's storage, not a copy).
+// Freer is implemented by representations whose storage benefits from an
+// explicit release (the pooled bitmap backing). Free returns the set's
+// storage to its factory; the handle must not be used afterwards.
+type Freer interface{ Free() }
+
+// Release returns s's storage to its factory when the representation
+// supports it (and is a no-op otherwise, including for nil). Solvers call
+// it when a set becomes dead — a collapsed node's set, a replaced
+// propagated-set marker — so the backing elements recycle through the
+// pool instead of waiting for the garbage collector.
+func Release(s Set) {
+	if f, ok := s.(Freer); ok {
+		f.Free()
+	}
+}
+
+// Dedup hash-conses s against its factory's canonical-set table: if a
+// content-equal set was interned before, s is repointed (refcounted) at
+// the canonical backing and its private storage is released; otherwise s
+// becomes the canonical entry. Either way s itself remains valid and is
+// returned. No-op for non-bitmap representations and for factories
+// without COW (NewPlainBitmapFactory).
+//
+// Dedup is meant for merge points where many equal sets exist and the set
+// is no longer hot — after cycle collapses settle, at solution
+// finalization — because a deduplicated set's next in-place write pays a
+// copy-on-write clone.
+func Dedup(s Set) Set {
+	if bs, ok := s.(*bitmapSet); ok && bs.f.cow {
+		bs.f.intern(bs)
+	}
+	return s
+}
+
+// AsBitmap returns the sparse bitmap backing s when s comes from a bitmap
+// factory, and ok=false for any other representation (or nil s). The
+// parallel solver uses it to run lock-free read-only set operations that
+// the Set interface cannot express.
+//
+// Aliasing rules (see DESIGN.md §"COW aliasing"): the returned bitmap IS
+// the set's storage, not a copy, and under copy-on-write it may be shared
+// by any number of other Sets. Callers must treat it as READ-ONLY — and
+// read it only through cache-free operations when other goroutines read
+// it too. To mutate a set through its backing, obtain it with
+// MutableBitmap instead.
 func AsBitmap(s Set) (*bitmap.Bitmap, bool) {
 	bs, ok := s.(*bitmapSet)
 	if !ok {
 		return nil, false
 	}
-	return &bs.b, true
+	return &bs.s.b, true
 }
 
-// bitmapSet adapts bitmap.Bitmap to Set.
+// MutableBitmap is AsBitmap for writers: it un-shares s first (cloning
+// the backing if other Sets alias it), so the returned bitmap is private
+// to s and may be mutated freely — by one goroutine, under the same
+// confinement rule as every other set mutation. The pointer is valid
+// until the next operation that re-shares s (UnionWith into an empty set,
+// SubtractCopy(nil), Dedup).
+func MutableBitmap(s Set) (*bitmap.Bitmap, bool) {
+	bs, ok := s.(*bitmapSet)
+	if !ok {
+		return nil, false
+	}
+	return bs.mutable(), true
+}
+
+// AllocStats are the bitmap factory's memory-engine counters, exported
+// into the metrics registry by the solvers (pool_* / cow_* / dedup_*
+// counters in antbench -json reports).
+type AllocStats struct {
+	// PoolGets / PoolRecycled / PoolPuts / PoolChunks mirror
+	// bitmap.PoolStats for the factory's pool: total element requests,
+	// requests served by recycling, elements returned, and chunk heap
+	// allocations. PoolRecycled/PoolGets is the pool hit rate.
+	PoolGets, PoolRecycled, PoolPuts, PoolChunks int64
+	// CowShares counts copy-on-write shares taken (SubtractCopy(nil),
+	// union-into-empty, dedup hits); CowClones counts the clones paid
+	// when a shared backing was written.
+	CowShares, CowClones int64
+	// DedupLookups / DedupHits count Dedup calls that hashed the set
+	// and the subset that found an existing canonical backing.
+	DedupLookups, DedupHits int64
+}
+
+// StatsSource is implemented by factories that expose memory-engine
+// counters.
+type StatsSource interface{ AllocStats() AllocStats }
+
+// sharedBM is a refcounted bitmap backing. refs counts the bitmapSet
+// handles pointing at it, plus one for the dedup table when interned.
+type sharedBM struct {
+	b        bitmap.Bitmap
+	refs     int32
+	interned bool
+}
+
+// bitmapSet adapts a refcounted, pooled bitmap.Bitmap to Set.
 type bitmapSet struct {
-	b bitmap.Bitmap
+	f *bitmapFactory
+	s *sharedBM
 }
 
 // NewBitmapFactory returns the sparse-bitmap representation used by the
-// paper's Tables 3 and 4.
-func NewBitmapFactory() Factory { return bitmapFactory{} }
+// paper's Tables 3 and 4, with the full memory engine: a factory-owned
+// element pool, copy-on-write sharing, and hash-consed deduplication.
+// The factory and its sets are confined to one goroutine at a time.
+func NewBitmapFactory() Factory {
+	return &bitmapFactory{cow: true, pool: bitmap.NewPool(), dedup: map[uint64][]*sharedBM{}}
+}
 
-type bitmapFactory struct{}
+// NewPlainBitmapFactory returns the bitmap representation with the memory
+// engine disabled: no pooling, no sharing, no dedup — every operation
+// allocates and copies eagerly, as the pre-engine implementation did. It
+// exists for differential testing (the oracle matrix solves with both
+// factories and demands bit-identical solutions) and as an ablation
+// baseline; Name reports "bitmap-plain".
+func NewPlainBitmapFactory() Factory { return &bitmapFactory{} }
 
-func (bitmapFactory) New() Set           { return &bitmapSet{} }
-func (bitmapFactory) Name() string       { return "bitmap" }
-func (bitmapFactory) OverheadBytes() int { return 0 }
+type bitmapFactory struct {
+	cow   bool
+	pool  *bitmap.Pool // nil for the plain factory
+	dedup map[uint64][]*sharedBM
+	stats AllocStats
+}
 
-func (s *bitmapSet) Insert(x uint32) bool   { return s.b.Set(x) }
-func (s *bitmapSet) Contains(x uint32) bool { return s.b.Test(x) }
-func (s *bitmapSet) Len() int               { return s.b.Count() }
-func (s *bitmapSet) Empty() bool            { return s.b.Empty() }
-func (s *bitmapSet) Slice() []uint32        { return s.b.Slice() }
-func (s *bitmapSet) MemBytes() int          { return s.b.MemBytes() }
+// dedupBucketCap bounds the candidates scanned per content-hash bucket;
+// 64-bit FNV collisions are vanishingly rare, so a small cap only guards
+// pathological inputs.
+const dedupBucketCap = 4
+
+func (f *bitmapFactory) New() Set { return f.newSet() }
+
+func (f *bitmapFactory) newSet() *bitmapSet {
+	sh := &sharedBM{refs: 1}
+	sh.b.UsePool(f.pool)
+	return &bitmapSet{f: f, s: sh}
+}
+
+func (f *bitmapFactory) Name() string {
+	if !f.cow {
+		return "bitmap-plain"
+	}
+	return "bitmap"
+}
+
+func (f *bitmapFactory) OverheadBytes() int { return f.pool.MemBytes() }
+
+func (f *bitmapFactory) AllocStats() AllocStats {
+	out := f.stats
+	ps := f.pool.Stats()
+	out.PoolGets, out.PoolRecycled, out.PoolPuts, out.PoolChunks =
+		ps.Gets, ps.Recycled, ps.Puts, ps.Chunks
+	return out
+}
+
+// intern implements Dedup for one set handle.
+func (f *bitmapFactory) intern(s *bitmapSet) {
+	if s.s.b.Empty() {
+		return
+	}
+	f.stats.DedupLookups++
+	h := s.s.b.Hash()
+	bucket := f.dedup[h]
+	for _, cand := range bucket {
+		if cand == s.s {
+			return // already the canonical backing
+		}
+		if cand.b.Equal(&s.s.b) {
+			f.stats.DedupHits++
+			f.stats.CowShares++
+			s.release()
+			cand.refs++
+			s.s = cand
+			return
+		}
+	}
+	if len(bucket) < dedupBucketCap {
+		// The table holds its own reference so a canonical backing is
+		// never recycled out from under a future hit.
+		s.s.refs++
+		s.s.interned = true
+		f.dedup[h] = append(bucket, s.s)
+	}
+}
+
+// mutable returns the backing bitmap with s as its sole owner, paying a
+// copy-on-write clone if the backing is shared.
+func (s *bitmapSet) mutable() *bitmap.Bitmap {
+	sh := s.s
+	if sh.refs > 1 {
+		sh.refs--
+		s.f.stats.CowClones++
+		ns := &sharedBM{refs: 1}
+		ns.b = *sh.b.CopyIn(s.f.pool)
+		s.s = ns
+		return &ns.b
+	}
+	return &sh.b
+}
+
+// release drops s's reference on its backing, returning the elements to
+// the pool when it was the last one.
+func (s *bitmapSet) release() {
+	sh := s.s
+	sh.refs--
+	if sh.refs == 0 {
+		sh.b.ClearAll()
+	}
+}
+
+// Free implements Freer. The handle must not be used after Free.
+func (s *bitmapSet) Free() {
+	s.release()
+	s.s = nil // use-after-free becomes a loud nil deref, not corruption
+}
+
+func (s *bitmapSet) Insert(x uint32) bool {
+	if s.s.refs > 1 && s.s.b.Test(x) {
+		return false // no-op insert: don't pay the clone
+	}
+	return s.mutable().Set(x)
+}
+
+func (s *bitmapSet) Contains(x uint32) bool { return s.s.b.Test(x) }
+func (s *bitmapSet) Len() int               { return s.s.b.Count() }
+func (s *bitmapSet) Empty() bool            { return s.s.b.Empty() }
+func (s *bitmapSet) Slice() []uint32        { return s.s.b.Slice() }
+
+func (s *bitmapSet) AppendTo(dst []uint32) []uint32 { return s.s.b.AppendTo(dst) }
+
+// MemBytes amortizes a shared backing over the handles sharing it (the
+// dedup table's reference is excluded), so a points-to solution's summed
+// footprint reflects deduplication.
+func (s *bitmapSet) MemBytes() int {
+	owners := s.s.refs
+	if s.s.interned {
+		owners--
+	}
+	mb := s.s.b.MemBytes()
+	if owners > 1 {
+		mb /= int(owners)
+	}
+	return mb + 16
+}
 
 func (s *bitmapSet) UnionWith(o Set) bool {
-	return s.b.IorWith(&o.(*bitmapSet).b)
+	ob := o.(*bitmapSet)
+	if ob.s == s.s || ob.s.b.Empty() {
+		return false
+	}
+	if s.f.cow && s.s.b.Empty() {
+		// Union into an empty set: adopt the source's backing as a
+		// copy-on-write share instead of copying its elements.
+		s.f.stats.CowShares++
+		s.release()
+		ob.s.refs++
+		s.s = ob.s
+		return true
+	}
+	return s.mutable().IorWith(&ob.s.b)
 }
 
 func (s *bitmapSet) SubtractCopy(o Set) Set {
-	out := &bitmapSet{b: *s.b.Copy()}
-	if o != nil {
-		out.b.AndComplWith(&o.(*bitmapSet).b)
+	if o == nil && s.f.cow {
+		// Plain copy: share the backing, clone only if either side is
+		// written later.
+		s.f.stats.CowShares++
+		s.s.refs++
+		return &bitmapSet{f: s.f, s: s.s}
 	}
+	out := s.f.newSet()
+	var ob *bitmap.Bitmap
+	if o != nil {
+		ob = &o.(*bitmapSet).s.b
+	}
+	// Single-pass difference kernel: copies only the surviving elements,
+	// unlike the copy-then-subtract it replaces.
+	out.s.b.IorDiffWith(&s.s.b, ob)
 	return out
 }
 
 func (s *bitmapSet) Equal(o Set) bool {
-	return s.b.Equal(&o.(*bitmapSet).b)
+	ob := o.(*bitmapSet)
+	if ob.s == s.s {
+		return true // shared backing: pointer identity decides
+	}
+	return s.s.b.Equal(&ob.s.b)
 }
 
 func (s *bitmapSet) Intersects(o Set) bool {
-	return s.b.Intersects(&o.(*bitmapSet).b)
+	ob := o.(*bitmapSet)
+	if ob.s == s.s {
+		return !s.s.b.Empty()
+	}
+	return s.s.b.Intersects(&ob.s.b)
 }
 
-func (s *bitmapSet) ForEach(f func(uint32) bool) { s.b.ForEach(f) }
+func (s *bitmapSet) ForEach(f func(uint32) bool) { s.s.b.ForEach(f) }

@@ -10,8 +10,9 @@ import (
 
 func factories() map[string]Factory {
 	return map[string]Factory{
-		"bitmap": NewBitmapFactory(),
-		"bdd":    NewBDDFactory(4096, 0),
+		"bitmap":       NewBitmapFactory(),
+		"bitmap-plain": NewPlainBitmapFactory(),
+		"bdd":          NewBDDFactory(4096, 0),
 	}
 }
 

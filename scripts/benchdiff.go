@@ -1,22 +1,27 @@
 // Command benchdiff compares two antbench -json reports and fails on
-// wall-clock regressions, making perf trajectory a CI gate instead of a
-// hand-read text file.
+// wall-clock, allocation or peak-memory regressions, making perf
+// trajectory a CI gate instead of a hand-read text file.
 //
 // Usage:
 //
-//	go run ./scripts/benchdiff.go [-threshold 15] [-min-seconds 0.05] old.json new.json
+//	go run ./scripts/benchdiff.go [-threshold 15] [-min-seconds 0.05] \
+//	    [-alloc-threshold 10] [-mem-threshold 10] old.json new.json
 //
 // Runs are matched by (bench, algo, pts, workers). Exit status:
 //
-//	0 — no run slowed down by more than -threshold percent
-//	1 — at least one regression, or a run present in old.json is
-//	    missing from new.json (a silently dropped benchmark must not
-//	    pass)
+//	0 — no run regressed on any gated dimension
+//	1 — at least one regression (wall clock beyond -threshold, allocs
+//	    beyond -alloc-threshold, peak heap beyond -mem-threshold), or a
+//	    run present in old.json is missing from new.json (a silently
+//	    dropped benchmark must not pass)
 //	2 — usage or report-parsing error (including a schema_version this
 //	    tool does not understand)
 //
 // -min-seconds suppresses verdicts when both measurements are under the
-// floor: percentage deltas of sub-noise runs are meaningless. See
+// floor: percentage deltas of sub-noise runs are meaningless. The alloc
+// and peak-memory gates apply only to cells where both reports carry the
+// measurement (reports from before the allocs/alloc_bytes fields existed
+// pass the gate vacuously); 0 disables either gate. See
 // docs/BENCHMARKS.md for the report schema and the CI workflow.
 package main
 
@@ -31,8 +36,10 @@ import (
 func main() {
 	threshold := flag.Float64("threshold", 15, "fail when a run is more than this percent slower")
 	minSeconds := flag.Float64("min-seconds", 0.05, "ignore runs where both sides are under this many seconds")
+	allocThreshold := flag.Float64("alloc-threshold", 10, "fail when a run allocates more than this percent more (0 disables)")
+	memThreshold := flag.Float64("mem-threshold", 10, "fail when a run's peak heap grows more than this percent (0 disables)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-seconds s] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-seconds s] [-alloc-threshold pct] [-mem-threshold pct] old.json new.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,12 +56,15 @@ func main() {
 		fatal(err)
 	}
 	diff := bench.DiffReports(oldRep, newRep, bench.DiffOptions{
-		ThresholdPercent: *threshold,
-		MinSeconds:       *minSeconds,
+		ThresholdPercent:      *threshold,
+		MinSeconds:            *minSeconds,
+		AllocThresholdPercent: *allocThreshold,
+		MemThresholdPercent:   *memThreshold,
 	})
 	diff.Print(os.Stdout)
 	if diff.Failed() {
-		fmt.Fprintf(os.Stderr, "benchdiff: FAIL (threshold %.1f%%)\n", *threshold)
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL (wall %.1f%%, allocs %.1f%%, peak-mem %.1f%%)\n",
+			*threshold, *allocThreshold, *memThreshold)
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: OK")

@@ -15,7 +15,13 @@
 #   6. a race-detector pass over the concurrency-bearing packages
 #      (internal/par, internal/core, internal/metrics) in -short mode,
 #      so the parallel engine's lock-free compute phase and the metrics
-#      registry are exercised under the race detector on every change.
+#      registry are exercised under the race detector on every change;
+#   7. a GODEBUG=gccheckmark=1 smoke run of the pool and COW tests:
+#      checkmark mode re-marks the heap after every GC cycle and aborts
+#      on any object the concurrent mark missed, so a pooled element
+#      reachable only through recycled free-list links, or a shared
+#      backing freed while a COW handle still references it, fails loudly
+#      here instead of corrupting a long solve.
 #
 # /bin/sh has no pipefail, so every stage below is a plain command (or
 # a command substitution) — never a pipeline — and set -e stops the
@@ -68,5 +74,8 @@ go test -run 'TestCorpus|TestHCDRegressionSeed' -count=1 ./internal/oracle ./int
 
 echo "==> go test -race -short ./internal/par ./internal/core ./internal/metrics"
 go test -race -short ./internal/par ./internal/core ./internal/metrics
+
+echo "==> GODEBUG=gccheckmark=1 go test -count=1 -run 'TestPool|TestPooled|TestCursor|TestCOW|TestRelease|TestDedup' ./internal/bitmap ./internal/pts"
+GODEBUG=gccheckmark=1 go test -count=1 -run 'TestPool|TestPooled|TestCursor|TestCOW|TestRelease|TestDedup' ./internal/bitmap ./internal/pts
 
 echo "OK"
