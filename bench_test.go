@@ -106,6 +106,28 @@ func BenchmarkSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveParallel sweeps the wave engine's worker count on
+// ghostscript at scale 0.2 — the parallel-scaling target the
+// destination-sharded merge and the cost-model chunking are tuned
+// against. One sub-benchmark per worker count keeps the sweep diffable
+// with benchstat; docs/BENCHMARKS.md records the measured scaling table.
+func BenchmarkSolveParallel(b *testing.B) {
+	p, err := Workload("ghostscript", solveScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("lcd+hcd/ghostscript/w%d", w), func(b *testing.B) {
+			opts := Options{Algorithm: LCD, HCD: true, Workers: w}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solveOnce(b, p, opts)
+			}
+		})
+	}
+}
+
 // BenchmarkTable2Workloads measures workload generation plus OVS reduction
 // for each Table 2 profile and reports the reduction percentage the paper
 // quotes (60-77%).

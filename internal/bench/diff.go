@@ -24,6 +24,14 @@ type DiffOptions struct {
 	// counts as a memory regression. 0 disables the gate; cells missing
 	// a peak sample on either side are exempt.
 	MemThresholdPercent float64
+	// MergeShareMax fails any parallel run (workers > 0) of the NEW
+	// report whose merge_ns/(merge_ns+compute_ns) exceeds this fraction:
+	// the merge is the sequential-coupling phase of the wave engine, and
+	// a creeping merge share erodes scalability long before wall clock
+	// notices on small hosts. 0 disables the gate; cells without both
+	// counters (older builds) are exempt, as are cells below the
+	// MinSeconds floor.
+	MergeShareMax float64
 }
 
 // DiffEntry compares one run present in both reports.
@@ -42,6 +50,9 @@ type DiffEntry struct {
 	OldPeakBytes    uint64  `json:"old_peak_bytes,omitempty"`
 	NewPeakBytes    uint64  `json:"new_peak_bytes,omitempty"`
 	MemDeltaPercent float64 `json:"mem_delta_percent,omitempty"`
+	// MergeShare is merge_ns/(merge_ns+compute_ns) of the new run, for
+	// parallel cells that recorded both counters; -1 otherwise.
+	MergeShare float64 `json:"merge_share,omitempty"`
 	// Regression marks entries beyond a threshold (and above the noise
 	// floor); Why names the dimensions that tripped ("wall", "allocs",
 	// "peak-mem").
@@ -88,6 +99,14 @@ func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
 			OldSeconds: o.WallSeconds, NewSeconds: n.WallSeconds,
 			OldAllocs: o.Allocs, NewAllocs: n.Allocs,
 			OldPeakBytes: o.PeakHeapBytes, NewPeakBytes: n.PeakHeapBytes,
+			MergeShare: -1,
+		}
+		if n.Workers > 0 {
+			merge, okM := n.Counter("merge_ns")
+			compute, okC := n.Counter("compute_ns")
+			if okM && okC && merge+compute > 0 {
+				e.MergeShare = float64(merge) / float64(merge+compute)
+			}
 		}
 		if o.WallSeconds > 0 && n.WallSeconds > 0 {
 			e.DeltaPercent = (n.WallSeconds - o.WallSeconds) / o.WallSeconds * 100
@@ -109,6 +128,9 @@ func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
 						e.Why = append(e.Why, "peak-mem")
 					}
 				}
+				if opts.MergeShareMax > 0 && e.MergeShare >= 0 && e.MergeShare > opts.MergeShareMax {
+					e.Why = append(e.Why, "merge-share")
+				}
 				if len(e.Why) > 0 {
 					e.Regression = true
 					res.Regressions++
@@ -128,7 +150,7 @@ func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
 // Print renders the diff as a human-readable table.
 func (d *DiffResult) Print(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "run\told\tnew\tdelta\tallocs\tpeak\t\n")
+	fmt.Fprintf(tw, "run\told\tnew\tdelta\tallocs\tpeak\tmerge\t\n")
 	for _, e := range d.Entries {
 		verdict := ""
 		switch {
@@ -140,15 +162,18 @@ func (d *DiffResult) Print(w io.Writer) {
 		case e.BelowFloor:
 			verdict = "(below noise floor)"
 		}
-		allocCol, memCol := "-", "-"
+		allocCol, memCol, mergeCol := "-", "-", "-"
 		if e.OldAllocs > 0 && e.NewAllocs > 0 {
 			allocCol = fmt.Sprintf("%+.1f%%", e.AllocDeltaPercent)
 		}
 		if e.OldPeakBytes > 0 && e.NewPeakBytes > 0 {
 			memCol = fmt.Sprintf("%+.1f%%", e.MemDeltaPercent)
 		}
-		fmt.Fprintf(tw, "%s\t%.3fs\t%.3fs\t%+.1f%%\t%s\t%s\t%s\n",
-			e.Key, e.OldSeconds, e.NewSeconds, e.DeltaPercent, allocCol, memCol, verdict)
+		if e.MergeShare >= 0 {
+			mergeCol = fmt.Sprintf("%.0f%%", e.MergeShare*100)
+		}
+		fmt.Fprintf(tw, "%s\t%.3fs\t%.3fs\t%+.1f%%\t%s\t%s\t%s\t%s\n",
+			e.Key, e.OldSeconds, e.NewSeconds, e.DeltaPercent, allocCol, memCol, mergeCol, verdict)
 	}
 	tw.Flush()
 	for _, k := range d.MissingInNew {

@@ -95,6 +95,19 @@ func (r Run) Key() string {
 	return fmt.Sprintf("%s/%s/%s/w%d", r.Bench, r.Algo, r.Pts, r.Workers)
 }
 
+// Counter returns the named cost counter of the run and whether it was
+// recorded. Reports from older builds simply lack newer counters, so
+// consumers gate on the second return instead of treating zero as
+// missing (zero is a legitimate value for e.g. steals).
+func (r Run) Counter(name string) (int64, bool) {
+	for _, c := range r.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
 // hostInfo captures the current machine.
 func hostInfo() Host {
 	return Host{
@@ -160,6 +173,13 @@ func (h *Harness) reportRun(bench string, prog *constraint.Program, a AlgoID, wo
 		ms0 runtime.MemStats
 		ms1 runtime.MemStats
 	)
+	// Cells run back to back in one process; without a collection here a
+	// small cell's peak-heap sample is dominated by whatever floating
+	// garbage the previous (possibly much larger) cell left behind, and
+	// the reading becomes a function of run order rather than of the
+	// solver under test. Mallocs/TotalAlloc are monotonic and unaffected,
+	// and the collection sits outside the timed region.
+	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	if a.BLQ {

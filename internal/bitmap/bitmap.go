@@ -94,6 +94,17 @@ func (b *Bitmap) ClearAll() {
 	b.first, b.last, b.current, b.n = nil, nil, nil, 0
 }
 
+// Detach empties the bitmap in O(1) by dropping its element list without
+// returning the elements anywhere. It is the companion of Pool.Reset:
+// when every bitmap drawing from a pool is dead, detaching them and
+// resetting the pool reclaims all elements wholesale instead of walking
+// each list — and hands them out again in address order. Using Detach
+// without a matching Pool.Reset leaks the elements (they stay allocated
+// until the pool is garbage).
+func (b *Bitmap) Detach() {
+	b.first, b.last, b.current, b.n = nil, nil, nil, 0
+}
+
 // find returns the element with index eidx, or nil if absent. It updates the
 // current-element cache to the element found (or to a neighbor of where it
 // would be inserted).

@@ -24,6 +24,12 @@ package bitmap
 type Pool struct {
 	free *element // singly-linked through next
 
+	// chunks retains every chunk allocation so Reset can rebuild the
+	// free list in address order. Retention costs nothing extra: a chunk
+	// stays reachable anyway while any of its elements is referenced by
+	// a bitmap or the free list.
+	chunks [][]element
+
 	stats PoolStats
 }
 
@@ -67,6 +73,7 @@ func (p *Pool) get(idx uint32) *element {
 	e := p.free
 	if e == nil {
 		chunk := make([]element, chunkElems)
+		p.chunks = append(p.chunks, chunk)
 		p.stats.Chunks++
 		for i := range chunk[1:] {
 			chunk[i+1].next = p.free
@@ -94,6 +101,32 @@ func (p *Pool) put(e *element) {
 	e.bits = [ElemWords]uint64{}
 	e.next = p.free
 	p.free = e
+}
+
+// Reset reclaims every element the pool has ever handed out and rebuilds
+// the free list in address order, so the next run of gets is served from
+// contiguous ascending memory — the traversal-locality property fresh
+// chunk allocations have and a churned free list loses. The caller must
+// guarantee that no live bitmap still references the pool's elements
+// (Bitmap.Detach drops such references in O(1)); the parallel engine
+// calls Reset once per round after the merge has copied every
+// worker-side buffer out.
+//
+// Reset counts the reclaimed elements as Puts, so Gets - Puts (elements
+// currently live) stays meaningful across resets.
+func (p *Pool) Reset() {
+	if p == nil {
+		return
+	}
+	p.stats.Puts += p.stats.Gets - p.stats.Puts
+	p.free = nil
+	for ci := len(p.chunks) - 1; ci >= 0; ci-- {
+		chunk := p.chunks[ci]
+		for i := len(chunk) - 1; i >= 0; i-- {
+			chunk[i] = element{next: p.free}
+			p.free = &chunk[i]
+		}
+	}
 }
 
 // FreeLen returns the number of elements parked on the free list: every

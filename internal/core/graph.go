@@ -69,6 +69,7 @@ type graph struct {
 	cycleNS   int64 // time inside cycle searches / sweeps
 	hcdNS     int64 // time inside the HCD online rule
 	computeNS int64 // time inside parallel compute phases
+	mergeNS   int64 // time inside parallel merges (appliers + epilogue)
 
 	// reversed records the orientation of the adjacency: false means
 	// succs[x] holds copy-successors (edge x → w propagates pts(x) into
@@ -191,6 +192,24 @@ func (g *graph) addEdge(src, dst uint32) bool {
 		return true
 	}
 	return false
+}
+
+// addEdgeIn is addEdge for the destination-sharded parallel merge: src's
+// successor bitmap is allocated from — or re-pointed at — the calling
+// owner applier's pool instead of the shared edgePool (which is
+// unsynchronized and single-threaded by contract), and the EdgesAdded
+// counter is left to the caller (appliers count privately; the epilogue
+// sums). src and dst must be distinct representatives owned by the
+// calling applier.
+func (g *graph) addEdgeIn(src, dst uint32, pool *bitmap.Pool) bool {
+	bm := g.succs[src]
+	if bm == nil {
+		bm = bitmap.NewIn(pool)
+		g.succs[src] = bm
+	} else {
+		bm.UsePool(pool)
+	}
+	return bm.Set(dst)
 }
 
 // succsOf returns the current successor representatives of rep r, repairing

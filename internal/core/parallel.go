@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 	"time"
 
 	"antgrass/internal/bitmap"
@@ -18,19 +20,49 @@ import (
 //  1. a sequential prologue drains the frontier, fires the HCD online rule
 //     (Figure 5) for every node, and canonicalizes the frontier to live,
 //     deduplicated representatives in ascending order;
-//  2. the compute phase (package par) partitions the frontier across
-//     Options.Workers goroutines; the graph is frozen and workers fill
-//     private delta/edge/cycle buffers — no locks on the hot path;
-//  3. a sequential barrier merge applies points-to deltas, inserts derived
-//     copy edges (propagating the source's full set across each new edge,
-//     as difference propagation does), and runs LCD cycle collapses, all
-//     in worker order, building the next frontier.
+//  2. the compute phase (package par) cuts the frontier into cost-weighted
+//     chunks dealt to Options.Workers work-stealing workers; the graph is
+//     frozen and workers fill private delta/edge/cycle buffers bucketed by
+//     destination owner — no locks on the hot path;
+//  3. the merge applies the buffers with one concurrent applier per owner
+//     partition (owner(n) = n mod workers): every mutation of pts(n),
+//     propagated(n), resolved(n), succs(n) and n's frontier membership
+//     happens on n's owner, so appliers touch disjoint graph state and
+//     need no locks either. Each applier walks the chunks in order —
+//     deltas, then bookkeeping, then edge inserts — so the application
+//     order per owner is fixed regardless of scheduling;
+//  4. a short sequential epilogue sums applier counters and runs LCD cycle
+//     collapses (union-find mutations don't partition by owner), again in
+//     chunk order.
 //
-// Cancellation is checked once per round; Options.Progress fires after
-// every merge. The result is the same least fixpoint the sequential
-// solvers compute — see docs/ALGORITHMS.md for the argument.
+// The union-find is frozen from the compute snapshot through step 3 —
+// collapses happen only in the epilogue and the next prologue — so
+// appliers resolve ids with read-only lookups. Cancellation is checked
+// once per round; Options.Progress fires after every merge. The result is
+// the same least fixpoint the sequential solvers compute — see
+// docs/ALGORITHMS.md for the argument.
 func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error {
 	workers := opts.Workers
+	// The owner partition is keyed by worker count so results are a
+	// function of Options.Workers alone; the applier count adapts to the
+	// hardware (more appliers than CPUs just adds scheduling overhead,
+	// and one applier degrades to a cheap inline merge). Results are
+	// identical for any applier count — appliers own disjoint state —
+	// and race builds force at least two so the concurrent-merge path is
+	// exercised even on single-CPU hosts (see race_on.go).
+	owners := workers
+	appliers := owners
+	if n := runtime.NumCPU(); appliers > n {
+		appliers = n
+	}
+	if raceBuild && appliers < 2 && owners >= 2 {
+		appliers = 2
+	}
+	ownerPools := make([]*bitmap.Pool, owners)
+	for i := range ownerPools {
+		ownerPools[i] = bitmap.NewPool()
+	}
+	eng := par.NewEngine(workers)
 	// The wave engine always difference-propagates; allocating
 	// g.propagated and g.resolved also makes unite() reset a merged
 	// node's markers, exactly as the sequential DiffProp solver relies
@@ -61,6 +93,7 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 		}
 	}
 	mark := make([]bool, g.n)
+	appStats := make([]applyStats, owners)
 	round := 0
 	for !front.Empty() {
 		if err := ctx.Err(); err != nil {
@@ -81,7 +114,7 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 			// HCD unions may have merged entries of work itself.
 			work = canonicalize(g, work, mark)
 		}
-		sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
+		slices.Sort(work)
 		// Repair successor bitmaps while the graph is still ours:
 		// canonicalize stale (absorbed) successors in place so workers
 		// iterate deduplicated live representatives instead of re-mapping
@@ -119,70 +152,53 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 		if g.metrics != nil {
 			computeStart = time.Now()
 		}
-		outs := par.Round(workers, work, view)
+		r := eng.Round(work, view, owners)
+		var mergeStart time.Time
 		if g.metrics != nil {
 			g.computeNS += time.Since(computeStart).Nanoseconds()
+			mergeStart = time.Now()
 		}
 		g.stats.Rounds++
-		// Barrier merge, in worker order for reproducibility. Deltas
-		// first, then the propagated-set bookkeeping, then edges, then
-		// cycle collapses (whose unites reset merged propagated sets —
-		// they must run after the bookkeeping so the reset wins).
-		for _, o := range outs {
+		// Destination-sharded merge: one applier task per owner, each
+		// touching only owner-congruent graph state, each walking the
+		// chunk buffers in chunk order. Frontier pushes go through
+		// per-owner shard handles, folded back by Gather below.
+		shards := front.ConcurrentShards(owners)
+		for i := range appStats {
+			appStats[i] = applyStats{}
+		}
+		if appliers == 1 || owners == 1 {
+			for o := 0; o < owners; o++ {
+				g.applyOwner(o, r.Outs, ownerPools[o], shards[o], &appStats[o])
+			}
+		} else {
+			var wg sync.WaitGroup
+			for a := 1; a < appliers; a++ {
+				wg.Add(1)
+				go func(a int) {
+					defer wg.Done()
+					for o := a; o < owners; o += appliers {
+						g.applyOwner(o, r.Outs, ownerPools[o], shards[o], &appStats[o])
+					}
+				}(a)
+			}
+			for o := 0; o < owners; o += appliers {
+				g.applyOwner(o, r.Outs, ownerPools[o], shards[o], &appStats[o])
+			}
+			wg.Wait()
+		}
+		front.Gather()
+		// Sequential epilogue: fold applier-private counters, then run
+		// the cycle collapses (union-find mutations cross owner
+		// boundaries, so they cannot run concurrently) in chunk order.
+		for i := range appStats {
+			g.stats.EdgesAdded += appStats[i].edgesAdded
+		}
+		for _, o := range r.Outs {
 			g.stats.Propagations += o.Propagations
-			for _, z := range o.DeltaOrder {
-				rz := g.find(z)
-				// MutableBitmap, not AsBitmap: the set may share a COW
-				// backing (after unite adoptions) and must be un-shared
-				// before the in-place merge.
-				dst, _ := pts.MutableBitmap(g.ptsOf(rz))
-				if dst.IorWith(o.Deltas[z]) {
-					front.Push(rz)
-				}
-			}
-		}
-		for _, o := range outs {
-			for i, n := range o.Nodes {
-				// Remember what has now been fully pushed: exactly the
-				// snapshot work set. Bits that arrived during this
-				// merge stay out until their own round.
-				if g.propagated[n] == nil {
-					g.propagated[n] = g.factory.New()
-				}
-				bm, _ := pts.MutableBitmap(g.propagated[n])
-				bm.IorWith(o.Works[i])
-			}
-			for i, n := range o.ResNodes {
-				if g.resolved[n] == nil {
-					g.resolved[n] = g.factory.New()
-				}
-				bm, _ := pts.MutableBitmap(g.resolved[n])
-				bm.IorWith(o.ResWorks[i])
-			}
-		}
-		for _, o := range outs {
-			for _, e := range o.Edges {
-				rs, rd := g.find(e[0]), g.find(e[1])
-				if rs == rd || !g.addEdge(rs, rd) {
-					continue
-				}
-				// A fresh edge must carry the source's full current
-				// set, not just future deltas: forget what rs already
-				// propagated and requeue it. One requeue covers every
-				// edge rs gained this round — the batching that makes
-				// dense derived graphs (where cycle collapsing soon
-				// dedupes most of these edges) affordable.
-				if g.propagated[rs] != nil {
-					pts.Release(g.propagated[rs])
-					g.propagated[rs] = nil
-				}
-				if s := g.sets[rs]; s != nil && !s.Empty() {
-					front.Push(rs)
-				}
-			}
 		}
 		if lazy {
-			for _, o := range outs {
+			for _, o := range r.Outs {
 				for _, c := range o.Cycles {
 					key := uint64(c[0])<<32 | uint64(c[1])
 					if fired[key] {
@@ -200,25 +216,124 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 				}
 			}
 		}
+		if g.metrics != nil {
+			g.mergeNS += time.Since(mergeStart).Nanoseconds()
+		}
 		g.metrics.SampleMem()
 		if opts.Progress != nil {
-			// Per-shard propagation counts are the round's
-			// shard-utilization signal (see ProgressEvent.ShardWork).
-			shardWork := make([]int64, len(outs))
-			for i, o := range outs {
-				shardWork[i] = o.Propagations
-			}
+			// Per-worker propagation counts (stolen chunks included) are
+			// the round's utilization signal (ProgressEvent.ShardWork).
+			shardWork := make([]int64, len(r.ShardWork))
+			copy(shardWork, r.ShardWork)
 			opts.Progress(ProgressEvent{
 				Round:          round,
 				WorklistLen:    front.Len(),
 				NodesCollapsed: g.stats.NodesCollapsed,
 				Unions:         g.stats.Propagations,
-				Workers:        len(outs),
+				Workers:        len(r.ShardWork),
 				ShardWork:      shardWork,
 			})
 		}
+		eng.Recycle(r)
+	}
+	if g.metrics != nil {
+		g.metrics.SetCounter("steals", eng.Steals())
+		g.metrics.SetCounter("merge_ns", g.mergeNS)
+		g.metrics.SetCounter("compute_ns", g.computeNS)
+		g.metrics.SetCounter("shard_weight_max", eng.ShardWeightMax())
+		g.metrics.SetCounter("shard_weight_mean", eng.ShardWeightMean())
+		wp := eng.PoolStats()
+		g.metrics.SetCounter("worker_pool_element_gets", wp.Gets)
+		g.metrics.SetCounter("worker_pool_element_recycled", wp.Recycled)
+		var gets, recycled int64
+		for _, p := range ownerPools {
+			s := p.Stats()
+			gets += s.Gets
+			recycled += s.Recycled
+		}
+		g.metrics.SetCounter("owner_pool_element_gets", gets)
+		g.metrics.SetCounter("owner_pool_element_recycled", recycled)
 	}
 	return nil
+}
+
+// applyStats is one owner applier's private counters, padded so adjacent
+// appliers don't false-share a cache line.
+type applyStats struct {
+	edgesAdded int64
+	_          [56]byte
+}
+
+// applyOwner applies one owner's share of every chunk buffer: points-to
+// deltas, then propagated/resolved bookkeeping, then edge inserts — the
+// same order the former sequential merge used, restricted to nodes with
+// owner(n) = owner. All graph state it touches is owner-congruent, so
+// concurrent appliers are disjoint; allocations draw from the
+// owner-private pool. The union-find is frozen (reads via FindRO only);
+// every id in the buffers is already a live representative.
+func (g *graph) applyOwner(owner int, outs []*par.Out, pool *bitmap.Pool, fs *worklist.FrontierShard, st *applyStats) {
+	for _, o := range outs {
+		for _, z := range o.DeltaOrder[owner] {
+			set := g.sets[z]
+			if set == nil {
+				set = pts.NewSetIn(g.factory, pool)
+				g.sets[z] = set
+			}
+			// MutableBitmapIn, not AsBitmap: re-point the backing at the
+			// owner pool (graph-owned backings are unshared during the
+			// solve, so this never pays a COW clone — see the
+			// MutableBitmapIn concurrency contract).
+			dst, _ := pts.MutableBitmapIn(set, pool)
+			if dst.IorWith(o.Deltas[z]) {
+				fs.Push(z)
+			}
+		}
+	}
+	for _, o := range outs {
+		nodes := o.Nodes[owner]
+		works := o.Works[owner]
+		for i, n := range nodes {
+			// Remember what has now been fully pushed: exactly the
+			// snapshot work set. Bits that arrived during this merge
+			// stay out until their own round.
+			if g.propagated[n] == nil {
+				g.propagated[n] = pts.NewSetIn(g.factory, pool)
+			}
+			bm, _ := pts.MutableBitmapIn(g.propagated[n], pool)
+			bm.IorWith(works[i])
+		}
+		rnodes := o.ResNodes[owner]
+		rworks := o.ResWorks[owner]
+		for i, n := range rnodes {
+			if g.resolved[n] == nil {
+				g.resolved[n] = pts.NewSetIn(g.factory, pool)
+			}
+			bm, _ := pts.MutableBitmapIn(g.resolved[n], pool)
+			bm.IorWith(rworks[i])
+		}
+	}
+	for _, o := range outs {
+		for _, e := range o.Edges[owner] {
+			rs, rd := g.nodes.FindRO(e[0]), g.nodes.FindRO(e[1])
+			if rs == rd || !g.addEdgeIn(rs, rd, pool) {
+				continue
+			}
+			st.edgesAdded++
+			// A fresh edge must carry the source's full current set, not
+			// just future deltas: forget what rs already propagated and
+			// requeue it. One requeue covers every edge rs gained this
+			// round — the batching that makes dense derived graphs
+			// (where cycle collapsing soon dedupes most of these edges)
+			// affordable.
+			if g.propagated[rs] != nil {
+				pts.Release(g.propagated[rs])
+				g.propagated[rs] = nil
+			}
+			if s := g.sets[rs]; s != nil && !s.Empty() {
+				fs.Push(rs)
+			}
+		}
+	}
 }
 
 // canonicalize maps nodes to live representatives and drops duplicates,

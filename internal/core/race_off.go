@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceBuild is false in normal builds: the merge uses as many appliers
+// as the hardware has CPUs (capped by the owner count) and runs inline
+// when that is one. See race_on.go.
+const raceBuild = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package core
+
+// raceBuild gates test-only concurrency forcing: under the race
+// detector the parallel merge always engages at least two appliers (when
+// there are two owners to split), so the owner-disjointness argument is
+// exercised — and checked — even on single-CPU hosts where the
+// cost-model would otherwise run the merge inline.
+const raceBuild = true

@@ -139,16 +139,17 @@ type ProgressEvent struct {
 	// and Stats.Propagations counters at the time of the event.
 	NodesCollapsed int64
 	Unions         int64
-	// Workers is the number of compute shards the parallel engine split
-	// this round's frontier into (0 for sequential-solver events). It can
-	// be smaller than Options.Workers when the frontier is shorter than
-	// the worker count.
+	// Workers is the number of compute workers the parallel engine
+	// engaged for this round (0 for sequential-solver events). It can
+	// be smaller than Options.Workers when the frontier is too short to
+	// fill every worker's deque with chunks.
 	Workers int
-	// ShardWork, for parallel-wave events, holds each shard's
+	// ShardWork, for parallel-wave events, holds each worker's
 	// propagation (delta-computation) count for the round just merged,
-	// in shard order. The spread of these values is the round's
-	// shard-utilization signal: near-equal counts mean the contiguous
-	// partition balanced well. Nil for sequential events. The slice is
+	// in worker order, counting stolen chunks toward the thief. The
+	// spread of these values is the round's utilization signal:
+	// near-equal counts mean the cost-model chunking plus work stealing
+	// balanced the round. Nil for sequential events. The slice is
 	// owned by the callback and remains valid after it returns.
 	ShardWork []int64
 }

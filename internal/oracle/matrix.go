@@ -33,9 +33,11 @@ const matrixBDDPool = 1 << 12
 
 // matrixWorkers are the parallel worker counts exercised by the matrix.
 // The bulk-synchronous engine only engages for Naive/LCD with bitmap sets;
-// the counts bracket the interesting schedules (minimal contention vs.
-// more shards than a tiny frontier can fill).
-var matrixWorkers = []int{2, 4}
+// the counts bracket the interesting schedules (minimal contention,
+// moderate chunking, and more owner shards than a tiny frontier can
+// fill — at 8 workers most rounds leave some deques empty, so the
+// work-stealing path runs on nearly every round).
+var matrixWorkers = []int{2, 4, 8}
 
 // Matrix returns the full registered configuration set:
 //

@@ -1,0 +1,100 @@
+package oracle
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/core"
+	"antgrass/internal/synth"
+)
+
+// fuzzSeedDir holds the committed fuzz seed corpus: inputs saved from
+// past fuzzing campaigns, in the Go fuzzing corpus-file format. Replaying
+// them as a plain test keeps their coverage alive in runs without a
+// fuzzing toolchain — in particular under -race, where scripts/check.sh
+// replays them against the parallel engine.
+const fuzzSeedDir = "testdata/fuzz"
+
+// readFuzzSeed decodes a Go fuzzing corpus file holding a single []byte
+// argument.
+func readFuzzSeed(t *testing.T, path string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(raw), "\n", 3)
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		t.Fatalf("%s: not a go fuzz corpus file", path)
+	}
+	arg := strings.TrimSpace(lines[1])
+	inner, ok := strings.CutPrefix(arg, "[]byte(")
+	if !ok {
+		t.Fatalf("%s: unsupported corpus argument %q", path, arg)
+	}
+	inner = strings.TrimSuffix(inner, ")")
+	s, err := strconv.Unquote(inner)
+	if err != nil {
+		t.Fatalf("%s: decoding corpus argument: %v", path, err)
+	}
+	return []byte(s)
+}
+
+// TestFuzzSeedsParallel replays the committed fuzz seed corpus against
+// the parallel wave engine at four workers, differentially against the
+// reference solver. The fuzz campaigns that produced these seeds ran the
+// full matrix; this replay pins the parallel configurations specifically
+// because check.sh runs it under the race detector, where the full
+// matrix would be too slow — the interesting schedules here are the
+// concurrent compute workers, the work-stealing deques and the
+// destination-sharded merge appliers.
+func TestFuzzSeedsParallel(t *testing.T) {
+	cfgs := []Config{
+		coreConfig(core.Naive, "bitmap", false, 4, false),
+		coreConfig(core.Naive, "bitmap", true, 4, false),
+		coreConfig(core.LCD, "bitmap", false, 4, false),
+		coreConfig(core.LCD, "bitmap", true, 4, false),
+	}
+	targets := map[string]func(*testing.T, []byte) *constraint.Program{
+		"FuzzSolversMatchReference": func(t *testing.T, data []byte) *constraint.Program {
+			p, err := constraint.Read(strings.NewReader(string(data)))
+			if err != nil {
+				t.Skip("seed does not parse as a constraint file")
+			}
+			return p
+		},
+		"FuzzSolversMatchReferenceSynth": func(t *testing.T, data []byte) *constraint.Program {
+			return synth.FromBytes(data)
+		},
+	}
+	seeds := 0
+	for target, decode := range targets {
+		files, err := filepath.Glob(filepath.Join(fuzzSeedDir, target, "*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range files {
+			seeds++
+			t.Run(target+"/"+filepath.Base(path), func(t *testing.T) {
+				p := decode(t, readFuzzSeed(t, path))
+				if p.NumVars > fuzzMaxVars || len(p.Constraints) > fuzzMaxConstraints {
+					t.Skip("oversized seed")
+				}
+				d, err := Check(p, WithConfigs(cfgs...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d != nil {
+					t.Errorf("divergence: %s", d)
+				}
+			})
+		}
+	}
+	if seeds == 0 {
+		t.Fatalf("no fuzz seeds under %s", fuzzSeedDir)
+	}
+}

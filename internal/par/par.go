@@ -1,16 +1,22 @@
-// Package par implements the compute phase of bulk-synchronous ("wave")
-// parallel constraint propagation for the inclusion-based solvers, in the
-// spirit of Méndez-Lojo et al.'s parallel inclusion-based points-to
-// analysis (OOPSLA 2010).
+// Package par implements the compute phase and the scheduling machinery of
+// bulk-synchronous ("wave") parallel constraint propagation for the
+// inclusion-based solvers, in the spirit of Méndez-Lojo et al.'s parallel
+// inclusion-based points-to analysis (OOPSLA 2010).
 //
-// The solve proceeds in rounds. Each round the active frontier — the
-// representatives whose points-to sets changed since they were last
-// processed — is partitioned into contiguous shards, one per worker
-// goroutine. During the compute phase the constraint graph is frozen:
-// workers only read it (read-only union-find lookups, cache-free bitmap
-// probes) and write into private buffers:
+// The solve proceeds in rounds driven by a persistent Engine. Each round
+// the active frontier — the representatives whose points-to sets changed
+// since they were last processed — is cut into chunks of roughly equal
+// *cost* (each node weighted by its points-to size plus out-degree, the
+// two factors that dominate its processing time) rather than equal length.
+// Chunks are dealt to per-worker deques, lightest-loaded first; an idle
+// worker steals the back half of the busiest deque, so a mispredicted
+// weight degrades utilization for one chunk, not one round.
 //
-//   - points-to deltas: for each copy successor z of a shard node n, the
+// During the compute phase the constraint graph is frozen: workers only
+// read it (read-only union-find lookups, cache-free bitmap probes) and
+// write into private buffers:
+//
+//   - points-to deltas: for each copy successor z of a chunk node n, the
 //     not-yet-propagated bits of pts(n) missing from pts(z), accumulated
 //     per destination (difference propagation is built in: each node
 //     remembers what it already pushed and ships only the delta);
@@ -18,22 +24,33 @@
 //     against the new pointees;
 //   - LCD cycle-trigger candidates (edges n → z with pts(z) = pts(n)).
 //
-// A single-threaded barrier merge (owned by package core, which holds the
-// graph mutators) then applies deltas, inserts edges, and runs cycle
-// collapses in worker order, producing the next frontier. Because workers
-// never touch shared mutable state, the hot path needs no locks, and
-// because the merge applies buffers in a fixed order, a run is
-// reproducible for a given worker count. The computed solution is the
-// unique least fixpoint of the constraint system, so every worker count —
-// including the sequential solvers — yields bit-identical points-to sets.
+// Every buffer in an Out is a per-(chunk, owner) mailbox: entries are
+// bucketed by the destination's owner (owner(n) = n mod owners), so the
+// merge — owned by package core, which holds the graph mutators — can
+// apply all deltas, bookkeeping and edge inserts for one owner
+// concurrently with every other owner, touching disjoint graph state.
+// Only union-find cycle collapses and HCD firing stay sequential.
+//
+// Determinism: the chunk list is a pure function of the frontier and the
+// worker count, each chunk's buffers are a pure function of its nodes and
+// the frozen view, and the merge applies buffers in chunk order per owner
+// — so a run is reproducible for a given worker count no matter how
+// chunks were stolen or how many appliers the merge used. The computed
+// solution is the unique least fixpoint of the constraint system, so
+// every worker count — including the sequential solvers — yields
+// bit-identical points-to sets.
+//
+// The Engine persists across rounds: per-worker element pools, scratch
+// buffers, output buffers and their bitmaps are recycled (Recycle), so
+// steady-state rounds run allocation-free.
 package par
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"antgrass/internal/bitmap"
 	"antgrass/internal/uf"
-	"antgrass/internal/worklist"
 )
 
 // Deref records one complex constraint hanging off a dereferenced
@@ -88,71 +105,524 @@ type View struct {
 	Fired map[uint64]bool
 }
 
-// Out is one worker's private output buffers for a round.
+// Out is one chunk's output buffers for a round. The per-destination
+// buffers (deltas, work bookkeeping, edges) are mailboxes indexed by the
+// destination's owner — owner(n) = n mod owners — so concurrent owner
+// appliers can each walk their own bucket of every Out without touching
+// another owner's graph state.
 type Out struct {
-	// Nodes lists the shard nodes that had unpropagated work this round,
-	// and Works the corresponding work sets (Sets[n] \ Propagated[n] at
-	// snapshot time). The merge folds each work set into Propagated[n]
-	// once the round's effects are applied. ResNodes and ResWorks do the
-	// same for resolution work (Sets[n] \ Resolved[n], recorded only for
-	// nodes with load/store constraints).
-	Nodes    []uint32
-	Works    []*bitmap.Bitmap
-	ResNodes []uint32
-	ResWorks []*bitmap.Bitmap
-	// DeltaOrder lists destination representatives in first-touch order;
-	// Deltas maps each to the accumulated points-to delta. Iterating
-	// DeltaOrder makes the merge deterministic.
-	DeltaOrder []uint32
+	// Worker is the compute worker that filled this Out; its buffers and
+	// bitmaps return to that worker's free lists on Engine.Recycle.
+	// Schedule-dependent (a stolen chunk records the thief) and never
+	// part of merge semantics.
+	Worker int
+	// Nodes[ow] lists the chunk nodes owned by ow that had unpropagated
+	// work this round, and Works[ow] the corresponding work sets
+	// (Sets[n] \ Propagated[n] at snapshot time). The merge folds each
+	// work set into Propagated[n] once the round's effects are applied.
+	// ResNodes and ResWorks do the same for resolution work
+	// (Sets[n] \ Resolved[n], recorded only for nodes with load/store
+	// constraints).
+	Nodes    [][]uint32
+	Works    [][]*bitmap.Bitmap
+	ResNodes [][]uint32
+	ResWorks [][]*bitmap.Bitmap
+	// DeltaOrder[ow] lists destination representatives owned by ow in
+	// first-touch order; Deltas maps each destination to its accumulated
+	// points-to delta (one map per chunk — appliers only read it, and
+	// concurrent map reads are safe). Iterating DeltaOrder per owner, in
+	// chunk order, makes the merge deterministic.
+	DeltaOrder [][]uint32
 	Deltas     map[uint32]*bitmap.Bitmap
-	// Edges lists candidate copy edges (src, dst) discovered by
-	// resolving load/store constraints. Candidates are NOT deduplicated
-	// here: probing the shared successor bitmaps read-only costs a
-	// front-to-back scan per probe (no cache), which profiles an order
-	// of magnitude worse than letting the merge's addEdge — with its
-	// cache-accelerated bitmap insert — drop duplicates.
-	Edges [][2]uint32
-	// Cycles lists LCD trigger candidates (n, z).
+	// Edges[ow] lists candidate copy edges (src, dst) with owner(src) =
+	// ow, discovered by resolving load/store constraints. Candidates are
+	// NOT deduplicated here: probing the shared successor bitmaps
+	// read-only costs a front-to-back scan per probe (no cache), which
+	// profiles an order of magnitude worse than letting the merge's
+	// addEdge — with its cache-accelerated bitmap insert — drop
+	// duplicates.
+	Edges [][][2]uint32
+	// Cycles lists LCD trigger candidates (n, z); cycle collapsing
+	// mutates the union-find, so these go to the sequential epilogue,
+	// not to an owner mailbox.
 	Cycles [][2]uint32
-	// Propagations counts delta computations, the per-worker share of
+	// Propagations counts delta computations, the per-chunk share of
 	// the Stats.Propagations counter (summed by the merge, never shared).
 	Propagations int64
 }
 
-// Round partitions the frontier (representatives in ascending order, all
-// with non-empty points-to sets) into at most workers contiguous shards,
-// runs the compute phase concurrently, and returns the per-worker buffers
-// in shard order. It blocks until every worker is done (the barrier).
-func Round(workers int, frontier []uint32, v *View) []*Out {
-	shards := worklist.Shards(frontier, workers)
-	outs := make([]*Out, len(shards))
-	if len(shards) == 1 {
-		outs[0] = computeShard(shards[0], v)
-		return outs
-	}
-	var wg sync.WaitGroup
-	for i, sh := range shards {
-		wg.Add(1)
-		go func(i int, sh []uint32) {
-			defer wg.Done()
-			outs[i] = computeShard(sh, v)
-		}(i, sh)
-	}
-	wg.Wait()
-	return outs
+// RoundOut is the result of one Engine.Round: the per-chunk buffers in
+// chunk order (the merge's application order) and the per-worker
+// propagation counts. It is owned by the Engine and valid until the next
+// Round call; pass it to Recycle once merged to return its storage.
+type RoundOut struct {
+	// Outs holds one Out per chunk, in chunk (frontier) order. Entries
+	// are never nil after Round returns.
+	Outs []*Out
+	// ShardWork holds each engaged worker's propagation count for the
+	// round, including stolen chunks — the utilization signal behind
+	// ProgressEvent.ShardWork. Its length is the number of workers that
+	// participated (min(workers, chunks)).
+	ShardWork []int64
 }
 
-// computeShard processes one worker's share of the frontier.
-func computeShard(nodes []uint32, v *View) *Out {
-	o := &Out{Deltas: map[uint32]*bitmap.Bitmap{}}
-	// Worker-private element pool: the work/res/delta buffers draw from
-	// storage no other goroutine touches, so the compute phase gets
-	// chunk-batched allocation without locks. The buffers handed back in
-	// Out keep their elements alive until the merge drops the Out (and
-	// the pool with it). The merge copies bits into graph-owned bitmaps;
-	// it never adopts elements across pools.
-	pool := bitmap.NewPool()
-	var resScratch, succScratch []uint32
+// chunksPerWorker is the scheduling granularity: the cost model aims for
+// this many chunks per worker, so the steal granularity is about
+// 1/chunksPerWorker of a worker's round share. More chunks smooth
+// imbalance but raise per-chunk overhead.
+const chunksPerWorker = 2
+
+// chunk is a contiguous frontier span with its modeled cost.
+type chunk struct {
+	lo, hi int32
+	weight int64
+}
+
+// deque is one worker's chunk queue. The owner pops from the front
+// (preserving frontier locality); thieves take the back half. size
+// mirrors the queue length so thieves can pick a victim without locking
+// it.
+type deque struct {
+	mu    sync.Mutex
+	items []int32
+	head  int
+	size  atomic.Int32
+}
+
+func (d *deque) reset() {
+	d.items = d.items[:0]
+	d.head = 0
+	d.size.Store(0)
+}
+
+// push appends a chunk. Only called from the single-threaded assignment
+// phase.
+func (d *deque) push(ci int32) {
+	d.items = append(d.items, ci)
+	d.size.Store(int32(len(d.items) - d.head))
+}
+
+func (d *deque) pop() (int32, bool) {
+	d.mu.Lock()
+	if d.head >= len(d.items) {
+		d.mu.Unlock()
+		return 0, false
+	}
+	ci := d.items[d.head]
+	d.head++
+	d.size.Add(-1)
+	d.mu.Unlock()
+	return ci, true
+}
+
+// stealHalf appends the back half of d's pending chunks (rounded down;
+// nothing when fewer than two remain) to buf and returns it.
+func (d *deque) stealHalf(buf []int32) []int32 {
+	d.mu.Lock()
+	n := len(d.items) - d.head
+	take := n / 2
+	if take > 0 {
+		buf = append(buf, d.items[len(d.items)-take:]...)
+		d.items = d.items[:len(d.items)-take]
+		d.size.Add(int32(-take))
+	}
+	d.mu.Unlock()
+	return buf
+}
+
+// append adds stolen chunks to the thief's own deque.
+func (d *deque) append(cs []int32) {
+	d.mu.Lock()
+	d.items = append(d.items, cs...)
+	d.size.Add(int32(len(cs)))
+	d.mu.Unlock()
+}
+
+// workerState is one worker's persistent private storage: its element
+// pool, decode scratch, and the free lists that recycle Out buffers and
+// their bitmaps across rounds. Touched by the worker during compute and
+// by Engine.Recycle between rounds — phases separated by the round
+// barrier.
+type workerState struct {
+	pool        *bitmap.Pool
+	resScratch  []uint32
+	succScratch []uint32
+	stealBuf    []int32
+	free        []*Out
+	bmFree      []*bitmap.Bitmap
+}
+
+// Engine runs compute rounds with persistent per-worker state. One Engine
+// serves one solve (one goroutine calls Round/Recycle in alternation);
+// internal parallelism is the Engine's own.
+type Engine struct {
+	workers int
+	ws      []workerState
+	deques  []deque
+	loads   []int64 // per-worker assigned weight, reset each round
+	chunks  []chunk
+	r       RoundOut
+
+	// cumulative scheduler statistics
+	steals        int64 // atomic: thieves increment concurrently
+	weightMax     int64 // largest per-worker assigned weight, any round
+	weightSum     int64 // summed per-worker assigned weight
+	weightAssigns int64 // worker-round assignments behind weightSum
+}
+
+// NewEngine returns an engine for the given worker count (≥ 1).
+func NewEngine(workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Engine{
+		workers: workers,
+		ws:      make([]workerState, workers),
+		deques:  make([]deque, workers),
+		loads:   make([]int64, workers),
+	}
+	for i := range e.ws {
+		e.ws[i].pool = bitmap.NewPool()
+	}
+	return e
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Steals returns the cumulative number of successful half-deque steals.
+func (e *Engine) Steals() int64 { return atomic.LoadInt64(&e.steals) }
+
+// ShardWeightMax returns the largest modeled weight assigned to one
+// worker in any round — the cost model's worst-case imbalance before
+// stealing.
+func (e *Engine) ShardWeightMax() int64 { return e.weightMax }
+
+// ShardWeightMean returns the mean modeled weight per worker-round
+// assignment.
+func (e *Engine) ShardWeightMean() int64 {
+	if e.weightAssigns == 0 {
+		return 0
+	}
+	return e.weightSum / e.weightAssigns
+}
+
+// PoolStats sums the per-worker element-pool counters.
+func (e *Engine) PoolStats() bitmap.PoolStats {
+	var out bitmap.PoolStats
+	for i := range e.ws {
+		s := e.ws[i].pool.Stats()
+		out.Gets += s.Gets
+		out.Recycled += s.Recycled
+		out.Puts += s.Puts
+		out.Chunks += s.Chunks
+	}
+	return out
+}
+
+// weight models the cost of processing frontier node n: decoding and
+// diffing its points-to set plus walking its successor list. Elements is
+// O(1) on the sparse-bitmap representation, so the whole cost model is
+// one linear pass over the frontier.
+func weight(v *View, n uint32) int64 {
+	w := int64(1)
+	if s := v.Sets[n]; s != nil {
+		w += int64(s.Elements())
+	}
+	if s := v.Succs[n]; s != nil {
+		w += int64(s.Elements())
+	}
+	return w
+}
+
+// Round cuts the frontier (representatives in ascending order) into
+// cost-weighted chunks, deals them to the worker deques, runs the compute
+// phase with work stealing, and returns the per-chunk buffers in chunk
+// order. It blocks until every worker is done (the barrier). owners is
+// the owner count the output mailboxes are bucketed by — the merge's
+// concurrency width, fixed per solve.
+func (e *Engine) Round(frontier []uint32, v *View, owners int) *RoundOut {
+	r := &e.r
+	r.Outs = r.Outs[:0]
+	r.ShardWork = r.ShardWork[:0]
+	if len(frontier) == 0 {
+		return r
+	}
+	// Cost model: total weight, then greedy cuts at ~1/(workers ×
+	// chunksPerWorker) of it. Both passes are O(frontier).
+	var total int64
+	for _, n := range frontier {
+		total += weight(v, n)
+	}
+	target := total / int64(e.workers*chunksPerWorker)
+	if target < 1 {
+		target = 1
+	}
+	e.chunks = e.chunks[:0]
+	lo, acc := 0, int64(0)
+	for i, n := range frontier {
+		acc += weight(v, n)
+		if acc >= target {
+			e.chunks = append(e.chunks, chunk{lo: int32(lo), hi: int32(i + 1), weight: acc})
+			lo, acc = i+1, 0
+		}
+	}
+	if lo < len(frontier) {
+		e.chunks = append(e.chunks, chunk{lo: int32(lo), hi: int32(len(frontier)), weight: acc})
+	}
+	nc := len(e.chunks)
+	for cap(r.Outs) < nc {
+		r.Outs = append(r.Outs[:cap(r.Outs)], nil)
+	}
+	r.Outs = r.Outs[:nc]
+	for i := range r.Outs {
+		r.Outs[i] = nil
+	}
+	// Assignment: deal chunks in order to the lightest-loaded deque, so
+	// the initial partition is balanced under the cost model; stealing
+	// repairs what the model mispredicts.
+	nw := e.workers
+	if nc < nw {
+		nw = nc
+	}
+	for w := 0; w < nw; w++ {
+		e.deques[w].reset()
+		e.loads[w] = 0
+	}
+	for ci, c := range e.chunks {
+		best := 0
+		for w := 1; w < nw; w++ {
+			if e.loads[w] < e.loads[best] {
+				best = w
+			}
+		}
+		e.deques[best].push(int32(ci))
+		e.loads[best] += c.weight
+	}
+	for w := 0; w < nw; w++ {
+		if e.loads[w] > e.weightMax {
+			e.weightMax = e.loads[w]
+		}
+		e.weightSum += e.loads[w]
+	}
+	e.weightAssigns += int64(nw)
+	// Compute, with stealing among the engaged workers.
+	for cap(r.ShardWork) < nw {
+		r.ShardWork = append(r.ShardWork[:cap(r.ShardWork)], 0)
+	}
+	r.ShardWork = r.ShardWork[:nw]
+	if nw == 1 {
+		r.ShardWork[0] = e.runWorker(0, 1, frontier, v, owners, r.Outs)
+		return r
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.ShardWork[w] = e.runWorker(w, nw, frontier, v, owners, r.Outs)
+		}(w)
+	}
+	r.ShardWork[0] = e.runWorker(0, nw, frontier, v, owners, r.Outs)
+	wg.Wait()
+	return r
+}
+
+// runWorker drains worker w's deque, then steals until no engaged deque
+// has work. Returns the worker's propagation count.
+func (e *Engine) runWorker(w, engaged int, frontier []uint32, v *View, owners int, outs []*Out) int64 {
+	var props int64
+	ws := &e.ws[w]
+	for {
+		ci, ok := e.deques[w].pop()
+		if !ok {
+			ci, ok = e.steal(w, engaged)
+			if !ok {
+				return props
+			}
+		}
+		c := e.chunks[ci]
+		o := e.getOut(ws, w, owners)
+		e.computeChunk(ws, frontier[c.lo:c.hi], v, uint32(owners), o)
+		outs[ci] = o
+		props += o.Propagations
+	}
+}
+
+// steal finds the victim with the most pending chunks, takes the back
+// half of its deque, and pops one chunk for the caller. It returns false
+// only once every engaged deque is observed empty — stolen-but-unqueued
+// chunks are still owned by their thief, so no work is abandoned.
+func (e *Engine) steal(w, engaged int) (int32, bool) {
+	ws := &e.ws[w]
+	for {
+		best, bestn := -1, int32(0)
+		for i := 0; i < engaged; i++ {
+			if i == w {
+				continue
+			}
+			if n := e.deques[i].size.Load(); n > bestn {
+				best, bestn = i, n
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		ws.stealBuf = e.deques[best].stealHalf(ws.stealBuf[:0])
+		if len(ws.stealBuf) == 0 {
+			// Raced with the victim draining (or it held one chunk,
+			// which stealHalf leaves alone); rescan.
+			if bestn <= 1 {
+				// A single remaining chunk is never stolen; treat the
+				// victim as empty to guarantee termination.
+				if e.onlySingletons(w, engaged) {
+					return 0, false
+				}
+			}
+			continue
+		}
+		atomic.AddInt64(&e.steals, 1)
+		e.deques[w].append(ws.stealBuf)
+		if ci, ok := e.deques[w].pop(); ok {
+			return ci, true
+		}
+	}
+}
+
+// onlySingletons reports whether every other engaged deque holds at most
+// one chunk — nothing stealable remains.
+func (e *Engine) onlySingletons(w, engaged int) bool {
+	for i := 0; i < engaged; i++ {
+		if i != w && e.deques[i].size.Load() > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// getOut returns a reset Out for worker w, recycling a previous round's
+// buffers when available.
+func (e *Engine) getOut(ws *workerState, w, owners int) *Out {
+	var o *Out
+	if k := len(ws.free); k > 0 {
+		o = ws.free[k-1]
+		ws.free = ws.free[:k-1]
+	} else {
+		o = &Out{Deltas: make(map[uint32]*bitmap.Bitmap)}
+	}
+	o.Worker = w
+	o.reset(owners)
+	return o
+}
+
+// reset prepares o for reuse with the given owner count, keeping every
+// buffer's capacity.
+func (o *Out) reset(owners int) {
+	o.Propagations = 0
+	o.Cycles = o.Cycles[:0]
+	for len(o.Nodes) < owners {
+		o.Nodes = append(o.Nodes, nil)
+		o.Works = append(o.Works, nil)
+		o.ResNodes = append(o.ResNodes, nil)
+		o.ResWorks = append(o.ResWorks, nil)
+		o.DeltaOrder = append(o.DeltaOrder, nil)
+		o.Edges = append(o.Edges, nil)
+	}
+	o.Nodes = o.Nodes[:owners]
+	o.Works = o.Works[:owners]
+	o.ResNodes = o.ResNodes[:owners]
+	o.ResWorks = o.ResWorks[:owners]
+	o.DeltaOrder = o.DeltaOrder[:owners]
+	o.Edges = o.Edges[:owners]
+	for i := 0; i < owners; i++ {
+		o.Nodes[i] = o.Nodes[i][:0]
+		o.Works[i] = o.Works[i][:0]
+		o.ResNodes[i] = o.ResNodes[i][:0]
+		o.ResWorks[i] = o.ResWorks[i][:0]
+		o.DeltaOrder[i] = o.DeltaOrder[i][:0]
+		o.Edges[i] = o.Edges[i][:0]
+	}
+}
+
+// maxRetainedEdges bounds the per-bucket edge-mailbox capacity kept
+// across rounds: 4096 entries (32 KiB). With workers² buckets live at
+// once the worst-case retention is a few hundred KiB, while an
+// edge-spike round can leave tens of MB behind.
+const maxRetainedEdges = 4096
+
+// newBM returns an empty bitmap backed by ws's pool, recycling a
+// previous round's bitmap when available.
+func (e *Engine) newBM(ws *workerState) *bitmap.Bitmap {
+	if k := len(ws.bmFree); k > 0 {
+		bm := ws.bmFree[k-1]
+		ws.bmFree = ws.bmFree[:k-1]
+		return bm
+	}
+	return bitmap.NewIn(ws.pool)
+}
+
+// Recycle returns a merged round's buffers — Outs, their bitmaps, and
+// the bitmaps' elements — to the free lists of the workers that filled
+// them. Call after the merge no longer reads any buffer; the next Round
+// reuses the storage.
+//
+// Element reclamation is wholesale: every worker-side bitmap is
+// detached in O(1) and each engaged worker's pool is Reset, which
+// rebuilds its free list in address order. Per-element recycling would
+// be cheaper to reason about, but a churned free list hands out
+// scattered elements and the compute phase's kernels (IorDiffWith
+// above all) are memory-bound list walks — allocation order IS
+// traversal order, so the reset keeps every round's buffers as
+// cache-friendly as a fresh arena while still never growing the heap
+// in steady state.
+func (e *Engine) Recycle(r *RoundOut) {
+	for i, o := range r.Outs {
+		if o == nil {
+			continue
+		}
+		ws := &e.ws[o.Worker]
+		for oi := range o.Works {
+			for _, bm := range o.Works[oi] {
+				bm.Detach()
+				ws.bmFree = append(ws.bmFree, bm)
+			}
+			for _, bm := range o.ResWorks[oi] {
+				bm.Detach()
+				ws.bmFree = append(ws.bmFree, bm)
+			}
+		}
+		for _, bm := range o.Deltas {
+			bm.Detach()
+			ws.bmFree = append(ws.bmFree, bm)
+		}
+		clear(o.Deltas)
+		// Edge discovery is spiky: the round that first resolves the big
+		// load/store clusters emits orders of magnitude more candidates
+		// than any other. Retaining that round's capacity for the rest of
+		// the solve inflates the live set — and with it the GC's pacing
+		// target, so every later round runs under a doubled heap ceiling.
+		// Drop outlier buckets; typical rounds stay under the bound and
+		// remain allocation-free.
+		for oi := range o.Edges {
+			if cap(o.Edges[oi]) > maxRetainedEdges {
+				o.Edges[oi] = nil
+			}
+		}
+		ws.free = append(ws.free, o)
+		r.Outs[i] = nil
+	}
+	// Gets > Puts identifies the pools with outstanding (now detached)
+	// elements: exactly the workers that executed chunks this round.
+	for w := range e.ws {
+		if st := e.ws[w].pool.Stats(); st.Gets > st.Puts {
+			e.ws[w].pool.Reset()
+		}
+	}
+	r.Outs = r.Outs[:0]
+}
+
+// computeChunk processes one chunk of the frontier into o.
+func (e *Engine) computeChunk(ws *workerState, nodes []uint32, v *View, owners uint32, o *Out) {
 	for _, n := range nodes {
 		set := v.Sets[n]
 		if set == nil || set.Empty() {
@@ -161,7 +631,7 @@ func computeShard(nodes []uint32, v *View) *Out {
 		// Work only on the unseen part: the bits not yet propagated the
 		// last time n was processed (everything, on a first visit or
 		// after a new edge or collapse reset Propagated[n]).
-		work := bitmap.NewIn(pool)
+		work := e.newBM(ws)
 		work.IorDiffWith(set, v.Propagated[n])
 		// Step 1 (Figure 1): resolve complex constraints against the
 		// not-yet-resolved pointees, yielding candidate edges. Resolution
@@ -169,31 +639,36 @@ func computeShard(nodes []uint32, v *View) *Out {
 		// View.Resolved.
 		loads, stores := v.Loads[n], v.Stores[n]
 		if len(loads) > 0 || len(stores) > 0 {
-			res := bitmap.NewIn(pool)
+			res := e.newBM(ws)
 			res.IorDiffWith(set, v.Resolved[n])
 			if !res.Empty() {
-				o.ResNodes = append(o.ResNodes, n)
-				o.ResWorks = append(o.ResWorks, res)
-				resScratch = res.AppendTo(resScratch[:0])
-				for _, pv := range resScratch {
+				ow := n % owners
+				o.ResNodes[ow] = append(o.ResNodes[ow], n)
+				o.ResWorks[ow] = append(o.ResWorks[ow], res)
+				ws.resScratch = res.AppendTo(ws.resScratch[:0])
+				for _, pv := range ws.resScratch {
 					for _, ld := range loads {
 						if t, ok := target(pv, ld.Off, v.Span); ok {
-							o.edge(v.Nodes.FindRO(t), v.Nodes.FindRO(ld.Other))
+							o.edge(v.Nodes.FindRO(t), v.Nodes.FindRO(ld.Other), owners)
 						}
 					}
 					for _, st := range stores {
 						if t, ok := target(pv, st.Off, v.Span); ok {
-							o.edge(v.Nodes.FindRO(st.Other), v.Nodes.FindRO(t))
+							o.edge(v.Nodes.FindRO(st.Other), v.Nodes.FindRO(t), owners)
 						}
 					}
 				}
+			} else {
+				ws.bmFree = append(ws.bmFree, res)
 			}
 		}
 		if work.Empty() {
+			ws.bmFree = append(ws.bmFree, work)
 			continue
 		}
-		o.Nodes = append(o.Nodes, n)
-		o.Works = append(o.Works, work)
+		ow := n % owners
+		o.Nodes[ow] = append(o.Nodes[ow], n)
+		o.Works[ow] = append(o.Works[ow], work)
 		// Step 2: compute propagation deltas along outgoing copy edges,
 		// with the LCD trigger guarding each one. The successor list is
 		// decoded with the word-level AppendTo kernel (cache-free, like
@@ -202,8 +677,8 @@ func computeShard(nodes []uint32, v *View) *Out {
 		if bm == nil {
 			continue
 		}
-		succScratch = bm.AppendTo(succScratch[:0])
-		for _, z0 := range succScratch {
+		ws.succScratch = bm.AppendTo(ws.succScratch[:0])
+		for _, z0 := range ws.succScratch {
 			z := v.Nodes.FindRO(z0)
 			if z == n {
 				continue
@@ -218,27 +693,29 @@ func computeShard(nodes []uint32, v *View) *Out {
 			o.Propagations++
 			d := o.Deltas[z]
 			if d == nil {
-				d = bitmap.NewIn(pool)
+				d = e.newBM(ws)
 				o.Deltas[z] = d
-				o.DeltaOrder = append(o.DeltaOrder, z)
+				o.DeltaOrder[z%owners] = append(o.DeltaOrder[z%owners], z)
 			}
 			d.IorDiffWith(work, zs)
 		}
 	}
-	return o
 }
 
-// edge records the candidate copy edge src → dst unless it is a self-loop
-// or identical to the immediately preceding candidate (pointees resolve in
-// ascending order, so short duplicate runs are common and cheap to elide).
-func (o *Out) edge(src, dst uint32) {
+// edge records the candidate copy edge src → dst in owner(src)'s mailbox
+// unless it is a self-loop or identical to the immediately preceding
+// candidate for that owner (pointees resolve in ascending order, so short
+// duplicate runs are common and cheap to elide).
+func (o *Out) edge(src, dst, owners uint32) {
 	if src == dst {
 		return
 	}
-	if k := len(o.Edges); k > 0 && o.Edges[k-1] == [2]uint32{src, dst} {
+	ow := src % owners
+	b := o.Edges[ow]
+	if k := len(b); k > 0 && b[k-1] == [2]uint32{src, dst} {
 		return
 	}
-	o.Edges = append(o.Edges, [2]uint32{src, dst})
+	o.Edges[ow] = append(b, [2]uint32{src, dst})
 }
 
 // target mirrors the graph's validTarget rule: dereferencing v at offset

@@ -42,67 +42,169 @@ func testView() *View {
 	return v
 }
 
+// flatten concatenates one owner dimension of a round's chunk buffers in
+// application (chunk) order — the sequence an owner applier walks.
+type flat struct {
+	deltaOrder []uint32
+	deltas     map[uint32][]uint32
+	nodes      []uint32
+	resNodes   []uint32
+	edges      [][2]uint32
+}
+
+func flattenOwner(r *RoundOut, ow int) flat {
+	f := flat{deltas: map[uint32][]uint32{}}
+	for _, o := range r.Outs {
+		for _, z := range o.DeltaOrder[ow] {
+			f.deltaOrder = append(f.deltaOrder, z)
+			f.deltas[z] = append(f.deltas[z], o.Deltas[z].Slice()...)
+		}
+		f.nodes = append(f.nodes, o.Nodes[ow]...)
+		f.resNodes = append(f.resNodes, o.ResNodes[ow]...)
+		f.edges = append(f.edges, o.Edges[ow]...)
+	}
+	return f
+}
+
+func propagations(r *RoundOut) int64 {
+	var total int64
+	for _, o := range r.Outs {
+		total += o.Propagations
+	}
+	return total
+}
+
 func TestRoundDeltas(t *testing.T) {
 	v := testView()
-	outs := Round(1, []uint32{0, 5}, v)
-	if len(outs) != 1 {
-		t.Fatalf("1 worker produced %d outs", len(outs))
-	}
-	o := outs[0]
+	e := NewEngine(1)
+	r := e.Round([]uint32{0, 5}, v, 1)
+	f := flattenOwner(r, 0)
 	// Node 0 pushes {3,4} to 1 and {3} to 2 (4 is already there).
-	if !reflect.DeepEqual(o.DeltaOrder, []uint32{1, 2}) {
-		t.Fatalf("DeltaOrder = %v", o.DeltaOrder)
+	if !reflect.DeepEqual(f.deltaOrder, []uint32{1, 2}) {
+		t.Fatalf("DeltaOrder = %v", f.deltaOrder)
 	}
-	if got := o.Deltas[1].Slice(); !reflect.DeepEqual(got, []uint32{3, 4}) {
+	if got := f.deltas[1]; !reflect.DeepEqual(got, []uint32{3, 4}) {
 		t.Fatalf("delta to 1 = %v", got)
 	}
-	if got := o.Deltas[2].Slice(); !reflect.DeepEqual(got, []uint32{3}) {
+	if got := f.deltas[2]; !reflect.DeepEqual(got, []uint32{3}) {
 		t.Fatalf("delta to 2 = %v", got)
 	}
-	if o.Propagations != 2 {
-		t.Fatalf("Propagations = %d", o.Propagations)
+	if got := propagations(r); got != 2 {
+		t.Fatalf("Propagations = %d", got)
 	}
 	// Node 5's load resolves pointee 3 into candidate edge 3 → 0.
-	if !reflect.DeepEqual(o.Edges, [][2]uint32{{3, 0}}) {
-		t.Fatalf("Edges = %v", o.Edges)
+	if !reflect.DeepEqual(f.edges, [][2]uint32{{3, 0}}) {
+		t.Fatalf("Edges = %v", f.edges)
 	}
-	if !reflect.DeepEqual(o.Nodes, []uint32{0, 5}) || len(o.Works) != 2 {
-		t.Fatalf("work bookkeeping: nodes %v works %d", o.Nodes, len(o.Works))
+	if !reflect.DeepEqual(f.nodes, []uint32{0, 5}) {
+		t.Fatalf("work bookkeeping: nodes %v", f.nodes)
 	}
-	if !reflect.DeepEqual(o.ResNodes, []uint32{5}) || len(o.ResWorks) != 1 {
-		t.Fatalf("resolution bookkeeping: nodes %v works %d", o.ResNodes, len(o.ResWorks))
+	if !reflect.DeepEqual(f.resNodes, []uint32{5}) {
+		t.Fatalf("resolution bookkeeping: nodes %v", f.resNodes)
 	}
 }
 
-// TestRoundShardingDeterminism checks that the concatenated buffers are
-// identical regardless of worker count — the merge applies them in shard
-// order, so this is the engine's reproducibility property.
-func TestRoundShardingDeterminism(t *testing.T) {
+// TestRoundOwnerBuckets checks the destination-sharded mailboxes: with two
+// owners every buffer entry must land in the bucket of its destination's
+// owner (owner(n) = n mod 2), and the union across buckets must equal the
+// single-owner output.
+func TestRoundOwnerBuckets(t *testing.T) {
+	v := testView()
+	e := NewEngine(1)
+	r := e.Round([]uint32{0, 5}, v, 2)
+	even, odd := flattenOwner(r, 0), flattenOwner(r, 1)
+	// Deltas: destination 1 (odd), destination 2 (even).
+	if !reflect.DeepEqual(odd.deltaOrder, []uint32{1}) || !reflect.DeepEqual(even.deltaOrder, []uint32{2}) {
+		t.Fatalf("delta buckets: even %v odd %v", even.deltaOrder, odd.deltaOrder)
+	}
+	// Work bookkeeping: nodes 0 (even) and 5 (odd); resolution: 5 (odd).
+	if !reflect.DeepEqual(even.nodes, []uint32{0}) || !reflect.DeepEqual(odd.nodes, []uint32{5}) {
+		t.Fatalf("node buckets: even %v odd %v", even.nodes, odd.nodes)
+	}
+	if len(even.resNodes) != 0 || !reflect.DeepEqual(odd.resNodes, []uint32{5}) {
+		t.Fatalf("res buckets: even %v odd %v", even.resNodes, odd.resNodes)
+	}
+	// Edge 3 → 0 has src 3 (odd).
+	if len(even.edges) != 0 || !reflect.DeepEqual(odd.edges, [][2]uint32{{3, 0}}) {
+		t.Fatalf("edge buckets: even %v odd %v", even.edges, odd.edges)
+	}
+}
+
+// TestRoundDeterminism checks run-to-run reproducibility for a fixed
+// worker count: the per-owner application sequences must be identical
+// across engines, rounds, and buffer recycling — the property the merge's
+// fixed chunk-order application turns into solver-level determinism.
+func TestRoundDeterminism(t *testing.T) {
 	frontier := []uint32{0, 2, 5}
-	var base []*Out
-	for _, workers := range []int{1, 2, 3, 8} {
-		outs := Round(workers, frontier, testView())
-		if want := min(workers, len(frontier)); len(outs) != want {
-			t.Fatalf("workers=%d: %d shards, want %d", workers, len(outs), want)
+	const workers, owners = 3, 3
+	var base []flat
+	for trial := 0; trial < 10; trial++ {
+		e := NewEngine(workers)
+		for rep := 0; rep < 3; rep++ { // exercise recycled buffers too
+			r := e.Round(frontier, testView(), owners)
+			var cur []flat
+			for ow := 0; ow < owners; ow++ {
+				cur = append(cur, flattenOwner(r, ow))
+			}
+			if base == nil {
+				base = cur
+			} else if !reflect.DeepEqual(cur, base) {
+				t.Fatalf("trial %d rep %d: application sequences diverged:\n got %+v\nwant %+v", trial, rep, cur, base)
+			}
+			if got := propagations(r); got != 2 {
+				t.Fatalf("Propagations = %d", got)
+			}
+			e.Recycle(r)
 		}
-		var merged Out
-		for _, o := range outs {
-			merged.Nodes = append(merged.Nodes, o.Nodes...)
-			merged.Edges = append(merged.Edges, o.Edges...)
-			merged.DeltaOrder = append(merged.DeltaOrder, o.DeltaOrder...)
-			merged.Propagations += o.Propagations
+	}
+}
+
+// TestRoundChunksCoverFrontier checks the cost-model chunking: chunks are
+// contiguous, disjoint, in order, and cover the frontier exactly —
+// regardless of worker count.
+func TestRoundChunksCoverFrontier(t *testing.T) {
+	// A frontier with very uneven weights: node 0 has a big set and big
+	// out-degree, the rest are small.
+	n := 300
+	v := &View{
+		Sets:       make([]*bitmap.Bitmap, n),
+		Succs:      make([]*bitmap.Bitmap, n),
+		Loads:      make([][]Deref, n),
+		Stores:     make([][]Deref, n),
+		Span:       make([]uint32, n),
+		Propagated: make([]*bitmap.Bitmap, n),
+		Resolved:   make([]*bitmap.Bitmap, n),
+		Nodes:      uf.New(n),
+	}
+	var frontier []uint32
+	for i := 0; i < n; i++ {
+		v.Span[i] = 1
+		v.Sets[i] = mkSet(uint32(i))
+		frontier = append(frontier, uint32(i))
+	}
+	big := bitmap.New()
+	for i := 0; i < 200; i++ {
+		big.Set(uint32(i))
+	}
+	v.Sets[0] = big
+	for _, workers := range []int{1, 2, 4, 8} {
+		e := NewEngine(workers)
+		r := e.Round(frontier, v, workers)
+		if len(r.Outs) == 0 {
+			t.Fatalf("workers=%d: no chunks", workers)
 		}
-		if base == nil {
-			base = []*Out{&merged}
-			continue
+		var nodes []uint32
+		for ow := 0; ow < workers; ow++ {
+			f := flattenOwner(r, ow)
+			nodes = append(nodes, f.nodes...)
 		}
-		b := base[0]
-		if !reflect.DeepEqual(merged.Nodes, b.Nodes) ||
-			!reflect.DeepEqual(merged.Edges, b.Edges) ||
-			!reflect.DeepEqual(merged.DeltaOrder, b.DeltaOrder) ||
-			merged.Propagations != b.Propagations {
-			t.Fatalf("workers=%d produced different buffers", workers)
+		if len(nodes) != len(frontier) {
+			t.Fatalf("workers=%d: %d nodes processed, want %d", workers, len(nodes), len(frontier))
 		}
+		if got := len(r.ShardWork); got > workers || got < 1 {
+			t.Fatalf("workers=%d: %d engaged workers", workers, got)
+		}
+		e.Recycle(r)
 	}
 }
 
@@ -112,26 +214,27 @@ func TestRoundDifferencePropagation(t *testing.T) {
 	v.Propagated[0] = mkSet(3)
 	v.Resolved[5] = mkSet(3)
 	v.Propagated[5] = mkSet(3)
-	outs := Round(1, []uint32{0, 5}, v)
-	o := outs[0]
+	e := NewEngine(1)
+	r := e.Round([]uint32{0, 5}, v, 1)
+	f := flattenOwner(r, 0)
 	// Only the unseen pointee 4 moves: delta {4} to node 1, and an empty
 	// delta to 2 (which already holds 4 — the computation still runs and
 	// counts, the merge discards it).
-	if !reflect.DeepEqual(o.DeltaOrder, []uint32{1, 2}) {
-		t.Fatalf("DeltaOrder = %v", o.DeltaOrder)
+	if !reflect.DeepEqual(f.deltaOrder, []uint32{1, 2}) {
+		t.Fatalf("DeltaOrder = %v", f.deltaOrder)
 	}
-	if got := o.Deltas[1].Slice(); !reflect.DeepEqual(got, []uint32{4}) {
+	if got := f.deltas[1]; !reflect.DeepEqual(got, []uint32{4}) {
 		t.Fatalf("delta to 1 = %v", got)
 	}
-	if !o.Deltas[2].Empty() {
-		t.Fatalf("delta to 2 = %v, want empty", o.Deltas[2].Slice())
+	if len(f.deltas[2]) != 0 {
+		t.Fatalf("delta to 2 = %v, want empty", f.deltas[2])
 	}
 	// Node 5 has nothing new: no resolution, no work entry.
-	if len(o.Edges) != 0 || len(o.ResNodes) != 0 {
-		t.Fatalf("stale pointee re-resolved: edges %v res %v", o.Edges, o.ResNodes)
+	if len(f.edges) != 0 || len(f.resNodes) != 0 {
+		t.Fatalf("stale pointee re-resolved: edges %v res %v", f.edges, f.resNodes)
 	}
-	if !reflect.DeepEqual(o.Nodes, []uint32{0}) {
-		t.Fatalf("Nodes = %v", o.Nodes)
+	if !reflect.DeepEqual(f.nodes, []uint32{0}) {
+		t.Fatalf("Nodes = %v", f.nodes)
 	}
 }
 
@@ -142,32 +245,96 @@ func TestRoundLCDCycleCandidate(t *testing.T) {
 	// Give 1 the same set as 0: the edge 0 → 1 must become a cycle
 	// candidate instead of a propagation.
 	v.Sets[1] = mkSet(3, 4)
-	outs := Round(1, []uint32{0}, v)
-	o := outs[0]
+	e := NewEngine(1)
+	r := e.Round([]uint32{0}, v, 1)
+	o := r.Outs[0]
 	if !reflect.DeepEqual(o.Cycles, [][2]uint32{{0, 1}}) {
 		t.Fatalf("Cycles = %v", o.Cycles)
 	}
 	if _, ok := o.Deltas[1]; ok {
 		t.Fatal("propagated across a cycle-candidate edge")
 	}
+	e.Recycle(r)
 	// Once fired, the same edge propagates normally (empty delta here).
 	v.Fired[uint64(0)<<32|1] = true
-	o = Round(1, []uint32{0}, v)[0]
-	if len(o.Cycles) != 0 {
-		t.Fatalf("re-fired cycle trigger: %v", o.Cycles)
+	r = e.Round([]uint32{0}, v, 1)
+	if len(r.Outs[0].Cycles) != 0 {
+		t.Fatalf("re-fired cycle trigger: %v", r.Outs[0].Cycles)
+	}
+}
+
+// TestRecycleReclaims checks that Recycle returns every bitmap's elements
+// to the worker pools: after recycling, a second identical round must be
+// served mostly from recycled storage.
+func TestRecycleReclaims(t *testing.T) {
+	e := NewEngine(1)
+	r := e.Round([]uint32{0, 5}, testView(), 2)
+	gets0 := e.PoolStats().Gets
+	if gets0 == 0 {
+		t.Fatal("round allocated no pool elements")
+	}
+	e.Recycle(r)
+	ps := e.PoolStats()
+	if ps.Puts != ps.Gets {
+		t.Fatalf("recycle leaked elements: gets %d puts %d", ps.Gets, ps.Puts)
+	}
+	r = e.Round([]uint32{0, 5}, testView(), 2)
+	e.Recycle(r)
+	ps = e.PoolStats()
+	if ps.Recycled == 0 {
+		t.Fatalf("second round recycled nothing: %+v", ps)
+	}
+}
+
+// TestDequeSteal checks the deque mechanics directly: owners pop from the
+// front in push order; a thief takes the back half.
+func TestDequeSteal(t *testing.T) {
+	var d deque
+	for i := int32(0); i < 7; i++ {
+		d.push(i)
+	}
+	if got := d.size.Load(); got != 7 {
+		t.Fatalf("size = %d", got)
+	}
+	var thief deque
+	buf := d.stealHalf(nil)
+	if !reflect.DeepEqual(buf, []int32{4, 5, 6}) {
+		t.Fatalf("stole %v, want back half", buf)
+	}
+	thief.append(buf)
+	if d.size.Load() != 4 || thief.size.Load() != 3 {
+		t.Fatalf("sizes after steal: victim %d thief %d", d.size.Load(), thief.size.Load())
+	}
+	var order []int32
+	for {
+		ci, ok := d.pop()
+		if !ok {
+			break
+		}
+		order = append(order, ci)
+	}
+	if !reflect.DeepEqual(order, []int32{0, 1, 2, 3}) {
+		t.Fatalf("victim pop order = %v", order)
+	}
+	// Nothing stealable from a singleton deque.
+	var single deque
+	single.push(9)
+	if got := single.stealHalf(nil); len(got) != 0 {
+		t.Fatalf("stole %v from a singleton", got)
 	}
 }
 
 func TestEdgeElision(t *testing.T) {
 	var o Out
-	o.edge(3, 3) // self-loop
-	o.edge(1, 2)
-	o.edge(1, 2) // consecutive duplicate
-	o.edge(2, 1)
-	o.edge(1, 2) // non-consecutive duplicate is kept (merge dedupes)
+	o.reset(1)
+	o.edge(3, 3, 1) // self-loop
+	o.edge(1, 2, 1)
+	o.edge(1, 2, 1) // consecutive duplicate
+	o.edge(2, 1, 1)
+	o.edge(1, 2, 1) // non-consecutive duplicate is kept (merge dedupes)
 	want := [][2]uint32{{1, 2}, {2, 1}, {1, 2}}
-	if !reflect.DeepEqual(o.Edges, want) {
-		t.Fatalf("Edges = %v, want %v", o.Edges, want)
+	if !reflect.DeepEqual(o.Edges[0], want) {
+		t.Fatalf("Edges = %v, want %v", o.Edges[0], want)
 	}
 }
 
@@ -190,11 +357,4 @@ func TestTarget(t *testing.T) {
 			t.Errorf("target(%d, %d) = %d, %v; want %d, %v", tc.v, tc.off, got, ok, tc.want, tc.ok)
 		}
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -143,6 +143,54 @@ func MutableBitmap(s Set) (*bitmap.Bitmap, bool) {
 	return bs.mutable(), true
 }
 
+// NewSetIn is Factory.New with an explicit element pool: the returned
+// set's backing bitmap draws its storage from pool instead of the
+// factory's own pool. The destination-sharded parallel merge uses it so
+// each owner applier allocates from owner-private storage and never
+// contends on (or corrupts) the unsynchronized factory pool. Elements are
+// fungible between pools — a set created here may later be released into,
+// or union elements from, any other pool-backed set. Falls back to
+// f.New() for non-bitmap representations.
+func NewSetIn(f Factory, pool *bitmap.Pool) Set {
+	bf, ok := f.(*bitmapFactory)
+	if !ok {
+		return f.New()
+	}
+	sh := &sharedBM{refs: 1}
+	sh.b.UsePool(pool)
+	return &bitmapSet{f: bf, s: sh}
+}
+
+// MutableBitmapIn is MutableBitmap with an explicit element pool: the
+// returned bitmap's future inserts draw from pool (the backing is
+// re-pointed in place when s is sole owner, or cloned into pool when the
+// backing is shared). Owner appliers in the parallel merge call it so
+// every mutation of an owned set allocates from the owner's pool.
+//
+// Concurrency: safe to call from concurrent appliers ONLY while the
+// solver's "unshared during solve" invariant holds — every graph-owned
+// backing has refcount 1 between solve start and finalization (unite
+// adopt-then-release nets to one reference; Dedup sharing happens only at
+// finalize) — because the clone path decrements the shared backing's
+// unsynchronized refcount. The clone path exists for sequential callers
+// and is exercised by tests, not by the merge.
+func MutableBitmapIn(s Set, pool *bitmap.Pool) (*bitmap.Bitmap, bool) {
+	bs, ok := s.(*bitmapSet)
+	if !ok {
+		return nil, false
+	}
+	sh := bs.s
+	if sh.refs > 1 {
+		sh.refs--
+		ns := &sharedBM{refs: 1}
+		ns.b = *sh.b.CopyIn(pool)
+		bs.s = ns
+		return &ns.b, true
+	}
+	sh.b.UsePool(pool)
+	return &sh.b, true
+}
+
 // AllocStats are the bitmap factory's memory-engine counters, exported
 // into the metrics registry by the solvers (pool_* / cow_* / dedup_*
 // counters in antbench -json reports).

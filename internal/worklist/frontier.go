@@ -1,6 +1,6 @@
 package worklist
 
-import "sort"
+import "slices"
 
 // Frontier is the bulk-synchronous counterpart of Worklist: a deduplicating
 // set of node ids that is filled during one propagation round (the barrier
@@ -9,12 +9,19 @@ import "sort"
 // sees a frontier that is deterministic for a given graph state — the
 // property the wave solver's reproducibility argument rests on.
 //
-// Frontier is not safe for concurrent use; the parallel solver only pushes
-// from the single-threaded merge phase.
+// Plain Push is single-threaded. For the destination-sharded merge,
+// ConcurrentShards hands out per-owner fill handles that may push
+// concurrently as long as each node id is pushed through the shard of its
+// owner only (ownership partitions the id space, so the shared member
+// array is accessed race-free); Gather folds the shards back before the
+// next Drain.
 type Frontier struct {
-	nodes  []uint32
-	member []bool
-	sorted bool
+	nodes   []uint32
+	spare   []uint32 // the previous drain's buffer, recycled on the next Drain
+	member  []bool
+	sorted  bool
+	shards  []FrontierShard
+	handles []*FrontierShard
 }
 
 // NewFrontier returns an empty frontier over nodes 0..n-1.
@@ -41,19 +48,80 @@ func (f *Frontier) Len() int { return len(f.nodes) }
 func (f *Frontier) Empty() bool { return len(f.nodes) == 0 }
 
 // Drain removes and returns all pending nodes in ascending id order. The
-// returned slice is owned by the caller; the frontier is empty afterwards
-// and may be refilled.
+// returned slice is valid until the NEXT Drain call: the frontier keeps
+// two buffers and ping-pongs between them, so steady-state rounds push
+// into one while the solver walks the other — no per-round growth.
 func (f *Frontier) Drain() []uint32 {
 	out := f.nodes
 	if !f.sorted {
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		slices.Sort(out)
 	}
 	for _, x := range out {
 		f.member[x] = false
 	}
-	f.nodes = nil
+	f.nodes = f.spare[:0]
+	f.spare = out
 	f.sorted = true
 	return out
+}
+
+// FrontierShard is one owner's private fill handle on a Frontier, handed
+// out by ConcurrentShards. Push appends to shard-private storage and
+// consults the frontier's shared member array — safe because the caller
+// guarantees each node id flows through exactly one shard.
+type FrontierShard struct {
+	f     *Frontier
+	nodes []uint32
+	// pad the struct to a cache line: shards live in one contiguous
+	// slice, and without padding two owners appending concurrently would
+	// false-share the adjacent slice headers.
+	_ [64 - 8 - 24]byte
+}
+
+// Push adds x unless it is already pending (in the frontier or any shard).
+func (s *FrontierShard) Push(x uint32) {
+	if s.f.member[x] {
+		return
+	}
+	s.f.member[x] = true
+	s.nodes = append(s.nodes, x)
+}
+
+// ConcurrentShards returns k fill handles for a concurrent merge phase.
+// The handles are owned by the frontier and reused across calls (their
+// buffers keep capacity), so a round-loop pays no per-round allocation.
+// Every handle must be used by at most one goroutine at a time, and a
+// given node id must only ever be pushed through one handle (the caller's
+// ownership partition); Gather must run before the next Drain.
+func (f *Frontier) ConcurrentShards(k int) []*FrontierShard {
+	if len(f.shards) < k {
+		f.shards = make([]FrontierShard, k)
+		f.handles = make([]*FrontierShard, k)
+		for i := range f.shards {
+			f.shards[i].f = f
+			f.handles[i] = &f.shards[i]
+		}
+	}
+	out := f.handles[:k]
+	for _, s := range out {
+		s.nodes = s.nodes[:0]
+	}
+	return out
+}
+
+// Gather folds every shard's pushes back into the frontier (single-
+// threaded; call after the concurrent phase has quiesced). Shard buffers
+// keep their capacity for the next round.
+func (f *Frontier) Gather() {
+	for i := range f.shards {
+		s := &f.shards[i]
+		if len(s.nodes) == 0 {
+			continue
+		}
+		f.sorted = false
+		f.nodes = append(f.nodes, s.nodes...)
+		s.nodes = s.nodes[:0]
+	}
 }
 
 // Shards splits nodes into at most k contiguous, nearly equal-sized

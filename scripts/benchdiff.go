@@ -5,15 +5,18 @@
 // Usage:
 //
 //	go run ./scripts/benchdiff.go [-threshold 15] [-min-seconds 0.05] \
-//	    [-alloc-threshold 10] [-mem-threshold 10] old.json new.json
+//	    [-alloc-threshold 10] [-mem-threshold 10] [-merge-share 0.9] \
+//	    old.json new.json
 //
 // Runs are matched by (bench, algo, pts, workers). Exit status:
 //
 //	0 — no run regressed on any gated dimension
 //	1 — at least one regression (wall clock beyond -threshold, allocs
-//	    beyond -alloc-threshold, peak heap beyond -mem-threshold), or a
-//	    run present in old.json is missing from new.json (a silently
-//	    dropped benchmark must not pass)
+//	    beyond -alloc-threshold, peak heap beyond -mem-threshold, or a
+//	    parallel run of new.json whose merge phase consumed more than
+//	    -merge-share of merge+compute time), or a run present in
+//	    old.json is missing from new.json (a silently dropped benchmark
+//	    must not pass)
 //	2 — usage or report-parsing error (including a schema_version this
 //	    tool does not understand)
 //
@@ -38,8 +41,9 @@ func main() {
 	minSeconds := flag.Float64("min-seconds", 0.05, "ignore runs where both sides are under this many seconds")
 	allocThreshold := flag.Float64("alloc-threshold", 10, "fail when a run allocates more than this percent more (0 disables)")
 	memThreshold := flag.Float64("mem-threshold", 10, "fail when a run's peak heap grows more than this percent (0 disables)")
+	mergeShare := flag.Float64("merge-share", 0, "fail when a parallel run's merge_ns/(merge_ns+compute_ns) exceeds this fraction (0 disables)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-seconds s] [-alloc-threshold pct] [-mem-threshold pct] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-seconds s] [-alloc-threshold pct] [-mem-threshold pct] [-merge-share frac] old.json new.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,11 +64,12 @@ func main() {
 		MinSeconds:            *minSeconds,
 		AllocThresholdPercent: *allocThreshold,
 		MemThresholdPercent:   *memThreshold,
+		MergeShareMax:         *mergeShare,
 	})
 	diff.Print(os.Stdout)
 	if diff.Failed() {
-		fmt.Fprintf(os.Stderr, "benchdiff: FAIL (wall %.1f%%, allocs %.1f%%, peak-mem %.1f%%)\n",
-			*threshold, *allocThreshold, *memThreshold)
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL (wall %.1f%%, allocs %.1f%%, peak-mem %.1f%%, merge-share %.2f)\n",
+			*threshold, *allocThreshold, *memThreshold, *mergeShare)
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: OK")

@@ -13,9 +13,14 @@
 #      configuration matrix — already part of stage 4, but run by name
 #      so a corpus regression is called out unmistakably in CI logs;
 #   6. a race-detector pass over the concurrency-bearing packages
-#      (internal/par, internal/core, internal/metrics) in -short mode,
-#      so the parallel engine's lock-free compute phase and the metrics
-#      registry are exercised under the race detector on every change;
+#      (internal/par, internal/core, internal/worklist, internal/metrics)
+#      in -short mode, so the parallel engine's lock-free compute phase,
+#      the work-stealing deques, the concurrent frontier shards and the
+#      metrics registry are exercised under the race detector on every
+#      change — plus a -race replay of the committed fuzz seed corpus
+#      against the parallel configurations at four workers (race builds
+#      force at least two concurrent merge appliers, so the
+#      destination-sharded merge runs concurrently even on one CPU);
 #   7. a GODEBUG=gccheckmark=1 smoke run of the pool and COW tests:
 #      checkmark mode re-marks the heap after every GC cycle and aborts
 #      on any object the concurrent mark missed, so a pooled element
@@ -54,10 +59,9 @@ fi
 
 echo "==> go vet ./..."
 go vet ./...
-# Build configurations beyond the default. The tree has no
-# //go:build-tagged files today; when a tag is introduced, add it here
-# so vet covers that configuration too.
-extra_tags=""
+# Build configurations beyond the default. The race tag gates the
+# forced-concurrent-merge constant in internal/core (race_on.go).
+extra_tags="race"
 for tags in $extra_tags; do
 	echo "==> go vet -tags $tags ./..."
 	go vet -tags "$tags" ./...
@@ -72,8 +76,11 @@ go test ./...
 echo "==> go test -run 'TestCorpus|TestHCDRegressionSeed' -count=1 ./internal/oracle ./internal/hcd ./internal/core"
 go test -run 'TestCorpus|TestHCDRegressionSeed' -count=1 ./internal/oracle ./internal/hcd ./internal/core
 
-echo "==> go test -race -short ./internal/par ./internal/core ./internal/metrics"
-go test -race -short ./internal/par ./internal/core ./internal/metrics
+echo "==> go test -race -short ./internal/par ./internal/core ./internal/worklist ./internal/metrics"
+go test -race -short ./internal/par ./internal/core ./internal/worklist ./internal/metrics
+
+echo "==> go test -race -count=1 -run TestFuzzSeedsParallel ./internal/oracle"
+go test -race -count=1 -run TestFuzzSeedsParallel ./internal/oracle
 
 echo "==> GODEBUG=gccheckmark=1 go test -count=1 -run 'TestPool|TestPooled|TestCursor|TestCOW|TestRelease|TestDedup' ./internal/bitmap ./internal/pts"
 GODEBUG=gccheckmark=1 go test -count=1 -run 'TestPool|TestPooled|TestCursor|TestCOW|TestRelease|TestDedup' ./internal/bitmap ./internal/pts
