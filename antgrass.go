@@ -18,9 +18,13 @@
 //
 // Typical use:
 //
-//	unit, _ := antgrass.CompileC(src)
-//	res, _ := antgrass.Solve(unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true})
+//	unit, _ := antgrass.CompileC(src, antgrass.CGenOptions{})
+//	res, _ := antgrass.Solve(ctx, unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true})
 //	for _, o := range res.PointsTo(v) { ... }
+//
+// For a resident analysis that absorbs program edits and serves
+// concurrent queries, see Session (and cmd/antserve for the HTTP
+// daemon form).
 package antgrass
 
 import (
@@ -151,61 +155,78 @@ func NewMetrics() *Metrics { return metrics.New() }
 type ProgressEvent = core.ProgressEvent
 
 // Result is a solved pointer analysis over the original variable ids (all
-// pre-processing and cycle collapsing is transparent to queries).
+// pre-processing and cycle collapsing is transparent to queries). It is a
+// query wrapper around the immutable Snapshot of the epoch it was
+// computed from: a Result obtained before a concurrent Session.Update
+// keeps answering from its own epoch, never from a half-solved newer one.
 type Result struct {
-	inner *core.Result
+	snap *Snapshot
 	// OVSStats describes the pre-processing step when Options.OVS was
 	// set (nil otherwise).
 	OVSStats *ovs.Result
 }
 
 // Stats returns the solver's cost counters.
-func (r *Result) Stats() Stats { return r.inner.Stats }
+func (r *Result) Stats() Stats { return r.snap.Stats() }
+
+// Epoch returns the solve generation this result was computed from
+// (1 for a one-shot Solve).
+func (r *Result) Epoch() uint64 { return r.snap.Epoch() }
+
+// Snapshot returns the immutable epoch view backing this result.
+func (r *Result) Snapshot() *Snapshot { return r.snap }
 
 // PointsTo returns the points-to set of v in ascending order.
-func (r *Result) PointsTo(v VarID) []VarID { return r.inner.PointsToSlice(v) }
+func (r *Result) PointsTo(v VarID) []VarID { return r.snap.PointsTo(v) }
 
 // PointsToLen returns |pts(v)| without materializing the set.
-func (r *Result) PointsToLen(v VarID) int {
-	s := r.inner.PointsTo(v)
-	if s == nil {
-		return 0
-	}
-	return s.Len()
-}
+func (r *Result) PointsToLen(v VarID) int { return r.snap.PointsToLen(v) }
 
 // Contains reports whether loc ∈ pts(v).
-func (r *Result) Contains(v, loc VarID) bool {
-	s := r.inner.PointsTo(v)
-	return s != nil && s.Contains(loc)
-}
+func (r *Result) Contains(v, loc VarID) bool { return r.snap.Contains(v, loc) }
 
 // Alias reports whether a and b may alias (their points-to sets
 // intersect).
-func (r *Result) Alias(a, b VarID) bool { return r.inner.Alias(a, b) }
+func (r *Result) Alias(a, b VarID) bool { return r.snap.Alias(a, b) }
 
 // Rep returns v's constraint-graph representative after cycle collapsing;
 // variables with equal representatives provably have identical points-to
 // sets.
-func (r *Result) Rep(v VarID) VarID { return r.inner.Rep(v) }
+func (r *Result) Rep(v VarID) VarID { return r.snap.Rep(v) }
 
-// Solve runs the configured analysis on p with no cancellation. It is a
-// thin wrapper over SolveContext with context.Background(); new code
-// should prefer SolveContext.
-func Solve(p *Program, o Options) (*Result, error) {
-	return SolveContext(context.Background(), p, o)
-}
-
-// SolveContext is the primary entry point: it runs the configured analysis
-// on p under ctx. p itself is never modified.
+// Solve is the primary entry point: it runs the configured analysis on p
+// under ctx and returns the solution frozen as an immutable snapshot. p
+// itself is never modified. It is the one-shot form of NewSession — a
+// session is created, solved, and closed — for callers that don't need
+// incremental updates.
 //
 // Cancellation is cooperative: the solvers check ctx at round boundaries
 // (the parallel engine), every few thousand worklist pops (the sequential
 // worklist solvers), or between fixpoint iterations (HT, PKH, BLQ). When
-// ctx is canceled or its deadline passes, SolveContext returns an error
-// wrapping context.Canceled or context.DeadlineExceeded — test with
-// errors.Is — and never a partial Result.
+// ctx is canceled or its deadline passes, Solve returns an error wrapping
+// context.Canceled or context.DeadlineExceeded — test with errors.Is —
+// and never a partial Result.
+func Solve(ctx context.Context, p *Program, o Options) (*Result, error) {
+	// The one-shot session skips NewSession's defensive clone: no Update
+	// can ever mutate it.
+	s, err := newSession(ctx, p, o)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Result(), nil
+}
+
+// SolveContext runs the configured analysis on p under ctx.
+//
+// Deprecated: Solve is now context-first; call Solve(ctx, p, o) directly.
 func SolveContext(ctx context.Context, p *Program, o Options) (*Result, error) {
+	return Solve(ctx, p, o)
+}
+
+// solveOnce is the non-incremental solve pipeline behind Solve and the
+// Session replay path: OVS pre-pass, algorithm dispatch, one fixpoint.
+func solveOnce(ctx context.Context, p *Program, o Options) (*core.Result, *ovs.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -215,13 +236,13 @@ func SolveContext(ctx context.Context, p *Program, o Options) (*Result, error) {
 	if o.Pts == "" {
 		o.Pts = Bitmap
 	}
-	res := &Result{}
 	prog := p
+	var ovsStats *ovs.Result
 	var preUnions [][2]uint32
 	if o.OVS {
 		red := ovs.Reduce(p)
 		o.Metrics.AddPhase(metrics.PhaseOVS, red.Duration)
-		res.OVSStats = red
+		ovsStats = red
 		prog = red.Reduced
 		preUnions = red.PreUnions
 	}
@@ -246,7 +267,7 @@ func SolveContext(ctx context.Context, p *Program, o Options) (*Result, error) {
 	case BLQ:
 		// handled below
 	default:
-		return nil, fmt.Errorf("antgrass: unknown algorithm %q", o.Algorithm)
+		return nil, nil, fmt.Errorf("antgrass: unknown algorithm %q", o.Algorithm)
 	}
 	if o.HCD || len(preUnions) > 0 {
 		table := &hcd.Result{}
@@ -272,24 +293,28 @@ func SolveContext(ctx context.Context, p *Program, o Options) (*Result, error) {
 		inner, err = core.SolveContext(ctx, prog, copts)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	res.inner = inner
-	return res, nil
+	return inner, ovsStats, nil
 }
 
-// CompileC parses a C-subset source file and generates its inclusion
-// constraints (the front-end role CIL plays in the paper), using the sound
-// field-insensitive model.
-func CompileC(src string) (*Unit, error) { return cgen.Compile(src) }
-
 // CGenOptions configures the C front-end (see cgen.Options for the
-// field-based mode of the paper's footnote 2).
+// field-based mode of the paper's footnote 2). The zero value is the
+// sound field-insensitive default.
 type CGenOptions = cgen.Options
 
-// CompileCWith is CompileC with explicit front-end options.
-func CompileCWith(src string, opts CGenOptions) (*Unit, error) {
+// CompileC parses a C-subset source file and generates its inclusion
+// constraints (the front-end role CIL plays in the paper). Pass the zero
+// CGenOptions for the default field-insensitive model.
+func CompileC(src string, opts CGenOptions) (*Unit, error) {
 	return cgen.CompileWith(src, opts)
+}
+
+// CompileCWith is CompileC under its historical name.
+//
+// Deprecated: CompileC now takes the options struct directly.
+func CompileCWith(src string, opts CGenOptions) (*Unit, error) {
+	return CompileC(src, opts)
 }
 
 // ReadProgram parses the text constraint-file format.
@@ -307,16 +332,48 @@ func NewProgram() *Program { return constraint.NewProgram() }
 func Workload(name string, scale float64) (*Program, error) {
 	p, ok := synth.ProfileByName(name)
 	if !ok {
-		return nil, fmt.Errorf("antgrass: unknown workload %q", name)
+		return nil, fmt.Errorf("antgrass: unknown workload %q (see Workloads)", name)
 	}
 	return synth.Generate(p.Scale(scale)), nil
 }
 
-// WorkloadNames lists the available synthetic benchmarks in Table 2 order.
-func WorkloadNames() []string {
-	out := make([]string, len(synth.PaperProfiles))
+// WorkloadInfo describes one entry of the synthetic benchmark catalog.
+type WorkloadInfo struct {
+	// Name is the identifier Workload accepts.
+	Name string
+	// Description is a one-line human-readable summary.
+	Description string
+	// KLOC is the benchmark's nominal source size (thousands of lines).
+	KLOC int
+	// Constraints is the reduced constraint count at scale 1.0.
+	Constraints int
+}
+
+// Workloads returns the catalog of available synthetic benchmarks in
+// Table 2 order, with names and descriptions for tool listings
+// (antsolve -list, antbench).
+func Workloads() []WorkloadInfo {
+	out := make([]WorkloadInfo, len(synth.PaperProfiles))
 	for i, p := range synth.PaperProfiles {
-		out[i] = p.Name
+		out[i] = WorkloadInfo{
+			Name:        p.Name,
+			Description: p.Description,
+			KLOC:        p.KLOC,
+			Constraints: p.Base + p.Simple + p.Complex,
+		}
+	}
+	return out
+}
+
+// WorkloadNames lists the available synthetic benchmark names in Table 2
+// order.
+//
+// Deprecated: use Workloads, which also carries descriptions.
+func WorkloadNames() []string {
+	ws := Workloads()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package antgrass
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -20,11 +21,11 @@ void main(void) {
 `
 
 func TestEndToEndC(t *testing.T) {
-	u, err := CompileC(quickSrc)
+	u, err := CompileC(quickSrc, CGenOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Solve(u.Prog, Options{Algorithm: LCD, HCD: true})
+	r, err := Solve(context.Background(), u.Prog, Options{Algorithm: LCD, HCD: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestEndToEndC(t *testing.T) {
 // and pre-processing combination on a C program and a synthetic workload
 // and demands identical solutions.
 func TestAllConfigurationsAgree(t *testing.T) {
-	u, err := CompileC(quickSrc)
+	u, err := CompileC(quickSrc, CGenOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestAllConfigurationsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, prog := range []*Program{u.Prog, w} {
-		base, err := Solve(prog, Options{Algorithm: Naive})
+		base, err := Solve(context.Background(), prog, Options{Algorithm: Naive})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestAllConfigurationsAgree(t *testing.T) {
 						if alg == BLQ && repr == BDD {
 							continue // BLQ is inherently relation-BDD
 						}
-						r, err := Solve(prog, Options{Algorithm: alg, HCD: hcdOn, OVS: ovsOn, Pts: repr, BDDPoolNodes: 1 << 14})
+						r, err := Solve(context.Background(), prog, Options{Algorithm: alg, HCD: hcdOn, OVS: ovsOn, Pts: repr, BDDPoolNodes: 1 << 14})
 						if err != nil {
 							t.Fatalf("%s hcd=%v ovs=%v %s: %v", alg, hcdOn, ovsOn, repr, err)
 						}
@@ -92,21 +93,21 @@ func TestAllConfigurationsAgree(t *testing.T) {
 func TestUnknownAlgorithm(t *testing.T) {
 	p := NewProgram()
 	p.AddVar("x")
-	if _, err := Solve(p, Options{Algorithm: "frobnicate"}); err == nil {
+	if _, err := Solve(context.Background(), p, Options{Algorithm: "frobnicate"}); err == nil {
 		t.Error("unknown algorithm must error")
 	}
 }
 
 func TestOVSStatsExposed(t *testing.T) {
 	w, _ := Workload("gimp", 0.01)
-	r, err := Solve(w, Options{Algorithm: LCD, OVS: true})
+	r, err := Solve(context.Background(), w, Options{Algorithm: LCD, OVS: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.OVSStats == nil || r.OVSStats.After > r.OVSStats.Before {
 		t.Errorf("OVS stats missing or nonsensical: %+v", r.OVSStats)
 	}
-	if r2, _ := Solve(w, Options{Algorithm: LCD}); r2.OVSStats != nil {
+	if r2, _ := Solve(context.Background(), w, Options{Algorithm: LCD}); r2.OVSStats != nil {
 		t.Error("OVSStats must be nil when OVS is off")
 	}
 }
@@ -144,11 +145,11 @@ int (*fp)(int);
 void choose(int c) { if (c) fp = helper; else fp = other; }
 int run(void) { choose(1); return fp(7); }
 `
-	u, err := CompileC(src)
+	u, err := CompileC(src, CGenOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Solve(u.Prog, Options{Algorithm: LCD, HCD: true})
+	r, err := Solve(context.Background(), u.Prog, Options{Algorithm: LCD, HCD: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +196,11 @@ int *a, *b, *c;
 int other;
 void main(void) { a = &obj; b = a; c = &other; }
 `
-	u, err := CompileC(src)
+	u, err := CompileC(src, CGenOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Solve(u.Prog, Options{})
+	r, err := Solve(context.Background(), u.Prog, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ void main(void) { a = &obj; b = a; c = &other; }
 
 func TestDefaultsApplied(t *testing.T) {
 	w, _ := Workload("emacs", 0.005)
-	r, err := Solve(w, Options{})
+	r, err := Solve(context.Background(), w, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestDefaultsApplied(t *testing.T) {
 }
 
 func TestCompileError(t *testing.T) {
-	_, err := CompileC("int f( {")
+	_, err := CompileC("int f( {", CGenOptions{})
 	if err == nil {
 		t.Fatal("expected parse error")
 	}

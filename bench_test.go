@@ -6,6 +6,7 @@
 package antgrass
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -53,9 +54,9 @@ func workload(b *testing.B, name string) *Program {
 	return p
 }
 
-func solveOnce(b *testing.B, p *Program, o Options) *Result {
+func benchSolve(b *testing.B, p *Program, o Options) *Result {
 	b.Helper()
-	r, err := Solve(p, o)
+	r, err := Solve(context.Background(), p, o)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func BenchmarkSolve(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				solveOnce(b, p, c.algo.opts)
+				benchSolve(b, p, c.algo.opts)
 			}
 		})
 	}
@@ -122,7 +123,7 @@ func BenchmarkSolveParallel(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				solveOnce(b, p, opts)
+				benchSolve(b, p, opts)
 			}
 		})
 	}
@@ -157,7 +158,7 @@ func BenchmarkTable3(b *testing.B) {
 				p := workload(b, name)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					solveOnce(b, p, a.opts)
+					benchSolve(b, p, a.opts)
 				}
 			})
 		}
@@ -172,7 +173,7 @@ func BenchmarkTable4(b *testing.B) {
 			p := workload(b, "linux")
 			var mem float64
 			for i := 0; i < b.N; i++ {
-				r := solveOnce(b, p, a.opts)
+				r := benchSolve(b, p, a.opts)
 				mem = float64(r.Stats().MemBytes) / (1 << 20)
 			}
 			b.ReportMetric(mem, "MB")
@@ -188,7 +189,7 @@ func BenchmarkTable5(b *testing.B) {
 				p := workload(b, name)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					solveOnce(b, p, a.opts)
+					benchSolve(b, p, a.opts)
 				}
 			})
 		}
@@ -202,7 +203,7 @@ func BenchmarkTable6(b *testing.B) {
 			p := workload(b, "linux")
 			var mem float64
 			for i := 0; i < b.N; i++ {
-				r := solveOnce(b, p, a.opts)
+				r := benchSolve(b, p, a.opts)
 				mem = float64(r.Stats().MemBytes) / (1 << 20)
 			}
 			b.ReportMetric(mem, "MB")
@@ -223,8 +224,8 @@ func BenchmarkFigure6(b *testing.B) {
 		b.Run(rival.name, func(b *testing.B) {
 			var speedup float64
 			for i := 0; i < b.N; i++ {
-				ours := solveOnce(b, p, Options{Algorithm: LCD, HCD: true})
-				theirs := solveOnce(b, p, rival.opts)
+				ours := benchSolve(b, p, Options{Algorithm: LCD, HCD: true})
+				theirs := benchSolve(b, p, rival.opts)
 				speedup = theirs.Stats().SolveDuration.Seconds() / ours.Stats().SolveDuration.Seconds()
 			}
 			b.ReportMetric(speedup, "speedup")
@@ -244,8 +245,8 @@ func BenchmarkFigure7(b *testing.B) {
 		b.Run(a.name, func(b *testing.B) {
 			var ratio float64
 			for i := 0; i < b.N; i++ {
-				lcd := solveOnce(b, p, Options{Algorithm: LCD})
-				other := solveOnce(b, p, a.opts)
+				lcd := benchSolve(b, p, Options{Algorithm: LCD})
+				other := benchSolve(b, p, a.opts)
 				ratio = other.Stats().SolveDuration.Seconds() / lcd.Stats().SolveDuration.Seconds()
 			}
 			b.ReportMetric(ratio, "vs-lcd")
@@ -269,8 +270,8 @@ func BenchmarkFigure8(b *testing.B) {
 		b.Run(a.name, func(b *testing.B) {
 			var ratio float64
 			for i := 0; i < b.N; i++ {
-				plain := solveOnce(b, p, a.plain)
-				boosted := solveOnce(b, p, a.boosted)
+				plain := benchSolve(b, p, a.plain)
+				boosted := benchSolve(b, p, a.boosted)
 				ratio = plain.Stats().SolveDuration.Seconds() / boosted.Stats().SolveDuration.Seconds()
 			}
 			b.ReportMetric(ratio, "hcd-speedup")
@@ -286,8 +287,8 @@ func BenchmarkFigure9(b *testing.B) {
 		b.Run(string(alg), func(b *testing.B) {
 			var ratio float64
 			for i := 0; i < b.N; i++ {
-				bm := solveOnce(b, p, Options{Algorithm: alg})
-				bd := solveOnce(b, p, Options{Algorithm: alg, Pts: BDD})
+				bm := benchSolve(b, p, Options{Algorithm: alg})
+				bd := benchSolve(b, p, Options{Algorithm: alg, Pts: BDD})
 				ratio = bd.Stats().SolveDuration.Seconds() / bm.Stats().SolveDuration.Seconds()
 			}
 			b.ReportMetric(ratio, "bdd/bitmap")
@@ -303,8 +304,8 @@ func BenchmarkFigure10(b *testing.B) {
 		b.Run(string(alg), func(b *testing.B) {
 			var ratio float64
 			for i := 0; i < b.N; i++ {
-				bm := solveOnce(b, p, Options{Algorithm: alg})
-				bd := solveOnce(b, p, Options{Algorithm: alg, Pts: BDD})
+				bm := benchSolve(b, p, Options{Algorithm: alg})
+				bd := benchSolve(b, p, Options{Algorithm: alg, Pts: BDD})
 				ratio = float64(bm.Stats().MemBytes) / float64(bd.Stats().MemBytes)
 			}
 			b.ReportMetric(ratio, "bitmap/bdd-mem")
@@ -320,7 +321,7 @@ func BenchmarkStats53(b *testing.B) {
 		b.Run(a.name, func(b *testing.B) {
 			var s Stats
 			for i := 0; i < b.N; i++ {
-				s = solveOnce(b, p, a.opts).Stats()
+				s = benchSolve(b, p, a.opts).Stats()
 			}
 			b.ReportMetric(float64(s.NodesCollapsed), "collapsed")
 			b.ReportMetric(float64(s.NodesSearched), "searched")
@@ -363,7 +364,7 @@ int apply(void) { op = twice; return op(2); }
 void main(void) { push(pool); sum(); apply(); }
 `
 	for i := 0; i < b.N; i++ {
-		if _, err := CompileC(src); err != nil {
+		if _, err := CompileC(src, CGenOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

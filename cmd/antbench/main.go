@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"antgrass"
 	"antgrass/internal/bench"
 )
 
@@ -51,7 +52,17 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write a machine-readable benchmark report instead of printing tables")
 	outPath := flag.String("out", "", "report file path for -json (default BENCH_<timestamp>.json)")
 	benches := flag.String("benches", "", "comma-separated workload subset for -json (default: all six)")
+	serveLoad := flag.Bool("serve", false, "with -json: also measure the analysis-as-a-service query path (QPS, p50/p99 latency per workload)")
+	serveReaders := flag.Int("serve-readers", 64, "concurrent readers for -serve")
+	serveDuration := flag.Duration("serve-duration", 2*time.Second, "storm duration per workload for -serve")
+	list := flag.Bool("list", false, "list the synthetic workload catalog and exit")
 	flag.Parse()
+	if *list {
+		for _, w := range antgrass.Workloads() {
+			fmt.Printf("%-12s %4d KLOC %8d constraints  %s\n", w.Name, w.KLOC, w.Constraints, w.Description)
+		}
+		return
+	}
 	scaleSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "scale" {
@@ -90,6 +101,9 @@ func main() {
 		if len(rep.Runs) == 0 {
 			fmt.Fprintf(os.Stderr, "antbench: no workloads matched -benches %q\n", *benches)
 			os.Exit(2)
+		}
+		if *serveLoad {
+			rep.ServeLoad = h.ServeLoad(names, *serveReaders, *serveDuration)
 		}
 		path := *outPath
 		if path == "" {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,11 +38,11 @@ func main() {
 		sb.Write(data)
 		sb.WriteByte('\n')
 	}
-	unit, err := antgrass.CompileC(sb.String())
+	unit, err := antgrass.CompileC(sb.String(), antgrass.CGenOptions{})
 	if err != nil {
 		fatal(err)
 	}
-	res, err := antgrass.Solve(unit.Prog, antgrass.Options{
+	res, err := antgrass.Solve(context.Background(), unit.Prog, antgrass.Options{
 		Algorithm: antgrass.Algorithm(*alg),
 		HCD:       *hcd,
 	})

@@ -37,7 +37,7 @@ func main() {
 		sb.Write(data)
 		sb.WriteByte('\n')
 	}
-	unit, err := antgrass.CompileC(sb.String())
+	unit, err := antgrass.CompileC(sb.String(), antgrass.CGenOptions{})
 	if err != nil {
 		fatal(err)
 	}

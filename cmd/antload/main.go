@@ -1,0 +1,93 @@
+// Command antload drives a concurrent query storm against a running
+// antserve daemon and reports throughput and latency percentiles. It is
+// the load harness behind the scripts/check.sh serve stage, whose gate
+// it implements directly: with -gate the exit status is non-zero unless
+// the run achieved a positive query rate with zero 5xx responses.
+//
+// Usage:
+//
+//	antload [-addr host:port | -addrfile f] [-duration 3s]
+//	        [-readers 64] [-updates 250ms] [-gate] [-json]
+//
+// -updates enables a delta stream: one small monotone constraint delta
+// is POSTed to /v1/update at the given interval while the readers run,
+// exercising exactly the concurrent-reader-during-update path the
+// Session/Snapshot design exists for. -json emits the report as JSON
+// (the same shape embedded in antbench's bench JSON).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"antgrass/internal/serve"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "antload:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "", "antserve address (host:port or full URL)")
+	addrFile := flag.String("addrfile", "", "read the address from this file (written by antserve -addrfile)")
+	duration := flag.Duration("duration", 3*time.Second, "how long to run the storm")
+	readers := flag.Int("readers", 64, "concurrent query workers")
+	updates := flag.Duration("updates", 250*time.Millisecond, "interval between update deltas (0 disables)")
+	seed := flag.Int64("seed", 1, "rng seed for query/delta generation")
+	gate := flag.Bool("gate", false, "exit non-zero unless qps > 0 and zero 5xx responses")
+	asJSON := flag.Bool("json", false, "print the report as JSON")
+	flag.Parse()
+
+	target := *addr
+	if *addrFile != "" {
+		b, err := os.ReadFile(*addrFile)
+		if err != nil {
+			fatal(err)
+		}
+		target = strings.TrimSpace(string(b))
+	}
+	if target == "" {
+		fmt.Fprintln(os.Stderr, "usage: antload (-addr host:port | -addrfile f) [flags]")
+		os.Exit(2)
+	}
+	if !strings.HasPrefix(target, "http://") && !strings.HasPrefix(target, "https://") {
+		target = "http://" + target
+	}
+
+	rep, err := serve.LoadHTTP(context.Background(), target, serve.LoadOptions{
+		Readers:     *readers,
+		Duration:    *duration,
+		UpdateEvery: *updates,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		fmt.Println(rep)
+	}
+
+	if *gate {
+		switch {
+		case rep.QPS <= 0:
+			fmt.Fprintln(os.Stderr, "antload: GATE FAILED: zero query throughput")
+			os.Exit(1)
+		case rep.Errors5xx != 0:
+			fmt.Fprintf(os.Stderr, "antload: GATE FAILED: %d server faults (5xx)\n", rep.Errors5xx)
+			os.Exit(1)
+		default:
+			fmt.Fprintln(os.Stderr, "antload: gate passed (qps > 0, zero 5xx)")
+		}
+	}
+}

@@ -5,6 +5,7 @@
 //	antsolve [-alg lcd] [-hcd] [-ovs] [-pts bitmap|bdd] [-workers n]
 //	         [-timeout d] [-stats] [-phases] [-print] [-var name]
 //	         [-cpuprofile f] [-memprofile f] file
+//	antsolve -list
 //
 // The input is the antgrass text constraint format (see README.md); "-"
 // reads stdin. With -print the full solution is dumped (one line per
@@ -43,7 +44,14 @@ func main() {
 	varName := flag.String("var", "", "print the solution of one variable")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the solve to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the solve to this file")
+	list := flag.Bool("list", false, "list the synthetic workload catalog and exit")
 	flag.Parse()
+	if *list {
+		for _, w := range antgrass.Workloads() {
+			fmt.Printf("%-12s %7d constraints  %s\n", w.Name, w.Constraints, w.Description)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: antsolve [flags] <file.constraints | ->")
 		os.Exit(2)
@@ -85,7 +93,7 @@ func main() {
 		defer f.Close()
 		defer pprof.StopCPUProfile()
 	}
-	res, err := antgrass.SolveContext(ctx, prog, antgrass.Options{
+	res, err := antgrass.Solve(ctx, prog, antgrass.Options{
 		Algorithm: antgrass.Algorithm(*alg),
 		HCD:       *hcd,
 		OVS:       *ovs,

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,11 +33,11 @@ void main(void) {
 `
 
 func main() {
-	unit, err := antgrass.CompileC(src)
+	unit, err := antgrass.CompileC(src, antgrass.CGenOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := antgrass.Solve(unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true, OVS: true})
+	res, err := antgrass.Solve(context.Background(), unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true, OVS: true})
 	if err != nil {
 		log.Fatal(err)
 	}

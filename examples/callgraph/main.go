@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,11 +53,11 @@ void main(void) {
 `
 
 func main() {
-	unit, err := antgrass.CompileC(src)
+	unit, err := antgrass.CompileC(src, antgrass.CGenOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := antgrass.Solve(unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true})
+	res, err := antgrass.Solve(context.Background(), unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -42,7 +43,7 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "config\ttime\tmem(MB)\tcollapsed\tsearched\tpropagations\t")
 	for _, c := range configs {
-		res, err := antgrass.Solve(prog, c.opts)
+		res, err := antgrass.Solve(context.Background(), prog, c.opts)
 		if err != nil {
 			log.Fatalf("%s: %v", c.name, err)
 		}

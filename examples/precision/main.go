@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,11 +37,11 @@ void main(void) { route(2); }
 `
 
 func main() {
-	unit, err := antgrass.CompileC(src)
+	unit, err := antgrass.CompileC(src, antgrass.CGenOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	andersen, err := antgrass.Solve(unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true})
+	andersen, err := antgrass.Solve(context.Background(), unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true})
 	if err != nil {
 		log.Fatal(err)
 	}

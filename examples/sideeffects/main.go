@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -39,11 +40,11 @@ void main(void) { reconfigure(); }
 `
 
 func main() {
-	unit, err := antgrass.CompileC(src)
+	unit, err := antgrass.CompileC(src, antgrass.CGenOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := antgrass.Solve(unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true})
+	res, err := antgrass.Solve(context.Background(), unit.Prog, antgrass.Options{Algorithm: antgrass.LCD, HCD: true})
 	if err != nil {
 		log.Fatal(err)
 	}

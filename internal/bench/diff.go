@@ -24,6 +24,13 @@ type DiffOptions struct {
 	// counts as a memory regression. 0 disables the gate; cells missing
 	// a peak sample on either side are exempt.
 	MemThresholdPercent float64
+	// ServeThresholdPercent is the serve-load p99 query-latency growth
+	// above which a matched serve run counts as a regression. Any
+	// matched serve run of the NEW report with a non-zero error count
+	// fails regardless of the threshold. 0 disables the latency gate
+	// (the error check still applies to matched runs); benches without
+	// serve measurements on either side are exempt.
+	ServeThresholdPercent float64
 	// MergeShareMax fails any parallel run (workers > 0) of the NEW
 	// report whose merge_ns/(merge_ns+compute_ns) exceeds this fraction:
 	// the merge is the sequential-coupling phase of the wave engine, and
@@ -62,9 +69,26 @@ type DiffEntry struct {
 	BelowFloor bool `json:"below_floor,omitempty"`
 }
 
+// ServeDiffEntry compares one serve-load run present in both reports.
+type ServeDiffEntry struct {
+	Key             string   `json:"key"`
+	OldP99Seconds   float64  `json:"old_p99_seconds"`
+	NewP99Seconds   float64  `json:"new_p99_seconds"`
+	P99DeltaPercent float64  `json:"p99_delta_percent"` // positive = slower
+	OldQPS          float64  `json:"old_qps"`
+	NewQPS          float64  `json:"new_qps"`
+	NewErrors       int64    `json:"new_errors,omitempty"`
+	Regression      bool     `json:"regression"`
+	Why             []string `json:"why,omitempty"`
+}
+
 // DiffResult is the outcome of comparing two reports.
 type DiffResult struct {
 	Entries []DiffEntry `json:"entries"`
+	// ServeEntries compares serve-load runs present in both reports
+	// (matched by bench and reader count). Empty when either report
+	// predates the serve_load section.
+	ServeEntries []ServeDiffEntry `json:"serve_entries,omitempty"`
 	// MissingInNew lists run keys present in the old report only —
 	// a silently dropped benchmark is itself a CI failure.
 	MissingInNew []string `json:"missing_in_new,omitempty"`
@@ -144,6 +168,40 @@ func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
 			res.AddedInNew = append(res.AddedInNew, n.Key())
 		}
 	}
+
+	// Serve-load runs: gated on p99 latency growth and on any errors in
+	// the new report. Unlike solve runs, a serve run missing from the new
+	// report is not a failure — the serve stage is optional per run.
+	serveNew := map[string]ServeLoadRun{}
+	for _, r := range new.ServeLoad {
+		serveNew[r.Key()] = r
+	}
+	for _, o := range old.ServeLoad {
+		n, ok := serveNew[o.Key()]
+		if !ok || o.Error != "" || n.Error != "" {
+			continue
+		}
+		e := ServeDiffEntry{
+			Key:           o.Key(),
+			OldP99Seconds: o.QueryP99Seconds, NewP99Seconds: n.QueryP99Seconds,
+			OldQPS: o.QPS, NewQPS: n.QPS,
+			NewErrors: n.Errors,
+		}
+		if o.QueryP99Seconds > 0 && n.QueryP99Seconds > 0 {
+			e.P99DeltaPercent = (n.QueryP99Seconds - o.QueryP99Seconds) / o.QueryP99Seconds * 100
+			if opts.ServeThresholdPercent > 0 && e.P99DeltaPercent > opts.ServeThresholdPercent {
+				e.Why = append(e.Why, "query-p99")
+			}
+		}
+		if n.Errors > 0 {
+			e.Why = append(e.Why, "query-errors")
+		}
+		if len(e.Why) > 0 {
+			e.Regression = true
+			res.Regressions++
+		}
+		res.ServeEntries = append(res.ServeEntries, e)
+	}
 	return res
 }
 
@@ -176,6 +234,23 @@ func (d *DiffResult) Print(w io.Writer) {
 			e.Key, e.OldSeconds, e.NewSeconds, e.DeltaPercent, allocCol, memCol, mergeCol, verdict)
 	}
 	tw.Flush()
+	if len(d.ServeEntries) > 0 {
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "serve run\told p99\tnew p99\tdelta\tqps\t\n")
+		for _, e := range d.ServeEntries {
+			verdict := ""
+			if e.Regression {
+				verdict = "REGRESSION"
+				for _, why := range e.Why {
+					verdict += " " + why
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%.1fµs\t%.1fµs\t%+.1f%%\t%.0f→%.0f\t%s\n",
+				e.Key, e.OldP99Seconds*1e6, e.NewP99Seconds*1e6, e.P99DeltaPercent,
+				e.OldQPS, e.NewQPS, verdict)
+		}
+		tw.Flush()
+	}
 	for _, k := range d.MissingInNew {
 		fmt.Fprintf(w, "missing in new report: %s\n", k)
 	}

@@ -32,6 +32,12 @@ type Report struct {
 	// Scale is the workload scale every run used (1.0 = paper-sized).
 	Scale float64 `json:"scale"`
 	Runs  []Run   `json:"runs"`
+	// ServeLoad holds the analysis-as-a-service load measurements (QPS
+	// and query latency percentiles per workload) when the suite ran
+	// with the serve stage enabled. Additive: absent in older reports,
+	// schema stays 1, and benchdiff's latency gate applies only to
+	// benches present in both reports.
+	ServeLoad []ServeLoadRun `json:"serve_load,omitempty"`
 }
 
 // Host describes the machine and toolchain, so regressions can be told

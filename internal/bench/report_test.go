@@ -233,3 +233,73 @@ func TestDiffNoiseFloorAndMissingRuns(t *testing.T) {
 		t.Fatal("dropped run must fail the gate")
 	}
 }
+
+// TestDiffServeLoadGate covers the serve-load comparison: p99 growth
+// beyond the threshold and query errors in the new report each fail
+// independently; benches measured on only one side are exempt, as are
+// errored runs.
+func TestDiffServeLoadGate(t *testing.T) {
+	mkServe := func(bench string, p99 float64, errs int64) ServeLoadRun {
+		return ServeLoadRun{Bench: bench, Readers: 64, QPS: 10000,
+			QueryP50Seconds: p99 / 4, QueryP99Seconds: p99, Errors: errs}
+	}
+	oldRep := &Report{SchemaVersion: ReportSchemaVersion, ServeLoad: []ServeLoadRun{
+		mkServe("emacs", 100e-6, 0),
+		mkServe("wine", 200e-6, 0),
+		mkServe("gimp", 100e-6, 0),
+	}}
+	newRep := &Report{SchemaVersion: ReportSchemaVersion, ServeLoad: []ServeLoadRun{
+		mkServe("emacs", 300e-6, 0), // +200% p99
+		mkServe("wine", 210e-6, 3),  // latency fine, but queries failed
+		// gimp not measured this run: exempt, not a failure
+		mkServe("insight", 1, 0), // no baseline: exempt
+	}}
+	diff := DiffReports(oldRep, newRep, DiffOptions{ServeThresholdPercent: 50})
+	if diff.Regressions != 2 || !diff.Failed() {
+		t.Fatalf("want 2 serve regressions, got %+v", diff)
+	}
+	why := map[string]string{}
+	for _, e := range diff.ServeEntries {
+		why[e.Key] = strings.Join(e.Why, ",")
+	}
+	if why["serve/emacs/r64"] != "query-p99" {
+		t.Fatalf("emacs should trip the p99 gate, got %q", why["serve/emacs/r64"])
+	}
+	if why["serve/wine/r64"] != "query-errors" {
+		t.Fatalf("wine should trip the error gate, got %q", why["serve/wine/r64"])
+	}
+	if len(diff.ServeEntries) != 2 {
+		t.Fatalf("unmatched serve runs must be exempt: %+v", diff.ServeEntries)
+	}
+	// The error gate stays armed even with the latency threshold disabled.
+	if d := DiffReports(oldRep, newRep, DiffOptions{}); d.Regressions != 1 {
+		t.Fatalf("threshold 0 should still fail on errors, got %+v", d)
+	}
+	var buf bytes.Buffer
+	diff.Print(&buf)
+	if !strings.Contains(buf.String(), "serve run") || !strings.Contains(buf.String(), "REGRESSION query-p99") {
+		t.Fatalf("serve section missing from diff output:\n%s", buf.String())
+	}
+}
+
+// TestServeLoadRoundTrip pins that the serve_load section survives the
+// JSON round trip without bumping the schema (it is additive).
+func TestServeLoadRoundTrip(t *testing.T) {
+	rep := &Report{SchemaVersion: ReportSchemaVersion, GeneratedAt: "2026-01-01T00:00:00Z",
+		ServeLoad: []ServeLoadRun{{Bench: "emacs", Readers: 64, QPS: 5000,
+			QueryP50Seconds: 1e-6, QueryP99Seconds: 9e-6, Updates: 4, Resumed: 4}}}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"query_p99_seconds"`) || !strings.Contains(buf.String(), `"qps"`) {
+		t.Fatalf("serve_load fields missing:\n%s", buf.String())
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.ServeLoad) != 1 || got.ServeLoad[0].QueryP99Seconds != 9e-6 || got.ServeLoad[0].Resumed != 4 {
+		t.Fatalf("round trip lost serve_load: %+v", got.ServeLoad)
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"antgrass"
+	"antgrass/internal/serve"
+)
+
+// ServeLoadRun is one analysis-as-a-service load measurement: a resident
+// Session over a workload's solved program, hammered by concurrent
+// snapshot readers while a monotone delta stream updates it. It is the
+// service-latency counterpart of the solve-time Runs: QPS and the
+// p50/p99 query percentiles are the numbers a daemon deployment cares
+// about, and benchdiff gates on them like it gates on wall clock.
+type ServeLoadRun struct {
+	Bench   string `json:"bench"`
+	Readers int    `json:"readers"`
+	Queries int64  `json:"queries"`
+	// QPS is aggregate query throughput across all readers.
+	QPS float64 `json:"qps"`
+	// QueryP50Seconds / QueryP99Seconds are caller-observed per-query
+	// latency percentiles (in-process, no network stack).
+	QueryP50Seconds  float64 `json:"query_p50_seconds"`
+	QueryP99Seconds  float64 `json:"query_p99_seconds"`
+	QueryMeanSeconds float64 `json:"query_mean_seconds"`
+	// Updates is the number of deltas the session absorbed during the
+	// run; Resumed counts those solved by warm-state resumption rather
+	// than replay.
+	Updates int64 `json:"updates"`
+	Resumed int64 `json:"updates_resumed"`
+	// Errors counts failed queries; it must be zero for an in-process
+	// run and benchdiff fails on it.
+	Errors int64  `json:"errors"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Key identifies a serve-load run for cross-report matching.
+func (r ServeLoadRun) Key() string {
+	return fmt.Sprintf("serve/%s/r%d", r.Bench, r.Readers)
+}
+
+// ServeLoad measures the Session query path for each selected workload
+// (nil = all) and returns one run per bench. Each run boots a session
+// with LCD+HCD (the daemon's default resumable configuration), then
+// drives readers concurrent queries for duration while one small delta
+// lands every duration/8 — so the percentiles include reader latency
+// *during* an update, which is the case the Snapshot design exists for.
+func (h *Harness) ServeLoad(benches []string, readers int, duration time.Duration) []ServeLoadRun {
+	var runs []ServeLoadRun
+	for _, p := range h.Profiles() {
+		if benches != nil && !contains(benches, p.Name) {
+			continue
+		}
+		run := ServeLoadRun{Bench: p.Name, Readers: readers}
+		sess, err := antgrass.NewSession(context.Background(), h.Program(p),
+			antgrass.Options{Algorithm: antgrass.LCD, HCD: true})
+		if err != nil {
+			run.Error = err.Error()
+			runs = append(runs, run)
+			continue
+		}
+		rep, err := serve.LoadSession(context.Background(), sess, serve.LoadOptions{
+			Readers:     readers,
+			Duration:    duration,
+			UpdateEvery: duration / 8,
+			Seed:        1,
+		})
+		sess.Close()
+		if err != nil {
+			run.Error = err.Error()
+			runs = append(runs, run)
+			continue
+		}
+		resumed, _ := sess.UpdateStats()
+		run.Queries = rep.Queries
+		run.QPS = rep.QPS
+		run.QueryP50Seconds = rep.P50.Seconds()
+		run.QueryP99Seconds = rep.P99.Seconds()
+		run.QueryMeanSeconds = rep.Mean.Seconds()
+		run.Updates = rep.Updates
+		run.Resumed = resumed
+		run.Errors = rep.Errors
+		h.logf("  serve %-12s r%-3d %9.0f qps  p50 %8.1fµs  p99 %8.1fµs  %d updates\n",
+			p.Name, readers, run.QPS, run.QueryP50Seconds*1e6, run.QueryP99Seconds*1e6, run.Updates)
+		runs = append(runs, run)
+	}
+	return runs
+}

@@ -6,7 +6,56 @@ import (
 
 	"antgrass/internal/pts"
 	"antgrass/internal/scc"
+	"antgrass/internal/worklist"
 )
+
+// basicState is the persistent state of the basic dynamic-transitive-closure
+// worklist solver (Figure 1) and its Lazy Cycle Detection variant
+// (Figure 2). It was extracted from the original one-shot solve function so
+// the fixpoint can be *resumed*: the incremental Live solver keeps a
+// basicState alive across constraint deltas and re-enters run with a
+// freshly seeded worklist, continuing from the current solution instead of
+// recomputing it (see live.go).
+type basicState struct {
+	g    *graph
+	opts Options
+	lazy bool
+	diff bool
+
+	// fired records edges that already triggered a (possibly failed)
+	// cycle search; LCD never triggers on the same edge twice. It
+	// persists across resumes — re-searching an edge that failed before
+	// would be pure overhead, and skipping it never changes the solution.
+	fired map[uint64]struct{}
+
+	derefScratch []uint32
+	pops         int
+	intervals    int
+}
+
+// newBasicState prepares the solver state for g without running anything.
+func newBasicState(g *graph, opts Options, lazy bool) *basicState {
+	st := &basicState{g: g, opts: opts, lazy: lazy, diff: opts.DiffProp}
+	if st.diff {
+		g.propagated = make([]pts.Set, g.n)
+	}
+	if lazy {
+		st.fired = make(map[uint64]struct{})
+	}
+	return st
+}
+
+// seedAll pushes every representative with a non-empty points-to set — the
+// from-scratch seeding of Figure 1.
+func (st *basicState) seedAll(w worklist.Worklist) {
+	g := st.g
+	for v := uint32(0); v < uint32(g.n); v++ {
+		r := g.find(v)
+		if g.sets[r] != nil && !g.sets[r].Empty() {
+			w.Push(r)
+		}
+	}
+}
 
 // solveBasic implements the basic dynamic-transitive-closure worklist
 // algorithm of Figure 1 and, when lazy is true, Lazy Cycle Detection
@@ -23,43 +72,35 @@ import (
 // deltas travel along existing edges; a freshly inserted edge receives the
 // full set at insertion time (Pearce et al.'s difference propagation).
 func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
-	diff := opts.DiffProp
-	if diff {
-		g.propagated = make([]pts.Set, g.n)
-	}
+	st := newBasicState(g, opts, lazy)
 	w := newWorklist(opts, g.n)
-	for v := uint32(0); v < uint32(g.n); v++ {
-		r := g.find(v)
-		if g.sets[r] != nil && !g.sets[r].Empty() {
-			w.Push(r)
-		}
-	}
-	// fired records edges that already triggered a (possibly failed)
-	// cycle search; LCD never triggers on the same edge twice.
-	var fired map[uint64]struct{}
-	if lazy {
-		fired = make(map[uint64]struct{})
-	}
-	var pops, intervals int
-	var derefScratch []uint32
+	st.seedAll(w)
+	return st.run(ctx, w)
+}
+
+// run drains w to a fixpoint. It may be called repeatedly on the same
+// state with differently seeded worklists; each call leaves the solution
+// at the least fixpoint of the constraints represented in the graph.
+func (st *basicState) run(ctx context.Context, w worklist.Worklist) error {
+	g, opts, lazy, diff := st.g, st.opts, st.lazy, st.diff
 	for {
 		x, ok := w.Pop()
 		if !ok {
 			break
 		}
-		if pops++; pops%ctxCheckInterval == 0 {
+		if st.pops++; st.pops%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return canceled(err, "worklist solving")
 			}
-			if pops%(ctxCheckInterval*16) == 0 {
+			if st.pops%(ctxCheckInterval*16) == 0 {
 				// ReadMemStats stops the world; sample at a coarser
 				// stride than the cancellation check.
 				g.metrics.SampleMem()
 			}
 			if opts.Progress != nil {
-				intervals++
+				st.intervals++
 				opts.Progress(ProgressEvent{
-					Round:          intervals,
+					Round:          st.intervals,
 					WorklistLen:    w.Len(),
 					NodesCollapsed: g.stats.NodesCollapsed,
 					Unions:         g.stats.Propagations,
@@ -109,8 +150,8 @@ func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 			// Word-level snapshot instead of a per-bit closure walk; it
 			// also insulates the iteration from the set unions onNewEdge
 			// performs under difference propagation.
-			derefScratch = work.AppendTo(derefScratch[:0])
-			for _, v := range derefScratch {
+			st.derefScratch = work.AppendTo(st.derefScratch[:0])
+			for _, v := range st.derefScratch {
 				for _, ld := range loads {
 					t, valid := g.validTarget(v, ld.Off)
 					if !valid {
@@ -122,12 +163,12 @@ func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 						onNewEdge(src, dst)
 					}
 				}
-				for _, st := range stores {
-					t, valid := g.validTarget(v, st.Off)
+				for _, stc := range stores {
+					t, valid := g.validTarget(v, stc.Off)
 					if !valid {
 						continue
 					}
-					src := g.find(st.Other)
+					src := g.find(stc.Other)
 					dst := g.find(t)
 					if g.addEdge(src, dst) {
 						onNewEdge(src, dst)
@@ -146,8 +187,8 @@ func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 				}
 				if lazy && g.sets[z] != nil && g.sets[z].Equal(set) {
 					key := uint64(n)<<32 | uint64(z)
-					if _, seen := fired[key]; !seen {
-						fired[key] = struct{}{}
+					if _, seen := st.fired[key]; !seen {
+						st.fired[key] = struct{}{}
 						g.stats.CycleChecks++
 						if g.detectAndCollapse(z, w.Push) {
 							n = g.find(n)

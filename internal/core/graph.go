@@ -154,6 +154,54 @@ func newGraphDir(p *constraint.Program, factory pts.Factory, table *hcd.Result, 
 
 func (g *graph) find(v uint32) uint32 { return g.nodes.Find(v) }
 
+// grow extends the graph's variable universe to p.NumVars (which must be
+// the graph's own program, mutated by appending variables). New variables
+// start as singleton representatives with empty sets, no edges and no
+// constraints; existing state is untouched. Used by the incremental
+// solver when a constraint delta introduces fresh variables.
+func (g *graph) grow(p *constraint.Program) {
+	n := p.NumVars
+	if n <= g.n {
+		return
+	}
+	old := g.n
+	g.n = n
+	g.nodes.Grow(n)
+	g.sets = append(g.sets, make([]pts.Set, n-old)...)
+	g.succs = append(g.succs, make([]*bitmap.Bitmap, n-old)...)
+	g.loads = append(g.loads, make([][]deref, n-old)...)
+	g.stores = append(g.stores, make([][]deref, n-old)...)
+	g.span = append(g.span, make([]uint32, n-old)...)
+	for i := old; i < n; i++ {
+		g.span[i] = p.SpanOf(uint32(i))
+	}
+	if g.hcdTargets != nil {
+		g.hcdTargets = append(g.hcdTargets, make([][]uint32, n-old)...)
+	}
+	if g.propagated != nil {
+		g.propagated = append(g.propagated, make([]pts.Set, n-old)...)
+	}
+	if g.resolved != nil {
+		g.resolved = append(g.resolved, make([]pts.Set, n-old)...)
+	}
+}
+
+// clearPropagated forgets what rep r has already pushed and resolved, so
+// the next visit re-propagates its full set and re-resolves every pointee
+// against its (possibly just-extended) constraint lists. The incremental
+// solver calls it for every node a delta touches; without difference
+// propagation the arrays are nil and this is a no-op.
+func (g *graph) clearPropagated(r uint32) {
+	if g.propagated != nil {
+		pts.Release(g.propagated[r])
+		g.propagated[r] = nil
+	}
+	if g.resolved != nil {
+		pts.Release(g.resolved[r])
+		g.resolved[r] = nil
+	}
+}
+
 // ptsOf returns the points-to set of rep r, allocating it on first use.
 func (g *graph) ptsOf(r uint32) pts.Set {
 	if g.sets[r] == nil {

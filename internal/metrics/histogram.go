@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log-spaced latency buckets. Bucket i holds
+// observations in [2^(i/histSub) ns, 2^((i+1)/histSub) ns): sub-binary
+// resolution (histSub buckets per doubling) keeps quantile error under
+// ~9% across the nanosecond-to-minute range while the whole histogram
+// stays a few KB of atomics.
+const (
+	histSub     = 8
+	histBuckets = 42 * histSub // covers up to ~2^42 ns ≈ 73 min
+)
+
+// Histogram is a fixed-footprint, lock-free latency histogram: Observe is
+// a single atomic add into a log-spaced bucket, safe from any number of
+// goroutines, which is what the query-storm load on a Session snapshot
+// needs (a mutex-protected reservoir would serialize exactly the readers
+// the snapshot design keeps lock-free). Quantile reads are approximate
+// (bounded by the bucket width) and may run concurrently with writers —
+// each read sees some valid interleaving of the adds.
+//
+// The zero value is ready to use. A nil *Histogram ignores Observe and
+// reports zero, mirroring the nil-Registry convention.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	// log2(ns) * histSub, computed in floats: Observe cost is dominated
+	// by the atomic add, not this.
+	i := int(math.Log2(float64(ns)) * histSub)
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns the upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(math.Exp2(float64(i+1) / histSub))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) of the
+// observed durations, accurate to one bucket width (≈ +9%). Quantile(0.5)
+// is the p50, Quantile(0.99) the p99. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	// Work from a bucket snapshot so the total and the per-bucket walk
+	// agree even while writers race.
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := int64(0)
+	for i := range counts {
+		seen += counts[i]
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot summarizes the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Quantile(1.0),
+	}
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramNil(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Millisecond) // must not panic
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram should report zero")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil snapshot should be zero")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 1000 observations: 990 at ~1ms, 10 at ~100ms.
+	for i := 0; i < 990; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 900*time.Microsecond || p50 > 1200*time.Microsecond {
+		t.Errorf("p50 = %v, want ≈1ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 > 1200*time.Microsecond {
+		t.Errorf("p99 = %v, want ≤ ~1ms (99%% of mass is at 1ms)", p99)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 90*time.Millisecond || p999 > 120*time.Millisecond {
+		t.Errorf("p99.9 = %v, want ≈100ms", p999)
+	}
+	if max := h.Quantile(1); max < 90*time.Millisecond {
+		t.Errorf("max = %v, want ≈100ms", max)
+	}
+	mean := h.Mean()
+	want := (990*time.Millisecond + 10*100*time.Millisecond) / 1000
+	if mean < want*9/10 || mean > want*11/10 {
+		t.Errorf("mean = %v, want ≈%v", mean, want)
+	}
+}
+
+func TestHistogramBucketMonotone(t *testing.T) {
+	// Bucket mapping must be monotone and in range across magnitudes.
+	prev := -1
+	for _, d := range []time.Duration{0, 1, 10, 100, time.Microsecond,
+		10 * time.Microsecond, time.Millisecond, 17 * time.Millisecond,
+		time.Second, time.Minute, time.Hour, 1000 * time.Hour} {
+		b := bucketOf(d)
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucketOf(%v) = %d out of range", d, b)
+		}
+		if b < prev {
+			t.Fatalf("bucketOf(%v) = %d < previous %d", d, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	const writers, per = 8, 1000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+				if i%100 == 0 {
+					h.Quantile(0.99) // concurrent reads must be safe
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*per)
+	}
+	if p := h.Quantile(0.5); p < time.Millisecond || p > 10*time.Millisecond {
+		t.Errorf("p50 = %v, want within the 1-8ms observation range", p)
+	}
+}

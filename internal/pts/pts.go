@@ -92,6 +92,23 @@ func Release(s Set) {
 	}
 }
 
+// ContainsRO reports membership of x in s without mutating any state.
+// Set.Contains on the bitmap representation refreshes an internal
+// last-word cache, so it is writer-only; snapshot readers — any number of
+// goroutines querying a frozen solution concurrently — must go through
+// this cache-free kernel instead. Falls back to Contains for
+// representations whose membership test is naturally read-only (BDDs).
+// nil sets contain nothing.
+func ContainsRO(s Set, x uint32) bool {
+	if s == nil {
+		return false
+	}
+	if bs, ok := s.(*bitmapSet); ok {
+		return bs.s.b.TestRO(x)
+	}
+	return s.Contains(x)
+}
+
 // Dedup hash-conses s against its factory's canonical-set table: if a
 // content-equal set was interned before, s is repointed (refcounted) at
 // the canonical backing and its private storage is released; otherwise s
@@ -342,7 +359,11 @@ func (s *bitmapSet) Free() {
 }
 
 func (s *bitmapSet) Insert(x uint32) bool {
-	if s.s.refs > 1 && s.s.b.Test(x) {
+	// The no-op probe on a shared backing must be cache-free: refs > 1
+	// includes "shared with a published snapshot", whose readers may be
+	// running TestRO on the same backing right now, and Test would move
+	// the cursor cache under them.
+	if s.s.refs > 1 && s.s.b.TestRO(x) {
 		return false // no-op insert: don't pay the clone
 	}
 	return s.mutable().Set(x)

@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"antgrass"
+	"antgrass/internal/metrics"
+)
+
+// LoadOptions configures a load run: Readers goroutines issue random
+// points-to/alias queries for Duration while (optionally) an update
+// stream applies one small monotone delta every UpdateEvery. The
+// acceptance bar for the ISSUE's tentpole — ≥ 64 concurrent readers
+// querying a snapshot while an update solves — is the default shape.
+type LoadOptions struct {
+	Readers     int           // concurrent query workers (default 64)
+	Duration    time.Duration // wall-clock budget (default 2s)
+	UpdateEvery time.Duration // 0 disables the update stream
+	Seed        int64         // rng seed for query/delta generation
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Readers <= 0 {
+		o.Readers = 64
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	return o
+}
+
+// LoadReport summarizes one load run. Latencies are measured per query
+// at the caller side (for LoadHTTP they include the network stack).
+type LoadReport struct {
+	Readers    int           `json:"readers"`
+	Duration   time.Duration `json:"duration_ns"`
+	Queries    int64         `json:"queries"`
+	QPS        float64       `json:"qps"`
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	Mean       time.Duration `json:"mean_ns"`
+	Errors     int64         `json:"errors"`      // non-2xx answers / failed queries
+	Errors5xx  int64         `json:"errors_5xx"`  // server-fault subset
+	Updates    int64         `json:"updates"`     // deltas applied by the update stream
+	EpochStart uint64        `json:"epoch_start"` // epoch before the run
+	EpochEnd   uint64        `json:"epoch_end"`   // epoch after the run
+}
+
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("readers=%d queries=%d qps=%.0f p50=%v p99=%v errors=%d (5xx=%d) updates=%d epochs=%d..%d",
+		r.Readers, r.Queries, r.QPS, r.P50, r.P99, r.Errors, r.Errors5xx, r.Updates, r.EpochStart, r.EpochEnd)
+}
+
+// randomDelta builds a small monotone delta: a fresh variable plus a few
+// constraints wiring it (and random existing variables) into the graph.
+func randomDelta(rng *rand.Rand, numVars int, tag int) antgrass.Delta {
+	fresh := antgrass.VarID(numVars)
+	rv := func() antgrass.VarID { return antgrass.VarID(rng.Intn(numVars)) }
+	d := antgrass.Delta{
+		AddVars: []string{fmt.Sprintf("load$v%d", tag)},
+		Add: []antgrass.Constraint{
+			antgrass.AddrOfConstraint(fresh, rv()),
+			antgrass.CopyConstraint(rv(), fresh),
+			antgrass.CopyConstraint(fresh, rv()),
+		},
+	}
+	if rng.Intn(2) == 0 {
+		d.Add = append(d.Add, antgrass.LoadConstraint(rv(), fresh, 0))
+	} else {
+		d.Add = append(d.Add, antgrass.StoreConstraint(fresh, rv(), 0))
+	}
+	return d
+}
+
+// LoadSession drives a query storm directly against a Session (no HTTP):
+// the harness behind the bench JSON's serve run and the -race storm
+// test. Readers query the latest snapshot lock-free while the update
+// stream (when enabled) solves deltas on the harness goroutine.
+func LoadSession(ctx context.Context, sess *antgrass.Session, o LoadOptions) (*LoadReport, error) {
+	o = o.withDefaults()
+	ctx, cancel := context.WithTimeout(ctx, o.Duration)
+	defer cancel()
+
+	rep := &LoadReport{Readers: o.Readers, EpochStart: sess.Epoch()}
+	lat := &metrics.Histogram{}
+	var queries, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < o.Readers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for ctx.Err() == nil {
+				sn := sess.Snapshot()
+				n := sn.NumVars()
+				if n == 0 {
+					errs.Add(1)
+					continue
+				}
+				t0 := time.Now()
+				switch rng.Intn(3) {
+				case 0:
+					sn.PointsTo(antgrass.VarID(rng.Intn(n)))
+				case 1:
+					sn.Alias(antgrass.VarID(rng.Intn(n)), antgrass.VarID(rng.Intn(n)))
+				default:
+					sn.Contains(antgrass.VarID(rng.Intn(n)), antgrass.VarID(rng.Intn(n)))
+				}
+				lat.Observe(time.Since(t0))
+				queries.Add(1)
+			}
+		}(o.Seed + int64(i)*7919)
+	}
+
+	// Update stream on the harness goroutine: Session.Update serializes
+	// anyway, and this keeps the reader count exact.
+	if o.UpdateEvery > 0 {
+		rng := rand.New(rand.NewSource(o.Seed ^ 0x5eed))
+		tick := time.NewTicker(o.UpdateEvery)
+		defer tick.Stop()
+	updates:
+		for {
+			select {
+			case <-ctx.Done():
+				break updates
+			case <-tick.C:
+				d := randomDelta(rng, sess.NumVars(), int(rep.Updates))
+				if _, err := sess.Update(ctx, d); err != nil {
+					if ctx.Err() != nil {
+						break updates // cancelled mid-solve at deadline
+					}
+					wg.Wait()
+					return nil, fmt.Errorf("update stream: %w", err)
+				}
+				rep.Updates++
+			}
+		}
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	rep.Duration = elapsed
+	rep.Queries = queries.Load()
+	rep.Errors = errs.Load()
+	rep.QPS = float64(rep.Queries) / elapsed.Seconds()
+	s := lat.Snapshot()
+	rep.P50, rep.P99, rep.Mean = s.P50, s.P99, s.Mean
+	rep.EpochEnd = sess.Epoch()
+	return rep, nil
+}
+
+// LoadHTTP drives the same storm over the wire against a running
+// antserve at baseURL (e.g. "http://127.0.0.1:7970"). Latencies are
+// client-observed; Errors5xx counts server faults, which the check.sh
+// gate requires to be zero.
+func LoadHTTP(ctx context.Context, baseURL string, o LoadOptions) (*LoadReport, error) {
+	o = o.withDefaults()
+	baseURL = strings.TrimRight(baseURL, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var stats struct {
+		Epoch   uint64 `json:"epoch"`
+		NumVars int    `json:"num_vars"`
+	}
+	if err := getJSON(ctx, client, baseURL+"/v1/stats", &stats); err != nil {
+		return nil, fmt.Errorf("stats probe: %w", err)
+	}
+	if stats.NumVars == 0 {
+		return nil, fmt.Errorf("server reports an empty universe")
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, o.Duration)
+	defer cancel()
+	rep := &LoadReport{Readers: o.Readers, EpochStart: stats.Epoch}
+	lat := &metrics.Histogram{}
+	var queries, errs, errs5xx atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	n := stats.NumVars
+	for i := 0; i < o.Readers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for ctx.Err() == nil {
+				var url string
+				if rng.Intn(2) == 0 {
+					url = fmt.Sprintf("%s/v1/query/pointsto?v=%d", baseURL, rng.Intn(n))
+				} else {
+					url = fmt.Sprintf("%s/v1/query/alias?a=%d&b=%d", baseURL, rng.Intn(n), rng.Intn(n))
+				}
+				t0 := time.Now()
+				status, err := getStatus(ctx, client, url)
+				if err != nil {
+					if ctx.Err() == nil {
+						errs.Add(1)
+					}
+					continue
+				}
+				lat.Observe(time.Since(t0))
+				queries.Add(1)
+				if status >= 500 {
+					errs5xx.Add(1)
+					errs.Add(1)
+				} else if status != http.StatusOK {
+					errs.Add(1)
+				}
+			}
+		}(o.Seed + int64(i)*7919)
+	}
+
+	if o.UpdateEvery > 0 {
+		rng := rand.New(rand.NewSource(o.Seed ^ 0x5eed))
+		tick := time.NewTicker(o.UpdateEvery)
+		defer tick.Stop()
+		numVars := n
+	updates:
+		for {
+			select {
+			case <-ctx.Done():
+				break updates
+			case <-tick.C:
+				d := randomDelta(rng, numVars, int(rep.Updates))
+				body, _ := json.Marshal(deltaToWire(d))
+				var resp struct {
+					NumVars int `json:"num_vars"`
+				}
+				if err := postJSON(ctx, client, baseURL+"/v1/update", body, &resp); err != nil {
+					if ctx.Err() != nil {
+						break updates
+					}
+					wg.Wait()
+					return nil, fmt.Errorf("update stream: %w", err)
+				}
+				numVars = resp.NumVars
+				rep.Updates++
+			}
+		}
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	rep.Duration = elapsed
+	rep.Queries = queries.Load()
+	rep.Errors = errs.Load()
+	rep.Errors5xx = errs5xx.Load()
+	rep.QPS = float64(rep.Queries) / elapsed.Seconds()
+	s := lat.Snapshot()
+	rep.P50, rep.P99, rep.Mean = s.P50, s.P99, s.Mean
+
+	var after struct {
+		Epoch     uint64 `json:"epoch"`
+		Errors5xx int64  `json:"errors_5xx"`
+	}
+	if err := getJSON(context.Background(), client, baseURL+"/v1/stats", &after); err == nil {
+		rep.EpochEnd = after.Epoch
+		if after.Errors5xx > rep.Errors5xx {
+			rep.Errors5xx = after.Errors5xx // server saw faults we missed
+		}
+	}
+	return rep, nil
+}
+
+// deltaToWire converts a Delta to the /v1/update JSON body form.
+func deltaToWire(d antgrass.Delta) updateRequest {
+	var req updateRequest
+	req.AddVars = d.AddVars
+	for _, f := range d.AddFuncs {
+		req.AddFuncs = append(req.AddFuncs, struct {
+			Name      string `json:"name"`
+			NumParams int    `json:"num_params"`
+		}{f.Name, f.NumParams})
+	}
+	conv := func(cs []antgrass.Constraint) []wireConstraint {
+		out := make([]wireConstraint, len(cs))
+		for i, c := range cs {
+			out[i] = wireConstraint{Kind: c.Kind.String(), Dst: c.Dst, Src: c.Src, Off: c.Offset}
+		}
+		return out
+	}
+	req.Add = conv(d.Add)
+	if len(d.Remove) > 0 {
+		req.Remove = conv(d.Remove)
+	}
+	return req
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getStatus(ctx context.Context, client *http.Client, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,383 @@
+// Package serve implements the versioned /v1 JSON wire API of the
+// antserve daemon: a resident antgrass.Session answering points-to,
+// alias, call-graph and MOD/REF queries from its latest published
+// Snapshot while absorbing constraint deltas through /v1/update. Queries
+// are lock-free against the snapshot (they never wait on an in-flight
+// update); updates serialize in the session. The package also hosts the
+// load-test harness (load.go) that drives a concurrent query storm
+// against a live session and reports QPS and p50/p99 latency.
+//
+// Endpoints (all JSON; see DESIGN.md for the full schema and curl
+// transcripts):
+//
+//	GET  /v1/query/pointsto?v=ID[&epoch=N]
+//	GET  /v1/query/alias?a=ID&b=ID[&epoch=N]
+//	GET  /v1/query/callgraph[?epoch=N]         (compiled-unit servers only)
+//	GET  /v1/query/modref[?transitive=1][&epoch=N]
+//	POST /v1/update
+//	GET  /v1/stats
+//
+// The optional epoch parameter pins a query to one solve generation:
+// when the latest snapshot is newer the server answers 409 Conflict with
+// the current epoch, letting a client that must read several queries
+// from ONE consistent solution detect an intervening update and retry.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"antgrass"
+	"antgrass/internal/metrics"
+)
+
+// Server serves the /v1 API for one Session.
+type Server struct {
+	sess *antgrass.Session
+	unit *antgrass.Unit // non-nil when the program came from CompileC
+	mux  *http.ServeMux
+
+	started  time.Time
+	queryLat *metrics.Histogram
+
+	queries  atomic.Int64
+	updates  atomic.Int64
+	count4xx atomic.Int64
+	count5xx atomic.Int64
+}
+
+// New wraps a session (and, when the program was compiled from C, its
+// unit — nil otherwise; the callgraph/modref endpoints need the unit's
+// call-site and dereference tables and answer 404 without it).
+func New(sess *antgrass.Session, unit *antgrass.Unit) *Server {
+	s := &Server{
+		sess:     sess,
+		unit:     unit,
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		queryLat: &metrics.Histogram{},
+	}
+	s.mux.HandleFunc("/v1/query/pointsto", s.handlePointsTo)
+	s.mux.HandleFunc("/v1/query/alias", s.handleAlias)
+	s.mux.HandleFunc("/v1/query/callgraph", s.handleCallGraph)
+	s.mux.HandleFunc("/v1/query/modref", s.handleModRef)
+	s.mux.HandleFunc("/v1/update", s.handleUpdate)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the root handler for the /v1 tree.
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// QueryLatency exposes the server-side query latency histogram (shared
+// with the stats endpoint).
+func (s *Server) QueryLatency() *metrics.Histogram { return s.queryLat }
+
+// writeJSON writes v with the given status and tallies the status class.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	switch {
+	case status >= 500:
+		s.count5xx.Add(1)
+	case status >= 400:
+		s.count4xx.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// pinned resolves the epoch pin: it returns the latest snapshot, or nil
+// after answering 409 when the request pinned a different epoch.
+func (s *Server) pinned(w http.ResponseWriter, r *http.Request) *antgrass.Snapshot {
+	sn := s.sess.Snapshot()
+	pin := r.URL.Query().Get("epoch")
+	if pin == "" {
+		return sn
+	}
+	e, err := strconv.ParseUint(pin, 10, 64)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad epoch %q", pin)
+		return nil
+	}
+	if e != sn.Epoch() {
+		s.writeJSON(w, http.StatusConflict, errorBody{
+			Error: fmt.Sprintf("epoch %d is no longer current", e),
+			Epoch: sn.Epoch(),
+		})
+		return nil
+	}
+	return sn
+}
+
+func (s *Server) varParam(w http.ResponseWriter, r *http.Request, sn *antgrass.Snapshot, name string) (antgrass.VarID, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		s.fail(w, http.StatusBadRequest, "missing parameter %q", name)
+		return 0, false
+	}
+	v, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil || int(v) >= sn.NumVars() {
+		s.fail(w, http.StatusBadRequest, "variable %q out of range (universe %d)", raw, sn.NumVars())
+		return 0, false
+	}
+	return antgrass.VarID(v), true
+}
+
+func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sn := s.pinned(w, r)
+	if sn == nil {
+		return
+	}
+	v, ok := s.varParam(w, r, sn, "v")
+	if !ok {
+		return
+	}
+	pts := sn.PointsTo(v)
+	if pts == nil {
+		pts = []antgrass.VarID{}
+	}
+	s.queries.Add(1)
+	s.queryLat.Observe(time.Since(start))
+	s.writeJSON(w, http.StatusOK, struct {
+		Epoch    uint64           `json:"epoch"`
+		Var      antgrass.VarID   `json:"var"`
+		PointsTo []antgrass.VarID `json:"points_to"`
+		Len      int              `json:"len"`
+	}{sn.Epoch(), v, pts, len(pts)})
+}
+
+func (s *Server) handleAlias(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sn := s.pinned(w, r)
+	if sn == nil {
+		return
+	}
+	a, ok := s.varParam(w, r, sn, "a")
+	if !ok {
+		return
+	}
+	b, ok := s.varParam(w, r, sn, "b")
+	if !ok {
+		return
+	}
+	alias := sn.Alias(a, b)
+	s.queries.Add(1)
+	s.queryLat.Observe(time.Since(start))
+	s.writeJSON(w, http.StatusOK, struct {
+		Epoch uint64         `json:"epoch"`
+		A     antgrass.VarID `json:"a"`
+		B     antgrass.VarID `json:"b"`
+		Alias bool           `json:"alias"`
+	}{sn.Epoch(), a, b, alias})
+}
+
+func (s *Server) handleCallGraph(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.unit == nil {
+		s.fail(w, http.StatusNotFound, "no compiled unit: callgraph needs a server started from C source")
+		return
+	}
+	sn := s.pinned(w, r)
+	if sn == nil {
+		return
+	}
+	// wireEdge keeps the wire format snake_case (the public CallEdge
+	// struct has no JSON tags and would marshal capitalized).
+	type wireEdge struct {
+		Caller   string `json:"caller"`
+		Callee   string `json:"callee"`
+		Line     int    `json:"line"`
+		Indirect bool   `json:"indirect,omitempty"`
+	}
+	edges := []wireEdge{}
+	for _, e := range antgrass.CallGraph(s.unit, sn.Result()) {
+		edges = append(edges, wireEdge{e.Caller, e.Callee, e.Line, e.Indirect})
+	}
+	s.queries.Add(1)
+	s.queryLat.Observe(time.Since(start))
+	s.writeJSON(w, http.StatusOK, struct {
+		Epoch uint64     `json:"epoch"`
+		Edges []wireEdge `json:"edges"`
+	}{sn.Epoch(), edges})
+}
+
+func (s *Server) handleModRef(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.unit == nil {
+		s.fail(w, http.StatusNotFound, "no compiled unit: modref needs a server started from C source")
+		return
+	}
+	sn := s.pinned(w, r)
+	if sn == nil {
+		return
+	}
+	transitive := r.URL.Query().Get("transitive") == "1"
+	mr := antgrass.ComputeModRef(s.unit, sn.Result(), transitive)
+	s.queries.Add(1)
+	s.queryLat.Observe(time.Since(start))
+	s.writeJSON(w, http.StatusOK, struct {
+		Epoch uint64                      `json:"epoch"`
+		Mod   map[string][]antgrass.VarID `json:"mod"`
+		Ref   map[string][]antgrass.VarID `json:"ref"`
+	}{sn.Epoch(), mr.Mod, mr.Ref})
+}
+
+// wireConstraint is the JSON form of one constraint.
+type wireConstraint struct {
+	Kind string         `json:"kind"` // "addr" | "copy" | "load" | "store"
+	Dst  antgrass.VarID `json:"dst"`
+	Src  antgrass.VarID `json:"src"`
+	Off  uint32         `json:"off,omitempty"`
+}
+
+func (c wireConstraint) toConstraint() (antgrass.Constraint, error) {
+	var k antgrass.ConstraintKind
+	switch c.Kind {
+	case "addr":
+		k = antgrass.AddrOf
+	case "copy":
+		k = antgrass.Copy
+	case "load":
+		k = antgrass.Load
+	case "store":
+		k = antgrass.Store
+	default:
+		return antgrass.Constraint{}, fmt.Errorf("unknown constraint kind %q", c.Kind)
+	}
+	return antgrass.Constraint{Kind: k, Dst: c.Dst, Src: c.Src, Offset: c.Off}, nil
+}
+
+// updateRequest is the /v1/update body. Fresh variables are appended in
+// order (AddVars then AddFuncs) starting at the pre-update universe size,
+// which the response reports back along with the new size.
+type updateRequest struct {
+	AddVars  []string `json:"add_vars,omitempty"`
+	AddFuncs []struct {
+		Name      string `json:"name"`
+		NumParams int    `json:"num_params"`
+	} `json:"add_funcs,omitempty"`
+	Add    []wireConstraint `json:"add,omitempty"`
+	Remove []wireConstraint `json:"remove,omitempty"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req updateRequest
+	// Strict decoding: a misspelled field ("add_constraints") would
+	// otherwise be dropped silently, turning the request into an empty —
+	// but successful — update that still advances the epoch.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad update body: %v", err)
+		return
+	}
+	d := antgrass.Delta{AddVars: req.AddVars}
+	for _, f := range req.AddFuncs {
+		d.AddFuncs = append(d.AddFuncs, antgrass.FuncDef{Name: f.Name, NumParams: f.NumParams})
+	}
+	for _, wc := range req.Add {
+		c, err := wc.toConstraint()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "add: %v", err)
+			return
+		}
+		d.Add = append(d.Add, c)
+	}
+	for _, wc := range req.Remove {
+		c, err := wc.toConstraint()
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "remove: %v", err)
+			return
+		}
+		d.Remove = append(d.Remove, c)
+	}
+	firstNewVar := s.sess.NumVars()
+	start := time.Now()
+	sn, err := s.sess.Update(r.Context(), d)
+	if err != nil {
+		// An invalid delta is the client's fault; anything else
+		// (cancellation, closed session) is a server-side failure.
+		status := http.StatusInternalServerError
+		if errors.Is(err, antgrass.ErrInvalidDelta) {
+			status = http.StatusUnprocessableEntity
+		} else if errors.Is(err, antgrass.ErrSessionClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		s.fail(w, status, "update: %v", err)
+		return
+	}
+	s.updates.Add(1)
+	resumed, replayed := s.sess.UpdateStats()
+	s.writeJSON(w, http.StatusOK, struct {
+		Epoch       uint64        `json:"epoch"`
+		NumVars     int           `json:"num_vars"`
+		FirstNewVar int           `json:"first_new_var"`
+		Resumed     int64         `json:"updates_resumed"`
+		Replayed    int64         `json:"updates_replayed"`
+		Duration    time.Duration `json:"solve_ns"`
+	}{sn.Epoch(), sn.NumVars(), firstNewVar, resumed, replayed, time.Since(start)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sn := s.sess.Snapshot()
+	st := sn.Stats()
+	resumed, replayed := s.sess.UpdateStats()
+	s.writeJSON(w, http.StatusOK, struct {
+		Epoch        uint64                    `json:"epoch"`
+		NumVars      int                       `json:"num_vars"`
+		UptimeSec    float64                   `json:"uptime_seconds"`
+		Queries      int64                     `json:"queries"`
+		Updates      int64                     `json:"updates"`
+		Resumed      int64                     `json:"updates_resumed"`
+		Replayed     int64                     `json:"updates_replayed"`
+		Errors4xx    int64                     `json:"errors_4xx"`
+		Errors5xx    int64                     `json:"errors_5xx"`
+		QueryLat     metrics.HistogramSnapshot `json:"query_latency"`
+		SolveNS      int64                     `json:"solve_ns"`
+		MemBytes     int64                     `json:"solver_mem_bytes"`
+		Collapsed    int64                     `json:"nodes_collapsed"`
+		Propagations int64                     `json:"propagations"`
+	}{
+		Epoch:        sn.Epoch(),
+		NumVars:      sn.NumVars(),
+		UptimeSec:    time.Since(s.started).Seconds(),
+		Queries:      s.queries.Load(),
+		Updates:      s.updates.Load(),
+		Resumed:      resumed,
+		Replayed:     replayed,
+		Errors4xx:    s.count4xx.Load(),
+		Errors5xx:    s.count5xx.Load(),
+		QueryLat:     s.queryLat.Snapshot(),
+		SolveNS:      int64(st.SolveDuration),
+		MemBytes:     st.MemBytes,
+		Collapsed:    st.NodesCollapsed,
+		Propagations: st.Propagations,
+	})
+}

@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"antgrass"
+)
+
+// testSession builds a small session: v0 -> {v1, v3}, v2 copies v0.
+func testSession(t *testing.T) *antgrass.Session {
+	t.Helper()
+	p := antgrass.NewProgram()
+	for i := 0; i < 6; i++ {
+		p.AddVar(fmt.Sprintf("v%d", i))
+	}
+	p.AddAddrOf(0, 1)
+	p.AddAddrOf(0, 3)
+	p.AddCopy(2, 0)
+	sess, err := antgrass.NewSession(context.Background(), p, antgrass.Options{HCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	return sess
+}
+
+func getBody(t *testing.T, srv *httptest.Server, path string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content-type %q", path, ct)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+}
+
+func TestServePointsTo(t *testing.T) {
+	srv := httptest.NewServer(New(testSession(t), nil).Handler())
+	defer srv.Close()
+
+	var got struct {
+		Epoch    uint64   `json:"epoch"`
+		Var      uint32   `json:"var"`
+		PointsTo []uint32 `json:"points_to"`
+		Len      int      `json:"len"`
+	}
+	getBody(t, srv, "/v1/query/pointsto?v=2", http.StatusOK, &got)
+	if got.Epoch != 1 || got.Var != 2 || got.Len != 2 {
+		t.Fatalf("unexpected response: %+v", got)
+	}
+	if len(got.PointsTo) != 2 || got.PointsTo[0] != 1 || got.PointsTo[1] != 3 {
+		t.Fatalf("pts(v2) = %v, want [1 3]", got.PointsTo)
+	}
+
+	// Empty sets marshal as [], not null.
+	resp, _ := http.Get(srv.URL + "/v1/query/pointsto?v=5")
+	var raw map[string]json.RawMessage
+	json.NewDecoder(resp.Body).Decode(&raw)
+	resp.Body.Close()
+	if string(raw["points_to"]) != "[]" {
+		t.Fatalf("empty points_to = %s, want []", raw["points_to"])
+	}
+
+	// Parameter errors are 400 with the error envelope.
+	var e struct {
+		Error string `json:"error"`
+	}
+	getBody(t, srv, "/v1/query/pointsto", http.StatusBadRequest, &e)
+	if !strings.Contains(e.Error, "missing") {
+		t.Fatalf("error = %q", e.Error)
+	}
+	getBody(t, srv, "/v1/query/pointsto?v=999", http.StatusBadRequest, &e)
+	getBody(t, srv, "/v1/query/pointsto?v=junk", http.StatusBadRequest, &e)
+}
+
+func TestServeAlias(t *testing.T) {
+	srv := httptest.NewServer(New(testSession(t), nil).Handler())
+	defer srv.Close()
+
+	var got struct {
+		Alias bool `json:"alias"`
+	}
+	getBody(t, srv, "/v1/query/alias?a=0&b=2", http.StatusOK, &got)
+	if !got.Alias {
+		t.Fatal("v0 and v2 share {v1,v3}: expected alias=true")
+	}
+	getBody(t, srv, "/v1/query/alias?a=0&b=5", http.StatusOK, &got)
+	if got.Alias {
+		t.Fatal("v5 is empty: expected alias=false")
+	}
+	getBody(t, srv, "/v1/query/alias?a=0", http.StatusBadRequest, nil)
+}
+
+func TestServeEpochPinning(t *testing.T) {
+	sess := testSession(t)
+	srv := httptest.NewServer(New(sess, nil).Handler())
+	defer srv.Close()
+
+	// Pinning the current epoch succeeds.
+	getBody(t, srv, "/v1/query/pointsto?v=0&epoch=1", http.StatusOK, nil)
+
+	// After an update, the old pin answers 409 and reports the new epoch.
+	if _, err := sess.Update(context.Background(), antgrass.Delta{
+		Add: []antgrass.Constraint{antgrass.AddrOfConstraint(4, 5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var conflict struct {
+		Error string `json:"error"`
+		Epoch uint64 `json:"epoch"`
+	}
+	getBody(t, srv, "/v1/query/pointsto?v=0&epoch=1", http.StatusConflict, &conflict)
+	if conflict.Epoch != 2 {
+		t.Fatalf("conflict reports epoch %d, want 2", conflict.Epoch)
+	}
+	getBody(t, srv, "/v1/query/pointsto?v=0&epoch=2", http.StatusOK, nil)
+	getBody(t, srv, "/v1/query/pointsto?v=0&epoch=bogus", http.StatusBadRequest, nil)
+}
+
+func TestServeUpdate(t *testing.T) {
+	sess := testSession(t)
+	srv := httptest.NewServer(New(sess, nil).Handler())
+	defer srv.Close()
+
+	post := func(body string) (*http.Response, error) {
+		return http.Post(srv.URL+"/v1/update", "application/json", strings.NewReader(body))
+	}
+
+	// A monotone delta: fresh var pointing at v1, epoch advances.
+	resp, err := post(`{"add_vars":["w"],"add":[{"kind":"addr","dst":6,"src":1}]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ur struct {
+		Epoch       uint64 `json:"epoch"`
+		NumVars     int    `json:"num_vars"`
+		FirstNewVar int    `json:"first_new_var"`
+		Resumed     int64  `json:"updates_resumed"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	json.NewDecoder(resp.Body).Decode(&ur)
+	resp.Body.Close()
+	if ur.Epoch != 2 || ur.NumVars != 7 || ur.FirstNewVar != 6 || ur.Resumed != 1 {
+		t.Fatalf("update response %+v", ur)
+	}
+	var q struct {
+		PointsTo []uint32 `json:"points_to"`
+	}
+	getBody(t, srv, "/v1/query/pointsto?v=6", http.StatusOK, &q)
+	if len(q.PointsTo) != 1 || q.PointsTo[0] != 1 {
+		t.Fatalf("pts(w) = %v, want [1]", q.PointsTo)
+	}
+
+	// Client-fault cases.
+	for _, tc := range []struct {
+		body   string
+		status int
+	}{
+		{`{"add":[{"kind":"addr","dst":99,"src":0}]}`, http.StatusUnprocessableEntity},
+		{`{"add":[{"kind":"frobnicate","dst":0,"src":0}]}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+		// A misspelled field must not decode as an empty update.
+		{`{"add_constraints":[{"kind":"addr","dst":0,"src":1}]}`, http.StatusBadRequest},
+	} {
+		resp, err := post(tc.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("POST %s: status %d, want %d", tc.body, resp.StatusCode, tc.status)
+		}
+	}
+
+	// GET on /v1/update is rejected.
+	getBody(t, srv, "/v1/update", http.StatusMethodNotAllowed, nil)
+
+	// A closed session answers 503.
+	sess.Close()
+	resp, err = post(`{"add_vars":["x"]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("update on closed session: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestServeStats(t *testing.T) {
+	srv := httptest.NewServer(New(testSession(t), nil).Handler())
+	defer srv.Close()
+
+	getBody(t, srv, "/v1/query/pointsto?v=0", http.StatusOK, nil)
+	getBody(t, srv, "/v1/query/pointsto?v=999", http.StatusBadRequest, nil)
+
+	var st struct {
+		Epoch     uint64 `json:"epoch"`
+		NumVars   int    `json:"num_vars"`
+		Queries   int64  `json:"queries"`
+		Errors4xx int64  `json:"errors_4xx"`
+		Errors5xx int64  `json:"errors_5xx"`
+		QueryLat  struct {
+			Count int64 `json:"count"`
+			P50   int64 `json:"p50_ns"`
+			P99   int64 `json:"p99_ns"`
+		} `json:"query_latency"`
+	}
+	getBody(t, srv, "/v1/stats", http.StatusOK, &st)
+	if st.Epoch != 1 || st.NumVars != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Queries != 1 || st.QueryLat.Count != 1 {
+		t.Fatalf("queries=%d latency count=%d, want 1/1", st.Queries, st.QueryLat.Count)
+	}
+	if st.Errors4xx != 1 || st.Errors5xx != 0 {
+		t.Fatalf("errors_4xx=%d errors_5xx=%d, want 1/0", st.Errors4xx, st.Errors5xx)
+	}
+	if st.QueryLat.P50 <= 0 || st.QueryLat.P99 < st.QueryLat.P50 {
+		t.Fatalf("latency p50=%d p99=%d", st.QueryLat.P50, st.QueryLat.P99)
+	}
+}
+
+const serveSrc = `
+int g1, g2;
+int *pick(int c) { if (c) return &g1; return &g2; }
+void setit(int *p) { *p = 7; }
+int *(*sel)(int);
+int *result;
+void main(void) {
+	sel = pick;
+	result = sel(1);
+	setit(result);
+}
+`
+
+func TestServeCallGraphAndModRef(t *testing.T) {
+	// Without a unit the analyses 404.
+	bare := httptest.NewServer(New(testSession(t), nil).Handler())
+	getBody(t, bare, "/v1/query/callgraph", http.StatusNotFound, nil)
+	getBody(t, bare, "/v1/query/modref", http.StatusNotFound, nil)
+	bare.Close()
+
+	unit, err := antgrass.CompileC(serveSrc, antgrass.CGenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := antgrass.NewSession(context.Background(), unit.Prog, antgrass.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	srv := httptest.NewServer(New(sess, unit).Handler())
+	defer srv.Close()
+
+	var cg struct {
+		Edges []struct {
+			Caller string `json:"caller"`
+			Callee string `json:"callee"`
+		} `json:"edges"`
+	}
+	getBody(t, srv, "/v1/query/callgraph", http.StatusOK, &cg)
+	found := false
+	for _, e := range cg.Edges {
+		if e.Caller == "main" && e.Callee == "pick" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("callgraph missing main→pick: %+v", cg.Edges)
+	}
+
+	var mr struct {
+		Mod map[string][]uint32 `json:"mod"`
+		Ref map[string][]uint32 `json:"ref"`
+	}
+	getBody(t, srv, "/v1/query/modref?transitive=1", http.StatusOK, &mr)
+	if len(mr.Mod) == 0 {
+		t.Fatal("modref returned no mod sets")
+	}
+}
+
+func TestLoadSession(t *testing.T) {
+	sess := testSession(t)
+	rep, err := LoadSession(context.Background(), sess, LoadOptions{
+		Readers:     8,
+		Duration:    300 * time.Millisecond,
+		UpdateEvery: 50 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 || rep.QPS <= 0 {
+		t.Fatalf("load report: %+v", rep)
+	}
+	if rep.Updates == 0 || rep.EpochEnd <= rep.EpochStart {
+		t.Fatalf("update stream did not run: %+v", rep)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("latency percentiles: p50=%v p99=%v", rep.P50, rep.P99)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("in-process load reported %d errors", rep.Errors)
+	}
+}
+
+func TestLoadHTTP(t *testing.T) {
+	sess := testSession(t)
+	srv := httptest.NewServer(New(sess, nil).Handler())
+	defer srv.Close()
+
+	rep, err := LoadHTTP(context.Background(), srv.URL, LoadOptions{
+		Readers:     8,
+		Duration:    300 * time.Millisecond,
+		UpdateEvery: 60 * time.Millisecond,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 || rep.QPS <= 0 {
+		t.Fatalf("load report: %+v", rep)
+	}
+	if rep.Errors5xx != 0 {
+		t.Fatalf("load saw %d server faults: %+v", rep.Errors5xx, rep)
+	}
+	if rep.Updates == 0 || rep.EpochEnd <= rep.EpochStart {
+		t.Fatalf("update stream did not run: %+v", rep)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("latency percentiles: p50=%v p99=%v", rep.P50, rep.P99)
+	}
+}

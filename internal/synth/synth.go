@@ -31,6 +31,9 @@ import (
 type Profile struct {
 	// Name identifies the benchmark row (e.g. "emacs").
 	Name string
+	// Description is a one-line human-readable summary for workload
+	// catalogs (antsolve -list, antgrass.Workloads).
+	Description string
 	// KLOC is the nominal source size in thousands of lines, reported
 	// in the Table 2 reproduction only.
 	KLOC int
@@ -53,12 +56,12 @@ type Profile struct {
 
 // PaperProfiles are the six rows of Table 2 at scale 1.0.
 var PaperProfiles = []Profile{
-	{Name: "emacs", KLOC: 169, Original: 83213, Base: 4088, Simple: 11095, Complex: 6277, Density: 1.0, FuncFrac: 0.04, Seed: 101},
-	{Name: "ghostscript", KLOC: 242, Original: 169312, Base: 12154, Simple: 25880, Complex: 29276, Density: 1.1, FuncFrac: 0.04, Seed: 102},
-	{Name: "gimp", KLOC: 554, Original: 411783, Base: 17083, Simple: 43878, Complex: 35522, Density: 1.1, FuncFrac: 0.05, Seed: 103},
-	{Name: "insight", KLOC: 603, Original: 243404, Base: 13198, Simple: 35382, Complex: 36795, Density: 1.1, FuncFrac: 0.04, Seed: 104},
-	{Name: "wine", KLOC: 1338, Original: 713065, Base: 39166, Simple: 62499, Complex: 69572, Density: 2.2, FuncFrac: 0.05, Seed: 105},
-	{Name: "linux", KLOC: 2172, Original: 574788, Base: 25678, Simple: 77936, Complex: 100119, Density: 1.0, FuncFrac: 0.05, Seed: 106},
+	{Name: "emacs", Description: "text editor, 169 KLOC: the smallest Table 2 row", KLOC: 169, Original: 83213, Base: 4088, Simple: 11095, Complex: 6277, Density: 1.0, FuncFrac: 0.04, Seed: 101},
+	{Name: "ghostscript", Description: "PostScript interpreter, 242 KLOC", KLOC: 242, Original: 169312, Base: 12154, Simple: 25880, Complex: 29276, Density: 1.1, FuncFrac: 0.04, Seed: 102},
+	{Name: "gimp", Description: "image editor, 554 KLOC: largest constraint count", KLOC: 554, Original: 411783, Base: 17083, Simple: 43878, Complex: 35522, Density: 1.1, FuncFrac: 0.05, Seed: 103},
+	{Name: "insight", Description: "GUI debugger, 603 KLOC", KLOC: 603, Original: 243404, Base: 13198, Simple: 35382, Complex: 36795, Density: 1.1, FuncFrac: 0.04, Seed: 104},
+	{Name: "wine", Description: "Windows compatibility layer, 1338 KLOC: densest points-to sets", KLOC: 1338, Original: 713065, Base: 39166, Simple: 62499, Complex: 69572, Density: 2.2, FuncFrac: 0.05, Seed: 105},
+	{Name: "linux", Description: "OS kernel, 2172 KLOC: the largest code base in Table 2", KLOC: 2172, Original: 574788, Base: 25678, Simple: 77936, Complex: 100119, Density: 1.0, FuncFrac: 0.05, Seed: 106},
 }
 
 // ProfileByName returns the paper profile with the given name.

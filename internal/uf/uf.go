@@ -28,6 +28,18 @@ func New(n int) *UF {
 // Len returns the number of elements.
 func (u *UF) Len() int { return len(u.parent) }
 
+// Grow extends the universe to n elements, adding fresh singleton sets for
+// ids len..n-1. Existing sets and representatives are unaffected. It is a
+// no-op when the structure already covers n elements; the incremental
+// solver uses it when a constraint delta introduces new variables.
+func (u *UF) Grow(n int) {
+	for len(u.parent) < n {
+		u.parent = append(u.parent, uint32(len(u.parent)))
+		u.rank = append(u.rank, 0)
+		u.sets++
+	}
+}
+
 // Sets returns the current number of disjoint sets.
 func (u *UF) Sets() int { return u.sets }
 

@@ -1,6 +1,9 @@
 package antgrass
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 const modRefSrc = `
 int a, b, c;
@@ -22,11 +25,11 @@ void main(void) {
 
 func solveModRef(t *testing.T, transitive bool) (*Unit, *ModRefInfo) {
 	t.Helper()
-	u, err := CompileC(modRefSrc)
+	u, err := CompileC(modRefSrc, CGenOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Solve(u.Prog, Options{Algorithm: LCD, HCD: true})
+	r, err := Solve(context.Background(), u.Prog, Options{Algorithm: LCD, HCD: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +96,11 @@ void (*hook)(int *);
 void fire(void) { hook(&g1); }
 void main(void) { hook = h1; hook = h2; fire(); }
 `
-	u, err := CompileC(src)
+	u, err := CompileC(src, CGenOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Solve(u.Prog, Options{})
+	r, err := Solve(context.Background(), u.Prog, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

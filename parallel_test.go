@@ -33,13 +33,13 @@ func TestParallelWorkloadsIdentical(t *testing.T) {
 					}
 					opts := antgrass.Options{Algorithm: alg, HCD: hcd, OVS: ovs}
 					label := fmt.Sprintf("%s/%s hcd=%v ovs=%v", name, alg, hcd, ovs)
-					seq, err := antgrass.Solve(p, opts)
+					seq, err := antgrass.Solve(context.Background(), p, opts)
 					if err != nil {
 						t.Fatalf("%s: sequential: %v", label, err)
 					}
 					for _, wk := range []int{1, 2, 4, 8} {
 						opts.Workers = wk
-						par, err := antgrass.Solve(p, opts)
+						par, err := antgrass.Solve(context.Background(), p, opts)
 						if err != nil {
 							t.Fatalf("%s workers=%d: %v", label, wk, err)
 						}
@@ -99,7 +99,7 @@ func TestSolveEqualsSolveContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := antgrass.Solve(p, antgrass.Options{Workers: 4})
+	a, err := antgrass.Solve(context.Background(), p, antgrass.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestProgressCallbackFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	var events []antgrass.ProgressEvent
-	_, err = antgrass.Solve(p, antgrass.Options{
+	_, err = antgrass.Solve(context.Background(), p, antgrass.Options{
 		Algorithm: antgrass.LCD,
 		Workers:   4,
 		Progress:  func(ev antgrass.ProgressEvent) { events = append(events, ev) },

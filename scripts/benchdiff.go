@@ -42,6 +42,7 @@ func main() {
 	allocThreshold := flag.Float64("alloc-threshold", 10, "fail when a run allocates more than this percent more (0 disables)")
 	memThreshold := flag.Float64("mem-threshold", 10, "fail when a run's peak heap grows more than this percent (0 disables)")
 	mergeShare := flag.Float64("merge-share", 0, "fail when a parallel run's merge_ns/(merge_ns+compute_ns) exceeds this fraction (0 disables)")
+	serveThreshold := flag.Float64("serve-threshold", 50, "fail when a serve run's p99 query latency grows more than this percent (0 disables; matched serve runs with errors always fail)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-seconds s] [-alloc-threshold pct] [-mem-threshold pct] [-merge-share frac] old.json new.json")
 		flag.PrintDefaults()
@@ -65,6 +66,7 @@ func main() {
 		AllocThresholdPercent: *allocThreshold,
 		MemThresholdPercent:   *memThreshold,
 		MergeShareMax:         *mergeShare,
+		ServeThresholdPercent: *serveThreshold,
 	})
 	diff.Print(os.Stdout)
 	if diff.Failed() {

@@ -26,7 +26,16 @@
 #      on any object the concurrent mark missed, so a pooled element
 #      reachable only through recycled free-list links, or a shared
 #      backing freed while a COW handle still references it, fails loudly
-#      here instead of corrupting a long solve.
+#      here instead of corrupting a long solve;
+#   8. a -race pass over the Session/Snapshot query-storm and oracle
+#      tests in the root package plus the serve handler tests — the
+#      lock-free concurrent-reader path of the daemon under the race
+#      detector;
+#   9. an end-to-end serve stage: build antserve and antload into a
+#      temporary directory, boot the daemon on a dynamically chosen
+#      port (discovered via -addrfile), storm it with antload for a few
+#      seconds with a concurrent update stream, and gate on a positive
+#      query rate with zero 5xx responses.
 #
 # /bin/sh has no pipefail, so every stage below is a plain command (or
 # a command substitution) — never a pipeline — and set -e stops the
@@ -84,5 +93,45 @@ go test -race -count=1 -run TestFuzzSeedsParallel ./internal/oracle
 
 echo "==> GODEBUG=gccheckmark=1 go test -count=1 -run 'TestPool|TestPooled|TestCursor|TestCOW|TestRelease|TestDedup' ./internal/bitmap ./internal/pts"
 GODEBUG=gccheckmark=1 go test -count=1 -run 'TestPool|TestPooled|TestCursor|TestCOW|TestRelease|TestDedup' ./internal/bitmap ./internal/pts
+
+echo "==> go test -race -short -count=1 -run 'TestSession|TestServe|TestLoad' . ./internal/serve"
+go test -race -short -count=1 -run 'TestSession|TestServe|TestLoad' . ./internal/serve
+
+echo "==> serve stage: antserve + antload gate"
+servedir=$(mktemp -d "${TMPDIR:-/tmp}/antgrass-serve.XXXXXX")
+servepid=""
+cleanup_serve() {
+	if [ -n "$servepid" ]; then
+		kill "$servepid" 2>/dev/null || true
+		wait "$servepid" 2>/dev/null || true
+	fi
+	rm -rf "$servedir"
+	if [ -n "${tmpcache:-}" ]; then
+		rm -rf "$tmpcache"
+	fi
+}
+# Replaces the earlier throwaway-GOCACHE trap, so it also removes
+# $tmpcache when that branch was taken.
+trap cleanup_serve EXIT INT TERM
+go build -o "$servedir/antserve" ./cmd/antserve
+go build -o "$servedir/antload" ./cmd/antload
+"$servedir/antserve" -workload emacs -scale 0.05 -hcd \
+	-addr 127.0.0.1:0 -addrfile "$servedir/addr" >"$servedir/antserve.log" 2>&1 &
+servepid=$!
+# Wait for the listener (the addrfile appears once bound).
+i=0
+while [ ! -s "$servedir/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "antserve did not come up; log follows:" >&2
+		cat "$servedir/antserve.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+"$servedir/antload" -addrfile "$servedir/addr" -duration 3s -readers 64 -updates 250ms -gate
+kill "$servepid" 2>/dev/null || true
+wait "$servepid" 2>/dev/null || true
+servepid=""
 
 echo "OK"

@@ -1,0 +1,407 @@
+package antgrass
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"antgrass/internal/synth"
+)
+
+// sessionConfigs are the option sets the incremental oracle sweeps:
+// both resumable algorithms with and without HCD and DiffProp, plus
+// non-resumable configurations that must transparently replay.
+func sessionConfigs() map[string]Options {
+	return map[string]Options{
+		"naive":        {Algorithm: Naive},
+		"lcd":          {Algorithm: LCD},
+		"lcd+hcd":      {Algorithm: LCD, HCD: true},
+		"naive+diff":   {Algorithm: Naive, DiffProp: true},
+		"lcd+hcd+diff": {Algorithm: LCD, HCD: true, DiffProp: true},
+		"ovs (replay)": {Algorithm: LCD, OVS: true},
+		"ht (replay)":  {Algorithm: HT},
+		"parallel 2w":  {Algorithm: LCD, Workers: 2},
+	}
+}
+
+// randomSessionDelta builds a random delta against a program with n
+// variables: sometimes fresh variables, a few added constraints, and —
+// when remove is set — a few removals drawn from the current constraint
+// set. Offsets stay at zero so the delta is valid for any universe.
+func randomSessionDelta(rng *rand.Rand, p *Program, remove bool) Delta {
+	var d Delta
+	n := p.NumVars
+	if rng.Intn(3) == 0 {
+		d.AddVars = append(d.AddVars, fmt.Sprintf("d$v%d", rng.Int()))
+		n++
+	}
+	if rng.Intn(6) == 0 {
+		d.AddFuncs = append(d.AddFuncs, FuncDef{Name: fmt.Sprintf("d$f%d", rng.Int()), NumParams: rng.Intn(3)})
+		n += 2 + rng.Intn(3) // at least ret+params span... conservatively bump
+		n = p.NumVars + 1    // only index into the pre-delta universe plus first fresh var
+	}
+	rv := func() VarID { return VarID(rng.Intn(n)) }
+	for i := 1 + rng.Intn(4); i > 0; i-- {
+		switch rng.Intn(4) {
+		case 0:
+			d.Add = append(d.Add, AddrOfConstraint(rv(), rv()))
+		case 1:
+			d.Add = append(d.Add, CopyConstraint(rv(), rv()))
+		case 2:
+			d.Add = append(d.Add, LoadConstraint(rv(), rv(), 0))
+		default:
+			d.Add = append(d.Add, StoreConstraint(rv(), rv(), 0))
+		}
+	}
+	if remove && len(p.Constraints) > 0 && rng.Intn(2) == 0 {
+		for i := 1 + rng.Intn(3); i > 0; i-- {
+			d.Remove = append(d.Remove, p.Constraints[rng.Intn(len(p.Constraints))])
+		}
+	}
+	return d
+}
+
+// checkAgainstOracle asserts that the session's published solution is
+// bit-identical to a from-scratch solve of its current program.
+func checkAgainstOracle(t *testing.T, sess *Session, o Options, tag string) {
+	t.Helper()
+	want, err := Solve(context.Background(), sess.Program(), o)
+	if err != nil {
+		t.Fatalf("%s: oracle solve: %v", tag, err)
+	}
+	sn := sess.Snapshot()
+	if sn.NumVars() != want.Snapshot().NumVars() {
+		t.Fatalf("%s: numvars %d != oracle %d", tag, sn.NumVars(), want.Snapshot().NumVars())
+	}
+	for v := 0; v < sn.NumVars(); v++ {
+		got, exp := sn.PointsTo(VarID(v)), want.PointsTo(VarID(v))
+		if len(got) != len(exp) {
+			t.Fatalf("%s: pts(v%d) len %d != oracle %d (got %v want %v)",
+				tag, v, len(got), len(exp), got, exp)
+		}
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Fatalf("%s: pts(v%d)[%d] = %d != oracle %d", tag, v, i, got[i], exp[i])
+			}
+		}
+	}
+}
+
+// TestSessionOracle is the incremental-analysis acceptance test:
+// randomized add/remove delta sequences over random base programs, with
+// every epoch cross-checked bit-identical against a from-scratch solve
+// under the same options. Monotone sequences exercise the warm-resume
+// path; removals exercise coarse invalidation; non-resumable configs
+// exercise the replay fallback.
+func TestSessionOracle(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for name, opts := range sessionConfigs() {
+		opts := opts
+		t.Run(name, func(t *testing.T) {
+			for seed := 0; seed < seeds; seed++ {
+				rng := rand.New(rand.NewSource(int64(seed)*977 + 13))
+				p := synth.RandomProgram(rng)
+				for p.Validate() != nil { // generator may emit bad offsets; redraw
+					p = synth.RandomProgram(rng)
+				}
+				sess, err := NewSession(context.Background(), p, opts)
+				if err != nil {
+					t.Fatalf("seed %d: NewSession: %v", seed, err)
+				}
+				checkAgainstOracle(t, sess, opts, fmt.Sprintf("seed %d epoch 1", seed))
+				// Half the sequences are pure-monotone (resume path),
+				// half mix in removals (replay path).
+				withRemove := seed%2 == 1
+				for step := 0; step < 6; step++ {
+					d := randomSessionDelta(rng, sess.Program(), withRemove)
+					if _, err := sess.Update(context.Background(), d); err != nil {
+						t.Fatalf("seed %d step %d: Update: %v", seed, step, err)
+					}
+					checkAgainstOracle(t, sess, opts,
+						fmt.Sprintf("seed %d step %d (remove=%v)", seed, step, withRemove))
+				}
+				sess.Close()
+			}
+		})
+	}
+}
+
+// TestSessionResumePath pins which deltas resume versus replay: monotone
+// additions under a resumable config must all resume; a removal forces
+// one replay and then later monotone deltas resume again on the rebuilt
+// warm state.
+func TestSessionResumePath(t *testing.T) {
+	p := NewProgram()
+	for i := 0; i < 8; i++ {
+		p.AddVar(fmt.Sprintf("v%d", i))
+	}
+	p.AddAddrOf(0, 1)
+	p.AddCopy(2, 0)
+	sess, err := NewSession(context.Background(), p, Options{Algorithm: LCD, HCD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	for i := 0; i < 3; i++ {
+		d := Delta{Add: []Constraint{CopyConstraint(VarID(3+i), 2)}}
+		if _, err := sess.Update(context.Background(), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resumed, replayed := sess.UpdateStats(); resumed != 3 || replayed != 0 {
+		t.Fatalf("after monotone deltas: resumed=%d replayed=%d, want 3/0", resumed, replayed)
+	}
+	if !sess.Snapshot().Contains(5, 1) {
+		t.Fatal("v5 should point to v1 after the copy chain")
+	}
+
+	// A removal invalidates: replay, and the solution actually shrinks.
+	d := Delta{Remove: []Constraint{CopyConstraint(3, 2)}}
+	if _, err := sess.Update(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	if resumed, replayed := sess.UpdateStats(); resumed != 3 || replayed != 1 {
+		t.Fatalf("after removal: resumed=%d replayed=%d, want 3/1", resumed, replayed)
+	}
+	if sess.Snapshot().Contains(3, 1) {
+		t.Fatal("v3 should no longer point to v1 after removing its copy edge")
+	}
+
+	// Warm state was rebuilt by the replay: monotone deltas resume again.
+	if _, err := sess.Update(context.Background(),
+		Delta{Add: []Constraint{CopyConstraint(6, 2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if resumed, replayed := sess.UpdateStats(); resumed != 4 || replayed != 1 {
+		t.Fatalf("after post-replay delta: resumed=%d replayed=%d, want 4/1", resumed, replayed)
+	}
+	if sess.Epoch() != 6 {
+		t.Fatalf("epoch = %d, want 6 (initial + 5 updates)", sess.Epoch())
+	}
+}
+
+// TestSessionSnapshotIsolation verifies epochs are immutable: a snapshot
+// taken before an update answers identically after the update lands,
+// while the new snapshot sees the delta.
+func TestSessionSnapshotIsolation(t *testing.T) {
+	p := NewProgram()
+	for i := 0; i < 6; i++ {
+		p.AddVar(fmt.Sprintf("v%d", i))
+	}
+	p.AddAddrOf(0, 1) // v0 -> {v1}
+	sess, err := NewSession(context.Background(), p, Options{Algorithm: LCD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	old := sess.Snapshot()
+	before := old.PointsTo(0)
+
+	// The update both adds to v0's set and unions v2 into v0's cycle.
+	d := Delta{Add: []Constraint{
+		AddrOfConstraint(0, 3),
+		CopyConstraint(2, 0),
+		CopyConstraint(0, 2),
+	}}
+	cur, err := sess.Update(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := old.PointsTo(0); len(got) != len(before) || got[0] != before[0] {
+		t.Fatalf("old snapshot mutated: pts(v0) = %v, want %v", got, before)
+	}
+	if old.Epoch() == cur.Epoch() {
+		t.Fatal("update did not advance the epoch")
+	}
+	if !cur.Contains(0, 3) || !cur.Contains(2, 3) {
+		t.Fatalf("new snapshot missing delta facts: pts(v0)=%v pts(v2)=%v",
+			cur.PointsTo(0), cur.PointsTo(2))
+	}
+	if old.Contains(0, 3) {
+		t.Fatal("old snapshot sees the new epoch's fact")
+	}
+}
+
+// TestSessionErrors pins the error contract: invalid deltas roll back and
+// leave the epoch untouched; closed sessions reject updates but keep
+// serving snapshots.
+func TestSessionErrors(t *testing.T) {
+	p := NewProgram()
+	p.AddVar("a")
+	p.AddVar("b")
+	p.AddAddrOf(0, 1)
+	sess, err := NewSession(context.Background(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	epoch, nv := sess.Epoch(), sess.NumVars()
+	_, err = sess.Update(context.Background(), Delta{
+		AddVars: []string{"c"},
+		Add:     []Constraint{CopyConstraint(99, 0)}, // out of range
+	})
+	if !errors.Is(err, ErrInvalidDelta) {
+		t.Fatalf("out-of-range delta: err = %v, want ErrInvalidDelta", err)
+	}
+	if sess.Epoch() != epoch || sess.NumVars() != nv {
+		t.Fatalf("failed delta leaked state: epoch %d→%d vars %d→%d",
+			epoch, sess.Epoch(), nv, sess.NumVars())
+	}
+	// The session still works after the rollback.
+	if _, err := sess.Update(context.Background(),
+		Delta{Add: []Constraint{CopyConstraint(1, 0)}}); err != nil {
+		t.Fatalf("update after rollback: %v", err)
+	}
+
+	sess.Close()
+	if _, err := sess.Update(context.Background(), Delta{AddVars: []string{"d"}}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("closed session: err = %v, want ErrSessionClosed", err)
+	}
+	if sess.Snapshot() == nil || !sess.Snapshot().Contains(0, 1) {
+		t.Fatal("closed session must keep serving its last snapshot")
+	}
+}
+
+// TestSessionCanceledUpdate verifies the taint protocol: an update
+// canceled mid-solve leaves the published snapshot at the previous epoch,
+// and the next (uncanceled) update recovers by replaying.
+func TestSessionCanceledUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := synth.RandomProgram(rng)
+	for p.Validate() != nil {
+		p = synth.RandomProgram(rng)
+	}
+	opts := Options{Algorithm: LCD}
+	sess, err := NewSession(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	epoch := sess.Epoch()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the resume loop exits on its first poll
+	d := randomSessionDelta(rng, sess.Program(), false)
+	if _, err := sess.Update(ctx, d); err == nil {
+		t.Skip("solver finished before noticing cancellation") // tiny program; nothing to assert
+	}
+	if sess.Epoch() != epoch {
+		t.Fatalf("canceled update advanced the epoch: %d → %d", epoch, sess.Epoch())
+	}
+
+	// Recovery: the same session accepts the next update (via replay,
+	// since the warm state was tainted) and matches the oracle.
+	if _, err := sess.Update(context.Background(),
+		Delta{Add: []Constraint{CopyConstraint(1, 0)}}); err != nil {
+		t.Fatalf("update after canceled update: %v", err)
+	}
+	checkAgainstOracle(t, sess, opts, "post-cancel")
+}
+
+// TestSessionQueryStorm is the concurrency acceptance test: 64+ readers
+// hammer snapshots (points-to, alias, membership) while the writer
+// applies a stream of monotone updates. Run under -race this checks the
+// COW snapshot discipline; the in-test asserts check reader-visible
+// consistency (answers come from a single coherent epoch).
+func TestSessionQueryStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewProgram()
+	p.AddFunc("f", 2)
+	for i := 0; i < 40; i++ {
+		p.AddVar(fmt.Sprintf("v%d", i))
+	}
+	n := p.NumVars
+	for i := 0; i < 120; i++ {
+		d, s := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		switch rng.Intn(4) {
+		case 0:
+			p.AddAddrOf(d, s)
+		case 1:
+			p.AddCopy(d, s)
+		case 2:
+			p.AddLoad(d, s, 0)
+		default:
+			p.AddStore(d, s, 0)
+		}
+	}
+	sess, err := NewSession(context.Background(), p, Options{Algorithm: LCD, HCD: true, DiffProp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	const readers = 64
+	var stop atomic.Bool
+	var queries atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				sn := sess.Snapshot()
+				nv := sn.NumVars()
+				v := VarID(rng.Intn(nv))
+				// Within one snapshot, PointsTo / PointsToLen / Contains
+				// must agree with each other.
+				set := sn.PointsTo(v)
+				if got := sn.PointsToLen(v); got != len(set) {
+					t.Errorf("epoch %d: PointsToLen(v%d)=%d, PointsTo has %d", sn.Epoch(), v, got, len(set))
+					return
+				}
+				for _, loc := range set {
+					if !sn.Contains(v, loc) {
+						t.Errorf("epoch %d: pts(v%d) lists %d but Contains denies it", sn.Epoch(), v, loc)
+						return
+					}
+				}
+				w := VarID(rng.Intn(nv))
+				sn.Alias(v, w)
+				queries.Add(1)
+			}
+		}(int64(r) * 31)
+	}
+
+	// Writer: a stream of monotone deltas while the storm runs.
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	updates := 0
+	for time.Now().Before(deadline) {
+		d := Delta{
+			AddVars: []string{fmt.Sprintf("storm$%d", updates)},
+			Add: []Constraint{
+				AddrOfConstraint(VarID(sess.NumVars()), VarID(rng.Intn(n))),
+				CopyConstraint(VarID(rng.Intn(n)), VarID(sess.NumVars())),
+			},
+		}
+		if _, err := sess.Update(context.Background(), d); err != nil {
+			t.Errorf("storm update %d: %v", updates, err)
+			break
+		}
+		updates++
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if updates == 0 {
+		t.Fatal("no updates completed during the storm")
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed during the storm")
+	}
+	resumed, replayed := sess.UpdateStats()
+	t.Logf("storm: %d queries, %d updates (resumed=%d replayed=%d), final epoch %d",
+		queries.Load(), updates, resumed, replayed, sess.Epoch())
+	checkAgainstOracle(t, sess, Options{Algorithm: LCD, HCD: true, DiffProp: true}, "post-storm")
+}

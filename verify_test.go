@@ -1,6 +1,7 @@
 package antgrass
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -23,7 +24,7 @@ func TestVerifyAcceptsAllSolvers(t *testing.T) {
 		{Algorithm: LCD, OVS: true},
 		{Algorithm: LCD, Pts: BDD},
 	} {
-		r, err := Solve(w, o)
+		r, err := Solve(context.Background(), w, o)
 		if err != nil {
 			t.Fatalf("%+v: %v", o, err)
 		}
@@ -41,7 +42,7 @@ func TestVerifyRejectsBrokenSolution(t *testing.T) {
 	a := p.AddVar("a")
 	b := p.AddVar("b")
 	p.AddAddrOf(a, x)
-	r, err := Solve(p, Options{})
+	r, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestQuickVerifyRandom(t *testing.T) {
 			return true
 		}
 		for _, alg := range []Algorithm{LCD, HT, PKH, BLQ} {
-			r, err := Solve(p, Options{Algorithm: alg, HCD: true, BDDPoolNodes: 1 << 13})
+			r, err := Solve(context.Background(), p, Options{Algorithm: alg, HCD: true, BDDPoolNodes: 1 << 13})
 			if err != nil {
 				return false
 			}
