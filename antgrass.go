@@ -37,6 +37,7 @@ import (
 	"antgrass/internal/constraint"
 	"antgrass/internal/core"
 	"antgrass/internal/hcd"
+	"antgrass/internal/hvn"
 	"antgrass/internal/metrics"
 	"antgrass/internal/olf"
 	"antgrass/internal/ovs"
@@ -104,8 +105,19 @@ type Options struct {
 	// online solver collapse cycles without graph traversal. LCD+HCD
 	// is the paper's headline configuration.
 	HCD bool
+	// HVN runs offline hash-based value numbering (the companion paper's
+	// HVN pass) before solving: variables with provably identical
+	// points-to sets are unified and provably-empty ones have their
+	// constraints dropped, without changing any answer. Runs before HU
+	// and OVS in the offline pipeline.
+	HVN bool
+	// HU runs the union-evaluating HU value-numbering pass (strictly
+	// stronger than HVN, a bit more offline work). When combined with
+	// HVN, HU runs second, on the already-reduced system.
+	HU bool
 	// OVS runs Offline Variable Substitution first, typically shrinking
 	// the constraint system substantially without changing any answer.
+	// In the offline pipeline it runs last, after HVN/HU.
 	OVS bool
 	// Pts selects the points-to set representation; empty means Bitmap.
 	Pts Repr
@@ -164,6 +176,12 @@ type Result struct {
 	// OVSStats describes the pre-processing step when Options.OVS was
 	// set (nil otherwise).
 	OVSStats *ovs.Result
+	// HVNStats describes the HVN value-numbering pass when Options.HVN
+	// was set (nil otherwise).
+	HVNStats *hvn.Result
+	// HUStats describes the HU value-numbering pass when Options.HU was
+	// set (nil otherwise).
+	HUStats *hvn.Result
 }
 
 // Stats returns the solver's cost counters.
@@ -224,9 +242,20 @@ func SolveContext(ctx context.Context, p *Program, o Options) (*Result, error) {
 	return Solve(ctx, p, o)
 }
 
+// offlineStats collects the per-pass results of the offline constraint
+// pipeline (HVN → HU → OVS; nil for passes that did not run).
+type offlineStats struct {
+	hvn *hvn.Result
+	hu  *hvn.Result
+	ovs *ovs.Result
+}
+
 // solveOnce is the non-incremental solve pipeline behind Solve and the
-// Session replay path: OVS pre-pass, algorithm dispatch, one fixpoint.
-func solveOnce(ctx context.Context, p *Program, o Options) (*core.Result, *ovs.Result, error) {
+// Session replay path: the offline passes (HVN, then HU, then OVS, each on
+// the previous pass's reduced system), algorithm dispatch, one fixpoint.
+// The passes' pre-unions are concatenated and applied by the solver before
+// constraints, so queries on original variable ids are transparent.
+func solveOnce(ctx context.Context, p *Program, o Options) (*core.Result, offlineStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -237,14 +266,32 @@ func solveOnce(ctx context.Context, p *Program, o Options) (*core.Result, *ovs.R
 		o.Pts = Bitmap
 	}
 	prog := p
-	var ovsStats *ovs.Result
+	var off offlineStats
 	var preUnions [][2]uint32
-	if o.OVS {
-		red := ovs.Reduce(p)
-		o.Metrics.AddPhase(metrics.PhaseOVS, red.Duration)
-		ovsStats = red
+	if o.HVN {
+		red := hvn.Reduce(prog, false)
+		o.Metrics.AddPhase(metrics.PhaseHVN, red.Duration)
+		o.Metrics.SetCounter("hvn_merged_vars", int64(red.MergedVars))
+		o.Metrics.SetCounter("hvn_dropped_constraints", int64(red.Before-red.After))
+		off.hvn = red
 		prog = red.Reduced
-		preUnions = red.PreUnions
+		preUnions = append(preUnions, red.PreUnions...)
+	}
+	if o.HU {
+		red := hvn.Reduce(prog, true)
+		o.Metrics.AddPhase(metrics.PhaseHU, red.Duration)
+		o.Metrics.SetCounter("hu_merged_vars", int64(red.MergedVars))
+		o.Metrics.SetCounter("hu_dropped_constraints", int64(red.Before-red.After))
+		off.hu = red
+		prog = red.Reduced
+		preUnions = append(preUnions, red.PreUnions...)
+	}
+	if o.OVS {
+		red := ovs.Reduce(prog)
+		o.Metrics.AddPhase(metrics.PhaseOVS, red.Duration)
+		off.ovs = red
+		prog = red.Reduced
+		preUnions = append(preUnions, red.PreUnions...)
 	}
 	copts := core.Options{
 		BDDPoolNodes: o.BDDPoolNodes,
@@ -267,7 +314,7 @@ func solveOnce(ctx context.Context, p *Program, o Options) (*core.Result, *ovs.R
 	case BLQ:
 		// handled below
 	default:
-		return nil, nil, fmt.Errorf("antgrass: unknown algorithm %q", o.Algorithm)
+		return nil, offlineStats{}, fmt.Errorf("antgrass: unknown algorithm %q", o.Algorithm)
 	}
 	if o.HCD || len(preUnions) > 0 {
 		table := &hcd.Result{}
@@ -293,9 +340,9 @@ func solveOnce(ctx context.Context, p *Program, o Options) (*core.Result, *ovs.R
 		inner, err = core.SolveContext(ctx, prog, copts)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, offlineStats{}, err
 	}
-	return inner, ovsStats, nil
+	return inner, off, nil
 }
 
 // CGenOptions configures the C front-end (see cgen.Options for the

@@ -112,6 +112,75 @@ func TestOVSStatsExposed(t *testing.T) {
 	}
 }
 
+func TestHVNHUStatsExposed(t *testing.T) {
+	w, _ := Workload("gimp", 0.01)
+	r, err := Solve(context.Background(), w, Options{Algorithm: LCD, HVN: true, HU: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HVNStats == nil || r.HVNStats.After > r.HVNStats.Before {
+		t.Errorf("HVN stats missing or nonsensical: %+v", r.HVNStats)
+	}
+	if r.HUStats == nil || r.HUStats.After > r.HUStats.Before {
+		t.Errorf("HU stats missing or nonsensical: %+v", r.HUStats)
+	}
+	if r.HUStats != nil && r.HUStats.Before != r.HVNStats.After {
+		t.Errorf("HU must run on the HVN-reduced program: hvn.After=%d hu.Before=%d",
+			r.HVNStats.After, r.HUStats.Before)
+	}
+	if r2, _ := Solve(context.Background(), w, Options{Algorithm: LCD}); r2.HVNStats != nil || r2.HUStats != nil {
+		t.Error("HVNStats/HUStats must be nil when the passes are off")
+	}
+}
+
+// TestOfflineTiersAgree checks the offline pre-pass lattice at the facade
+// level: every tier of HVN ⊑ HU ⊑ +OVS (alone and stacked, with and
+// without HCD) must leave the published solution bit-identical to a
+// plain solve.
+func TestOfflineTiersAgree(t *testing.T) {
+	u, err := CompileC(quickSrc, CGenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Workload("ghostscript", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers := []Options{
+		{HVN: true},
+		{HU: true},
+		{HVN: true, HU: true},
+		{HVN: true, HU: true, OVS: true},
+	}
+	for _, prog := range []*Program{u.Prog, w} {
+		base, err := Solve(context.Background(), prog, Options{Algorithm: Naive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tier := range tiers {
+			for _, hcdOn := range []bool{false, true} {
+				o := tier
+				o.Algorithm = LCD
+				o.HCD = hcdOn
+				r, err := Solve(context.Background(), prog, o)
+				if err != nil {
+					t.Fatalf("hvn=%v hu=%v ovs=%v hcd=%v: %v", o.HVN, o.HU, o.OVS, hcdOn, err)
+				}
+				for v := VarID(0); v < VarID(prog.NumVars); v++ {
+					a, b := base.PointsTo(v), r.PointsTo(v)
+					if len(a) == 0 && len(b) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(a, b) {
+						t.Fatalf("hvn=%v hu=%v ovs=%v hcd=%v: pts(%s) = %v, want %v",
+							o.HVN, o.HU, o.OVS, hcdOn, prog.NameOf(v), b, a)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestProgramRoundTripThroughFacade(t *testing.T) {
 	w, _ := Workload("insight", 0.01)
 	var buf bytes.Buffer

@@ -105,6 +105,10 @@ func main() {
 		if *serveLoad {
 			rep.ServeLoad = h.ServeLoad(names, *serveReaders, *serveDuration)
 		}
+		// The offline reduction ladder is deterministic and cheap (no
+		// fixpoint), so every report carries it; benchdiff gates on the
+		// HVN+HU win beyond OVS-only.
+		rep.Offline = h.OfflineRuns(names)
 		path := *outPath
 		if path == "" {
 			path = "BENCH_" + now.UTC().Format("20060102T150405Z") + ".json"

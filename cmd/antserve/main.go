@@ -7,7 +7,7 @@
 // Usage:
 //
 //	antserve [-addr host:port] [-addrfile f]
-//	         [-alg lcd] [-hcd] [-diff] [-workers n]
+//	         [-alg lcd] [-hcd] [-hvn] [-hu] [-diff] [-workers n]
 //	         (-f file.constraints | -c file.c | -workload name [-scale s])
 //
 // Exactly one input source is required. -c compiles a C translation
@@ -46,6 +46,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	alg := flag.String("alg", "lcd", "algorithm: naive, lcd, ht, pkh, pkw, blq")
 	hcd := flag.Bool("hcd", false, "enable hybrid cycle detection")
+	hvn := flag.Bool("hvn", false, "run offline HVN value numbering before solving (updates replay)")
+	hu := flag.Bool("hu", false, "run offline HU value numbering before solving (updates replay)")
 	diff := flag.Bool("diff", false, "enable difference propagation")
 	workers := flag.Int("workers", 0, "parallel propagation workers (disables incremental resume)")
 	flag.Parse()
@@ -95,11 +97,13 @@ func main() {
 	opts := antgrass.Options{
 		Algorithm: antgrass.Algorithm(*alg),
 		HCD:       *hcd,
+		HVN:       *hvn,
+		HU:        *hu,
 		DiffProp:  *diff,
 		Workers:   *workers,
 	}
-	fmt.Fprintf(os.Stderr, "antserve: solving %d vars, %d constraints (alg=%s hcd=%v)\n",
-		prog.NumVars, len(prog.Constraints), *alg, *hcd)
+	fmt.Fprintf(os.Stderr, "antserve: solving %d vars, %d constraints (alg=%s hcd=%v hvn=%v hu=%v)\n",
+		prog.NumVars, len(prog.Constraints), *alg, *hcd, *hvn, *hu)
 	sess, err := antgrass.NewSession(context.Background(), prog, opts)
 	if err != nil {
 		fatal(err)

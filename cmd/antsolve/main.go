@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	antsolve [-alg lcd] [-hcd] [-ovs] [-pts bitmap|bdd] [-workers n]
+//	antsolve [-alg lcd] [-hcd] [-hvn] [-hu] [-ovs] [-pts bitmap|bdd] [-workers n]
 //	         [-timeout d] [-stats] [-phases] [-print] [-var name]
 //	         [-cpuprofile f] [-memprofile f] file
 //	antsolve -list
@@ -34,7 +34,9 @@ import (
 func main() {
 	alg := flag.String("alg", "lcd", "algorithm: naive, lcd, ht, pkh, pkw, blq")
 	hcd := flag.Bool("hcd", false, "enable hybrid cycle detection")
-	ovs := flag.Bool("ovs", false, "run offline variable substitution first")
+	hvnFlag := flag.Bool("hvn", false, "run offline HVN value numbering first")
+	hu := flag.Bool("hu", false, "run offline HU value numbering (union-evaluating, implies running after -hvn when both set)")
+	ovs := flag.Bool("ovs", false, "run offline variable substitution first (after -hvn/-hu)")
 	repr := flag.String("pts", "bitmap", "points-to representation: bitmap or bdd")
 	workers := flag.Int("workers", 0, "parallel propagation workers for naive/lcd (0 or 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
@@ -96,6 +98,8 @@ func main() {
 	res, err := antgrass.Solve(ctx, prog, antgrass.Options{
 		Algorithm: antgrass.Algorithm(*alg),
 		HCD:       *hcd,
+		HVN:       *hvnFlag,
+		HU:        *hu,
 		OVS:       *ovs,
 		Pts:       antgrass.Repr(*repr),
 		Workers:   *workers,
@@ -125,13 +129,23 @@ func main() {
 		}
 	}
 	fmt.Printf("solved %d constraints over %d vars with %s%s in %v\n",
-		len(prog.Constraints), prog.NumVars, *alg, suffixes(*hcd, *ovs), s.SolveDuration)
+		len(prog.Constraints), prog.NumVars, *alg, suffixes(*hcd, *hvnFlag, *hu, *ovs), s.SolveDuration)
 	avg := 0.0
 	if nonEmpty > 0 {
 		avg = float64(totalSize) / float64(nonEmpty)
 	}
 	fmt.Printf("non-empty points-to sets: %d (avg size %.2f), memory %.1f MB\n",
 		nonEmpty, avg, float64(s.MemBytes)/(1<<20))
+	if res.HVNStats != nil {
+		fmt.Printf("hvn: %d -> %d constraints (%.0f%% reduction, %d vars merged) in %v\n",
+			res.HVNStats.Before, res.HVNStats.After, res.HVNStats.ReductionPercent(),
+			res.HVNStats.MergedVars, res.HVNStats.Duration)
+	}
+	if res.HUStats != nil {
+		fmt.Printf("hu:  %d -> %d constraints (%.0f%% reduction, %d vars merged) in %v\n",
+			res.HUStats.Before, res.HUStats.After, res.HUStats.ReductionPercent(),
+			res.HUStats.MergedVars, res.HUStats.Duration)
+	}
 	if res.OVSStats != nil {
 		fmt.Printf("ovs: %d -> %d constraints (%.0f%% reduction) in %v\n",
 			res.OVSStats.Before, res.OVSStats.After, res.OVSStats.ReductionPercent(), res.OVSStats.Duration)
@@ -174,10 +188,16 @@ func main() {
 	}
 }
 
-func suffixes(hcd, ovs bool) string {
+func suffixes(hcd, hvn, hu, ovs bool) string {
 	out := ""
 	if hcd {
 		out += "+hcd"
+	}
+	if hvn {
+		out += "+hvn"
+	}
+	if hu {
+		out += "+hu"
 	}
 	if ovs {
 		out += "+ovs"

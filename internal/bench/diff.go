@@ -31,6 +31,14 @@ type DiffOptions struct {
 	// (the error check still applies to matched runs); benches without
 	// serve measurements on either side are exempt.
 	ServeThresholdPercent float64
+	// OfflineThresholdPercent is the relative shrinkage of the HVN+HU
+	// extra reduction (the constraint-count win beyond OVS-only) above
+	// which a matched offline run counts as a regression: with a
+	// threshold of 10, a workload whose extra reduction drops from 40%
+	// to under 36% fails. The counts are deterministic, so this gate is
+	// host-independent. 0 disables it; benches without offline
+	// measurements on either side are exempt.
+	OfflineThresholdPercent float64
 	// MergeShareMax fails any parallel run (workers > 0) of the NEW
 	// report whose merge_ns/(merge_ns+compute_ns) exceeds this fraction:
 	// the merge is the sequential-coupling phase of the wave engine, and
@@ -82,6 +90,21 @@ type ServeDiffEntry struct {
 	Why             []string `json:"why,omitempty"`
 }
 
+// OfflineDiffEntry compares one offline-reduction run present in both
+// reports.
+type OfflineDiffEntry struct {
+	Key string `json:"key"`
+	// OldExtraPercent / NewExtraPercent are the HVN+HU reductions beyond
+	// OVS-only (OfflineRun.ExtraReductionPercent) of each report.
+	OldExtraPercent float64 `json:"old_extra_percent"`
+	NewExtraPercent float64 `json:"new_extra_percent"`
+	// RelativeDropPercent is how much of the old win was lost
+	// ((old−new)/old·100); negative means the reduction improved.
+	RelativeDropPercent float64  `json:"relative_drop_percent"`
+	Regression          bool     `json:"regression"`
+	Why                 []string `json:"why,omitempty"`
+}
+
 // DiffResult is the outcome of comparing two reports.
 type DiffResult struct {
 	Entries []DiffEntry `json:"entries"`
@@ -89,6 +112,10 @@ type DiffResult struct {
 	// (matched by bench and reader count). Empty when either report
 	// predates the serve_load section.
 	ServeEntries []ServeDiffEntry `json:"serve_entries,omitempty"`
+	// OfflineEntries compares offline constraint-reduction runs present
+	// in both reports (matched by bench). Empty when either report
+	// predates the offline section.
+	OfflineEntries []OfflineDiffEntry `json:"offline_entries,omitempty"`
 	// MissingInNew lists run keys present in the old report only —
 	// a silently dropped benchmark is itself a CI failure.
 	MissingInNew []string `json:"missing_in_new,omitempty"`
@@ -202,6 +229,35 @@ func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
 		}
 		res.ServeEntries = append(res.ServeEntries, e)
 	}
+
+	// Offline runs: gated on relative shrinkage of the HVN+HU win beyond
+	// OVS-only. The counts are exact, so there is no noise floor; like
+	// serve runs, a bench missing from the new report's offline section
+	// is simply unmatched (the section is optional per run).
+	offlineNew := map[string]OfflineRun{}
+	for _, r := range new.Offline {
+		offlineNew[r.Key()] = r
+	}
+	for _, o := range old.Offline {
+		n, ok := offlineNew[o.Key()]
+		if !ok {
+			continue
+		}
+		e := OfflineDiffEntry{
+			Key:             o.Key(),
+			OldExtraPercent: o.ExtraReductionPercent(),
+			NewExtraPercent: n.ExtraReductionPercent(),
+		}
+		if e.OldExtraPercent > 0 {
+			e.RelativeDropPercent = (e.OldExtraPercent - e.NewExtraPercent) / e.OldExtraPercent * 100
+			if opts.OfflineThresholdPercent > 0 && e.RelativeDropPercent > opts.OfflineThresholdPercent {
+				e.Why = append(e.Why, "offline-reduction")
+				e.Regression = true
+				res.Regressions++
+			}
+		}
+		res.OfflineEntries = append(res.OfflineEntries, e)
+	}
 	return res
 }
 
@@ -248,6 +304,22 @@ func (d *DiffResult) Print(w io.Writer) {
 			fmt.Fprintf(tw, "%s\t%.1fµs\t%.1fµs\t%+.1f%%\t%.0f→%.0f\t%s\n",
 				e.Key, e.OldP99Seconds*1e6, e.NewP99Seconds*1e6, e.P99DeltaPercent,
 				e.OldQPS, e.NewQPS, verdict)
+		}
+		tw.Flush()
+	}
+	if len(d.OfflineEntries) > 0 {
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "offline run\told extra\tnew extra\trel drop\t\n")
+		for _, e := range d.OfflineEntries {
+			verdict := ""
+			if e.Regression {
+				verdict = "REGRESSION"
+				for _, why := range e.Why {
+					verdict += " " + why
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%+.1f%%\t%s\n",
+				e.Key, e.OldExtraPercent, e.NewExtraPercent, e.RelativeDropPercent, verdict)
 		}
 		tw.Flush()
 	}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/hvn"
+	"antgrass/internal/ovs"
+)
+
+// OfflineRun records the offline constraint-reduction ladder for one
+// workload: the constraint count before any pass, after OVS alone (the
+// pre-HVN state of the art), after HVN, after HVN→HU, and after the full
+// HVN→HU→OVS stack the solve pipeline runs. The counts are deterministic
+// functions of the workload (no timing noise), so benchdiff gates on them
+// tightly: a relative drop in the HVN+HU win beyond OVS-only means the
+// value-numbering pass stopped finding equivalences it used to find.
+type OfflineRun struct {
+	Bench string `json:"bench"`
+	// Before is the constraint count of the unreduced workload.
+	Before int `json:"before"`
+	// OVSAfter is the count after OVS alone — the baseline the
+	// value-numbering tier must beat.
+	OVSAfter int `json:"ovs_after"`
+	// HVNAfter is the count after plain HVN; HUAfter after HVN then HU
+	// (the pipeline order); FullAfter after HVN, HU and OVS.
+	HVNAfter  int `json:"hvn_after"`
+	HUAfter   int `json:"hu_after"`
+	FullAfter int `json:"full_after"`
+	// HVNMergedVars / HUMergedVars count variables unified into a
+	// representative by each pass (HU's count is on the HVN-reduced
+	// system, so the two add).
+	HVNMergedVars int `json:"hvn_merged_vars"`
+	HUMergedVars  int `json:"hu_merged_vars"`
+	// Per-pass wall time of the full-stack run, for the offline-cost
+	// columns (informational; benchdiff does not gate on these).
+	HVNSeconds float64 `json:"hvn_seconds"`
+	HUSeconds  float64 `json:"hu_seconds"`
+	OVSSeconds float64 `json:"ovs_seconds"`
+}
+
+// Key identifies an offline run for cross-report matching.
+func (r OfflineRun) Key() string { return "offline/" + r.Bench }
+
+// OVSReductionPercent is the reduction OVS alone achieves over the
+// unreduced system (the paper's 60–77% band).
+func (r OfflineRun) OVSReductionPercent() float64 {
+	return reductionPercent(r.Before, r.OVSAfter)
+}
+
+// FullReductionPercent is the reduction of the full HVN→HU→OVS stack
+// over the unreduced system.
+func (r OfflineRun) FullReductionPercent() float64 {
+	return reductionPercent(r.Before, r.FullAfter)
+}
+
+// ExtraReductionPercent is the HVN+HU win beyond OVS-only: how much
+// smaller the full stack's constraint system is than what OVS alone
+// leaves behind. This is the number the benchdiff offline gate protects.
+func (r OfflineRun) ExtraReductionPercent() float64 {
+	return reductionPercent(r.OVSAfter, r.FullAfter)
+}
+
+func reductionPercent(before, after int) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (float64(before) - float64(after)) / float64(before) * 100
+}
+
+// OfflineRuns measures the offline reduction ladder for each selected
+// workload (nil = all). Each rung reruns from the unreduced program so
+// the OVS-only and HVN-only columns are directly comparable; the timed
+// full stack reuses intermediate results the way the solve pipeline does.
+func (h *Harness) OfflineRuns(benches []string) []OfflineRun {
+	var runs []OfflineRun
+	for _, p := range h.Profiles() {
+		if benches != nil && !contains(benches, p.Name) {
+			continue
+		}
+		runs = append(runs, offlineRun(p.Name, h.Program(p)))
+		r := runs[len(runs)-1]
+		h.logf("  offline %-12s %7d -> ovs %7d | hvn %7d -> hu %7d -> +ovs %7d (%.0f%% beyond ovs)\n",
+			r.Bench, r.Before, r.OVSAfter, r.HVNAfter, r.HUAfter, r.FullAfter, r.ExtraReductionPercent())
+	}
+	return runs
+}
+
+// offlineRun measures one workload's ladder.
+func offlineRun(name string, prog *constraint.Program) OfflineRun {
+	run := OfflineRun{Bench: name, Before: len(prog.Constraints)}
+	run.OVSAfter = len(ovs.Reduce(prog).Reduced.Constraints)
+	hvnRes := hvn.Reduce(prog, false)
+	run.HVNAfter = hvnRes.After
+	run.HVNMergedVars = hvnRes.MergedVars
+	run.HVNSeconds = hvnRes.Duration.Seconds()
+	huRes := hvn.Reduce(hvnRes.Reduced, true)
+	run.HUAfter = huRes.After
+	run.HUMergedVars = huRes.MergedVars
+	run.HUSeconds = huRes.Duration.Seconds()
+	ovsRes := ovs.Reduce(huRes.Reduced)
+	run.FullAfter = len(ovsRes.Reduced.Constraints)
+	run.OVSSeconds = ovsRes.Duration.Seconds()
+	return run
+}
+
+// OfflineTable prints the reduction ladder as a human-readable table.
+func (h *Harness) OfflineTable(w io.Writer, benches []string) {
+	fmt.Fprintln(w, "Offline constraint reduction (counts after each pass)")
+	for _, r := range h.OfflineRuns(benches) {
+		fmt.Fprintf(w, "  %-12s %8d  ovs-only %8d (%4.1f%%)  hvn %8d  +hu %8d  +ovs %8d (%4.1f%%, %4.1f%% beyond ovs)\n",
+			r.Bench, r.Before, r.OVSAfter, r.OVSReductionPercent(),
+			r.HVNAfter, r.HUAfter, r.FullAfter,
+			r.FullReductionPercent(), r.ExtraReductionPercent())
+	}
+	fmt.Fprintln(w)
+}

@@ -38,6 +38,12 @@ type Report struct {
 	// schema stays 1, and benchdiff's latency gate applies only to
 	// benches present in both reports.
 	ServeLoad []ServeLoadRun `json:"serve_load,omitempty"`
+	// Offline holds the offline constraint-reduction ladder per workload
+	// (counts before/after OVS, HVN, HU and the full stack). Additive:
+	// absent in reports from builds before the value-numbering tier,
+	// schema stays 1, and benchdiff's offline gate applies only to
+	// benches present in both reports.
+	Offline []OfflineRun `json:"offline,omitempty"`
 }
 
 // Host describes the machine and toolchain, so regressions can be told

@@ -282,6 +282,97 @@ func TestDiffServeLoadGate(t *testing.T) {
 	}
 }
 
+func TestDiffOfflineGate(t *testing.T) {
+	mkOffline := func(bench string, ovsAfter, fullAfter int) OfflineRun {
+		return OfflineRun{Bench: bench, Before: 1000,
+			OVSAfter: ovsAfter, HVNAfter: 900, HUAfter: 800, FullAfter: fullAfter}
+	}
+	oldRep := &Report{SchemaVersion: ReportSchemaVersion, Offline: []OfflineRun{
+		mkOffline("emacs", 400, 240), // 40% extra reduction beyond ovs-only
+		mkOffline("wine", 400, 240),
+		mkOffline("gimp", 400, 240),
+	}}
+	newRep := &Report{SchemaVersion: ReportSchemaVersion, Offline: []OfflineRun{
+		mkOffline("emacs", 400, 280), // extra reduction 40% -> 30%: -25% relative
+		mkOffline("wine", 400, 230),  // improved: fine
+		// gimp not measured this run: exempt, not a failure
+		mkOffline("insight", 400, 240), // no baseline: exempt
+	}}
+	diff := DiffReports(oldRep, newRep, DiffOptions{OfflineThresholdPercent: 10})
+	if diff.Regressions != 1 || !diff.Failed() {
+		t.Fatalf("want 1 offline regression, got %+v", diff)
+	}
+	if len(diff.OfflineEntries) != 2 {
+		t.Fatalf("unmatched offline runs must be exempt: %+v", diff.OfflineEntries)
+	}
+	for _, e := range diff.OfflineEntries {
+		if e.Key == "offline/emacs" && (!e.Regression || e.Why[0] != "offline-reduction") {
+			t.Fatalf("emacs should trip the offline gate: %+v", e)
+		}
+		if e.Key == "offline/wine" && e.Regression {
+			t.Fatalf("wine improved and must pass: %+v", e)
+		}
+	}
+	// Threshold 0 disables the gate entirely.
+	if d := DiffReports(oldRep, newRep, DiffOptions{}); d.Regressions != 0 {
+		t.Fatalf("threshold 0 should disable the offline gate, got %+v", d)
+	}
+	var buf bytes.Buffer
+	diff.Print(&buf)
+	if !strings.Contains(buf.String(), "offline run") || !strings.Contains(buf.String(), "REGRESSION offline-reduction") {
+		t.Fatalf("offline section missing from diff output:\n%s", buf.String())
+	}
+}
+
+// TestOfflineRunsLadder runs the real reduction ladder on a small
+// workload and pins the monotonicity the report relies on: every pass
+// shrinks (or holds) the constraint count, and the full stack is at
+// least as small as OVS alone.
+func TestOfflineRunsLadder(t *testing.T) {
+	h := NewHarness(0.02)
+	runs := h.OfflineRuns([]string{"emacs"})
+	if len(runs) != 1 {
+		t.Fatalf("want 1 offline run, got %d", len(runs))
+	}
+	r := runs[0]
+	if r.Before <= 0 || r.HVNAfter > r.Before || r.HUAfter > r.HVNAfter || r.FullAfter > r.HUAfter {
+		t.Fatalf("reduction ladder not monotone: %+v", r)
+	}
+	if r.FullAfter > r.OVSAfter {
+		t.Fatalf("full stack must beat OVS-only: %+v", r)
+	}
+	if r.ExtraReductionPercent() <= 0 {
+		t.Fatalf("HVN+HU should reduce beyond OVS-only on emacs: %+v", r)
+	}
+	var buf bytes.Buffer
+	h.OfflineTable(&buf, []string{"emacs"})
+	if !strings.Contains(buf.String(), "emacs") || !strings.Contains(buf.String(), "beyond ovs") {
+		t.Fatalf("offline table missing content:\n%s", buf.String())
+	}
+}
+
+// TestOfflineRoundTrip pins that the offline section survives the JSON
+// round trip without bumping the schema (it is additive).
+func TestOfflineRoundTrip(t *testing.T) {
+	rep := &Report{SchemaVersion: ReportSchemaVersion, GeneratedAt: "2026-01-01T00:00:00Z",
+		Offline: []OfflineRun{{Bench: "emacs", Before: 100, OVSAfter: 40,
+			HVNAfter: 80, HUAfter: 60, FullAfter: 30, HVNMergedVars: 7, HUMergedVars: 3}}}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ovs_after"`) || !strings.Contains(buf.String(), `"hvn_merged_vars"`) {
+		t.Fatalf("offline fields missing:\n%s", buf.String())
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Offline) != 1 || got.Offline[0].FullAfter != 30 || got.Offline[0].HUMergedVars != 3 {
+		t.Fatalf("round trip lost offline: %+v", got.Offline)
+	}
+}
+
 // TestServeLoadRoundTrip pins that the serve_load section survives the
 // JSON round trip without bumping the schema (it is additive).
 func TestServeLoadRoundTrip(t *testing.T) {

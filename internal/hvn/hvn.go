@@ -1,0 +1,417 @@
+// Package hvn implements the offline value-numbering tier of Hardekopf and
+// Lin's companion paper, "Exploiting Pointer and Location Equivalence to
+// Optimize Pointer Analysis" (SAS 2007): HVN (hash-based value numbering)
+// and HU (Heintze–Ullman style union evaluation), run in front of OVS to
+// shrink the constraint system before any solver sees it.
+//
+// Both passes assign every variable a pointer-equivalence label such that
+// equal labels imply provably identical final points-to sets; variables
+// sharing a label are then unified, and variables whose label is the
+// distinguished ∅ label 0 (provably empty points-to set) have their
+// constraints deleted outright. The offline constraint graph has three
+// nodes per variable v:
+//
+//	v        the variable itself
+//	ref(v)   the unknown result of dereferencing v (= n+v)
+//	adr(v)   the location &v (= 2n+v)
+//
+// and edges
+//
+//	a = &b   adr(b) → a
+//	a = b    b → a, plus the implicit edge ref(b) → ref(a): pts(a) ⊇ pts(b)
+//	         implies that everything readable through a includes everything
+//	         readable through b
+//	a = *b   ref(b) → a (offset 0 only; an offset dereference lands on
+//	         function slots the offline graph cannot resolve, so a is
+//	         marked indirect instead)
+//	*a = b   no edge. Stores only affect address-taken variables, which are
+//	         already indirect (see below), so the edge would add no sound
+//	         merges — and licensing merges on offline store paths is
+//	         exactly the over-collapse trap the HCD precondition in
+//	         docs/ALGORITHMS.md guards against.
+//
+// Indirect nodes — every ref node, address-taken variables (stores can add
+// to them at solve time), function return/parameter slots (targets of
+// offset dereferences), and destinations of offset loads — can receive
+// values the offline graph cannot see, so they never share a label with
+// anything outside their own strongly connected component. Within an SCC
+// labels are shared: an SCC of explicit copy edges has one final solution
+// online, and an SCC of ref nodes (mutual implicit edges) dereferences
+// pointers with mutually-included points-to sets.
+//
+// HVN labels direct nodes by the set of labels reaching them: the empty
+// set is label 0, a singleton reuses its one label (collapsing copy
+// chains off indirect nodes), and larger sets are hash-consed so equal
+// sets share one label. HU is strictly stronger: instead of comparing
+// label *sets* symbolically it evaluates the unions, computing for every
+// node a set over location atoms (one per adr node) and fresh atoms (one
+// per indirect SCC), and interning the evaluated sets — so a ⊇ {x,y}
+// reached directly and through an intermediate copy compare equal, which
+// HVN's unevaluated sets cannot see.
+//
+// Reduce rewrites the constraints through the unification map exactly like
+// internal/ovs (whose pass runs downstream and composes through the same
+// PreUnions mechanism) and reports merged-variable / dropped-constraint
+// counts for the metrics and bench layers.
+package hvn
+
+import (
+	"sort"
+	"time"
+
+	"antgrass/internal/bitmap"
+	"antgrass/internal/constraint"
+	"antgrass/internal/hcd"
+	"antgrass/internal/scc"
+)
+
+// Result is the outcome of one value-numbering pass.
+type Result struct {
+	// Reduced is the rewritten program (same variable universe).
+	Reduced *constraint.Program
+	// PreUnions lists variable pairs the solver must union before
+	// solving, so queries on any original variable keep working.
+	PreUnions [][2]uint32
+	// Before and After are the constraint counts on either side of the
+	// pass (After reflects deduplication too).
+	Before, After int
+	// MergedVars counts variables unified into a representative.
+	MergedVars int
+	// NonPointerVars counts variables proven to have empty points-to
+	// sets (label 0); their constraints are dropped.
+	NonPointerVars int
+	// DroppedConstraints counts constraints deleted because an operand
+	// was a non-pointer (plus copies made self-loops by unification);
+	// duplicates removed by Dedup are visible in Before/After only.
+	DroppedConstraints int
+	// HU records whether union evaluation was enabled.
+	HU bool
+	// Duration is the pass's wall-clock time.
+	Duration time.Duration
+}
+
+// PreUnionTable wraps the pre-unions in an hcd.Result so they can be
+// handed to any solver through its HCD-table hook (with no online pairs).
+func (r *Result) PreUnionTable() *hcd.Result {
+	return &hcd.Result{PreUnions: r.PreUnions}
+}
+
+// ReductionPercent returns the percentage of constraints eliminated.
+func (r *Result) ReductionPercent() float64 {
+	if r.Before == 0 {
+		return 0
+	}
+	return 100 * float64(r.Before-r.After) / float64(r.Before)
+}
+
+const emptyLabel = int32(0)
+
+// labelSetHash and setHash are the hash functions behind label-set
+// hash-consing (HVN) and evaluated-set interning (HU). They are variables
+// so tests can force collisions and prove the equality fallback correct;
+// both tables compare full contents on a hash hit.
+var (
+	labelSetHash = fnvLabels
+	setHash      = func(b *bitmap.Bitmap) uint64 { return b.Hash() }
+)
+
+// fnvLabels is FNV-1a over the little-endian bytes of a sorted label slice.
+func fnvLabels(elems []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, e := range elems {
+		x := uint32(e)
+		for i := 0; i < 4; i++ {
+			h ^= uint64(byte(x))
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	return h
+}
+
+// consEntry is one hash-cons bucket member: a sorted label set and the
+// label standing for it.
+type consEntry struct {
+	elems []int32
+	label int32
+}
+
+// setEntry is one HU intern-table bucket member.
+type setEntry struct {
+	set   *bitmap.Bitmap
+	label int32
+}
+
+// Reduce runs one value-numbering pass on p (HVN when hu is false, HU when
+// true). p is not modified. Passes compose: feeding one pass's Reduced
+// program to the next and concatenating their PreUnions preserves the
+// solution of the original program over the original variable ids.
+func Reduce(p *constraint.Program, hu bool) *Result {
+	start := time.Now()
+	n := uint32(p.NumVars)
+	total := 3 * n // v, ref(v) = n+v, adr(v) = 2n+v
+
+	// Indirect nodes receive values the offline graph cannot see.
+	indirect := make([]bool, total)
+	for v := n; v < 2*n; v++ {
+		indirect[v] = true // all ref nodes
+	}
+	// Function return/parameter slots are targets of offset constraints.
+	for v := uint32(0); v < n; v++ {
+		if s := p.SpanOf(v); s > 1 {
+			for k := uint32(1); k < s; k++ {
+				indirect[v+k] = true
+			}
+		}
+	}
+	succs := make([][]uint32, total)
+	preds := make([][]uint32, total)
+	addEdge := func(from, to uint32) {
+		succs[from] = append(succs[from], to)
+		preds[to] = append(preds[to], from)
+	}
+	for _, c := range p.Constraints {
+		switch c.Kind {
+		case constraint.AddrOf:
+			indirect[c.Src] = true // address-taken
+			addEdge(2*n+c.Src, c.Dst)
+		case constraint.Copy:
+			addEdge(c.Src, c.Dst)
+			addEdge(n+c.Src, n+c.Dst) // implicit
+		case constraint.Load:
+			if c.Offset == 0 {
+				addEdge(n+c.Src, c.Dst)
+			} else {
+				indirect[c.Dst] = true // unpredictable source
+			}
+		case constraint.Store:
+			// No offline edge; see the package comment.
+		}
+	}
+
+	// Condense and label in topological (predecessors-first) order.
+	comps := scc.Tarjan(int(total), nil, func(x uint32) []uint32 { return succs[x] })
+	label := make([]int32, total)
+	for i := range label {
+		label[i] = -1
+	}
+	nextLabel := int32(1)
+
+	cons := make(map[uint64][]consEntry) // HVN hash-cons table
+	consLabel := func(peSet map[int32]struct{}) int32 {
+		elems := make([]int32, 0, len(peSet))
+		for l := range peSet {
+			elems = append(elems, l)
+		}
+		sort.Slice(elems, func(i, j int) bool { return elems[i] < elems[j] })
+		h := labelSetHash(elems)
+		for _, e := range cons[h] {
+			if labelsEqual(e.elems, elems) {
+				return e.label
+			}
+		}
+		l := nextLabel
+		nextLabel++
+		cons[h] = append(cons[h], consEntry{elems, l})
+		return l
+	}
+
+	var (
+		sets     []*bitmap.Bitmap      // HU per-node evaluated sets
+		interned map[uint64][]setEntry // HU intern table
+		nextAtom uint32                // HU atom namespace
+	)
+	if hu {
+		sets = make([]*bitmap.Bitmap, total)
+		interned = make(map[uint64][]setEntry)
+	}
+	internSet := func(b *bitmap.Bitmap) int32 {
+		h := setHash(b)
+		for _, e := range interned[h] {
+			if e.set.Equal(b) {
+				return e.label
+			}
+		}
+		l := nextLabel
+		nextLabel++
+		interned[h] = append(interned[h], setEntry{b, l})
+		return l
+	}
+
+	for i := len(comps.Comps) - 1; i >= 0; i-- {
+		comp := comps.Comps[i]
+		// adr nodes have no predecessors, so they are always singleton
+		// components; each is its own location.
+		isAdr := comp[0] >= 2*n
+
+		if hu {
+			set := bitmap.New()
+			if isAdr {
+				set.Set(nextAtom) // the location atom for this adr node
+				nextAtom++
+			} else {
+				ind := false
+				for _, m := range comp {
+					if indirect[m] {
+						ind = true
+						break
+					}
+				}
+				if ind {
+					set.Set(nextAtom) // fresh: stands for the unseen part
+					nextAtom++
+				}
+				for _, m := range comp {
+					for _, pr := range preds[m] {
+						// Same-component predecessors are still nil:
+						// their final set is this one, so the union is
+						// a no-op. External predecessors are complete
+						// (reverse topological order).
+						if sets[pr] != nil {
+							set.IorWith(sets[pr])
+						}
+					}
+				}
+			}
+			l := emptyLabel
+			if !set.Empty() {
+				l = internSet(set)
+			}
+			for _, m := range comp {
+				sets[m] = set
+				label[m] = l
+			}
+			continue
+		}
+
+		// HVN.
+		if isAdr {
+			label[comp[0]] = nextLabel // unique location label
+			nextLabel++
+			continue
+		}
+		// Indirectness is contagious within a component.
+		ind := false
+		for _, m := range comp {
+			if indirect[m] {
+				ind = true
+				break
+			}
+		}
+		if ind {
+			l := nextLabel
+			nextLabel++
+			for _, m := range comp {
+				label[m] = l
+			}
+			continue
+		}
+		peSet := map[int32]struct{}{}
+		for _, m := range comp {
+			for _, pr := range preds[m] {
+				// Same-component preds still carry -1, and the empty
+				// label contributes nothing.
+				if l := label[pr]; l > emptyLabel {
+					peSet[l] = struct{}{}
+				}
+			}
+		}
+		var l int32
+		switch len(peSet) {
+		case 0:
+			l = emptyLabel
+		case 1:
+			for only := range peSet {
+				l = only
+			}
+		default:
+			l = consLabel(peSet)
+		}
+		for _, m := range comp {
+			label[m] = l
+		}
+	}
+
+	// Unify variables (not refs/adrs) sharing a label, deterministically:
+	// groups are visited in order of their first member, and the first
+	// (smallest-id) member leads.
+	res := &Result{Before: len(p.Constraints), HU: hu}
+	groups := make(map[int32][]uint32)
+	var order []int32
+	for v := uint32(0); v < n; v++ {
+		l := label[v]
+		if l == emptyLabel {
+			res.NonPointerVars++
+			continue
+		}
+		if _, ok := groups[l]; !ok {
+			order = append(order, l)
+		}
+		groups[l] = append(groups[l], v)
+	}
+	rep := make([]uint32, n)
+	for v := range rep {
+		rep[v] = uint32(v)
+	}
+	for _, l := range order {
+		g := groups[l]
+		if len(g) < 2 {
+			continue
+		}
+		for _, v := range g[1:] {
+			rep[v] = g[0]
+			res.PreUnions = append(res.PreUnions, [2]uint32{g[0], v})
+		}
+		res.MergedVars += len(g) - 1
+	}
+
+	// Rewrite the constraints. AddrOf sources are locations, never
+	// rewritten: points-to sets keep original ids (and spans).
+	out := p.Clone()
+	out.Constraints = out.Constraints[:0]
+	for _, c := range p.Constraints {
+		switch c.Kind {
+		case constraint.AddrOf:
+			out.AddAddrOf(rep[c.Dst], c.Src)
+		case constraint.Copy:
+			if label[c.Src] == emptyLabel {
+				res.DroppedConstraints++
+				continue
+			}
+			if rep[c.Dst] == rep[c.Src] {
+				res.DroppedConstraints++ // provably equal already
+				continue
+			}
+			out.AddCopy(rep[c.Dst], rep[c.Src])
+		case constraint.Load:
+			if label[c.Src] == emptyLabel {
+				res.DroppedConstraints++ // dereferencing a provable nil
+				continue
+			}
+			out.AddLoad(rep[c.Dst], rep[c.Src], c.Offset)
+		case constraint.Store:
+			if label[c.Dst] == emptyLabel || label[c.Src] == emptyLabel {
+				res.DroppedConstraints++
+				continue
+			}
+			out.AddStore(rep[c.Dst], rep[c.Src], c.Offset)
+		}
+	}
+	out.Dedup()
+	res.Reduced = out
+	res.After = len(out.Constraints)
+	res.Duration = time.Since(start)
+	return res
+}
+
+func labelsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package hvn_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/core"
+	"antgrass/internal/hcd"
+	"antgrass/internal/hvn"
+	"antgrass/internal/oracle"
+	"antgrass/internal/ovs"
+	"antgrass/internal/synth"
+)
+
+// solveReduced runs the offline tier (any combination of HVN, HU, OVS, in
+// pipeline order), solves the reduced program with the accumulated
+// pre-unions, and returns the core result — whose queries resolve original
+// variable ids through the union-find.
+func solveReduced(t *testing.T, p *constraint.Program, withHVN, withHU, withOVS, withHCD bool, workers int) *core.Result {
+	t.Helper()
+	prog := p
+	var pre [][2]uint32
+	if withHVN {
+		r := hvn.Reduce(prog, false)
+		prog = r.Reduced
+		pre = append(pre, r.PreUnions...)
+	}
+	if withHU {
+		r := hvn.Reduce(prog, true)
+		prog = r.Reduced
+		pre = append(pre, r.PreUnions...)
+	}
+	if withOVS {
+		r := ovs.Reduce(prog)
+		prog = r.Reduced
+		pre = append(pre, r.PreUnions...)
+	}
+	opts := core.Options{Algorithm: core.LCD, Workers: workers}
+	if withHCD || len(pre) > 0 {
+		table := &hcd.Result{}
+		if withHCD {
+			table = hcd.Analyze(prog)
+		}
+		table.PreUnions = append(table.PreUnions, pre...)
+		opts.WithHCD = true
+		opts.HCDTable = table
+	}
+	res, err := core.Solve(prog, opts)
+	if err != nil {
+		t.Fatalf("solve reduced: %v", err)
+	}
+	return res
+}
+
+// checkPreserved compares the reduced-program solution against the
+// independent reference fixpoint of the original program, variable by
+// variable.
+func checkPreserved(t *testing.T, p *constraint.Program, res *core.Result, tag string) {
+	t.Helper()
+	want := oracle.Reference(p)
+	for v := uint32(0); v < uint32(p.NumVars); v++ {
+		got := res.PointsToSlice(v)
+		exp := make([]uint32, 0, len(want[v]))
+		for x := range want[v] {
+			exp = append(exp, x)
+		}
+		sort.Slice(exp, func(i, j int) bool { return exp[i] < exp[j] })
+		if len(got) != len(exp) {
+			t.Fatalf("%s: pts(v%d) = %v, want %v\nprogram:\n%v", tag, v, got, exp, p.Constraints)
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Fatalf("%s: pts(v%d) = %v, want %v\nprogram:\n%v", tag, v, got, exp, p.Constraints)
+			}
+		}
+	}
+}
+
+// TestSolutionPreservedRandom is the pass's core soundness/precision
+// property: over random programs, solving the HVN/HU/OVS-reduced system
+// with its pre-unions yields bit-identical points-to sets for every
+// original variable, under every tier combination, ±HCD, and parallel
+// workers.
+func TestSolutionPreservedRandom(t *testing.T) {
+	tiers := []struct {
+		tag                string
+		hvnOn, huOn, ovsOn bool
+	}{
+		{"hvn", true, false, false},
+		{"hu", false, true, false},
+		{"hvn+hu", true, true, false},
+		{"hvn+hu+ovs", true, true, true},
+	}
+	seeds := 120
+	if testing.Short() {
+		seeds = 30
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		p := synth.RandomProgram(rng)
+		if p.Validate() != nil {
+			continue // the generator can emit out-of-span offsets
+		}
+		for _, tier := range tiers {
+			res := solveReduced(t, p, tier.hvnOn, tier.huOn, tier.ovsOn, seed%2 == 0, 0)
+			checkPreserved(t, p, res, tier.tag)
+		}
+		// The headline tier once more under the parallel engine.
+		res := solveReduced(t, p, true, true, false, false, 4)
+		checkPreserved(t, p, res, "hvn+hu/w4")
+	}
+}
+
+// TestSolutionPreservedWorkloads runs the full pipeline on small scales of
+// the paper-shaped synthetic benchmarks — programs with function spans,
+// offset loads/stores and indirect-call structure that random fuzz rarely
+// builds densely.
+func TestSolutionPreservedWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload-scale preservation check skipped in -short")
+	}
+	for _, name := range []string{"emacs", "ghostscript"} {
+		prof, ok := synth.ProfileByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %s", name)
+		}
+		p := synth.Generate(prof.Scale(0.02))
+		res := solveReduced(t, p, true, true, true, true, 0)
+		checkPreserved(t, p, res, name+"/hvn+hu+ovs")
+	}
+}

@@ -40,6 +40,11 @@ const (
 	PhaseParse = "parse"
 	// PhaseGenerate is synthetic workload generation.
 	PhaseGenerate = "generate"
+	// PhaseHVN is the offline HVN value-numbering pre-pass.
+	PhaseHVN = "hvn.offline"
+	// PhaseHU is the offline HU (union-evaluating) value-numbering
+	// pre-pass.
+	PhaseHU = "hu.offline"
 	// PhaseOVS is the Offline Variable Substitution pre-pass.
 	PhaseOVS = "ovs.offline"
 	// PhaseHCD is the HCD offline analysis.

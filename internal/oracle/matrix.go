@@ -6,6 +6,9 @@ import (
 	"antgrass/internal/blq"
 	"antgrass/internal/constraint"
 	"antgrass/internal/core"
+	"antgrass/internal/hcd"
+	"antgrass/internal/hvn"
+	"antgrass/internal/ovs"
 	"antgrass/internal/pts"
 )
 
@@ -49,7 +52,12 @@ var matrixWorkers = []int{2, 4, 8}
 //     accepts (Naive and LCD over bitmaps), with and without HCD, plus
 //     one parallel run over the plain factory;
 //   - difference propagation for the basic worklist solvers;
-//   - the BLQ relational solver, with and without HCD.
+//   - the BLQ relational solver, with and without HCD;
+//   - the offline pre-pass tiers (HVN, HU, HVN+HU, HVN+HU+OVS) over
+//     Naive/LCD with and without HCD, plus HVN+HU crossed with the
+//     parallel worker counts — every tier must be solution-preserving,
+//     so these cells pin the value-numbering equivalences against the
+//     unreduced configurations.
 //
 // Every configuration must compute the identical least fixpoint; Check
 // runs them in this order and reports the first that does not. To register
@@ -81,7 +89,86 @@ func Matrix() []Config {
 	}
 	out = append(out, coreConfig(core.LCD, "bitmap-plain", true, 2, false))
 	out = append(out, blqConfig(false), blqConfig(true))
+	for _, tier := range offlineTiers {
+		for _, alg := range []core.Algorithm{core.Naive, core.LCD} {
+			for _, withHCD := range []bool{false, true} {
+				out = append(out, offlineConfig(tier, alg, withHCD, 0))
+			}
+		}
+	}
+	huTier := offlineTier{name: "hvn+hu", hvn: true, hu: true}
+	for _, withHCD := range []bool{false, true} {
+		for _, w := range matrixWorkers {
+			out = append(out, offlineConfig(huTier, core.LCD, withHCD, w))
+		}
+	}
 	return out
+}
+
+// offlineTier names one composition of the offline reduction passes.
+// Each pass runs on the previous pass's reduced system, exactly as the
+// facade's solve pipeline stacks them.
+type offlineTier struct {
+	name         string
+	hvn, hu, ovs bool
+}
+
+// offlineTiers are the pre-pass compositions the matrix crosses with the
+// online algorithms: each single pass, the HVN+HU ladder, and the full
+// stack in front of OVS.
+var offlineTiers = []offlineTier{
+	{name: "hvn", hvn: true},
+	{name: "hu", hu: true},
+	{name: "hvn+hu", hvn: true, hu: true},
+	{name: "hvn+hu+ovs", hvn: true, hu: true, ovs: true},
+}
+
+// offlineConfig builds a matrix entry that runs the tier's offline passes
+// and feeds their accumulated pre-unions to the online solver through the
+// HCD table, mirroring the facade pipeline. Queries stay on original
+// variable ids because the solver applies the unions before constraints.
+func offlineConfig(tier offlineTier, alg core.Algorithm, withHCD bool, workers int) Config {
+	name := alg.String() + "+" + tier.name
+	if withHCD {
+		name += "+hcd"
+	}
+	name += "/bitmap"
+	if workers > 0 {
+		name += fmt.Sprintf("/w%d", workers)
+	}
+	return Config{
+		Name: name,
+		Solve: func(p *constraint.Program) (Solution, error) {
+			prog := p
+			var pre [][2]uint32
+			if tier.hvn {
+				r := hvn.Reduce(prog, false)
+				prog = r.Reduced
+				pre = append(pre, r.PreUnions...)
+			}
+			if tier.hu {
+				r := hvn.Reduce(prog, true)
+				prog = r.Reduced
+				pre = append(pre, r.PreUnions...)
+			}
+			if tier.ovs {
+				r := ovs.Reduce(prog)
+				prog = r.Reduced
+				pre = append(pre, r.PreUnions...)
+			}
+			table := &hcd.Result{}
+			if withHCD {
+				table = hcd.Analyze(prog)
+			}
+			table.PreUnions = append(table.PreUnions, pre...)
+			return core.Solve(prog, core.Options{
+				Algorithm: alg,
+				WithHCD:   true,
+				HCDTable:  table,
+				Workers:   workers,
+			})
+		},
+	}
 }
 
 func coreConfig(alg core.Algorithm, repr string, withHCD bool, workers int, diff bool) Config {

@@ -126,6 +126,24 @@ func TestMatrixShape(t *testing.T) {
 	if !names["blq"] || !names["blq+hcd"] {
 		t.Error("matrix missing blq configurations")
 	}
+	for _, tier := range []string{"hvn", "hu", "hvn+hu", "hvn+hu+ovs"} {
+		for _, alg := range []string{"naive", "lcd"} {
+			for _, hcd := range []string{"", "+hcd"} {
+				want := alg + "+" + tier + hcd + "/bitmap"
+				if !names[want] {
+					t.Errorf("matrix missing offline config %q", want)
+				}
+			}
+		}
+	}
+	for _, hcd := range []string{"", "+hcd"} {
+		for _, w := range matrixWorkers {
+			want := fmt.Sprintf("lcd+hvn+hu%s/bitmap/w%d", hcd, w)
+			if !names[want] {
+				t.Errorf("matrix missing parallel offline config %q", want)
+			}
+		}
+	}
 }
 
 // TestCheckQuickRandom is the oracle-side twin of the core package's

@@ -53,12 +53,33 @@ func readFuzzSeed(t *testing.T, path string) []byte {
 // concurrent compute workers, the work-stealing deques and the
 // destination-sharded merge appliers.
 func TestFuzzSeedsParallel(t *testing.T) {
-	cfgs := []Config{
+	replayFuzzSeeds(t, []Config{
 		coreConfig(core.Naive, "bitmap", false, 4, false),
 		coreConfig(core.Naive, "bitmap", true, 4, false),
 		coreConfig(core.LCD, "bitmap", false, 4, false),
 		coreConfig(core.LCD, "bitmap", true, 4, false),
-	}
+	})
+}
+
+// TestFuzzSeedsOffline replays the same corpus through the offline
+// value-numbering tiers: HVN alone, HVN+HU, and the full HVN+HU+OVS
+// stack, sequentially and at four workers, with and without HCD. Every
+// seed that ever broke a solver now also pins the reduction passes as
+// solution-preserving; check.sh runs this under the race detector next
+// to the parallel replay.
+func TestFuzzSeedsOffline(t *testing.T) {
+	huTier := offlineTier{name: "hvn+hu", hvn: true, hu: true}
+	replayFuzzSeeds(t, []Config{
+		offlineConfig(offlineTier{name: "hvn", hvn: true}, core.LCD, false, 0),
+		offlineConfig(huTier, core.LCD, false, 0),
+		offlineConfig(huTier, core.LCD, true, 4),
+		offlineConfig(offlineTier{name: "hvn+hu+ovs", hvn: true, hu: true, ovs: true}, core.LCD, true, 4),
+	})
+}
+
+// replayFuzzSeeds runs every committed fuzz corpus seed through the given
+// configurations, differentially against the reference solver.
+func replayFuzzSeeds(t *testing.T, cfgs []Config) {
 	targets := map[string]func(*testing.T, []byte) *constraint.Program{
 		"FuzzSolversMatchReference": func(t *testing.T, data []byte) *constraint.Program {
 			p, err := constraint.Read(strings.NewReader(string(data)))

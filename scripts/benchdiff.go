@@ -12,9 +12,11 @@
 //
 //	0 — no run regressed on any gated dimension
 //	1 — at least one regression (wall clock beyond -threshold, allocs
-//	    beyond -alloc-threshold, peak heap beyond -mem-threshold, or a
+//	    beyond -alloc-threshold, peak heap beyond -mem-threshold, a
 //	    parallel run of new.json whose merge phase consumed more than
-//	    -merge-share of merge+compute time), or a run present in
+//	    -merge-share of merge+compute time, or a workload whose HVN+HU
+//	    offline constraint reduction beyond OVS-only shrank by more than
+//	    -offline-threshold percent relative), or a run present in
 //	    old.json is missing from new.json (a silently dropped benchmark
 //	    must not pass)
 //	2 — usage or report-parsing error (including a schema_version this
@@ -43,6 +45,7 @@ func main() {
 	memThreshold := flag.Float64("mem-threshold", 10, "fail when a run's peak heap grows more than this percent (0 disables)")
 	mergeShare := flag.Float64("merge-share", 0, "fail when a parallel run's merge_ns/(merge_ns+compute_ns) exceeds this fraction (0 disables)")
 	serveThreshold := flag.Float64("serve-threshold", 50, "fail when a serve run's p99 query latency grows more than this percent (0 disables; matched serve runs with errors always fail)")
+	offlineThreshold := flag.Float64("offline-threshold", 10, "fail when a workload's HVN+HU extra reduction beyond OVS-only shrinks by more than this percent relative to the baseline (0 disables)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-seconds s] [-alloc-threshold pct] [-mem-threshold pct] [-merge-share frac] old.json new.json")
 		flag.PrintDefaults()
@@ -61,12 +64,13 @@ func main() {
 		fatal(err)
 	}
 	diff := bench.DiffReports(oldRep, newRep, bench.DiffOptions{
-		ThresholdPercent:      *threshold,
-		MinSeconds:            *minSeconds,
-		AllocThresholdPercent: *allocThreshold,
-		MemThresholdPercent:   *memThreshold,
-		MergeShareMax:         *mergeShare,
-		ServeThresholdPercent: *serveThreshold,
+		ThresholdPercent:        *threshold,
+		MinSeconds:              *minSeconds,
+		AllocThresholdPercent:   *allocThreshold,
+		MemThresholdPercent:     *memThreshold,
+		MergeShareMax:           *mergeShare,
+		ServeThresholdPercent:   *serveThreshold,
+		OfflineThresholdPercent: *offlineThreshold,
 	})
 	diff.Print(os.Stdout)
 	if diff.Failed() {

@@ -1,9 +1,18 @@
 #!/bin/sh
 # check.sh — the repository's CI gate, in one command:
 #
-#   ./scripts/check.sh
+#   ./scripts/check.sh [stage]
 #
-# Runs, in order:
+# With no argument every stage runs in order; CI splits the work across
+# matrix jobs by naming one stage group:
+#
+#   static — stages 1-3 (gofmt, vet per build configuration, build)
+#   test   — stages 4-5 (full test suite, corpus replay by name)
+#   race   — stages 6-8 (race-detector passes, fuzz-seed replays,
+#            gccheckmark smoke)
+#   serve  — stage 9 (end-to-end daemon gate)
+#
+# The stages:
 #   1. a gofmt gate (fails listing any unformatted file);
 #   2. go vet over every package, once per build configuration;
 #   3. the full build;
@@ -20,7 +29,10 @@
 #      change — plus a -race replay of the committed fuzz seed corpus
 #      against the parallel configurations at four workers (race builds
 #      force at least two concurrent merge appliers, so the
-#      destination-sharded merge runs concurrently even on one CPU);
+#      destination-sharded merge runs concurrently even on one CPU) and
+#      against the offline HVN/HU value-numbering tiers, so every seed
+#      that ever broke a solver also pins the reduction passes as
+#      solution-preserving;
 #   7. a GODEBUG=gccheckmark=1 smoke run of the pool and COW tests:
 #      checkmark mode re-marks the heap after every GC cycle and aborts
 #      on any object the concurrent mark missed, so a pooled element
@@ -43,6 +55,18 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+stage="${1:-all}"
+case "$stage" in
+all | static | test | race | serve) ;;
+*)
+	echo "usage: check.sh [all|static|test|race|serve]" >&2
+	exit 2
+	;;
+esac
+want() {
+	[ "$stage" = all ] || [ "$stage" = "$1" ]
+}
+
 # Read-only checkouts (some CI runners mount the workspace or the
 # default cache location read-only) would otherwise fail inside the go
 # tool with a confusing error. If the build cache is not writable,
@@ -58,80 +82,91 @@ else
 	echo "==> build cache $gocache is read-only; using GOCACHE=$GOCACHE"
 fi
 
-echo "==> gofmt -l ."
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-	echo "gofmt: the following files need formatting:" >&2
-	echo "$unformatted" >&2
-	exit 1
-fi
-
-echo "==> go vet ./..."
-go vet ./...
-# Build configurations beyond the default. The race tag gates the
-# forced-concurrent-merge constant in internal/core (race_on.go).
-extra_tags="race"
-for tags in $extra_tags; do
-	echo "==> go vet -tags $tags ./..."
-	go vet -tags "$tags" ./...
-done
-
-echo "==> go build ./..."
-go build ./...
-
-echo "==> go test ./..."
-go test ./...
-
-echo "==> go test -run 'TestCorpus|TestHCDRegressionSeed' -count=1 ./internal/oracle ./internal/hcd ./internal/core"
-go test -run 'TestCorpus|TestHCDRegressionSeed' -count=1 ./internal/oracle ./internal/hcd ./internal/core
-
-echo "==> go test -race -short ./internal/par ./internal/core ./internal/worklist ./internal/metrics"
-go test -race -short ./internal/par ./internal/core ./internal/worklist ./internal/metrics
-
-echo "==> go test -race -count=1 -run TestFuzzSeedsParallel ./internal/oracle"
-go test -race -count=1 -run TestFuzzSeedsParallel ./internal/oracle
-
-echo "==> GODEBUG=gccheckmark=1 go test -count=1 -run 'TestPool|TestPooled|TestCursor|TestCOW|TestRelease|TestDedup' ./internal/bitmap ./internal/pts"
-GODEBUG=gccheckmark=1 go test -count=1 -run 'TestPool|TestPooled|TestCursor|TestCOW|TestRelease|TestDedup' ./internal/bitmap ./internal/pts
-
-echo "==> go test -race -short -count=1 -run 'TestSession|TestServe|TestLoad' . ./internal/serve"
-go test -race -short -count=1 -run 'TestSession|TestServe|TestLoad' . ./internal/serve
-
-echo "==> serve stage: antserve + antload gate"
-servedir=$(mktemp -d "${TMPDIR:-/tmp}/antgrass-serve.XXXXXX")
-servepid=""
-cleanup_serve() {
-	if [ -n "$servepid" ]; then
-		kill "$servepid" 2>/dev/null || true
-		wait "$servepid" 2>/dev/null || true
-	fi
-	rm -rf "$servedir"
-	if [ -n "${tmpcache:-}" ]; then
-		rm -rf "$tmpcache"
-	fi
-}
-# Replaces the earlier throwaway-GOCACHE trap, so it also removes
-# $tmpcache when that branch was taken.
-trap cleanup_serve EXIT INT TERM
-go build -o "$servedir/antserve" ./cmd/antserve
-go build -o "$servedir/antload" ./cmd/antload
-"$servedir/antserve" -workload emacs -scale 0.05 -hcd \
-	-addr 127.0.0.1:0 -addrfile "$servedir/addr" >"$servedir/antserve.log" 2>&1 &
-servepid=$!
-# Wait for the listener (the addrfile appears once bound).
-i=0
-while [ ! -s "$servedir/addr" ]; do
-	i=$((i + 1))
-	if [ "$i" -gt 100 ]; then
-		echo "antserve did not come up; log follows:" >&2
-		cat "$servedir/antserve.log" >&2
+if want static; then
+	echo "==> gofmt -l ."
+	unformatted=$(gofmt -l .)
+	if [ -n "$unformatted" ]; then
+		echo "gofmt: the following files need formatting:" >&2
+		echo "$unformatted" >&2
 		exit 1
 	fi
-	sleep 0.1
-done
-"$servedir/antload" -addrfile "$servedir/addr" -duration 3s -readers 64 -updates 250ms -gate
-kill "$servepid" 2>/dev/null || true
-wait "$servepid" 2>/dev/null || true
-servepid=""
+
+	echo "==> go vet ./..."
+	go vet ./...
+	# Build configurations beyond the default. The race tag gates the
+	# forced-concurrent-merge constant in internal/core (race_on.go).
+	extra_tags="race"
+	for tags in $extra_tags; do
+		echo "==> go vet -tags $tags ./..."
+		go vet -tags "$tags" ./...
+	done
+
+	echo "==> go build ./..."
+	go build ./...
+fi
+
+if want test; then
+	echo "==> go test ./..."
+	go test ./...
+
+	echo "==> go test -run 'TestCorpus|TestHCDRegressionSeed' -count=1 ./internal/oracle ./internal/hcd ./internal/core"
+	go test -run 'TestCorpus|TestHCDRegressionSeed' -count=1 ./internal/oracle ./internal/hcd ./internal/core
+fi
+
+if want race; then
+	echo "==> go test -race -short ./internal/par ./internal/core ./internal/worklist ./internal/metrics"
+	go test -race -short ./internal/par ./internal/core ./internal/worklist ./internal/metrics
+
+	echo "==> go test -race -count=1 -run TestFuzzSeedsParallel ./internal/oracle"
+	go test -race -count=1 -run TestFuzzSeedsParallel ./internal/oracle
+
+	echo "==> go test -race -count=1 -run TestFuzzSeedsOffline ./internal/oracle"
+	go test -race -count=1 -run TestFuzzSeedsOffline ./internal/oracle
+
+	echo "==> GODEBUG=gccheckmark=1 go test -count=1 -run 'TestPool|TestPooled|TestCursor|TestCOW|TestRelease|TestDedup' ./internal/bitmap ./internal/pts"
+	GODEBUG=gccheckmark=1 go test -count=1 -run 'TestPool|TestPooled|TestCursor|TestCOW|TestRelease|TestDedup' ./internal/bitmap ./internal/pts
+
+	echo "==> go test -race -short -count=1 -run 'TestSession|TestServe|TestLoad' . ./internal/serve"
+	go test -race -short -count=1 -run 'TestSession|TestServe|TestLoad' . ./internal/serve
+fi
+
+if want serve; then
+	echo "==> serve stage: antserve + antload gate"
+	servedir=$(mktemp -d "${TMPDIR:-/tmp}/antgrass-serve.XXXXXX")
+	servepid=""
+	cleanup_serve() {
+		if [ -n "$servepid" ]; then
+			kill "$servepid" 2>/dev/null || true
+			wait "$servepid" 2>/dev/null || true
+		fi
+		rm -rf "$servedir"
+		if [ -n "${tmpcache:-}" ]; then
+			rm -rf "$tmpcache"
+		fi
+	}
+	# Replaces the earlier throwaway-GOCACHE trap, so it also removes
+	# $tmpcache when that branch was taken.
+	trap cleanup_serve EXIT INT TERM
+	go build -o "$servedir/antserve" ./cmd/antserve
+	go build -o "$servedir/antload" ./cmd/antload
+	"$servedir/antserve" -workload emacs -scale 0.05 -hcd \
+		-addr 127.0.0.1:0 -addrfile "$servedir/addr" >"$servedir/antserve.log" 2>&1 &
+	servepid=$!
+	# Wait for the listener (the addrfile appears once bound).
+	i=0
+	while [ ! -s "$servedir/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "antserve did not come up; log follows:" >&2
+			cat "$servedir/antserve.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	"$servedir/antload" -addrfile "$servedir/addr" -duration 3s -readers 64 -updates 250ms -gate
+	kill "$servepid" 2>/dev/null || true
+	wait "$servepid" 2>/dev/null || true
+	servepid=""
+fi
 
 echo "OK"

@@ -9,7 +9,6 @@ import (
 
 	"antgrass/internal/constraint"
 	"antgrass/internal/core"
-	"antgrass/internal/ovs"
 	"antgrass/internal/pts"
 )
 
@@ -239,8 +238,9 @@ func (sn *Snapshot) Alias(a, b VarID) bool {
 // the result) concurrently with an in-flight update — readers always see
 // the last published epoch, never a partial solution.
 //
-// When the configuration supports it (Naive or LCD, bitmap sets, no OVS,
-// sequential — see the DESIGN.md incremental-analysis section), a
+// When the configuration supports it (Naive or LCD, bitmap sets, no
+// offline substitution pass — HVN/HU/OVS — and sequential; see the
+// DESIGN.md incremental-analysis section), a
 // monotone update (only additions) re-seeds the worklist with the
 // constraints it touches and resumes the warm fixpoint, which is the
 // whole point of keeping the session resident. Every other case — any
@@ -255,7 +255,7 @@ type Session struct {
 	mu       sync.Mutex // serializes updates and guards the fields below
 	prog     *Program   // session-owned (cloned at NewSession)
 	live     *core.Live // warm solver state; nil when not resumable or tainted
-	ovsStats *ovs.Result
+	offline  offlineStats
 	epoch    uint64
 	resumed  int64 // updates absorbed by resuming the fixpoint
 	replayed int64 // updates that replayed from scratch
@@ -265,14 +265,16 @@ type Session struct {
 }
 
 // resumableConfig reports whether o supports in-place monotone resumption
-// (see Session). OVS is excluded because its offline variable
-// substitutions are equivalences of the *current* program: an added
-// constraint can separate two substituted variables, so pre-unions taken
-// at epoch 1 would over-collapse later epochs.
+// (see Session). The offline substitution passes (HVN, HU, OVS) are
+// excluded because their variable substitutions are equivalences of the
+// *current* program: an added constraint can separate two substituted
+// variables, so pre-unions taken at epoch 1 would over-collapse later
+// epochs. Updates under these configurations replay from scratch (and
+// re-run the offline pipeline on the edited program).
 func resumableConfig(o Options) bool {
 	algOK := o.Algorithm == "" || o.Algorithm == Naive || o.Algorithm == LCD
 	ptsOK := o.Pts == "" || o.Pts == Bitmap
-	return algOK && ptsOK && !o.OVS && o.Workers < 2
+	return algOK && ptsOK && !o.HVN && !o.HU && !o.OVS && o.Workers < 2
 }
 
 // coreLiveOptions translates o for core.NewLive.
@@ -317,11 +319,11 @@ func newSession(ctx context.Context, p *Program, o Options) (*Session, error) {
 		s.live = live
 		s.publish(live.Result())
 	} else {
-		inner, ovsStats, err := solveOnce(ctx, p, o)
+		inner, off, err := solveOnce(ctx, p, o)
 		if err != nil {
 			return nil, err
 		}
-		s.ovsStats = ovsStats
+		s.offline = off
 		s.publish(inner)
 	}
 	return s, nil
@@ -349,9 +351,9 @@ func (s *Session) Snapshot() *Snapshot { return s.cur.Load() }
 // one-shot entry points.
 func (s *Session) Result() *Result {
 	s.mu.Lock()
-	ovsStats := s.ovsStats
+	off := s.offline
 	s.mu.Unlock()
-	return &Result{snap: s.Snapshot(), OVSStats: ovsStats}
+	return &Result{snap: s.Snapshot(), OVSStats: off.ovs, HVNStats: off.hvn, HUStats: off.hu}
 }
 
 // Epoch returns the latest published epoch number.
@@ -469,11 +471,11 @@ func (s *Session) Update(ctx context.Context, d Delta) (*Snapshot, error) {
 		s.replayed++
 		return s.publish(live.Result()), nil
 	default:
-		inner, ovsStats, err := solveOnce(ctx, s.prog, s.opts)
+		inner, off, err := solveOnce(ctx, s.prog, s.opts)
 		if err != nil {
 			return nil, err
 		}
-		s.ovsStats = ovsStats
+		s.offline = off
 		s.replayed++
 		return s.publish(inner), nil
 	}

@@ -18,14 +18,17 @@ import (
 // non-resumable configurations that must transparently replay.
 func sessionConfigs() map[string]Options {
 	return map[string]Options{
-		"naive":        {Algorithm: Naive},
-		"lcd":          {Algorithm: LCD},
-		"lcd+hcd":      {Algorithm: LCD, HCD: true},
-		"naive+diff":   {Algorithm: Naive, DiffProp: true},
-		"lcd+hcd+diff": {Algorithm: LCD, HCD: true, DiffProp: true},
-		"ovs (replay)": {Algorithm: LCD, OVS: true},
-		"ht (replay)":  {Algorithm: HT},
-		"parallel 2w":  {Algorithm: LCD, Workers: 2},
+		"naive":               {Algorithm: Naive},
+		"lcd":                 {Algorithm: LCD},
+		"lcd+hcd":             {Algorithm: LCD, HCD: true},
+		"naive+diff":          {Algorithm: Naive, DiffProp: true},
+		"lcd+hcd+diff":        {Algorithm: LCD, HCD: true, DiffProp: true},
+		"ovs (replay)":        {Algorithm: LCD, OVS: true},
+		"hvn (replay)":        {Algorithm: LCD, HVN: true},
+		"hvn+hu (replay)":     {Algorithm: LCD, HVN: true, HU: true},
+		"hvn+hu+ovs (replay)": {Algorithm: LCD, HVN: true, HU: true, OVS: true, HCD: true},
+		"ht (replay)":         {Algorithm: HT},
+		"parallel 2w":         {Algorithm: LCD, Workers: 2},
 	}
 }
 
