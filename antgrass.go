@@ -36,6 +36,7 @@ import (
 	"antgrass/internal/cgen"
 	"antgrass/internal/constraint"
 	"antgrass/internal/core"
+	"antgrass/internal/gogen"
 	"antgrass/internal/hcd"
 	"antgrass/internal/hvn"
 	"antgrass/internal/metrics"
@@ -362,6 +363,21 @@ func CompileC(src string, opts CGenOptions) (*Unit, error) {
 // Deprecated: CompileC now takes the options struct directly.
 func CompileCWith(src string, opts CGenOptions) (*Unit, error) {
 	return CompileC(src, opts)
+}
+
+// GoOptions configures the Go front-end: a module directory and/or an
+// explicit package list (standard-library import paths resolve under
+// GOROOT). See internal/gogen and docs/GOFRONTEND.md.
+type GoOptions = gogen.Options
+
+// CompileGo parses and typechecks Go packages with the standard
+// library's go/ast + go/types and generates their inclusion constraints
+// under the field-insensitive v1 model specified in docs/GOFRONTEND.md.
+// The returned Unit is the same interchange CompileC produces, so every
+// solver, offline tier, and client (CallGraph, ComputeModRef, Session)
+// runs on real Go code unchanged.
+func CompileGo(opts GoOptions) (*Unit, error) {
+	return gogen.Compile(opts)
 }
 
 // ReadProgram parses the text constraint-file format.

@@ -55,6 +55,9 @@ func main() {
 	serveLoad := flag.Bool("serve", false, "with -json: also measure the analysis-as-a-service query path (QPS, p50/p99 latency per workload)")
 	serveReaders := flag.Int("serve-readers", 64, "concurrent readers for -serve")
 	serveDuration := flag.Duration("serve-duration", 2*time.Second, "storm duration per workload for -serve")
+	goFrontend := flag.Bool("go", false, "measure the real-Go front-end cells (module at -go-dir plus, with -go-std, the pinned stdlib set); with -json they land in the go_frontend section")
+	goDir := flag.String("go-dir", ".", "module directory for the -go self cell (empty = skip)")
+	goStd := flag.Bool("go-std", true, "with -go: include the pinned stdlib package cell")
 	list := flag.Bool("list", false, "list the synthetic workload catalog and exit")
 	flag.Parse()
 	if *list {
@@ -109,6 +112,9 @@ func main() {
 		// fixpoint), so every report carries it; benchdiff gates on the
 		// HVN+HU win beyond OVS-only.
 		rep.Offline = h.OfflineRuns(names)
+		if *goFrontend {
+			rep.GoFrontend = h.GoFrontendRuns(*goDir, *goStd)
+		}
 		path := *outPath
 		if path == "" {
 			path = "BENCH_" + now.UTC().Format("20060102T150405Z") + ".json"
@@ -129,6 +135,13 @@ func main() {
 		}
 		fmt.Fprintf(out, "wrote %s (%d runs)\n", path, len(rep.Runs))
 		return
+	}
+
+	if *goFrontend {
+		h.GoFrontendTable(out, *goDir, *goStd)
+		if *table == 0 && *figure == 0 && !*stats && !*ablations && !*precision && !*all && *workers == 0 {
+			return
+		}
 	}
 
 	if *workers > 0 {

@@ -8,11 +8,12 @@
 //
 //	antserve [-addr host:port] [-addrfile f]
 //	         [-alg lcd] [-hcd] [-hvn] [-hu] [-diff] [-workers n]
-//	         (-f file.constraints | -c file.c | -workload name [-scale s])
+//	         (-f file.constraints | -c file.c | -go module-dir | -workload name [-scale s])
 //
 // Exactly one input source is required. -c compiles a C translation
-// unit, which additionally enables the /v1/query/callgraph and
-// /v1/query/modref endpoints (they need the unit's call-site tables).
+// unit and -go a real Go module (docs/GOFRONTEND.md); both additionally
+// enable the /v1/query/callgraph and /v1/query/modref endpoints (they
+// need the unit's call-site tables).
 // -addr defaults to 127.0.0.1:7970; ":0" picks a free port. -addrfile
 // writes the actually-bound address to a file once the listener is up,
 // so scripts (scripts/check.sh) can discover a dynamically chosen port.
@@ -42,6 +43,7 @@ func main() {
 	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening")
 	file := flag.String("f", "", "constraint file in the antgrass text format")
 	cfile := flag.String("c", "", "C source file (enables callgraph/modref endpoints)")
+	godir := flag.String("go", "", "Go module directory to analyze (enables callgraph/modref endpoints)")
 	workload := flag.String("workload", "", "synthetic workload name (see antsolve -list)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	alg := flag.String("alg", "lcd", "algorithm: naive, lcd, ht, pkh, pkw, blq")
@@ -53,13 +55,13 @@ func main() {
 	flag.Parse()
 
 	sources := 0
-	for _, s := range []string{*file, *cfile, *workload} {
+	for _, s := range []string{*file, *cfile, *godir, *workload} {
 		if s != "" {
 			sources++
 		}
 	}
 	if sources != 1 {
-		fmt.Fprintln(os.Stderr, "usage: antserve (-f file | -c file.c | -workload name) [flags]")
+		fmt.Fprintln(os.Stderr, "usage: antserve (-f file | -c file.c | -go dir | -workload name) [flags]")
 		os.Exit(2)
 	}
 
@@ -84,6 +86,16 @@ func main() {
 		unit, err = antgrass.CompileC(string(src), antgrass.CGenOptions{})
 		if err != nil {
 			fatal(err)
+		}
+		prog = unit.Prog
+	case *godir != "":
+		var err error
+		unit, err = antgrass.CompileGo(antgrass.GoOptions{Dir: *godir})
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range unit.Warnings {
+			fmt.Fprintln(os.Stderr, "antserve: warning:", w)
 		}
 		prog = unit.Prog
 	default:

@@ -39,6 +39,16 @@ type DiffOptions struct {
 	// host-independent. 0 disables it; benches without offline
 	// measurements on either side are exempt.
 	OfflineThresholdPercent float64
+	// GoThresholdPercent is the absolute relative change in a matched
+	// go_frontend cell's constraint count or call-graph edge count above
+	// which the cell counts as a regression. The gate is count-based and
+	// host-independent (no wall clock), but deliberately loose by
+	// default: real-Go constraint counts shift between Go toolchain
+	// releases. A matched cell of the NEW report with a front-end error
+	// or an empty call graph always fails regardless of the threshold.
+	// 0 disables the drift gate (the error/empty checks still apply);
+	// cells missing on either side are exempt.
+	GoThresholdPercent float64
 	// MergeShareMax fails any parallel run (workers > 0) of the NEW
 	// report whose merge_ns/(merge_ns+compute_ns) exceeds this fraction:
 	// the merge is the sequential-coupling phase of the wave engine, and
@@ -105,6 +115,23 @@ type OfflineDiffEntry struct {
 	Why                 []string `json:"why,omitempty"`
 }
 
+// GoDiffEntry compares one go_frontend cell present in both reports.
+type GoDiffEntry struct {
+	Key string `json:"key"`
+	// OldConstraints / NewConstraints are the total generated constraint
+	// counts; OldEdges / NewEdges the resolved call-graph edge counts.
+	OldConstraints int `json:"old_constraints"`
+	NewConstraints int `json:"new_constraints"`
+	OldEdges       int `json:"old_edges"`
+	NewEdges       int `json:"new_edges"`
+	// ConstraintDeltaPercent / EdgeDeltaPercent are relative changes
+	// (positive = grew).
+	ConstraintDeltaPercent float64  `json:"constraint_delta_percent"`
+	EdgeDeltaPercent       float64  `json:"edge_delta_percent"`
+	Regression             bool     `json:"regression"`
+	Why                    []string `json:"why,omitempty"`
+}
+
 // DiffResult is the outcome of comparing two reports.
 type DiffResult struct {
 	Entries []DiffEntry `json:"entries"`
@@ -116,6 +143,9 @@ type DiffResult struct {
 	// in both reports (matched by bench). Empty when either report
 	// predates the offline section.
 	OfflineEntries []OfflineDiffEntry `json:"offline_entries,omitempty"`
+	// GoEntries compares go_frontend cells present in both reports
+	// (matched by bench). Empty when either report lacks the section.
+	GoEntries []GoDiffEntry `json:"go_entries,omitempty"`
 	// MissingInNew lists run keys present in the old report only —
 	// a silently dropped benchmark is itself a CI failure.
 	MissingInNew []string `json:"missing_in_new,omitempty"`
@@ -258,7 +288,61 @@ func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
 		}
 		res.OfflineEntries = append(res.OfflineEntries, e)
 	}
+
+	// Go front-end cells: count-based and host-independent. A matched new
+	// cell with a front-end/solve error or an empty call graph always
+	// fails; count drift beyond GoThresholdPercent (in either direction —
+	// a large drop means the generator stopped covering constructs, a
+	// large rise means a blowup) fails when the gate is enabled.
+	goNew := map[string]GoFrontendRun{}
+	for _, r := range new.GoFrontend {
+		goNew[r.Key()] = r
+	}
+	for _, o := range old.GoFrontend {
+		n, ok := goNew[o.Key()]
+		if !ok || o.Error != "" {
+			continue
+		}
+		oldTotal := o.Addr + o.Copy + o.Load + o.Store
+		newTotal := n.Addr + n.Copy + n.Load + n.Store
+		e := GoDiffEntry{
+			Key:            o.Key(),
+			OldConstraints: oldTotal, NewConstraints: newTotal,
+			OldEdges: o.CallEdges, NewEdges: n.CallEdges,
+		}
+		if n.Error != "" {
+			e.Why = append(e.Why, "error")
+		} else if n.CallEdges == 0 {
+			e.Why = append(e.Why, "empty-callgraph")
+		}
+		if oldTotal > 0 {
+			e.ConstraintDeltaPercent = (float64(newTotal) - float64(oldTotal)) / float64(oldTotal) * 100
+		}
+		if o.CallEdges > 0 {
+			e.EdgeDeltaPercent = (float64(n.CallEdges) - float64(o.CallEdges)) / float64(o.CallEdges) * 100
+		}
+		if opts.GoThresholdPercent > 0 && n.Error == "" {
+			if abs(e.ConstraintDeltaPercent) > opts.GoThresholdPercent {
+				e.Why = append(e.Why, "constraint-drift")
+			}
+			if abs(e.EdgeDeltaPercent) > opts.GoThresholdPercent {
+				e.Why = append(e.Why, "call-edge-drift")
+			}
+		}
+		if len(e.Why) > 0 {
+			e.Regression = true
+			res.Regressions++
+		}
+		res.GoEntries = append(res.GoEntries, e)
+	}
 	return res
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // Print renders the diff as a human-readable table.
@@ -320,6 +404,23 @@ func (d *DiffResult) Print(w io.Writer) {
 			}
 			fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%+.1f%%\t%s\n",
 				e.Key, e.OldExtraPercent, e.NewExtraPercent, e.RelativeDropPercent, verdict)
+		}
+		tw.Flush()
+	}
+	if len(d.GoEntries) > 0 {
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "go cell\tconstraints\tdelta\tcall edges\tdelta\t\n")
+		for _, e := range d.GoEntries {
+			verdict := ""
+			if e.Regression {
+				verdict = "REGRESSION"
+				for _, why := range e.Why {
+					verdict += " " + why
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%d→%d\t%+.1f%%\t%d→%d\t%+.1f%%\t%s\n",
+				e.Key, e.OldConstraints, e.NewConstraints, e.ConstraintDeltaPercent,
+				e.OldEdges, e.NewEdges, e.EdgeDeltaPercent, verdict)
 		}
 		tw.Flush()
 	}

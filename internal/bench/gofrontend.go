@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"antgrass"
+	"antgrass/internal/olf"
+	"antgrass/internal/steens"
+)
+
+// StdlibPackages is the pinned standard-library package set used for the
+// stdlib-scale go_frontend bench cell: pointer-rich, cgo-free packages
+// totalling several hundred KLoC, chosen once so constraint counts are
+// comparable across runs on the same toolchain. (Counts still shift
+// between Go releases — the benchdiff gate is deliberately loose and
+// host-independent: relative counts, not wall clock.)
+var StdlibPackages = []string{
+	"bufio", "bytes", "container/heap", "container/list", "container/ring",
+	"context", "encoding/json", "errors", "flag", "fmt", "go/ast",
+	"go/scanner", "go/token", "io", "net/url", "os", "path",
+	"path/filepath", "regexp", "regexp/syntax", "sort", "strconv",
+	"strings", "sync", "text/template", "time", "unicode",
+}
+
+// GoFrontendRun records one real-Go analysis cell for the bench report's
+// go_frontend section: constraint generation counts, solve time, the
+// resolved call graph size, and the precision comparison against the
+// Steensgaard/OLF baselines on the same constraints. Counts are
+// deterministic per (toolchain, source tree); times are informational.
+type GoFrontendRun struct {
+	// Bench is the cell name ("self", "stdlib").
+	Bench string `json:"bench"`
+	// Target describes what was analyzed (module dir or package count).
+	Target string `json:"target"`
+	// Packages is the number of target packages analyzed.
+	Packages int `json:"packages"`
+	// Funcs counts function objects (declared + externs + closures).
+	Funcs int `json:"funcs"`
+	// Vars is the constraint-variable universe size.
+	Vars int `json:"vars"`
+	// Addr/Copy/Load/Store are the Table-2-style constraint counts.
+	Addr  int `json:"addr"`
+	Copy  int `json:"copy"`
+	Load  int `json:"load"`
+	Store int `json:"store"`
+	// FullAfter is the constraint count after the HVN→HU→OVS stack.
+	FullAfter int `json:"full_after"`
+	// GenSeconds is parse+typecheck+generate wall time; SolveSeconds the
+	// lcd+hcd solve (offline tiers included).
+	GenSeconds   float64 `json:"gen_seconds"`
+	SolveSeconds float64 `json:"solve_seconds"`
+	// CallSites / CallEdges / IndirectEdges size the resolved call graph
+	// (the acceptance gate: CallEdges must be non-zero).
+	CallSites     int `json:"call_sites"`
+	CallEdges     int `json:"call_edges"`
+	IndirectEdges int `json:"indirect_edges"`
+	// AndersenAvg / OLFAvg / SteensAvg are average non-empty points-to
+	// set sizes: the precision comparison on real code (lower = more
+	// precise; Andersen ≤ OLF ≤ Steensgaard pointwise).
+	AndersenAvg float64 `json:"andersen_avg"`
+	OLFAvg      float64 `json:"olf_avg"`
+	SteensAvg   float64 `json:"steens_avg"`
+	// Warnings counts front-end diagnostics (should be 0 for the pinned
+	// cells).
+	Warnings int `json:"warnings"`
+	// Error is the front-end or solver error, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// Key identifies a go_frontend run for cross-report matching.
+func (r GoFrontendRun) Key() string { return "go/" + r.Bench }
+
+// GoFrontendRuns measures the real-Go cells: the module at moduleDir
+// (cell "self", usually this repository; skipped when empty) and the
+// pinned StdlibPackages set (cell "stdlib"; skipped unless stdlib).
+func (h *Harness) GoFrontendRuns(moduleDir string, stdlib bool) []GoFrontendRun {
+	var runs []GoFrontendRun
+	if moduleDir != "" {
+		runs = append(runs, h.goFrontendRun("self", antgrass.GoOptions{Dir: moduleDir}))
+	}
+	if stdlib {
+		runs = append(runs, h.goFrontendRun("stdlib", antgrass.GoOptions{Packages: StdlibPackages}))
+	}
+	return runs
+}
+
+// goFrontendRun measures one cell end to end: generate, solve with
+// lcd+hcd behind the full offline stack, resolve the call graph, and
+// solve the same constraints with the OLF and Steensgaard baselines for
+// the precision columns.
+func (h *Harness) goFrontendRun(name string, opts antgrass.GoOptions) GoFrontendRun {
+	run := GoFrontendRun{Bench: name}
+	if opts.Dir != "" {
+		run.Target = opts.Dir
+	} else {
+		run.Target = fmt.Sprintf("%d stdlib packages", len(opts.Packages))
+	}
+	genStart := time.Now()
+	unit, err := antgrass.CompileGo(opts)
+	run.GenSeconds = time.Since(genStart).Seconds()
+	if err != nil {
+		run.Error = err.Error()
+		return run
+	}
+	run.Packages = len(opts.Packages)
+	if opts.Dir != "" {
+		run.Packages = 0 // whole module; package count not pinned
+	}
+	run.Funcs = len(unit.Funcs)
+	run.Vars = unit.Prog.NumVars
+	run.Addr, run.Copy, run.Load, run.Store = unit.Prog.Counts()
+	run.CallSites = len(unit.CallSites)
+	run.Warnings = len(unit.Warnings)
+
+	solveStart := time.Now()
+	res, err := antgrass.Solve(context.Background(), unit.Prog, antgrass.Options{
+		Algorithm: antgrass.LCD, HCD: true, HVN: true, HU: true, OVS: true,
+	})
+	run.SolveSeconds = time.Since(solveStart).Seconds()
+	if err != nil {
+		run.Error = err.Error()
+		return run
+	}
+	if res.OVSStats != nil {
+		run.FullAfter = res.OVSStats.After
+	}
+	edges := antgrass.CallGraph(unit, res)
+	run.CallEdges = len(edges)
+	for _, e := range edges {
+		if e.Indirect {
+			run.IndirectEdges++
+		}
+	}
+	total, cnt := 0, 0
+	for v := uint32(0); v < uint32(unit.Prog.NumVars); v++ {
+		if n := res.PointsToLen(v); n > 0 {
+			total += n
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		run.AndersenAvg = float64(total) / float64(cnt)
+	}
+	if o, err := olf.Solve(unit.Prog); err == nil {
+		run.OLFAvg = o.AvgSetSize()
+	}
+	if s, err := steens.Solve(unit.Prog); err == nil {
+		run.SteensAvg = s.AvgSetSize()
+	}
+	h.logf("  go %-8s gen %6.2fs solve %6.2fs  %7d constraints -> %6d  %6d call edges (%d indirect)  avg %.1f/%.1f/%.1f\n",
+		name, run.GenSeconds, run.SolveSeconds, run.Addr+run.Copy+run.Load+run.Store,
+		run.FullAfter, run.CallEdges, run.IndirectEdges, run.AndersenAvg, run.OLFAvg, run.SteensAvg)
+	return run
+}
+
+// GoFrontendTable prints the real-Go cells as a human-readable table.
+func (h *Harness) GoFrontendTable(w io.Writer, moduleDir string, stdlib bool) {
+	fmt.Fprintln(w, "Go front end (field-insensitive v1, docs/GOFRONTEND.md)")
+	for _, r := range h.GoFrontendRuns(moduleDir, stdlib) {
+		if r.Error != "" {
+			fmt.Fprintf(w, "  %-8s ERROR %s\n", r.Bench, r.Error)
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s %-24s %7d vars %7d constraints (->%d after offline) gen %5.2fs solve %5.2fs\n",
+			r.Bench, r.Target, r.Vars, r.Addr+r.Copy+r.Load+r.Store, r.FullAfter, r.GenSeconds, r.SolveSeconds)
+		fmt.Fprintf(w, "           callgraph %d edges (%d indirect) from %d sites; avg pts size and %.2f / olf %.2f / steens %.2f\n",
+			r.CallEdges, r.IndirectEdges, r.CallSites, r.AndersenAvg, r.OLFAvg, r.SteensAvg)
+	}
+	fmt.Fprintln(w)
+}

@@ -44,6 +44,13 @@ type Report struct {
 	// schema stays 1, and benchdiff's offline gate applies only to
 	// benches present in both reports.
 	Offline []OfflineRun `json:"offline,omitempty"`
+	// GoFrontend holds the real-Go analysis cells (this repository and
+	// the pinned stdlib set) produced by antbench -go: generation and
+	// solve times, constraint counts, call-graph size and the precision
+	// comparison. Additive: absent unless -go ran, schema stays 1, and
+	// benchdiff's count-based gate applies only to cells present in both
+	// reports.
+	GoFrontend []GoFrontendRun `json:"go_frontend,omitempty"`
 }
 
 // Host describes the machine and toolchain, so regressions can be told

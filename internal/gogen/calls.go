@@ -1,0 +1,358 @@
+package gogen
+
+import (
+	"go/ast"
+	"go/types"
+
+	"antgrass/internal/cgen"
+	"antgrass/internal/constraint"
+)
+
+// trackIndirect records the argument count of an indirect call so
+// finalize can keep every ParamOffset+i within the maximum span.
+func (g *generator) trackIndirect(nargs int) {
+	if nargs > g.maxIndirectArgs {
+		g.maxIndirectArgs = nargs
+	}
+}
+
+// genCall dispatches a call expression: conversion, builtin, direct call,
+// or indirect call (function values, interface methods).
+func (g *generator) genCall(e *ast.CallExpr) uint32 {
+	fun := ast.Unparen(e.Fun)
+
+	// Type conversion T(x).
+	if tv, ok := g.info.Types[e.Fun]; ok && tv.IsType() {
+		return g.genConversion(e)
+	}
+
+	// Builtin (new, make, append, ...).
+	if obj := calleeObject(g.info, fun); obj != nil {
+		if b, ok := obj.(*types.Builtin); ok {
+			return g.genBuiltin(e, b.Name())
+		}
+	}
+
+	// Direct call: a named function or a concrete method.
+	if m, recvExpr := g.directCallee(fun); m != nil {
+		return g.genDirectCall(e, m, recvExpr)
+	}
+
+	// Interface method call i.M(...): the interface variable itself holds
+	// the function objects bound at conversion sites, so the call is
+	// indirect through the interface value (rule call-iface; receivers
+	// were bound at the conversions).
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := g.info.Selections[sel]; ok && s.Kind() == types.MethodVal && isInterface(g.typeOf(sel.X)) {
+			fp := g.genExpr(sel.X)
+			return g.genIndirectCall(e, fp)
+		}
+	}
+
+	// Everything else calls through a value: a func-typed variable or
+	// field, a closure value, or the result of another call — all the
+	// same indirect form.
+	fp := g.genExpr(e.Fun)
+	return g.genIndirectCall(e, fp)
+}
+
+// calleeObject resolves the object named by a call's fun expression.
+func calleeObject(info *types.Info, fun ast.Expr) types.Object {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	case *ast.IndexExpr: // generic instantiation F[T](...)
+		return calleeObject(info, ast.Unparen(fun.X))
+	case *ast.IndexListExpr:
+		return calleeObject(info, ast.Unparen(fun.X))
+	}
+	return nil
+}
+
+// directCallee returns the statically-known callee of fun, plus the
+// receiver expression for concrete method calls. Interface method calls
+// return nil (they dispatch through the interface variable).
+func (g *generator) directCallee(fun ast.Expr) (*types.Func, ast.Expr) {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if f, ok := g.info.Uses[fun].(*types.Func); ok {
+			return f, nil
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := g.info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil, nil
+			}
+			if isInterface(g.typeOf(fun.X)) {
+				return nil, nil // interface dispatch: indirect
+			}
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f, fun.X
+			}
+			return nil, nil
+		}
+		// Qualified pkg.F.
+		if f, ok := g.info.Uses[fun.Sel].(*types.Func); ok {
+			return f, nil
+		}
+	case *ast.IndexExpr:
+		return g.directCallee(ast.Unparen(fun.X))
+	case *ast.IndexListExpr:
+		return g.directCallee(ast.Unparen(fun.X))
+	}
+	return nil, nil
+}
+
+// callSignature returns the callee's (instantiated, when generic)
+// signature, or nil.
+func (g *generator) callSignature(e *ast.CallExpr) *types.Signature {
+	if tv, ok := g.info.Types[e.Fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// bindArgs flows the call's arguments into parameter slots via slot(i),
+// handling variadic packing: extra arguments collapse into a fresh
+// backing object whose address feeds the variadic slot; an ellipsis call
+// passes the slice through unchanged (rules call-args, variadic).
+func (g *generator) bindArgs(e *ast.CallExpr, sig *types.Signature, slot func(i int, pt, at types.Type, v uint32)) {
+	nparams := -1
+	var variadic bool
+	if sig != nil {
+		nparams = sig.Params().Len()
+		variadic = sig.Variadic()
+	}
+	paramType := func(i int) types.Type {
+		if sig == nil || i >= nparams {
+			return nil
+		}
+		return sig.Params().At(i).Type()
+	}
+	packInto := noVar
+	for i, arg := range e.Args {
+		v := g.genExpr(arg)
+		at := g.typeOf(arg)
+		if variadic && e.Ellipsis == 0 && i >= nparams-1 {
+			// Pack into the varargs backing object.
+			if packInto == noVar {
+				packInto = g.object("varargs", e.Lparen)
+				t := g.temp()
+				g.prog.AddAddrOf(t, packInto)
+				slot(nparams-1, paramType(nparams-1), nil, t)
+			}
+			if v != g.voidVar {
+				var et types.Type
+				if pt := paramType(nparams - 1); pt != nil {
+					et = elemTypeOf(pt)
+				}
+				g.assignTo(packInto, et, v, at)
+			}
+			continue
+		}
+		pi := i
+		if nparams >= 0 && pi >= nparams {
+			pi = nparams - 1 // spread of a multi-value call; collapse
+		}
+		if pi < 0 {
+			continue
+		}
+		slot(pi, paramType(pi), at, v)
+	}
+}
+
+// genDirectCall lowers a call whose callee is statically known: arguments
+// copy into the callee's parameter slots, the result reads its return
+// slot, and a concrete-method receiver binds here (rules call-direct,
+// call-method).
+func (g *generator) genDirectCall(e *ast.CallExpr, m *types.Func, recvExpr ast.Expr) uint32 {
+	fi := g.funcInfoFor(m)
+	if recvExpr != nil {
+		x := g.genExpr(recvExpr)
+		g.bindRecv(fi, m, x, g.typeOf(recvExpr))
+	}
+	sig := g.callSignature(e)
+	g.bindArgs(e, sig, func(i int, pt, at types.Type, v uint32) {
+		if i >= fi.nparams || v == g.voidVar {
+			return
+		}
+		g.assignTo(fi.id+constraint.ParamOffset+uint32(i), pt, v, at)
+	})
+	g.unit.CallSites = append(g.unit.CallSites, cgen.CallSite{
+		Caller: g.curFn, Line: g.line(e.Lparen), Callee: fi.name,
+	})
+	if sig != nil && !g.pointerLike(sig.Results()) {
+		return g.voidVar
+	}
+	t := g.temp()
+	g.prog.AddCopy(t, fi.id+constraint.RetOffset)
+	return t
+}
+
+// genIndirectCall lowers a call through a function value fp: arguments
+// store through fp at parameter offsets, the result loads through fp at
+// the return offset — Pearce-style indirect calls, identical to the C
+// front end's encoding (rules call-indirect, call-iface).
+func (g *generator) genIndirectCall(e *ast.CallExpr, fp uint32) uint32 {
+	sig := g.callSignature(e)
+	nslots := 0
+	g.bindArgs(e, sig, func(i int, pt, at types.Type, v uint32) {
+		if i+1 > nslots {
+			nslots = i + 1
+		}
+		if fp == g.voidVar || v == g.voidVar {
+			return
+		}
+		if isInterface(pt) && at != nil && !isInterface(at) {
+			t := g.temp()
+			g.assignTo(t, pt, v, at)
+			v = t
+		}
+		g.prog.AddStore(fp, v, constraint.ParamOffset+uint32(i))
+	})
+	g.trackIndirect(nslots)
+	g.unit.CallSites = append(g.unit.CallSites, cgen.CallSite{
+		Caller: g.curFn, Line: g.line(e.Lparen), FuncPtr: fp, Indirect: true,
+	})
+	if fp == g.voidVar || (sig != nil && !g.pointerLike(sig.Results())) {
+		return g.voidVar
+	}
+	t := g.temp()
+	g.prog.AddLoad(t, fp, constraint.RetOffset)
+	return t
+}
+
+// genConversion lowers T(x): pointer-shaped values keep flowing (an
+// interface target binds the method set like any assignment); conversions
+// that materialize a new backing store ([]byte(s), []rune(s)) allocate a
+// fresh object (rules conv, conv-alloc).
+func (g *generator) genConversion(e *ast.CallExpr) uint32 {
+	if len(e.Args) != 1 {
+		for _, a := range e.Args {
+			g.genExpr(a)
+		}
+		return g.voidVar
+	}
+	arg := e.Args[0]
+	v := g.genExpr(arg)
+	dt, at := g.typeOf(e), g.typeOf(arg)
+	if !g.pointerLike(dt) {
+		return g.voidVar // e.g. uintptr(p): the documented escape hatch
+	}
+	if v == g.voidVar || (at != nil && !g.pointerLike(at)) {
+		// A pointer-shaped result from a pointer-free operand: a fresh
+		// backing object (string→[]byte and friends).
+		obj := g.object("conv", e.Lparen)
+		t := g.temp()
+		g.prog.AddAddrOf(t, obj)
+		return t
+	}
+	t := g.temp()
+	g.assignTo(t, dt, v, at)
+	return t
+}
+
+// genBuiltin lowers the built-in functions (rules new, make, append,
+// copy, panic-recover; the rest only evaluate their operands).
+func (g *generator) genBuiltin(e *ast.CallExpr, name string) uint32 {
+	switch name {
+	case "new":
+		obj := g.object("new", e.Lparen)
+		t := g.temp()
+		g.prog.AddAddrOf(t, obj)
+		return t
+	case "make":
+		obj := g.object("make", e.Lparen)
+		for _, a := range e.Args[1:] {
+			g.genExpr(a)
+		}
+		t := g.temp()
+		g.prog.AddAddrOf(t, obj)
+		return t
+	case "append":
+		if len(e.Args) == 0 {
+			return g.voidVar
+		}
+		base := g.genExpr(e.Args[0])
+		st := g.typeOf(e.Args[0])
+		et := elemTypeOf(st)
+		res := g.temp()
+		if base != g.voidVar {
+			g.prog.AddCopy(res, base) // result may alias the operand
+		}
+		grown := g.object("append", e.Lparen)
+		g.prog.AddAddrOf(res, grown) // ... or a freshly grown store
+		for _, a := range e.Args[1:] {
+			v := g.genExpr(a)
+			if v == g.voidVar {
+				continue
+			}
+			if e.Ellipsis != 0 {
+				// append(s, t...): t's elements flow element-to-element.
+				t := g.temp()
+				g.addLoadIf(t, v, et)
+				g.storeTo(lvalue{base: res, deref: true}, t, et, nil)
+				continue
+			}
+			g.storeTo(lvalue{base: res, deref: true}, v, et, g.typeOf(a))
+		}
+		return res
+	case "copy":
+		if len(e.Args) != 2 {
+			return g.voidVar
+		}
+		dst := g.genExpr(e.Args[0])
+		src := g.genExpr(e.Args[1])
+		et := elemTypeOf(g.typeOf(e.Args[0]))
+		if dst != g.voidVar && src != g.voidVar && g.pointerLike(et) {
+			t := g.temp()
+			g.addLoad(t, src)
+			g.addStore(dst, t)
+		}
+		return g.voidVar
+	case "panic":
+		if len(e.Args) == 1 {
+			v := g.genExpr(e.Args[0])
+			if v != g.voidVar {
+				g.assignTo(g.panicVar, types.NewInterfaceType(nil, nil), v, g.typeOf(e.Args[0]))
+			}
+		}
+		return g.voidVar
+	case "recover":
+		t := g.temp()
+		g.prog.AddCopy(t, g.panicVar)
+		return t
+	case "min", "max":
+		// Ordered types only: never pointer-shaped.
+		for _, a := range e.Args {
+			g.genExpr(a)
+		}
+		return g.voidVar
+	case "Add", "Slice", "SliceData", "String", "StringData":
+		// unsafe: the result aliases the operand's store where one exists.
+		var out uint32 = g.voidVar
+		for i, a := range e.Args {
+			v := g.genExpr(a)
+			if i == 0 && v != g.voidVar {
+				out = v
+			}
+		}
+		if out == g.voidVar || !g.pointerLike(g.typeOf(e)) {
+			return g.voidVar
+		}
+		t := g.temp()
+		g.prog.AddCopy(t, out)
+		return t
+	default:
+		// len, cap, delete, close, clear, print, println, complex, real,
+		// imag, Sizeof, Alignof, Offsetof: evaluate operands; no flow.
+		for _, a := range e.Args {
+			g.genExpr(a)
+		}
+		return g.voidVar
+	}
+}

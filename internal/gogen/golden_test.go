@@ -1,0 +1,519 @@
+package gogen
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"antgrass/internal/cgen"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden/")
+
+// goldenCase is one snippet → exact constraint list check. Rules lists
+// the docs/GOFRONTEND.md lowering-rule IDs the case exercises;
+// TestSpecCoverage asserts every rule the generator implements has both
+// a spec row and at least one golden case.
+type goldenCase struct {
+	name  string
+	rules []string
+	src   string
+}
+
+var goldenCases = []goldenCase{
+	{
+		name:  "addr_copy_load_store",
+		rules: []string{"addr-of", "copy", "load", "store", "decl"},
+		src: `package p
+func f() {
+	var x int
+	p := &x
+	q := p
+	r := *q
+	_ = r
+	pp := &p
+	*pp = q
+}
+`,
+	},
+	{
+		name:  "new_make",
+		rules: []string{"new", "make"},
+		src: `package p
+func f() {
+	p := new(int)
+	s := make([]*int, 4)
+	m := make(map[int]*int)
+	c := make(chan *int, 1)
+	_, _, _, _ = p, s, m, c
+}
+`,
+	},
+	{
+		name:  "composite_literals",
+		rules: []string{"lit-slice", "lit-map", "lit-struct", "addr-of"},
+		src: `package p
+type T struct{ p *int; n int }
+func f() {
+	var x int
+	s := []*int{&x}
+	m := map[string]*int{"k": &x}
+	v := T{p: &x}
+	w := &T{p: &x}
+	_, _, _, _ = s, m, v, w
+}
+`,
+	},
+	{
+		name:  "field_insensitive",
+		rules: []string{"field-insens", "lit-struct"},
+		src: `package p
+type T struct{ a, b *int }
+func f() {
+	var x, y int
+	var t T
+	t.a = &x
+	t.b = &y
+	pa := t.a
+	pt := &t
+	pb := pt.b
+	_, _ = pa, pb
+}
+`,
+	},
+	{
+		name:  "elements",
+		rules: []string{"elem-slice", "elem-map", "elem-array", "slice-expr"},
+		src: `package p
+func f() {
+	var x int
+	s := make([]*int, 1)
+	s[0] = &x
+	p := s[0]
+	m := make(map[*int]*int)
+	m[&x] = &x
+	q := m[&x]
+	var a [2]*int
+	a[0] = &x
+	r := a[1]
+	t := s[0:1]
+	u := a[:]
+	_, _, _, _, _ = p, q, r, t, u
+}
+`,
+	},
+	{
+		name:  "channels",
+		rules: []string{"chan", "make"},
+		src: `package p
+func f() {
+	var x int
+	c := make(chan *int)
+	c <- &x
+	p := <-c
+	_ = p
+}
+`,
+	},
+	{
+		name:  "ranges",
+		rules: []string{"range"},
+		src: `package p
+func f() {
+	var x int
+	s := []*int{&x}
+	for _, p := range s {
+		_ = p
+	}
+	m := map[*int]*int{&x: &x}
+	for k, v := range m {
+		_, _ = k, v
+	}
+	c := make(chan *int)
+	for e := range c {
+		_ = e
+	}
+}
+`,
+	},
+	{
+		name:  "range_over_func",
+		rules: []string{"range-func", "closure"},
+		src: `package p
+func f() {
+	var x int
+	it := func(yield func(*int) bool) { yield(&x) }
+	for p := range it {
+		_ = p
+	}
+}
+`,
+	},
+	{
+		name:  "calls_direct",
+		rules: []string{"call-direct", "ret", "ret-named", "global"},
+		src: `package p
+var g *int
+func id(p *int) *int { return p }
+func named() (out *int) { out = g; return }
+func f() {
+	var x int
+	r := id(&x)
+	s := named()
+	_, _ = r, s
+}
+`,
+	},
+	{
+		name:  "calls_indirect",
+		rules: []string{"call-indirect", "func-value", "closure"},
+		src: `package p
+func id(p *int) *int { return p }
+func f() {
+	var x int
+	fp := id
+	r := fp(&x)
+	cl := func(q *int) *int { return q }
+	s := cl(&x)
+	_, _ = r, s
+}
+`,
+	},
+	{
+		name:  "variadic",
+		rules: []string{"variadic", "call-direct"},
+		src: `package p
+func take(ps ...*int) *int { return ps[0] }
+func f() {
+	var x, y int
+	r := take(&x, &y)
+	args := []*int{&x}
+	s := take(args...)
+	_, _ = r, s
+}
+`,
+	},
+	{
+		name:  "multi_return",
+		rules: []string{"multi-return", "ret"},
+		src: `package p
+func two() (*int, *int) {
+	var x, y int
+	return &x, &y
+}
+func f() {
+	a, b := two()
+	_, _ = a, b
+}
+`,
+	},
+	{
+		name:  "interfaces",
+		rules: []string{"iface-conv", "call-iface", "type-assert", "type-switch"},
+		src: `package p
+type T struct{ x *int }
+func (t *T) M() *int { return t.x }
+type I interface{ M() *int }
+func f() {
+	var v int
+	t := &T{x: &v}
+	var i I = t
+	p := i.M()
+	u := i.(*T)
+	switch w := i.(type) {
+	case *T:
+		_ = w
+	}
+	_, _ = p, u
+}
+`,
+	},
+	{
+		name:  "method_values",
+		rules: []string{"method-value", "method-expr", "call-method"},
+		src: `package p
+type T struct{ x *int }
+func (t *T) Get() *int { return t.x }
+func f() {
+	var v int
+	t := &T{x: &v}
+	direct := t.Get()
+	mv := t.Get
+	r := mv()
+	me := (*T).Get
+	s := me(t)
+	_, _, _ = direct, r, s
+}
+`,
+	},
+	{
+		name:  "value_receiver",
+		rules: []string{"call-method", "iface-conv"},
+		src: `package p
+type V struct{ x *int }
+func (v V) Get() *int { return v.x }
+type G interface{ Get() *int }
+func f() {
+	var n int
+	v := V{x: &n}
+	pv := &v
+	a := v.Get()
+	b := pv.Get()
+	var g G = v
+	c := g.Get()
+	_, _, _ = a, b, c
+}
+`,
+	},
+	{
+		name:  "closures_capture",
+		rules: []string{"closure", "capture"},
+		src: `package p
+func f() *int {
+	var x int
+	p := &x
+	get := func() *int { return p }
+	return get()
+}
+`,
+	},
+	{
+		name:  "goroutines_defer",
+		rules: []string{"go-defer", "call-direct", "chan"},
+		src: `package p
+func send(c chan *int, p *int) { c <- p }
+func f() {
+	var x int
+	c := make(chan *int)
+	go send(c, &x)
+	defer close(c)
+}
+`,
+	},
+	{
+		name:  "append_copy",
+		rules: []string{"append", "copy-builtin"},
+		src: `package p
+func f() {
+	var x int
+	var s []*int
+	s = append(s, &x)
+	t := []*int{&x}
+	s = append(s, t...)
+	d := make([]*int, 2)
+	copy(d, s)
+}
+`,
+	},
+	{
+		name:  "panic_recover",
+		rules: []string{"panic-recover"},
+		src: `package p
+func f() {
+	var x int
+	defer func() {
+		r := recover()
+		_ = r
+	}()
+	panic(&x)
+}
+`,
+	},
+	{
+		name:  "conversions",
+		rules: []string{"conv", "conv-alloc", "unsafe", "scalars"},
+		src: `package p
+import "unsafe"
+type MyPtr *int
+func f() {
+	var x int
+	p := &x
+	mp := MyPtr(p)
+	up := unsafe.Pointer(p)
+	ip := uintptr(up)
+	bs := []byte("hi")
+	n := int(int32(7))
+	_, _, _, _, _ = mp, up, ip, bs, n
+}
+`,
+	},
+	{
+		name:  "generics",
+		rules: []string{"generics", "call-direct"},
+		src: `package p
+func id[T any](v T) T { return v }
+func f() {
+	var x int
+	a := id(&x)
+	b := id[*int](&x)
+	fp := id[*int]
+	c := fp(&x)
+	_, _, _ = a, b, c
+}
+`,
+	},
+	{
+		name:  "globals_init",
+		rules: []string{"global", "decl"},
+		src: `package p
+var x int
+var gp = &x
+var gq *int
+func init() { gq = gp }
+`,
+	},
+	{
+		name:  "scalars_skipped",
+		rules: []string{"scalars"},
+		src: `package p
+func f() {
+	a := 1
+	b := a + 2
+	s := "str"
+	t := s + "x"
+	f := 1.5
+	_, _, _ = b, t, f
+}
+`,
+	},
+}
+
+// render produces the canonical text of a unit's constraints: one line
+// per constraint with symbolic names, sorted.
+func render(u *cgen.Unit) string {
+	p := u.Prog
+	var lines []string
+	for _, c := range p.Constraints {
+		line := fmt.Sprintf("%s %s %s", c.Kind, p.NameOf(c.Dst), p.NameOf(c.Src))
+		if c.Offset != 0 {
+			line += fmt.Sprintf(" +%d", c.Offset)
+		}
+		lines = append(lines, line)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			u, err := CompileSource(tc.src)
+			if err != nil {
+				t.Fatalf("CompileSource: %v", err)
+			}
+			if len(u.Warnings) > 0 {
+				t.Fatalf("unexpected warnings: %v", u.Warnings)
+			}
+			got := render(u)
+			path := filepath.Join("testdata", "golden", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("constraints differ from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenDeterministic pins that generation is bit-identical across
+// runs (map iteration or position leaks would break golden stability).
+func TestGoldenDeterministic(t *testing.T) {
+	src := goldenCases[12].src // interfaces: the most machinery
+	u1, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(u1) != render(u2) {
+		t.Fatal("two compilations of the same source differ")
+	}
+	if u1.Prog.NumVars != u2.Prog.NumVars {
+		t.Fatalf("var universe differs: %d vs %d", u1.Prog.NumVars, u2.Prog.NumVars)
+	}
+}
+
+// TestGoldenValidates pins that every golden program passes the
+// constraint model's internal validation (spans, offsets).
+func TestGoldenValidates(t *testing.T) {
+	for _, tc := range goldenCases {
+		u, err := CompileSource(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := u.Prog.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+// ruleIDs returns the set of rule IDs the golden cases claim to cover.
+func ruleIDs() map[string]bool {
+	ids := map[string]bool{}
+	for _, tc := range goldenCases {
+		for _, r := range tc.rules {
+			ids[r] = true
+		}
+	}
+	return ids
+}
+
+// ruleID matches a lowering-rule identifier: lowercase kebab-case, so
+// other backticked first cells in the spec (special variables like
+// `$void`, object names like `new@file:line:col`) are not mistaken for
+// rule rows.
+var ruleID = regexp.MustCompile(`^[a-z][a-z0-9]*(-[a-z0-9]+)*$`)
+
+// TestSpecCoverage asserts the golden suite and docs/GOFRONTEND.md agree:
+// every rule ID tagged in a golden case has a spec table row (anchored as
+// `rule-id` in the row's first cell), and every spec row is exercised by
+// at least one golden case.
+func TestSpecCoverage(t *testing.T) {
+	data, err := os.ReadFile("../../docs/GOFRONTEND.md")
+	if err != nil {
+		t.Fatalf("reading spec: %v", err)
+	}
+	spec := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 2 {
+			continue
+		}
+		id := strings.TrimSpace(cells[1])
+		if strings.HasPrefix(id, "`") && strings.HasSuffix(id, "`") && ruleID.MatchString(strings.Trim(id, "`")) {
+			spec[strings.Trim(id, "`")] = true
+		}
+	}
+	tested := ruleIDs()
+	for id := range tested {
+		if !spec[id] {
+			t.Errorf("golden rule %q has no row in docs/GOFRONTEND.md", id)
+		}
+	}
+	for id := range spec {
+		if !tested[id] {
+			t.Errorf("spec rule %q has no golden test", id)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package oracle
+
+import (
+	"testing"
+
+	"antgrass/internal/gogen"
+)
+
+// TestGogenPrograms feeds real constraint programs emitted by the Go
+// front end — a self-analysis of internal/gogen plus two standard-library
+// packages — through the full differential matrix. The synthetic corpus
+// and the fuzzer explore the constraint space; these cells pin the shapes
+// the front end actually produces (function blocks with receiver/param/ret
+// offsets, indirect-call load/store pairs, $void sinks, the
+// $widest-callsite pad), so a solver or offline-pass bug that only
+// triggers on front-end idioms cannot hide.
+func TestGogenPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks and solves real packages under every matrix configuration")
+	}
+	cases := []struct {
+		name string
+		opts gogen.Options
+	}{
+		{"self-internal-gogen", gogen.Options{Dir: "../..", Packages: []string{"antgrass/internal/gogen"}}},
+		{"std-container-list", gogen.Options{Packages: []string{"container/list"}}},
+		{"std-container-heap", gogen.Options{Packages: []string{"container/heap"}}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			u, err := gogen.Compile(tc.opts)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if len(u.Warnings) > 0 {
+				t.Fatalf("unexpected warnings: %v", u.Warnings)
+			}
+			if len(u.Prog.Constraints) == 0 {
+				t.Fatal("front end emitted no constraints")
+			}
+			d, err := Check(u.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != nil {
+				t.Errorf("divergence on front-end-emitted program: %s", d)
+			}
+		})
+	}
+}

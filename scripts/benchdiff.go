@@ -46,6 +46,7 @@ func main() {
 	mergeShare := flag.Float64("merge-share", 0, "fail when a parallel run's merge_ns/(merge_ns+compute_ns) exceeds this fraction (0 disables)")
 	serveThreshold := flag.Float64("serve-threshold", 50, "fail when a serve run's p99 query latency grows more than this percent (0 disables; matched serve runs with errors always fail)")
 	offlineThreshold := flag.Float64("offline-threshold", 10, "fail when a workload's HVN+HU extra reduction beyond OVS-only shrinks by more than this percent relative to the baseline (0 disables)")
+	goThreshold := flag.Float64("go-threshold", 50, "fail when a go_frontend cell's constraint or call-edge count drifts more than this percent in either direction (0 disables; a cell with an error or empty callgraph always fails)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-seconds s] [-alloc-threshold pct] [-mem-threshold pct] [-merge-share frac] old.json new.json")
 		flag.PrintDefaults()
@@ -71,6 +72,7 @@ func main() {
 		MergeShareMax:           *mergeShare,
 		ServeThresholdPercent:   *serveThreshold,
 		OfflineThresholdPercent: *offlineThreshold,
+		GoThresholdPercent:      *goThreshold,
 	})
 	diff.Print(os.Stdout)
 	if diff.Failed() {

@@ -6,11 +6,13 @@
 # With no argument every stage runs in order; CI splits the work across
 # matrix jobs by naming one stage group:
 #
-#   static — stages 1-3 (gofmt, vet per build configuration, build)
-#   test   — stages 4-5 (full test suite, corpus replay by name)
-#   race   — stages 6-8 (race-detector passes, fuzz-seed replays,
-#            gccheckmark smoke)
-#   serve  — stage 9 (end-to-end daemon gate)
+#   static     — stages 1-3 (gofmt, vet per build configuration, build)
+#   test       — stages 4-5 (full test suite, corpus replay by name)
+#   race       — stages 6-8 (race-detector passes, fuzz-seed replays,
+#                gccheckmark smoke)
+#   serve      — stage 9 (end-to-end daemon gate)
+#   gofrontend — stage 10 (Go front end: golden/spec/e2e/differential
+#                tests by name, then antgo self-analysis end-to-end)
 #
 # The stages:
 #   1. a gofmt gate (fails listing any unformatted file);
@@ -47,7 +49,12 @@
 #      temporary directory, boot the daemon on a dynamically chosen
 #      port (discovered via -addrfile), storm it with antload for a few
 #      seconds with a concurrent update stream, and gate on a positive
-#      query rate with zero 5xx responses.
+#      query rate with zero 5xx responses;
+#  10. the Go front-end gate: the golden/spec-coverage suite, the
+#      self-analysis e2e test and the gogen differential-oracle cells by
+#      name (so a front-end regression is called out unmistakably), then
+#      antgo built and run on this repository end-to-end, failing unless
+#      it produces a non-empty call graph.
 #
 # /bin/sh has no pipefail, so every stage below is a plain command (or
 # a command substitution) — never a pipeline — and set -e stops the
@@ -57,9 +64,9 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-all | static | test | race | serve) ;;
+all | static | test | race | serve | gofrontend) ;;
 *)
-	echo "usage: check.sh [all|static|test|race|serve]" >&2
+	echo "usage: check.sh [all|static|test|race|serve|gofrontend]" >&2
 	exit 2
 	;;
 esac
@@ -167,6 +174,32 @@ if want serve; then
 	kill "$servepid" 2>/dev/null || true
 	wait "$servepid" 2>/dev/null || true
 	servepid=""
+fi
+
+if want gofrontend; then
+	echo "==> go test -count=1 -run 'TestGolden|TestSpecCoverage|TestSelfAnalysis' ./internal/gogen"
+	go test -count=1 -run 'TestGolden|TestSpecCoverage|TestSelfAnalysis' ./internal/gogen
+
+	echo "==> go test -count=1 -run TestGogenPrograms ./internal/oracle"
+	go test -count=1 -run TestGogenPrograms ./internal/oracle
+
+	echo "==> antgo end-to-end self-analysis"
+	godir=$(mktemp -d "${TMPDIR:-/tmp}/antgrass-gofrontend.XXXXXX")
+	go build -o "$godir/antgo" ./cmd/antgo
+	out=$("$godir/antgo" .)
+	rm -rf "$godir"
+	echo "$out"
+	case "$out" in
+	*"call graph: 0 edges"*)
+		echo "gofrontend: self-analysis produced an empty call graph" >&2
+		exit 1
+		;;
+	*"call graph: "*) ;;
+	*)
+		echo "gofrontend: antgo printed no call-graph summary" >&2
+		exit 1
+		;;
+	esac
 fi
 
 echo "OK"
