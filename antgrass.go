@@ -135,6 +135,14 @@ type Options struct {
 	// points-to solution is identical for every worker count. 0 and 1
 	// mean sequential.
 	Workers int
+	// Async switches the Naive/LCD parallel engine from bulk-synchronous
+	// rounds to asynchronous owner-sharded propagation with token-ring
+	// termination detection (docs/ALGORITHMS.md §Asynchronous
+	// propagation): max(Workers, 1) owner goroutines exchange points-to
+	// deltas through mailboxes with no round barrier. Honored under the
+	// same conditions as Workers (Naive/LCD, bitmap sets); the solution
+	// is identical to every other engine's.
+	Async bool
 	// Progress, when non-nil, is called at round boundaries of the
 	// parallel solver (and periodically by the sequential Naive/LCD
 	// solvers) with a snapshot of solver progress. It runs on the
@@ -298,6 +306,7 @@ func solveOnce(ctx context.Context, p *Program, o Options) (*core.Result, offlin
 		BDDPoolNodes: o.BDDPoolNodes,
 		DiffProp:     o.DiffProp,
 		Workers:      o.Workers,
+		Async:        o.Async,
 		Progress:     o.Progress,
 		Metrics:      o.Metrics,
 	}

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	antbench [-scale 0.1] [-table N | -figure N | -stats | -all]
-//	         [-workers N] [-timeout d] [-v]
-//	antbench -json [-out FILE] [-benches a,b] [-scale S] [-workers N]
+//	         [-workers N] [-async] [-timeout d] [-v]
+//	antbench -json [-out FILE] [-benches a,b] [-scale S] [-workers N] [-async]
 //
 // -scale multiplies the paper's reduced constraint counts (1.0 = full
 // paper size; the default keeps a laptop run in minutes).
@@ -15,6 +15,12 @@
 // lcd / lcd+hcd). The comparison defaults to scale 0.25 — large enough for
 // multi-second solves — unless -scale is given explicitly. -timeout bounds
 // the whole antbench run.
+//
+// -async runs the async-vs-BSP sweep (lcd family, workers 1/2/4/8): each
+// cell solves the same program on the bulk-synchronous wave engine and on
+// the asynchronous owner-sharded engine, cross-checks the two solutions,
+// and reports wall times, speedup and the async engine's message-economy
+// counters. With -json the sweep lands in the report's async section.
 //
 // -json runs the instrumented algorithm matrix and writes a versioned,
 // machine-readable report (wall time, per-phase breakdown, peak memory,
@@ -55,6 +61,7 @@ func main() {
 	serveLoad := flag.Bool("serve", false, "with -json: also measure the analysis-as-a-service query path (QPS, p50/p99 latency per workload)")
 	serveReaders := flag.Int("serve-readers", 64, "concurrent readers for -serve")
 	serveDuration := flag.Duration("serve-duration", 2*time.Second, "storm duration per workload for -serve")
+	asyncSweep := flag.Bool("async", false, "measure the asynchronous owner-sharded engine against the BSP engine (lcd family, workers 1/2/4/8); with -json the sweep lands in the async section")
 	goFrontend := flag.Bool("go", false, "measure the real-Go front-end cells (module at -go-dir plus, with -go-std, the pinned stdlib set); with -json they land in the go_frontend section")
 	goDir := flag.String("go-dir", ".", "module directory for the -go self cell (empty = skip)")
 	goStd := flag.Bool("go-std", true, "with -go: include the pinned stdlib package cell")
@@ -112,6 +119,9 @@ func main() {
 		// fixpoint), so every report carries it; benchdiff gates on the
 		// HVN+HU win beyond OVS-only.
 		rep.Offline = h.OfflineRuns(names)
+		if *asyncSweep {
+			rep.Async = h.AsyncRuns(names, nil)
+		}
 		if *goFrontend {
 			rep.GoFrontend = h.GoFrontendRuns(*goDir, *goStd)
 		}
@@ -139,6 +149,13 @@ func main() {
 
 	if *goFrontend {
 		h.GoFrontendTable(out, *goDir, *goStd)
+		if *table == 0 && *figure == 0 && !*stats && !*ablations && !*precision && !*all && *workers == 0 && !*asyncSweep {
+			return
+		}
+	}
+
+	if *asyncSweep {
+		h.AsyncTable(out, h.AsyncRuns(nil, nil))
 		if *table == 0 && *figure == 0 && !*stats && !*ablations && !*precision && !*all && *workers == 0 {
 			return
 		}

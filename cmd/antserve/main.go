@@ -7,7 +7,7 @@
 // Usage:
 //
 //	antserve [-addr host:port] [-addrfile f]
-//	         [-alg lcd] [-hcd] [-hvn] [-hu] [-diff] [-workers n]
+//	         [-alg lcd] [-hcd] [-hvn] [-hu] [-diff] [-workers n] [-async]
 //	         (-f file.constraints | -c file.c | -go module-dir | -workload name [-scale s])
 //
 // Exactly one input source is required. -c compiles a C translation
@@ -52,6 +52,7 @@ func main() {
 	hu := flag.Bool("hu", false, "run offline HU value numbering before solving (updates replay)")
 	diff := flag.Bool("diff", false, "enable difference propagation")
 	workers := flag.Int("workers", 0, "parallel propagation workers (disables incremental resume)")
+	async := flag.Bool("async", false, "use asynchronous owner-sharded propagation (disables incremental resume)")
 	flag.Parse()
 
 	sources := 0
@@ -113,6 +114,7 @@ func main() {
 		HU:        *hu,
 		DiffProp:  *diff,
 		Workers:   *workers,
+		Async:     *async,
 	}
 	fmt.Fprintf(os.Stderr, "antserve: solving %d vars, %d constraints (alg=%s hcd=%v hvn=%v hu=%v)\n",
 		prog.NumVars, len(prog.Constraints), *alg, *hcd, *hvn, *hu)

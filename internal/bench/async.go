@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"antgrass/internal/constraint"
+	"antgrass/internal/core"
+	"antgrass/internal/hcd"
+	"antgrass/internal/metrics"
+)
+
+// AsyncAlgos are the configurations the async sweep measures: the lcd
+// family, where the BSP engine's round barrier is the committed scaling
+// knee (BENCH_5/BENCH_8 past 8 workers).
+var AsyncAlgos = []AlgoID{
+	{Name: "lcd", Alg: core.LCD},
+	{Name: "lcd+hcd", Alg: core.LCD, HCD: true},
+}
+
+// AsyncWorkerCounts is the default -async on/off sweep grid.
+var AsyncWorkerCounts = []int{1, 2, 4, 8}
+
+// AsyncRun is one (workload, algorithm, worker count) cell of the async
+// sweep: the same program solved twice at the same worker count — once on
+// the bulk-synchronous wave engine (async off) and once on the
+// asynchronous owner-sharded engine (async on) — with the solutions
+// cross-checked element by element. The async engine's message-economy
+// counters ride along so benchdiff can hard-gate the engine's defining
+// properties (merge share exactly zero, nonzero mailbox traffic).
+type AsyncRun struct {
+	Bench   string `json:"bench"`
+	Algo    string `json:"algo"`
+	Workers int    `json:"workers"`
+	// BSPSeconds / AsyncSeconds are the wall-clock times of the two
+	// solves; Speedup is BSPSeconds/AsyncSeconds (above 1.0 means the
+	// async engine was faster).
+	BSPSeconds   float64 `json:"bsp_seconds"`
+	AsyncSeconds float64 `json:"async_seconds"`
+	Speedup      float64 `json:"speedup"`
+	// MergeShare is merge_ns/(merge_ns+compute_ns) of the async run. The
+	// async engine has no merge phase by construction, so anything other
+	// than exactly 0 is a reporting bug benchdiff fails on.
+	MergeShare float64 `json:"merge_share"`
+	// Messages / TokenLaps / Pauses are the async engine's own counters
+	// (counted batches delivered, Safra token circulations, arbiter
+	// full-pause collapses); MailboxHWM is the largest per-owner mailbox
+	// backlog observed.
+	Messages   int64 `json:"messages"`
+	TokenLaps  int64 `json:"token_laps"`
+	Pauses     int64 `json:"pauses,omitempty"`
+	MailboxHWM int64 `json:"mailbox_hwm,omitempty"`
+	// Error is the first solve error or solution mismatch, if any; the
+	// measurements are zero then.
+	Error string `json:"error,omitempty"`
+}
+
+// Key identifies an async cell for cross-report matching.
+func (r AsyncRun) Key() string {
+	return fmt.Sprintf("%s/%s/w%d/async", r.Bench, r.Algo, r.Workers)
+}
+
+// AsyncRuns measures the async sweep: AsyncAlgos × workerCounts over the
+// benchmark set (benches filters workloads; nil = all six). workerCounts
+// nil means AsyncWorkerCounts. Unlike ParallelTable, a solution mismatch
+// is recorded in the cell's Error instead of aborting, so a broken engine
+// produces a diffable (and benchdiff-failing) report rather than no
+// report at all.
+func (h *Harness) AsyncRuns(benches []string, workerCounts []int) []AsyncRun {
+	if workerCounts == nil {
+		workerCounts = AsyncWorkerCounts
+	}
+	var out []AsyncRun
+	for _, p := range h.Profiles() {
+		if benches != nil && !contains(benches, p.Name) {
+			continue
+		}
+		prog := h.Program(p)
+		for _, a := range AsyncAlgos {
+			var table *hcd.Result
+			if a.HCD {
+				table = h.hcdTable(p.Name, prog) // shared, precomputed
+			}
+			for _, w := range workerCounts {
+				out = append(out, h.asyncRun(p.Name, prog, a, w, table))
+			}
+		}
+	}
+	return out
+}
+
+// asyncRun measures one BSP-vs-async pair at one worker count.
+func (h *Harness) asyncRun(bench string, prog *constraint.Program, a AlgoID, workers int, table *hcd.Result) AsyncRun {
+	run := AsyncRun{Bench: bench, Algo: a.Name, Workers: workers}
+	opts := core.Options{
+		Algorithm:    a.Alg,
+		WithHCD:      a.HCD,
+		HCDTable:     table,
+		BDDPoolNodes: h.PoolNodes,
+		Workers:      workers,
+	}
+
+	start := time.Now()
+	bspRes, err := core.Solve(prog, opts)
+	bspT := time.Since(start)
+	if err != nil {
+		run.Error = fmt.Sprintf("bsp: %v", err)
+		return run
+	}
+
+	reg := metrics.New()
+	opts.Async = true
+	opts.Metrics = reg
+	start = time.Now()
+	asyncRes, err := core.Solve(prog, opts)
+	asyncT := time.Since(start)
+	if err != nil {
+		run.Error = fmt.Sprintf("async: %v", err)
+		return run
+	}
+	if msg := sameSolution(prog.NumVars, bspRes, asyncRes); msg != "" {
+		run.Error = "solution mismatch: " + msg
+		return run
+	}
+
+	run.BSPSeconds = bspT.Seconds()
+	run.AsyncSeconds = asyncT.Seconds()
+	if run.AsyncSeconds > 0 {
+		run.Speedup = run.BSPSeconds / run.AsyncSeconds
+	}
+	snap := reg.Snapshot()
+	counter := func(name string) int64 {
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		return 0
+	}
+	merge, compute := counter("merge_ns"), counter("compute_ns")
+	if merge+compute > 0 {
+		run.MergeShare = float64(merge) / float64(merge+compute)
+	}
+	run.Messages = counter("async.messages")
+	run.TokenLaps = counter("async.token_laps")
+	run.Pauses = counter("async.pauses")
+	run.MailboxHWM = counter("async.mailbox_hwm_max")
+	h.logf("  %-12s %-8s w%-2d bsp %7.3fs  async %7.3fs  %5.2fx  %d msgs\n",
+		bench, a.Name, workers, run.BSPSeconds, run.AsyncSeconds, run.Speedup, run.Messages)
+	return run
+}
+
+// sameSolution reports the first points-to disagreement between two runs,
+// or "" when the solutions are identical.
+func sameSolution(nVars int, a, b *core.Result) string {
+	for v := uint32(0); v < uint32(nVars); v++ {
+		sa, sb := a.PointsTo(v), b.PointsTo(v)
+		la, lb := 0, 0
+		if sa != nil {
+			la = sa.Len()
+		}
+		if sb != nil {
+			lb = sb.Len()
+		}
+		if la != lb {
+			return fmt.Sprintf("|pts(v%d)|: %d vs %d", v, la, lb)
+		}
+		if la > 0 && !sa.Equal(sb) {
+			return fmt.Sprintf("pts(v%d) differs", v)
+		}
+	}
+	return ""
+}
+
+// AsyncTable prints the sweep as a human-readable scaling table.
+func (h *Harness) AsyncTable(w io.Writer, runs []AsyncRun) {
+	fmt.Fprintf(w, "Asynchronous owner-sharded propagation vs BSP waves (scale=%g)\n", h.Scale)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "\t\tworkers\tbsp\tasync\tspeedup\tmessages\tlaps\thwm\n")
+	for _, r := range runs {
+		if r.Error != "" {
+			fmt.Fprintf(tw, "%s\t%s\tw%d\tERROR: %s\n", r.Bench, r.Algo, r.Workers, r.Error)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\tw%d\t%.3fs\t%.3fs\t%.2fx\t%d\t%d\t%d\n",
+			r.Bench, r.Algo, r.Workers, r.BSPSeconds, r.AsyncSeconds, r.Speedup,
+			r.Messages, r.TokenLaps, r.MailboxHWM)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

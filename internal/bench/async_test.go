@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAsyncRuns exercises one real sweep cell pair and checks the async
+// engine's defining invariants land in the report: solutions agree (no
+// Error), the message economy is visible, and the merge share is exactly
+// zero.
+func TestAsyncRuns(t *testing.T) {
+	h := NewHarness(0.02)
+	runs := h.AsyncRuns([]string{"emacs"}, []int{1, 2})
+	if want := len(AsyncAlgos) * 2; len(runs) != want {
+		t.Fatalf("got %d runs, want %d", len(runs), want)
+	}
+	for _, r := range runs {
+		if r.Error != "" {
+			t.Fatalf("%s: error: %s", r.Key(), r.Error)
+		}
+		if r.Messages <= 0 {
+			t.Errorf("%s: messages = %d, want > 0", r.Key(), r.Messages)
+		}
+		if r.TokenLaps <= 0 {
+			t.Errorf("%s: token laps = %d, want > 0", r.Key(), r.TokenLaps)
+		}
+		if r.MergeShare != 0 {
+			t.Errorf("%s: merge share = %g, want exactly 0", r.Key(), r.MergeShare)
+		}
+		if r.BSPSeconds <= 0 || r.AsyncSeconds <= 0 {
+			t.Errorf("%s: missing wall times: bsp %g async %g", r.Key(), r.BSPSeconds, r.AsyncSeconds)
+		}
+	}
+}
+
+// TestAsyncDiffGates drives the benchdiff async gates with synthetic
+// reports: the hard gates (merge share, messages, error) fire on new
+// cells regardless of matching, and the wall gate fires only on matched
+// cells beyond the threshold.
+func TestAsyncDiffGates(t *testing.T) {
+	old := &Report{SchemaVersion: ReportSchemaVersion, Async: []AsyncRun{
+		{Bench: "emacs", Algo: "lcd", Workers: 8, AsyncSeconds: 1.0, Messages: 10},
+	}}
+	new := &Report{SchemaVersion: ReportSchemaVersion, Async: []AsyncRun{
+		{Bench: "emacs", Algo: "lcd", Workers: 8, AsyncSeconds: 2.0, Messages: 10}, // matched: +100% wall
+		{Bench: "emacs", Algo: "lcd", Workers: 4, AsyncSeconds: 0.5, Messages: 10, MergeShare: 0.25},
+		{Bench: "emacs", Algo: "lcd+hcd", Workers: 8, AsyncSeconds: 0.5, Messages: 0},
+		{Bench: "wine", Algo: "lcd", Workers: 8, Error: "solution mismatch: pts(v7) differs"},
+		{Bench: "wine", Algo: "lcd+hcd", Workers: 8, AsyncSeconds: 0.5, Messages: 10}, // clean, unmatched
+	}}
+	d := DiffReports(old, new, DiffOptions{AsyncThresholdPercent: 50})
+	if len(d.AsyncEntries) != 5 {
+		t.Fatalf("got %d async entries, want 5", len(d.AsyncEntries))
+	}
+	why := map[string]string{}
+	for _, e := range d.AsyncEntries {
+		why[e.Key] = strings.Join(e.Why, ",")
+	}
+	for key, want := range map[string]string{
+		"emacs/lcd/w8/async":     "async-wall",
+		"emacs/lcd/w4/async":     "async-merge-share",
+		"emacs/lcd+hcd/w8/async": "async-no-messages",
+		"wine/lcd/w8/async":      "async-error",
+		"wine/lcd+hcd/w8/async":  "",
+	} {
+		if why[key] != want {
+			t.Errorf("%s: why = %q, want %q", key, why[key], want)
+		}
+	}
+	if d.Regressions != 4 {
+		t.Errorf("regressions = %d, want 4", d.Regressions)
+	}
+	if !d.Failed() {
+		t.Error("diff should fail")
+	}
+
+	// The noise floor exempts the wall gate but not the hard gates.
+	d = DiffReports(old, new, DiffOptions{AsyncThresholdPercent: 50, MinSeconds: 10})
+	for _, e := range d.AsyncEntries {
+		if e.Key == "emacs/lcd/w8/async" {
+			if !e.BelowFloor || e.Regression {
+				t.Errorf("floor-exempt cell: belowFloor=%v regression=%v", e.BelowFloor, e.Regression)
+			}
+		}
+	}
+	if d.Regressions != 3 {
+		t.Errorf("regressions with floor = %d, want 3", d.Regressions)
+	}
+}

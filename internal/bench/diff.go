@@ -49,6 +49,18 @@ type DiffOptions struct {
 	// 0 disables the drift gate (the error/empty checks still apply);
 	// cells missing on either side are exempt.
 	GoThresholdPercent float64
+	// AsyncThresholdPercent is the async-engine wall-clock slowdown above
+	// which a matched async cell counts as a regression (old vs new
+	// AsyncSeconds, same MinSeconds noise floor as the main wall gate).
+	// 0 disables the wall gate. Independent of the threshold, every async
+	// cell of the NEW report is hard-gated on the engine's defining
+	// properties: merge_share must be exactly 0 (the engine has no merge
+	// phase; a nonzero share means the barrier crept back in), the
+	// message count must be nonzero (a zero count means the counters —
+	// and therefore the economy benchdiff watches — are disconnected),
+	// and the cell must not carry an error (solve failure or solution
+	// mismatch against the BSP engine).
+	AsyncThresholdPercent float64
 	// MergeShareMax fails any parallel run (workers > 0) of the NEW
 	// report whose merge_ns/(merge_ns+compute_ns) exceeds this fraction:
 	// the merge is the sequential-coupling phase of the wave engine, and
@@ -115,6 +127,22 @@ type OfflineDiffEntry struct {
 	Why                 []string `json:"why,omitempty"`
 }
 
+// AsyncDiffEntry is the verdict on one async cell. Hard-gated cells
+// (merge share, messages, error) appear even when the cell is new; the
+// wall columns are populated only for cells present in both reports.
+type AsyncDiffEntry struct {
+	Key           string   `json:"key"`
+	OldSeconds    float64  `json:"old_seconds,omitempty"`
+	NewSeconds    float64  `json:"new_seconds,omitempty"`
+	DeltaPercent  float64  `json:"delta_percent,omitempty"` // positive = slower
+	NewMergeShare float64  `json:"new_merge_share"`
+	NewMessages   int64    `json:"new_messages"`
+	NewSpeedup    float64  `json:"new_speedup,omitempty"`
+	Regression    bool     `json:"regression"`
+	Why           []string `json:"why,omitempty"`
+	BelowFloor    bool     `json:"below_floor,omitempty"`
+}
+
 // GoDiffEntry compares one go_frontend cell present in both reports.
 type GoDiffEntry struct {
 	Key string `json:"key"`
@@ -143,6 +171,11 @@ type DiffResult struct {
 	// in both reports (matched by bench). Empty when either report
 	// predates the offline section.
 	OfflineEntries []OfflineDiffEntry `json:"offline_entries,omitempty"`
+	// AsyncEntries holds one verdict per async cell of the NEW report
+	// (hard gates apply unconditionally; the wall gate applies to cells
+	// matched in the old report). Empty when the new report lacks the
+	// async section.
+	AsyncEntries []AsyncDiffEntry `json:"async_entries,omitempty"`
 	// GoEntries compares go_frontend cells present in both reports
 	// (matched by bench). Empty when either report lacks the section.
 	GoEntries []GoDiffEntry `json:"go_entries,omitempty"`
@@ -289,6 +322,49 @@ func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
 		res.OfflineEntries = append(res.OfflineEntries, e)
 	}
 
+	// Async cells: every cell of the NEW report is hard-gated on the async
+	// engine's defining properties — zero merge share, nonzero message
+	// traffic, no error — because those hold by construction on a correct
+	// engine, independent of host speed. The wall gate (AsyncSeconds old
+	// vs new) applies only to matched cells, with the usual noise floor.
+	asyncOld := map[string]AsyncRun{}
+	for _, r := range old.Async {
+		asyncOld[r.Key()] = r
+	}
+	for _, n := range new.Async {
+		e := AsyncDiffEntry{
+			Key:           n.Key(),
+			NewSeconds:    n.AsyncSeconds,
+			NewMergeShare: n.MergeShare,
+			NewMessages:   n.Messages,
+			NewSpeedup:    n.Speedup,
+		}
+		if n.Error != "" {
+			e.Why = append(e.Why, "async-error")
+		} else {
+			if n.MergeShare != 0 {
+				e.Why = append(e.Why, "async-merge-share")
+			}
+			if n.Messages <= 0 {
+				e.Why = append(e.Why, "async-no-messages")
+			}
+			if o, ok := asyncOld[n.Key()]; ok && o.Error == "" && o.AsyncSeconds > 0 && n.AsyncSeconds > 0 {
+				e.OldSeconds = o.AsyncSeconds
+				e.DeltaPercent = (n.AsyncSeconds - o.AsyncSeconds) / o.AsyncSeconds * 100
+				if opts.MinSeconds > 0 && o.AsyncSeconds < opts.MinSeconds && n.AsyncSeconds < opts.MinSeconds {
+					e.BelowFloor = true
+				} else if opts.AsyncThresholdPercent > 0 && e.DeltaPercent > opts.AsyncThresholdPercent {
+					e.Why = append(e.Why, "async-wall")
+				}
+			}
+		}
+		if len(e.Why) > 0 {
+			e.Regression = true
+			res.Regressions++
+		}
+		res.AsyncEntries = append(res.AsyncEntries, e)
+	}
+
 	// Go front-end cells: count-based and host-independent. A matched new
 	// cell with a front-end/solve error or an empty call graph always
 	// fails; count drift beyond GoThresholdPercent (in either direction —
@@ -404,6 +480,31 @@ func (d *DiffResult) Print(w io.Writer) {
 			}
 			fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%+.1f%%\t%s\n",
 				e.Key, e.OldExtraPercent, e.NewExtraPercent, e.RelativeDropPercent, verdict)
+		}
+		tw.Flush()
+	}
+	if len(d.AsyncEntries) > 0 {
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "async cell\told\tnew\tdelta\tmerge\tmessages\tspeedup\t\n")
+		for _, e := range d.AsyncEntries {
+			verdict := ""
+			switch {
+			case e.Regression:
+				verdict = "REGRESSION"
+				for _, why := range e.Why {
+					verdict += " " + why
+				}
+			case e.BelowFloor:
+				verdict = "(below noise floor)"
+			}
+			oldCol, deltaCol := "-", "-"
+			if e.OldSeconds > 0 {
+				oldCol = fmt.Sprintf("%.3fs", e.OldSeconds)
+				deltaCol = fmt.Sprintf("%+.1f%%", e.DeltaPercent)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3fs\t%s\t%.0f%%\t%d\t%.2fx\t%s\n",
+				e.Key, oldCol, e.NewSeconds, deltaCol, e.NewMergeShare*100,
+				e.NewMessages, e.NewSpeedup, verdict)
 		}
 		tw.Flush()
 	}

@@ -44,6 +44,13 @@ type Report struct {
 	// schema stays 1, and benchdiff's offline gate applies only to
 	// benches present in both reports.
 	Offline []OfflineRun `json:"offline,omitempty"`
+	// Async holds the async-engine sweep (the lcd family solved on the
+	// bulk-synchronous and the asynchronous owner-sharded engines at each
+	// worker count, with the async engine's message-economy counters).
+	// Additive: absent unless -async ran, schema stays 1, and benchdiff's
+	// async gates apply to the new report's section (hard gates) and to
+	// cells present in both reports (wall gate).
+	Async []AsyncRun `json:"async,omitempty"`
 	// GoFrontend holds the real-Go analysis cells (this repository and
 	// the pinned stdlib set) produced by antbench -go: generation and
 	// solve times, constraint counts, call-graph size and the precision

@@ -236,11 +236,20 @@ func (st *basicState) run(ctx context.Context, w worklist.Worklist) error {
 // Each merged representative is handed to push. Reports whether anything
 // was collapsed.
 func (g *graph) detectAndCollapse(root uint32, push func(uint32)) bool {
+	return g.detectAndCollapseMulti([]uint32{root}, push)
+}
+
+// detectAndCollapseMulti is detectAndCollapse over many roots in one
+// Nuutila pass: each node is visited at most once no matter how many
+// roots share reachable structure. The async arbiter uses this to keep a
+// pause's cycle work bounded by one graph traversal instead of
+// (candidates × reachable subgraph).
+func (g *graph) detectAndCollapseMulti(roots []uint32, push func(uint32)) bool {
 	if g.metrics != nil {
 		t0 := time.Now()
 		defer func() { g.cycleNS += time.Since(t0).Nanoseconds() }()
 	}
-	res := scc.Nuutila(g.n, []uint32{root}, func(x uint32) []uint32 {
+	res := scc.Nuutila(g.n, roots, func(x uint32) []uint32 {
 		return g.succsSnapshot(x)
 	})
 	g.stats.NodesSearched += int64(res.Visited)

@@ -55,6 +55,14 @@ type graph struct {
 	// together with propagated on collapse.
 	resolved []pts.Set
 
+	// hcdResolved holds, per rep, the part of the points-to set already
+	// run through the HCD online rule. Allocated only by the async solver:
+	// its owners cannot fire the rule themselves (uniting is arbiter-only),
+	// so they park a node whose set has un-ruled pointees until the next
+	// pause fires the rule, and the pause stamps this memo so the node
+	// proceeds afterwards. Cleared together with propagated on collapse.
+	hcdResolved []pts.Set
+
 	span    []uint32 // expanded span table (length n, all ≥ 1)
 	factory pts.Factory
 	stats   *Stats
@@ -183,6 +191,9 @@ func (g *graph) grow(p *constraint.Program) {
 	}
 	if g.resolved != nil {
 		g.resolved = append(g.resolved, make([]pts.Set, n-old)...)
+	}
+	if g.hcdResolved != nil {
+		g.hcdResolved = append(g.hcdResolved, make([]pts.Set, n-old)...)
 	}
 }
 
@@ -348,6 +359,14 @@ func (g *graph) unite(a, b uint32) uint32 {
 		pts.Release(g.resolved[lost])
 		g.resolved[rep] = nil
 		g.resolved[lost] = nil
+	}
+	if g.hcdResolved != nil {
+		// The merge may have brought in new HCD tuples (hcdTargets above),
+		// so the combined set must re-run the online rule from scratch.
+		pts.Release(g.hcdResolved[rep])
+		pts.Release(g.hcdResolved[lost])
+		g.hcdResolved[rep] = nil
+		g.hcdResolved[lost] = nil
 	}
 	return rep
 }

@@ -103,6 +103,15 @@ type Options struct {
 	// configuration runs sequentially regardless. 0 and 1 mean
 	// sequential. The solution is identical for every value.
 	Workers int
+	// Async switches the parallel engine from bulk-synchronous rounds to
+	// asynchronous owner-computes propagation with token-ring termination
+	// (docs/ALGORITHMS.md §Asynchronous propagation). It is honored under
+	// the same conditions as Workers — Naive and LCD with bitmap points-to
+	// sets — and uses max(Workers, 1) owner goroutines (unlike the BSP
+	// engine, one async owner is still a meaningful configuration: the
+	// engine machinery runs, it just doesn't overlap). The solution is
+	// identical to every other engine's.
+	Async bool
 	// Progress, when non-nil, is invoked at round boundaries of the
 	// parallel solver and periodically by the sequential worklist
 	// solvers, giving callers an observability hook without log
@@ -292,14 +301,20 @@ func SolveContext(ctx context.Context, p *constraint.Program, opts Options) (*Re
 	var err error
 	switch opts.Algorithm {
 	case Naive:
-		if useParallel(opts) {
+		if useAsync(opts) {
+			parallel = true
+			err = solveAsync(ctx, g, opts, false)
+		} else if useParallel(opts) {
 			parallel = true
 			err = solveParallel(ctx, g, opts, false)
 		} else {
 			err = solveBasic(ctx, g, opts, false)
 		}
 	case LCD:
-		if useParallel(opts) {
+		if useAsync(opts) {
+			parallel = true
+			err = solveAsync(ctx, g, opts, true)
+		} else if useParallel(opts) {
 			parallel = true
 			err = solveParallel(ctx, g, opts, true)
 		} else {
@@ -437,6 +452,16 @@ func (s *Stats) Export(m *metrics.Registry) {
 func useParallel(opts Options) bool {
 	name := opts.Pts.Name()
 	return opts.Workers >= 2 && (name == "bitmap" || name == "bitmap-plain")
+}
+
+// useAsync reports whether this configuration runs the asynchronous
+// owner-computes engine: Options.Async set, a Naive/LCD algorithm (checked
+// by the caller) and bitmap-backed points-to sets, for the same reason as
+// useParallel. Any worker count qualifies (1 means a single owner plus the
+// arbiter).
+func useAsync(opts Options) bool {
+	name := opts.Pts.Name()
+	return opts.Async && (name == "bitmap" || name == "bitmap-plain")
 }
 
 // ctxCheckInterval is how many worklist pops a sequential solver processes

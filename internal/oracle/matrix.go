@@ -51,6 +51,10 @@ var matrixWorkers = []int{2, 4, 8}
 //   - parallel worker counts for the configurations the wave engine
 //     accepts (Naive and LCD over bitmaps), with and without HCD, plus
 //     one parallel run over the plain factory;
+//   - the same worker counts again on the asynchronous owner-sharded
+//     engine (±async tiers: Naive/LCD × ±hcd × workers, one plain-factory
+//     run, and the HVN+HU offline ladder at each worker count), pinning
+//     the barrier-free engine bit-identical to every other configuration;
 //   - difference propagation for the basic worklist solvers;
 //   - the BLQ relational solver, with and without HCD;
 //   - the offline pre-pass tiers (HVN, HU, HVN+HU, HVN+HU+OVS) over
@@ -83,11 +87,13 @@ func Matrix() []Config {
 		for _, withHCD := range []bool{false, true} {
 			for _, w := range matrixWorkers {
 				out = append(out, coreConfig(alg, "bitmap", withHCD, w, false))
+				out = append(out, coreConfigAsync(alg, "bitmap", withHCD, w, false, true))
 			}
 			out = append(out, coreConfig(alg, "bitmap", withHCD, 0, true))
 		}
 	}
 	out = append(out, coreConfig(core.LCD, "bitmap-plain", true, 2, false))
+	out = append(out, coreConfigAsync(core.LCD, "bitmap-plain", true, 2, false, true))
 	out = append(out, blqConfig(false), blqConfig(true))
 	for _, tier := range offlineTiers {
 		for _, alg := range []core.Algorithm{core.Naive, core.LCD} {
@@ -100,6 +106,7 @@ func Matrix() []Config {
 	for _, withHCD := range []bool{false, true} {
 		for _, w := range matrixWorkers {
 			out = append(out, offlineConfig(huTier, core.LCD, withHCD, w))
+			out = append(out, offlineConfigAsync(huTier, core.LCD, withHCD, w, true))
 		}
 	}
 	return out
@@ -128,9 +135,18 @@ var offlineTiers = []offlineTier{
 // HCD table, mirroring the facade pipeline. Queries stay on original
 // variable ids because the solver applies the unions before constraints.
 func offlineConfig(tier offlineTier, alg core.Algorithm, withHCD bool, workers int) Config {
+	return offlineConfigAsync(tier, alg, withHCD, workers, false)
+}
+
+// offlineConfigAsync is offlineConfig with the asynchronous engine
+// switched on for the online solve that follows the reduction passes.
+func offlineConfigAsync(tier offlineTier, alg core.Algorithm, withHCD bool, workers int, async bool) Config {
 	name := alg.String() + "+" + tier.name
 	if withHCD {
 		name += "+hcd"
+	}
+	if async {
+		name += "+async"
 	}
 	name += "/bitmap"
 	if workers > 0 {
@@ -166,18 +182,29 @@ func offlineConfig(tier offlineTier, alg core.Algorithm, withHCD bool, workers i
 				WithHCD:   true,
 				HCDTable:  table,
 				Workers:   workers,
+				Async:     async,
 			})
 		},
 	}
 }
 
 func coreConfig(alg core.Algorithm, repr string, withHCD bool, workers int, diff bool) Config {
+	return coreConfigAsync(alg, repr, withHCD, workers, diff, false)
+}
+
+// coreConfigAsync is coreConfig with the asynchronous owner-sharded
+// engine switched on: same algorithm, same solution, no rounds. The
+// worker count becomes the owner-shard count.
+func coreConfigAsync(alg core.Algorithm, repr string, withHCD bool, workers int, diff, async bool) Config {
 	name := alg.String()
 	if withHCD {
 		name += "+hcd"
 	}
 	if diff {
 		name += "+diff"
+	}
+	if async {
+		name += "+async"
 	}
 	name += "/" + repr
 	if workers > 0 {
@@ -191,6 +218,7 @@ func coreConfig(alg core.Algorithm, repr string, withHCD bool, workers int, diff
 				WithHCD:   withHCD,
 				Workers:   workers,
 				DiffProp:  diff,
+				Async:     async,
 			}
 			switch repr {
 			case "bdd":

@@ -61,6 +61,26 @@ func TestFuzzSeedsParallel(t *testing.T) {
 	})
 }
 
+// TestFuzzSeedsAsync replays the committed fuzz seed corpus against the
+// asynchronous owner-sharded engine, differentially against the
+// reference solver. The interesting schedules here are different from
+// the BSP replay's: concurrent owner mailboxes, the Safra token ring's
+// termination decision, and the arbiter's full-pause cycle collapses —
+// check.sh runs this under the race detector, where a missed
+// happens-before edge in any of them surfaces as a detector report or a
+// divergence.
+func TestFuzzSeedsAsync(t *testing.T) {
+	huTier := offlineTier{name: "hvn+hu", hvn: true, hu: true}
+	replayFuzzSeeds(t, []Config{
+		coreConfigAsync(core.Naive, "bitmap", false, 4, false, true),
+		coreConfigAsync(core.Naive, "bitmap", true, 4, false, true),
+		coreConfigAsync(core.LCD, "bitmap", false, 2, false, true),
+		coreConfigAsync(core.LCD, "bitmap", true, 4, false, true),
+		coreConfigAsync(core.LCD, "bitmap", true, 8, false, true),
+		offlineConfigAsync(huTier, core.LCD, true, 4, true),
+	})
+}
+
 // TestFuzzSeedsOffline replays the same corpus through the offline
 // value-numbering tiers: HVN alone, HVN+HU, and the full HVN+HU+OVS
 // stack, sequentially and at four workers, with and without HCD. Every

@@ -1,0 +1,318 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// termHooks drives the engine with synthetic counted work: every payload
+// token (a Rechecks entry) carries a remaining depth; processing a token
+// of depth d > 0 generates up to two tokens of depth d-1 addressed to
+// pseudo-random owners and buffered the way the real solver buffers
+// (partial batches sent by Flush). Depth strictly decreases, so traffic is
+// finite and the run must terminate; the test is whether the ring declares
+// quiescence neither early (while tokens are in flight, buffered or
+// pending) nor never. All mutable state is per-owner, touched only by that
+// owner's goroutine, mirroring the real hooks' ownership discipline.
+type termHooks struct {
+	e      *AsyncEngine
+	owners int
+
+	pending [][]uint32 // per-owner local work queue
+	out     [][]*Batch // per-owner, per-destination buffered batches
+	states  []uint64   // per-owner xorshift state
+
+	produced atomic.Int64 // tokens buffered for sending
+	consumed atomic.Int64 // tokens received via Apply
+	active   atomic.Int32 // owners currently inside Step/Apply
+}
+
+func newTermHooks(owners int) *termHooks {
+	h := &termHooks{
+		owners:  owners,
+		pending: make([][]uint32, owners),
+		out:     make([][]*Batch, owners),
+		states:  make([]uint64, owners),
+	}
+	for w := 0; w < owners; w++ {
+		h.out[w] = make([]*Batch, owners)
+		h.states[w] = uint64(w)*0x9e3779b97f4a7c15 + 1
+	}
+	return h
+}
+
+func (h *termHooks) rnd(w int) uint32 {
+	x := h.states[w]
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	h.states[w] = x
+	return uint32(x)
+}
+
+func (h *termHooks) Apply(w int, b *Batch) {
+	h.active.Add(1)
+	defer h.active.Add(-1)
+	for _, tok := range b.Rechecks {
+		h.consumed.Add(1)
+		h.pending[w] = append(h.pending[w], tok)
+	}
+}
+
+func (h *termHooks) Step(w int) bool {
+	q := h.pending[w]
+	if len(q) == 0 {
+		return false
+	}
+	h.active.Add(1)
+	defer h.active.Add(-1)
+	d := q[len(q)-1]
+	h.pending[w] = q[:len(q)-1]
+	if d > 0 {
+		for k := h.rnd(w) % 3; k > 0; k-- {
+			to := int(h.rnd(w) % uint32(h.owners))
+			h.buffer(w, to, d-1)
+		}
+	}
+	return true
+}
+
+func (h *termHooks) buffer(w, to int, d uint32) {
+	b := h.out[w][to]
+	if b == nil {
+		b = &Batch{}
+		h.out[w][to] = b
+	}
+	b.Rechecks = append(b.Rechecks, d)
+	h.produced.Add(1)
+	if len(b.Rechecks) >= 8 {
+		h.out[w][to] = nil
+		h.e.Send(w, to, b)
+	}
+}
+
+func (h *termHooks) Flush(w int) {
+	for to, b := range h.out[w] {
+		if b != nil && len(b.Rechecks) > 0 {
+			h.out[w][to] = nil
+			h.e.Send(w, to, b)
+		}
+	}
+}
+
+func (h *termHooks) Stash(b *Batch)   {}
+func (h *termHooks) StashEmpty() bool { return true }
+func (h *termHooks) StashFull() bool  { return false }
+func (h *termHooks) Collapse()        {}
+
+// TestAsyncTokenRingTermination seeds every owner with deep work, injects
+// artificial send delays (widening the window in which messages are in
+// flight but uncounted by the receiver), and asserts the Safra invariants:
+// the arbiter declares quiescence exactly once, at a moment when the
+// global sent and received counters agree; afterwards no token was lost,
+// no local queue holds work and no buffered batch went unsent. A premature
+// declaration strands produced-but-unconsumed tokens, which the accounting
+// below catches.
+func TestAsyncTokenRingTermination(t *testing.T) {
+	for _, owners := range []int{1, 2, 4, 8} {
+		h := newTermHooks(owners)
+		e := NewAsyncEngine(context.Background(), owners, h)
+		h.e = e
+		e.SendDelay = func(from, to int) {
+			// Deterministic, sender-local delay: every few routes hold the
+			// message between "counted as sent" and "delivered".
+			if (from*31+to*17)%4 == 0 {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+		quietCalls := 0
+		e.OnQuiet = func(sent, recv int64) {
+			quietCalls++
+			if sent != recv {
+				t.Errorf("owners=%d: quiescence declared with %d sent but %d received (message in flight)",
+					owners, sent, recv)
+			}
+		}
+		for w := 0; w < owners; w++ {
+			for i := 0; i < 16; i++ {
+				h.pending[w] = append(h.pending[w], 6)
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("owners=%d: %v", owners, err)
+		}
+		if quietCalls != 1 {
+			t.Fatalf("owners=%d: OnQuiet fired %d times, want exactly once", owners, quietCalls)
+		}
+		if p, c := h.produced.Load(), h.consumed.Load(); p != c {
+			t.Fatalf("owners=%d: %d tokens produced but %d consumed — work stranded at declaration", owners, p, c)
+		}
+		for w := 0; w < owners; w++ {
+			if len(h.pending[w]) != 0 {
+				t.Fatalf("owners=%d: owner %d still holds %d pending tokens", owners, w, len(h.pending[w]))
+			}
+			for to, b := range h.out[w] {
+				if b != nil && len(b.Rechecks) > 0 {
+					t.Fatalf("owners=%d: owner %d left an unflushed batch for %d", owners, w, to)
+				}
+			}
+		}
+		// No counted message may remain queued (Run's join orders these
+		// reads after every mailbox write).
+		for i := range e.mail {
+			m := &e.mail[i]
+			for _, b := range m.q[m.head:] {
+				if b != nil && b.kind == batchWork {
+					t.Fatalf("owners=%d: mailbox %d still holds a work batch after quiescence", owners, i)
+				}
+			}
+		}
+		st := e.Stats()
+		if st.Sent != st.Recv {
+			t.Fatalf("owners=%d: Stats sent %d != recv %d", owners, st.Sent, st.Recv)
+		}
+		if st.TokenLaps < asyncCleanLaps {
+			t.Fatalf("owners=%d: only %d token laps — cannot have seen two clean ones", owners, st.TokenLaps)
+		}
+	}
+}
+
+// pauseHooks extends termHooks with arbiter traffic: every few processed
+// tokens nominate a candidate, the arbiter pauses once the stash fills,
+// and Collapse — asserting it has exclusive access while every owner is
+// parked — mails fresh counted work back into the ring.
+type pauseHooks struct {
+	*termHooks
+	t         *testing.T
+	stash     [][2]uint32
+	collapses int
+	mailed    atomic.Int64
+}
+
+func (h *pauseHooks) Step(w int) bool {
+	q := h.pending[w]
+	if len(q) == 0 {
+		return false
+	}
+	h.active.Add(1)
+	d := q[len(q)-1]
+	h.pending[w] = q[:len(q)-1]
+	if d > 0 {
+		for k := h.rnd(w) % 3; k > 0; k-- {
+			to := int(h.rnd(w) % uint32(h.owners))
+			h.buffer(w, to, d-1)
+		}
+		if d%3 == 0 {
+			// Candidate for the arbiter, sent immediately (counted).
+			h.produced.Add(1)
+			h.e.Send(w, h.e.Arbiter(), &Batch{Cands: [][2]uint32{{uint32(w), d}}})
+		}
+	}
+	h.active.Add(-1)
+	return true
+}
+
+func (h *pauseHooks) Stash(b *Batch) {
+	h.consumed.Add(int64(len(b.Cands)))
+	h.stash = append(h.stash, b.Cands...)
+}
+
+func (h *pauseHooks) StashEmpty() bool { return len(h.stash) == 0 }
+func (h *pauseHooks) StashFull() bool  { return len(h.stash) >= 4 }
+
+func (h *pauseHooks) Collapse() {
+	if n := h.active.Load(); n != 0 {
+		h.t.Errorf("Collapse entered with %d owners still inside Step/Apply", n)
+	}
+	h.collapses++
+	// Mail one shallow recheck per stashed candidate: counted work that
+	// must hold off the termination detector until it drains.
+	for _, c := range h.stash {
+		to := int(c[0]) % h.owners
+		h.produced.Add(1)
+		h.mailed.Add(1)
+		h.e.Send(h.e.Arbiter(), to, &Batch{Rechecks: []uint32{1}})
+	}
+	h.stash = h.stash[:0]
+}
+
+// TestAsyncPauseCollapse exercises the full-pause protocol: candidates
+// flow to the arbiter, the stash-full trigger and the token-lap trigger
+// both fire pauses, Collapse runs with every owner parked, and the
+// rechecks it mails keep the ring alive until they too drain.
+func TestAsyncPauseCollapse(t *testing.T) {
+	for _, owners := range []int{2, 4} {
+		h := &pauseHooks{termHooks: newTermHooks(owners), t: t}
+		e := NewAsyncEngine(context.Background(), owners, h)
+		h.e = e
+		quiet := false
+		e.OnQuiet = func(sent, recv int64) {
+			quiet = true
+			if sent != recv {
+				t.Errorf("owners=%d: quiescence with sent %d != recv %d", owners, sent, recv)
+			}
+		}
+		for w := 0; w < owners; w++ {
+			for i := 0; i < 8; i++ {
+				h.pending[w] = append(h.pending[w], 9)
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("owners=%d: %v", owners, err)
+		}
+		if !quiet {
+			t.Fatalf("owners=%d: run ended without a quiescence declaration", owners)
+		}
+		if h.collapses == 0 {
+			t.Fatalf("owners=%d: no Collapse ran despite candidate traffic", owners)
+		}
+		st := e.Stats()
+		if st.Pauses == 0 {
+			t.Fatalf("owners=%d: engine recorded no pauses", owners)
+		}
+		if p, c := h.produced.Load(), h.consumed.Load(); p != c {
+			t.Fatalf("owners=%d: %d produced vs %d consumed", owners, p, c)
+		}
+		if len(h.stash) != 0 {
+			t.Fatalf("owners=%d: %d candidates left in the stash", owners, len(h.stash))
+		}
+	}
+}
+
+// TestAsyncEngineCancellation checks the abort path: canceling the context
+// mid-run unwinds every owner (parked, stepping, or held in a pause)
+// without deadlock and returns the context error.
+func TestAsyncEngineCancellation(t *testing.T) {
+	owners := 4
+	h := newTermHooks(owners)
+	ctx, cancel := context.WithCancel(context.Background())
+	e := NewAsyncEngine(ctx, owners, h)
+	h.e = e
+	lapped := make(chan struct{}, 1)
+	e.OnLap = func(lap int64) {
+		select {
+		case lapped <- struct{}{}:
+		default:
+		}
+		cancel()
+	}
+	for w := 0; w < owners; w++ {
+		for i := 0; i < 16; i++ {
+			h.pending[w] = append(h.pending[w], 12)
+		}
+	}
+	err := e.Run()
+	select {
+	case <-lapped:
+		if err == nil {
+			t.Fatal("canceled run returned nil")
+		}
+	default:
+		// Converged before the first lap fired the cancel; nothing to check.
+		if err != nil && ctx.Err() == nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}

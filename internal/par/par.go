@@ -217,13 +217,26 @@ func (d *deque) pop() (int32, bool) {
 
 // stealHalf appends the back half of d's pending chunks (rounded down;
 // nothing when fewer than two remain) to buf and returns it.
+//
+// The thief picked this victim from a size probe taken OUTSIDE the lock,
+// so by the time the lock is held the deque may have shrunk arbitrarily —
+// the owner pops from the front (advancing head) and other thieves
+// truncate the tail. Everything here must therefore be re-derived under
+// the lock, and the steal window [cut, len) clamped against the consumed
+// region [0, head): re-slicing from a count captured before the shrink
+// would hand out chunks pop already returned. take = remaining/2 keeps
+// cut ≥ head whenever remaining ≥ 0, and the explicit guards make the
+// invariant hold even for an empty or fully drained deque.
 func (d *deque) stealHalf(buf []int32) []int32 {
 	d.mu.Lock()
-	n := len(d.items) - d.head
-	take := n / 2
-	if take > 0 {
-		buf = append(buf, d.items[len(d.items)-take:]...)
-		d.items = d.items[:len(d.items)-take]
+	remaining := len(d.items) - d.head
+	if remaining < 0 {
+		remaining = 0
+	}
+	take := remaining / 2
+	if cut := len(d.items) - take; take > 0 && cut >= d.head {
+		buf = append(buf, d.items[cut:]...)
+		d.items = d.items[:cut]
 		d.size.Add(int32(-take))
 	}
 	d.mu.Unlock()

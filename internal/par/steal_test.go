@@ -1,0 +1,108 @@
+package par
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestStealHalfRacingSchedule is the regression test for the stealHalf
+// bounds clamp: the thief probes victim sizes outside the lock, so the
+// deque can shrink between the probe and the steal — the owner pops from
+// the front while other thieves truncate the tail. A steal window derived
+// from the stale probe could re-slice into the region pop already
+// consumed, handing the same chunk to two workers. The schedule below
+// hammers exactly that interleaving under -race and asserts every chunk
+// id is consumed exactly once: no loss, no duplication.
+func TestStealHalfRacingSchedule(t *testing.T) {
+	const (
+		rounds  = 50
+		chunks  = 2048
+		thieves = 4
+	)
+	for round := 0; round < rounds; round++ {
+		var d deque
+		d.reset()
+		for i := int32(0); i < chunks; i++ {
+			d.push(i)
+		}
+		counts := make([]int32, chunks)
+		var mu sync.Mutex
+		consume := func(ids []int32) {
+			mu.Lock()
+			for _, id := range ids {
+				counts[id]++
+			}
+			mu.Unlock()
+		}
+		var wg sync.WaitGroup
+		// The owner drains from the front as fast as it can.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var got []int32
+			for {
+				ci, ok := d.pop()
+				if !ok {
+					break
+				}
+				got = append(got, ci)
+			}
+			consume(got)
+		}()
+		// Thieves rip halves off the tail; each re-steals from its own
+		// loot (append then pop) the way Engine.steal does, so the stolen
+		// chunks flow through a second deque's pop path too.
+		for th := 0; th < thieves; th++ {
+			wg.Add(1)
+			go func(th int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*thieves + th)))
+				var mine deque
+				mine.reset()
+				var got []int32
+				for {
+					buf := d.stealHalf(nil)
+					if len(buf) == 0 {
+						if d.size.Load() <= 1 {
+							break
+						}
+						continue
+					}
+					mine.append(buf)
+					for {
+						ci, ok := mine.pop()
+						if !ok {
+							break
+						}
+						got = append(got, ci)
+					}
+					if rng.Intn(4) == 0 {
+						// Vary the interleaving: let the owner run.
+						for i := 0; i < rng.Intn(32); i++ {
+							if ci, ok := d.pop(); ok {
+								got = append(got, ci)
+							}
+						}
+					}
+				}
+				consume(got)
+			}(th)
+		}
+		wg.Wait()
+		// The victim may legitimately retain its final singleton chunk
+		// (stealHalf never takes the last one); drain it.
+		for {
+			ci, ok := d.pop()
+			if !ok {
+				break
+			}
+			consume([]int32{ci})
+		}
+		for id, c := range counts {
+			if c != 1 {
+				t.Fatalf("round %d: chunk %d consumed %d times, want exactly once", round, id, c)
+			}
+		}
+	}
+}

@@ -5,6 +5,8 @@
 // union-by-rank and path compression heuristics").
 package uf
 
+import "sync/atomic"
+
 // UF is a disjoint-set forest over the elements 0..n-1.
 type UF struct {
 	parent []uint32
@@ -56,15 +58,32 @@ func (u *UF) Find(x uint32) uint32 {
 	return root
 }
 
-// FindRO returns the representative of x without path compression. Unlike
-// Find it never mutates the structure, so any number of goroutines may call
-// it concurrently as long as no Union runs at the same time (the parallel
-// solver's compute phase relies on this).
-func (u *UF) FindRO(x uint32) uint32 {
-	for u.parent[x] != x {
-		x = u.parent[x]
+// FindRO returns the representative of x without path compression. It
+// never mutates the structure, and it reads parent pointers with atomic
+// loads, so any number of goroutines may call it concurrently — including
+// concurrently with Union, whose single structural write (re-pointing the
+// absorbed root at the winner) is an atomic store. A reader racing a Union
+// sees either the old forest (and returns the absorbed root, a stale but
+// internally consistent representative — parent chains only ever move
+// toward a root, never sideways) or the published new parent. Callers that
+// need the post-union representative must synchronize with the uniting
+// goroutine by other means; the asynchronous solver gets this from its
+// pause protocol, and the BSP solver from its barrier.
+//
+// FindRO is NOT safe concurrently with Find: Find's path-compression
+// writes are plain stores.
+func (u *UF) FindRO(x uint32) uint32 { return u.root(x) }
+
+// root walks to the representative of x with atomic loads and no path
+// compression — the read-side primitive shared by FindRO and Union.
+func (u *UF) root(x uint32) uint32 {
+	for {
+		p := atomic.LoadUint32(&u.parent[x])
+		if p == x {
+			return x
+		}
+		x = p
 	}
-	return x
 }
 
 // Same reports whether x and y are in the same set.
@@ -76,8 +95,13 @@ func (u *UF) Same(x, y uint32) bool { return u.Find(x) == u.Find(y) }
 //
 // Callers that keep per-representative data use the (winner, loser) pair to
 // migrate the loser's data into the winner.
+//
+// A single Union may run concurrently with any number of FindRO calls
+// (see FindRO): it locates the two roots with the same compression-free
+// atomic walk and publishes the merge with one atomic store. It must not
+// run concurrently with Find or with another Union.
 func (u *UF) Union(x, y uint32) (rep, absorbed uint32) {
-	rx, ry := u.Find(x), u.Find(y)
+	rx, ry := u.root(x), u.root(y)
 	if rx == ry {
 		return rx, rx
 	}
@@ -86,7 +110,11 @@ func (u *UF) Union(x, y uint32) (rep, absorbed uint32) {
 	} else if u.rank[rx] == u.rank[ry] {
 		u.rank[rx]++
 	}
-	u.parent[ry] = rx
+	// The one structural write that publishes the merge. An atomic store
+	// pairs with FindRO's atomic loads so concurrent readers observe
+	// either forest, never a torn pointer; rank and sets stay plain —
+	// they are only touched under the caller's exclusion.
+	atomic.StoreUint32(&u.parent[ry], rx)
 	u.sets--
 	return rx, ry
 }

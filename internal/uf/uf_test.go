@@ -2,6 +2,7 @@ package uf
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -129,6 +130,50 @@ func TestWinnerLoserDistinct(t *testing.T) {
 	}
 	if lost == rep {
 		t.Error("absorbed must differ from rep on a fresh union")
+	}
+}
+
+// TestFindROConcurrentWithUnion exercises the concurrent-read contract the
+// asynchronous solver relies on: FindRO from many goroutines racing a
+// single goroutine performing Unions. Under -race this checks the atomic
+// publication pairing; the assertions check the staleness guarantee — a
+// representative observed mid-race is always an ancestor of the queried
+// element, so resolving it in the final forest lands in the same set.
+func TestFindROConcurrentWithUnion(t *testing.T) {
+	const (
+		n       = 1 << 10
+		readers = 4
+		probes  = 4096
+	)
+	u := New(n)
+	type obs struct{ x, rep uint32 }
+	seen := make([][]obs, readers)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(readers)
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer done.Done()
+			rng := rand.New(rand.NewSource(int64(r) + 1))
+			start.Wait()
+			for i := 0; i < probes; i++ {
+				x := uint32(rng.Intn(n))
+				seen[r] = append(seen[r], obs{x, u.FindRO(x)})
+			}
+		}(r)
+	}
+	rng := rand.New(rand.NewSource(99))
+	start.Done()
+	for i := 0; i < n-1; i++ {
+		u.Union(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	done.Wait()
+	for r := range seen {
+		for _, o := range seen[r] {
+			if u.Find(o.x) != u.Find(o.rep) {
+				t.Fatalf("reader %d: FindRO(%d) = %d, not in %d's final set", r, o.x, o.rep, o.x)
+			}
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import "slices"
 type Frontier struct {
 	nodes   []uint32
 	spare   []uint32 // the previous drain's buffer, recycled on the next Drain
+	head    int      // consumed prefix of nodes (Pop); 0 under round use
 	member  []bool
 	sorted  bool
 	shards  []FrontierShard
@@ -42,25 +43,46 @@ func (f *Frontier) Push(x uint32) {
 }
 
 // Len returns the number of pending nodes.
-func (f *Frontier) Len() int { return len(f.nodes) }
+func (f *Frontier) Len() int { return len(f.nodes) - f.head }
 
 // Empty reports whether no node is pending.
-func (f *Frontier) Empty() bool { return len(f.nodes) == 0 }
+func (f *Frontier) Empty() bool { return f.head >= len(f.nodes) }
+
+// Pop removes and returns one pending node — the continuous-consumption
+// counterpart of Drain, used by the asynchronous solver's owner loops,
+// which interleave pushes and pops instead of alternating whole rounds.
+// Pop order is FIFO over pushes (no per-pop sorting); a popped node may be
+// re-pushed immediately. Mixing Pop with Drain is allowed: Drain returns
+// whatever Pop has not yet consumed.
+func (f *Frontier) Pop() (uint32, bool) {
+	if f.head >= len(f.nodes) {
+		f.nodes = f.nodes[:0]
+		f.head = 0
+		return 0, false
+	}
+	x := f.nodes[f.head]
+	f.head++
+	f.member[x] = false
+	if f.head == len(f.nodes) {
+		f.nodes = f.nodes[:0]
+		f.head = 0
+	}
+	return x, true
+}
 
 // Drain removes and returns all pending nodes in ascending id order. The
 // returned slice is valid until the NEXT Drain call: the frontier keeps
 // two buffers and ping-pongs between them, so steady-state rounds push
 // into one while the solver walks the other — no per-round growth.
 func (f *Frontier) Drain() []uint32 {
-	out := f.nodes
+	out := f.nodes[f.head:]
 	if !f.sorted {
 		slices.Sort(out)
 	}
 	for _, x := range out {
 		f.member[x] = false
 	}
-	f.nodes = f.spare[:0]
-	f.spare = out
+	f.nodes, f.spare, f.head = f.spare[:0], f.nodes, 0
 	f.sorted = true
 	return out
 }

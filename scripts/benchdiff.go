@@ -14,11 +14,14 @@
 //	1 — at least one regression (wall clock beyond -threshold, allocs
 //	    beyond -alloc-threshold, peak heap beyond -mem-threshold, a
 //	    parallel run of new.json whose merge phase consumed more than
-//	    -merge-share of merge+compute time, or a workload whose HVN+HU
+//	    -merge-share of merge+compute time, a workload whose HVN+HU
 //	    offline constraint reduction beyond OVS-only shrank by more than
-//	    -offline-threshold percent relative), or a run present in
-//	    old.json is missing from new.json (a silently dropped benchmark
-//	    must not pass)
+//	    -offline-threshold percent relative, or an async cell that failed
+//	    a gate: wall clock beyond -async-threshold on matched cells, or —
+//	    unconditionally, for every async cell of new.json — a nonzero
+//	    merge_share, a zero message count, or a recorded error), or a run
+//	    present in old.json is missing from new.json (a silently dropped
+//	    benchmark must not pass)
 //	2 — usage or report-parsing error (including a schema_version this
 //	    tool does not understand)
 //
@@ -47,6 +50,7 @@ func main() {
 	serveThreshold := flag.Float64("serve-threshold", 50, "fail when a serve run's p99 query latency grows more than this percent (0 disables; matched serve runs with errors always fail)")
 	offlineThreshold := flag.Float64("offline-threshold", 10, "fail when a workload's HVN+HU extra reduction beyond OVS-only shrinks by more than this percent relative to the baseline (0 disables)")
 	goThreshold := flag.Float64("go-threshold", 50, "fail when a go_frontend cell's constraint or call-edge count drifts more than this percent in either direction (0 disables; a cell with an error or empty callgraph always fails)")
+	asyncThreshold := flag.Float64("async-threshold", 0, "fail when a matched async cell's wall clock grows more than this percent (0 disables the wall gate; every async cell of new.json is still hard-gated on merge_share == 0, nonzero messages and no error)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-seconds s] [-alloc-threshold pct] [-mem-threshold pct] [-merge-share frac] old.json new.json")
 		flag.PrintDefaults()
@@ -73,6 +77,7 @@ func main() {
 		ServeThresholdPercent:   *serveThreshold,
 		OfflineThresholdPercent: *offlineThreshold,
 		GoThresholdPercent:      *goThreshold,
+		AsyncThresholdPercent:   *asyncThreshold,
 	})
 	diff.Print(os.Stdout)
 	if diff.Failed() {

@@ -13,6 +13,9 @@
 #   serve      — stage 9 (end-to-end daemon gate)
 #   gofrontend — stage 10 (Go front end: golden/spec/e2e/differential
 #                tests by name, then antgo self-analysis end-to-end)
+#   async      — stage 11 (asynchronous engine: named async tests and the
+#                async fuzz-seed replay under -race, then antsolve -async
+#                end-to-end with its solution diffed against sequential)
 #
 # The stages:
 #   1. a gofmt gate (fails listing any unformatted file);
@@ -54,7 +57,14 @@
 #      self-analysis e2e test and the gogen differential-oracle cells by
 #      name (so a front-end regression is called out unmistakably), then
 #      antgo built and run on this repository end-to-end, failing unless
-#      it produces a non-empty call graph.
+#      it produces a non-empty call graph;
+#  11. the asynchronous-engine gate: every TestAsync* unit and oracle
+#      test under the race detector (token-ring termination, pause
+#      collapses, oracle equivalence, the bench sweep invariants), the
+#      fuzz seed corpus replayed through the async configurations under
+#      -race, and an end-to-end antsolve run — the same workload solved
+#      sequentially and with -async -workers 4, gating on byte-identical
+#      points-to solutions.
 #
 # /bin/sh has no pipefail, so every stage below is a plain command (or
 # a command substitution) — never a pipeline — and set -e stops the
@@ -64,9 +74,9 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-all | static | test | race | serve | gofrontend) ;;
+all | static | test | race | serve | gofrontend | async) ;;
 *)
-	echo "usage: check.sh [all|static|test|race|serve|gofrontend]" >&2
+	echo "usage: check.sh [all|static|test|race|serve|gofrontend|async]" >&2
 	exit 2
 	;;
 esac
@@ -200,6 +210,42 @@ if want gofrontend; then
 		exit 1
 		;;
 	esac
+fi
+
+if want async; then
+	echo "==> go test -race -count=1 -run 'TestAsync' ./internal/par ./internal/core ./internal/bench"
+	go test -race -count=1 -run 'TestAsync' ./internal/par ./internal/core ./internal/bench
+
+	echo "==> go test -race -count=1 -run TestFuzzSeedsAsync ./internal/oracle"
+	go test -race -count=1 -run TestFuzzSeedsAsync ./internal/oracle
+
+	echo "==> antsolve -async end-to-end vs sequential"
+	asyncdir=$(mktemp -d "${TMPDIR:-/tmp}/antgrass-async.XXXXXX")
+	cleanup_async() {
+		rm -rf "$asyncdir"
+		if [ -n "${tmpcache:-}" ]; then
+			rm -rf "$tmpcache"
+		fi
+	}
+	# Replaces the earlier throwaway-GOCACHE trap, so it also removes
+	# $tmpcache when that branch was taken.
+	trap cleanup_async EXIT INT TERM
+	go build -o "$asyncdir/antsynth" ./cmd/antsynth
+	go build -o "$asyncdir/antsolve" ./cmd/antsolve
+	"$asyncdir/antsynth" -bench emacs -scale 0.1 -o "$asyncdir/prog.constraints"
+	"$asyncdir/antsolve" -alg lcd -hcd -print "$asyncdir/prog.constraints" >"$asyncdir/seq.txt"
+	"$asyncdir/antsolve" -alg lcd -hcd -workers 4 -async -print "$asyncdir/prog.constraints" >"$asyncdir/async.txt"
+	# Compare only the solution lines ("name -> {...}"); the headers
+	# carry wall-clock times that legitimately differ. grep exits 1 on an
+	# empty solution, failing the stage under set -e.
+	grep ' -> {' "$asyncdir/seq.txt" >"$asyncdir/seq.sol"
+	grep ' -> {' "$asyncdir/async.txt" >"$asyncdir/async.sol"
+	if ! cmp -s "$asyncdir/seq.sol" "$asyncdir/async.sol"; then
+		echo "async: antsolve -async solution differs from sequential:" >&2
+		diff "$asyncdir/seq.sol" "$asyncdir/async.sol" >&2 || true
+		exit 1
+	fi
+	echo "async solution matches sequential ($(wc -l <"$asyncdir/seq.sol") non-empty sets)"
 fi
 
 echo "OK"
