@@ -143,6 +143,17 @@ type Options struct {
 	// same conditions as Workers (Naive/LCD, bitmap sets); the solution
 	// is identical to every other engine's.
 	Async bool
+	// Memo enables operation-level memoization (an MDE-style dedup
+	// engine): repeated unions, set differences, and offset-dereference
+	// expansions are answered from caches keyed on canonical interned set
+	// ids instead of recomputed. The sequential Naive/LCD/HT solvers use
+	// a full memo table over copy-on-write shares; the parallel engines
+	// (Workers ≥ 2, with or without Async) use owner-local delta-payload
+	// shards. Other configurations (PKH/PKW/BLQ, BDD sets) ignore the
+	// flag. The solution is bit-identical with and without it; the
+	// memo_hits / memo_misses / memo_evictions / memo_bytes counters in
+	// Metrics report cache effectiveness.
+	Memo bool
 	// Progress, when non-nil, is called at round boundaries of the
 	// parallel solver (and periodically by the sequential Naive/LCD
 	// solvers) with a snapshot of solver progress. It runs on the
@@ -307,6 +318,7 @@ func solveOnce(ctx context.Context, p *Program, o Options) (*core.Result, offlin
 		DiffProp:     o.DiffProp,
 		Workers:      o.Workers,
 		Async:        o.Async,
+		Memo:         o.Memo,
 		Progress:     o.Progress,
 		Metrics:      o.Metrics,
 	}

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	antbench [-scale 0.1] [-table N | -figure N | -stats | -all]
-//	         [-workers N] [-async] [-timeout d] [-v]
-//	antbench -json [-out FILE] [-benches a,b] [-scale S] [-workers N] [-async]
+//	         [-workers N] [-async] [-memo] [-timeout d] [-v]
+//	antbench -json [-out FILE] [-benches a,b] [-scale S] [-workers N] [-async] [-memo]
 //
 // -scale multiplies the paper's reduced constraint counts (1.0 = full
 // paper size; the default keeps a laptop run in minutes).
@@ -21,6 +21,12 @@
 // the asynchronous owner-sharded engine, cross-checks the two solutions,
 // and reports wall times, speedup and the async engine's message-economy
 // counters. With -json the sweep lands in the report's async section.
+//
+// -memo runs the memoization sweep (lcd/ht families, sequential and
+// parallel): each cell solves the same program plain and with Options.Memo,
+// cross-checks the two solutions, and reports wall times, allocation
+// deltas and the memo engine's hit/miss/byte counters. With -json the
+// sweep lands in the report's memo section.
 //
 // -json runs the instrumented algorithm matrix and writes a versioned,
 // machine-readable report (wall time, per-phase breakdown, peak memory,
@@ -62,6 +68,7 @@ func main() {
 	serveReaders := flag.Int("serve-readers", 64, "concurrent readers for -serve")
 	serveDuration := flag.Duration("serve-duration", 2*time.Second, "storm duration per workload for -serve")
 	asyncSweep := flag.Bool("async", false, "measure the asynchronous owner-sharded engine against the BSP engine (lcd family, workers 1/2/4/8); with -json the sweep lands in the async section")
+	memoSweep := flag.Bool("memo", false, "measure operation memoization against plain solving (lcd/ht families, sequential and parallel); with -json the sweep lands in the memo section")
 	goFrontend := flag.Bool("go", false, "measure the real-Go front-end cells (module at -go-dir plus, with -go-std, the pinned stdlib set); with -json they land in the go_frontend section")
 	goDir := flag.String("go-dir", ".", "module directory for the -go self cell (empty = skip)")
 	goStd := flag.Bool("go-std", true, "with -go: include the pinned stdlib package cell")
@@ -122,6 +129,9 @@ func main() {
 		if *asyncSweep {
 			rep.Async = h.AsyncRuns(names, nil)
 		}
+		if *memoSweep {
+			rep.Memo = h.MemoRuns(names)
+		}
 		if *goFrontend {
 			rep.GoFrontend = h.GoFrontendRuns(*goDir, *goStd)
 		}
@@ -156,6 +166,13 @@ func main() {
 
 	if *asyncSweep {
 		h.AsyncTable(out, h.AsyncRuns(nil, nil))
+		if *table == 0 && *figure == 0 && !*stats && !*ablations && !*precision && !*all && *workers == 0 && !*memoSweep {
+			return
+		}
+	}
+
+	if *memoSweep {
+		h.MemoTable(out, h.MemoRuns(nil))
 		if *table == 0 && *figure == 0 && !*stats && !*ablations && !*precision && !*all && *workers == 0 {
 			return
 		}

@@ -61,6 +61,17 @@ type DiffOptions struct {
 	// and the cell must not carry an error (solve failure or solution
 	// mismatch against the BSP engine).
 	AsyncThresholdPercent float64
+	// MemoThresholdPercent is the minimum memo hit rate (in percent)
+	// every memo cell of the NEW report must clear: with a threshold of
+	// 20, a cell whose hits/(hits+misses) falls below 0.20 fails — a
+	// collapsed hit rate means the canonical-id keying broke (every
+	// operation misses) long before wall clock notices. 0 disables the
+	// hit-rate gate. Independent of the threshold, every memo cell of the
+	// NEW report must not carry an error (solve failure or solution
+	// mismatch against the plain run), and the memoized wall time is
+	// gated against the old report's matched cell with the main
+	// ThresholdPercent and MinSeconds floor.
+	MemoThresholdPercent float64
 	// MergeShareMax fails any parallel run (workers > 0) of the NEW
 	// report whose merge_ns/(merge_ns+compute_ns) exceeds this fraction:
 	// the merge is the sequential-coupling phase of the wave engine, and
@@ -143,6 +154,21 @@ type AsyncDiffEntry struct {
 	BelowFloor    bool     `json:"below_floor,omitempty"`
 }
 
+// MemoDiffEntry is the verdict on one memo cell. Hard-gated cells (hit
+// rate, error) appear even when the cell is new; the wall columns are
+// populated only for cells present in both reports.
+type MemoDiffEntry struct {
+	Key          string   `json:"key"`
+	OldSeconds   float64  `json:"old_seconds,omitempty"`
+	NewSeconds   float64  `json:"new_seconds,omitempty"`
+	DeltaPercent float64  `json:"delta_percent,omitempty"` // positive = slower
+	NewHitRate   float64  `json:"new_hit_rate"`
+	NewSpeedup   float64  `json:"new_speedup,omitempty"`
+	Regression   bool     `json:"regression"`
+	Why          []string `json:"why,omitempty"`
+	BelowFloor   bool     `json:"below_floor,omitempty"`
+}
+
 // GoDiffEntry compares one go_frontend cell present in both reports.
 type GoDiffEntry struct {
 	Key string `json:"key"`
@@ -176,6 +202,11 @@ type DiffResult struct {
 	// matched in the old report). Empty when the new report lacks the
 	// async section.
 	AsyncEntries []AsyncDiffEntry `json:"async_entries,omitempty"`
+	// MemoEntries holds one verdict per memo cell of the NEW report
+	// (hit-rate and error hard gates apply unconditionally; the wall gate
+	// applies to cells matched in the old report). Empty when the new
+	// report lacks the memo section.
+	MemoEntries []MemoDiffEntry `json:"memo_entries,omitempty"`
 	// GoEntries compares go_frontend cells present in both reports
 	// (matched by bench). Empty when either report lacks the section.
 	GoEntries []GoDiffEntry `json:"go_entries,omitempty"`
@@ -365,6 +396,47 @@ func DiffReports(old, new *Report, opts DiffOptions) *DiffResult {
 		res.AsyncEntries = append(res.AsyncEntries, e)
 	}
 
+	// Memo cells: every cell of the NEW report is hard-gated on no error
+	// (a solution mismatch against the plain run is a correctness bug, not
+	// a perf question) and — when the gate is enabled — on the hit rate
+	// staying above the floor, because a collapsed hit rate means the
+	// canonical-id keying broke regardless of host speed. The wall gate
+	// (MemoSeconds old vs new) applies only to matched cells, with the
+	// usual noise floor.
+	memoOld := map[string]MemoRun{}
+	for _, r := range old.Memo {
+		memoOld[r.Key()] = r
+	}
+	for _, n := range new.Memo {
+		e := MemoDiffEntry{
+			Key:        n.Key(),
+			NewSeconds: n.MemoSeconds,
+			NewHitRate: n.HitRate,
+			NewSpeedup: n.Speedup,
+		}
+		if n.Error != "" {
+			e.Why = append(e.Why, "memo-error")
+		} else {
+			if opts.MemoThresholdPercent > 0 && n.HitRate*100 < opts.MemoThresholdPercent {
+				e.Why = append(e.Why, "memo-hit-rate")
+			}
+			if o, ok := memoOld[n.Key()]; ok && o.Error == "" && o.MemoSeconds > 0 && n.MemoSeconds > 0 {
+				e.OldSeconds = o.MemoSeconds
+				e.DeltaPercent = (n.MemoSeconds - o.MemoSeconds) / o.MemoSeconds * 100
+				if opts.MinSeconds > 0 && o.MemoSeconds < opts.MinSeconds && n.MemoSeconds < opts.MinSeconds {
+					e.BelowFloor = true
+				} else if opts.ThresholdPercent > 0 && e.DeltaPercent > opts.ThresholdPercent {
+					e.Why = append(e.Why, "memo-wall")
+				}
+			}
+		}
+		if len(e.Why) > 0 {
+			e.Regression = true
+			res.Regressions++
+		}
+		res.MemoEntries = append(res.MemoEntries, e)
+	}
+
 	// Go front-end cells: count-based and host-independent. A matched new
 	// cell with a front-end/solve error or an empty call graph always
 	// fails; count drift beyond GoThresholdPercent (in either direction —
@@ -505,6 +577,30 @@ func (d *DiffResult) Print(w io.Writer) {
 			fmt.Fprintf(tw, "%s\t%s\t%.3fs\t%s\t%.0f%%\t%d\t%.2fx\t%s\n",
 				e.Key, oldCol, e.NewSeconds, deltaCol, e.NewMergeShare*100,
 				e.NewMessages, e.NewSpeedup, verdict)
+		}
+		tw.Flush()
+	}
+	if len(d.MemoEntries) > 0 {
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "memo cell\told\tnew\tdelta\thit rate\tspeedup\t\n")
+		for _, e := range d.MemoEntries {
+			verdict := ""
+			switch {
+			case e.Regression:
+				verdict = "REGRESSION"
+				for _, why := range e.Why {
+					verdict += " " + why
+				}
+			case e.BelowFloor:
+				verdict = "(below noise floor)"
+			}
+			oldCol, deltaCol := "-", "-"
+			if e.OldSeconds > 0 {
+				oldCol = fmt.Sprintf("%.3fs", e.OldSeconds)
+				deltaCol = fmt.Sprintf("%+.1f%%", e.DeltaPercent)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3fs\t%s\t%.0f%%\t%.2fx\t%s\n",
+				e.Key, oldCol, e.NewSeconds, deltaCol, e.NewHitRate*100, e.NewSpeedup, verdict)
 		}
 		tw.Flush()
 	}

@@ -51,6 +51,13 @@ type Report struct {
 	// async gates apply to the new report's section (hard gates) and to
 	// cells present in both reports (wall gate).
 	Async []AsyncRun `json:"async,omitempty"`
+	// Memo holds the operation-memoization sweep (MemoConfigs solved
+	// plain and with Options.Memo, solutions cross-checked, with the memo
+	// engine's hit/miss/eviction/bytes counters). Additive: absent unless
+	// -memo ran, schema stays 1, and benchdiff's memo gates apply to the
+	// new report's section (hit-rate and error hard gates) and to cells
+	// present in both reports (wall gate).
+	Memo []MemoRun `json:"memo,omitempty"`
 	// GoFrontend holds the real-Go analysis cells (this repository and
 	// the pinned stdlib set) produced by antbench -go: generation and
 	// solve times, constraint counts, call-graph size and the precision

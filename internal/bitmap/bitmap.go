@@ -52,6 +52,7 @@ type Bitmap struct {
 	last    *element
 	current *element // cache of the most recently accessed element
 	n       int      // number of elements in the list
+	gen     uint64   // content generation; bumped by every mutation that changes bits
 	pool    *Pool    // element allocator; nil = plain heap allocation
 }
 
@@ -76,7 +77,17 @@ func (b *Bitmap) UsePool(pool *Pool) { b.pool = pool }
 func (b *Bitmap) Elements() int { return b.n }
 
 // MemBytes returns the approximate heap footprint of the bitmap.
-func (b *Bitmap) MemBytes() int { return b.n*ElemBytes + 40 }
+func (b *Bitmap) MemBytes() int { return b.n*ElemBytes + 48 }
+
+// Gen returns the bitmap's content generation: a counter bumped by every
+// mutation that changes which bits are set (Set, Clear, ClearAll, Detach,
+// the Ior/And family). Derived values computed from the bitmap — content
+// hashes, interned identities — stay valid exactly while Gen is unchanged,
+// which is what lets the pts layer cache them without re-reading the
+// elements. Reads (Test, iteration, Copy) never advance it, and a fresh
+// copy starts back at generation zero: generations identify states of one
+// bitmap, not contents across bitmaps.
+func (b *Bitmap) Gen() uint64 { return b.gen }
 
 // Empty reports whether no bit is set.
 func (b *Bitmap) Empty() bool { return b.first == nil }
@@ -84,6 +95,9 @@ func (b *Bitmap) Empty() bool { return b.first == nil }
 // ClearAll removes every bit, returning all elements to the pool (or the
 // garbage collector when the bitmap has none).
 func (b *Bitmap) ClearAll() {
+	if b.first != nil {
+		b.gen++
+	}
 	if b.pool != nil {
 		for e := b.first; e != nil; {
 			next := e.next
@@ -102,6 +116,9 @@ func (b *Bitmap) ClearAll() {
 // without a matching Pool.Reset leaks the elements (they stay allocated
 // until the pool is garbage).
 func (b *Bitmap) Detach() {
+	if b.first != nil {
+		b.gen++
+	}
 	b.first, b.last, b.current, b.n = nil, nil, nil, 0
 }
 
@@ -205,6 +222,7 @@ func (b *Bitmap) Set(x uint32) bool {
 		return false
 	}
 	e.bits[word] |= mask
+	b.gen++
 	return true
 }
 
@@ -221,6 +239,7 @@ func (b *Bitmap) Clear(x uint32) bool {
 	if e.empty() {
 		b.unlink(e)
 	}
+	b.gen++
 	return true
 }
 
@@ -377,6 +396,7 @@ func (b *Bitmap) IorDiffWith(src, excl *Bitmap) bool {
 	}
 	if changed {
 		b.current = b.first
+		b.gen++
 	}
 	return changed
 }
@@ -428,6 +448,7 @@ func (b *Bitmap) IorWith(o *Bitmap) bool {
 	}
 	if changed {
 		b.current = b.first
+		b.gen++
 	}
 	return changed
 }
@@ -462,6 +483,9 @@ func (b *Bitmap) AndWith(o *Bitmap) bool {
 		}
 		be = next
 	}
+	if changed {
+		b.gen++
+	}
 	return changed
 }
 
@@ -492,6 +516,9 @@ func (b *Bitmap) AndComplWith(o *Bitmap) bool {
 			}
 		}
 		be = next
+	}
+	if changed {
+		b.gen++
 	}
 	return changed
 }

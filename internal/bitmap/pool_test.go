@@ -47,8 +47,8 @@ func (pm *poolModel) check(t *testing.T, tag string) {
 	if pm.bm.Elements() != len(elems) {
 		t.Fatalf("%s: Elements=%d want %d", tag, pm.bm.Elements(), len(elems))
 	}
-	if pm.bm.MemBytes() != len(elems)*ElemBytes+40 {
-		t.Fatalf("%s: MemBytes=%d want %d", tag, pm.bm.MemBytes(), len(elems)*ElemBytes+40)
+	if pm.bm.MemBytes() != len(elems)*ElemBytes+48 {
+		t.Fatalf("%s: MemBytes=%d want %d", tag, pm.bm.MemBytes(), len(elems)*ElemBytes+48)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"antgrass/internal/bitmap"
+	"antgrass/internal/memo"
 	"antgrass/internal/par"
 	"antgrass/internal/pts"
 	"antgrass/internal/worklist"
@@ -40,7 +41,7 @@ func solveAsync(ctx context.Context, g *graph, opts Options, lazy bool) error {
 	if g.hcdTargets != nil {
 		g.hcdResolved = make([]pts.Set, g.n)
 	}
-	s := newAsyncState(g, owners, lazy)
+	s := newAsyncState(g, owners, lazy, opts.Memo)
 	eng := par.NewAsyncEngine(ctx, owners, s)
 	s.eng = eng
 	eng.OnLap = func(lap int64) {
@@ -73,6 +74,10 @@ func solveAsync(ctx context.Context, g *graph, opts Options, lazy bool) error {
 	for i := range s.ow {
 		g.stats.Propagations += s.ow[i].propagations
 		g.stats.EdgesAdded += s.ow[i].edgesAdded
+		if sh := s.ow[i].memo; sh != nil {
+			g.memoStats.Add(sh.Stats())
+			sh.Release()
+		}
 	}
 	st := eng.Stats()
 	g.stats.Rounds = st.TokenLaps
@@ -133,6 +138,7 @@ type asyncOwnerState struct {
 	dirty *worklist.Frontier
 	out   []*par.Batch // per-destination owner (index < owners) buffers
 	cand  *par.Batch   // arbiter-bound candidate buffer
+	memo  *memo.Shard  // owner-local delta memo, nil unless Options.Memo
 
 	work *bitmap.Bitmap // scratch: set \ propagated of the current node
 	res  *bitmap.Bitmap // scratch: set \ resolved of the current node
@@ -173,7 +179,7 @@ type asyncState struct {
 	rechecks map[uint32]struct{}
 }
 
-func newAsyncState(g *graph, owners int, lazy bool) *asyncState {
+func newAsyncState(g *graph, owners int, lazy, useMemo bool) *asyncState {
 	s := &asyncState{
 		g:        g,
 		owners:   owners,
@@ -193,6 +199,9 @@ func newAsyncState(g *graph, owners int, lazy bool) *asyncState {
 		ow.hcd = bitmap.NewIn(ow.pool)
 		ow.fired = make(map[uint64]bool)
 		ow.hcdPending = make(map[uint32]bool)
+		if useMemo {
+			ow.memo = memo.NewShard(ow.pool)
+		}
 	}
 	return s
 }
@@ -401,6 +410,17 @@ func (s *asyncState) iorDelta(w int, dst uint32, bits *bitmap.Bitmap) (pts.Set, 
 	if set == nil {
 		set = pts.NewSetIn(g.factory, ow.pool)
 		g.sets[dst] = set
+	}
+	// The owner shard subsumes repeated (node, payload) deltas — the async
+	// engine's redelivery pattern (rechecks, re-propagated edges) makes
+	// them common — without walking either bitmap.
+	if ow.memo != nil {
+		if ch, okM := ow.memo.Apply(dst, set, bits); okM {
+			if ch {
+				ow.dirty.Push(dst)
+			}
+			return set, ch
+		}
 	}
 	bm, _ := pts.MutableBitmapIn(set, ow.pool)
 	if bm.IorWith(bits) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"antgrass/internal/memo"
 	"antgrass/internal/pts"
 	"antgrass/internal/scc"
 	"antgrass/internal/worklist"
@@ -28,7 +29,15 @@ type basicState struct {
 	// would be pure overhead, and skipping it never changes the solution.
 	fired map[uint64]struct{}
 
+	// memo, when non-nil, answers repeated unions, diffs and offset-deref
+	// expansions from a cache keyed on canonical interned set ids
+	// (Options.Memo). It persists across resumes like fired: the
+	// incremental solver's repeated deltas are exactly the redundancy it
+	// removes.
+	memo *memo.Table
+
 	derefScratch []uint32
+	derefExpand  []uint32 // unmemoized offset-expansion fallback buffer
 	pops         int
 	intervals    int
 }
@@ -42,7 +51,80 @@ func newBasicState(g *graph, opts Options, lazy bool) *basicState {
 	if lazy {
 		st.fired = make(map[uint64]struct{})
 	}
+	if opts.Memo {
+		st.memo = memo.NewTable()
+	}
 	return st
+}
+
+// exportMemo publishes the memo table's cumulative counters into the
+// graph for metrics export. Snapshot semantics (not accumulate): the
+// incremental solver calls this after every resume.
+func (st *basicState) exportMemo() {
+	if st.memo != nil {
+		st.g.memoStats = st.memo.Stats()
+	}
+}
+
+// unionInto performs dst |= src through the memo table when one is
+// active, falling back to the plain engine union otherwise (including
+// for representations the memo cannot key).
+func (st *basicState) unionInto(dst, src pts.Set) bool {
+	if st.memo != nil {
+		if changed, ok := st.memo.Union(dst, src); ok {
+			return changed
+		}
+	}
+	return dst.UnionWith(src)
+}
+
+// resolveMemo is the memoized form of step 1: it realizes the complex
+// constraints constraint-major instead of element-major, so each distinct
+// (work, offset) dereference expansion is computed — or memo-hit — once
+// and shared by every constraint with that offset. The reordering is
+// safe: step 1 performs no unites, so exactly the same edges are realized
+// as by the element-major loop, just discovered in a different order.
+// st.derefScratch must already hold work's element snapshot.
+func (st *basicState) resolveMemo(work pts.Set, loads, stores []deref, onNewEdge func(src, dst uint32)) {
+	g := st.g
+	for _, ld := range loads {
+		for _, t := range st.derefTargets(work, ld.Off) {
+			src := g.find(t)
+			dst := g.find(ld.Other)
+			if g.addEdge(src, dst) {
+				onNewEdge(src, dst)
+			}
+		}
+	}
+	for _, stc := range stores {
+		for _, t := range st.derefTargets(work, stc.Off) {
+			src := g.find(stc.Other)
+			dst := g.find(t)
+			if g.addEdge(src, dst) {
+				onNewEdge(src, dst)
+			}
+		}
+	}
+}
+
+// derefTargets returns the valid dereference targets of work at off.
+// Offset 0 is the identity expansion — the element snapshot itself;
+// nonzero offsets go through the memo. The result is read-only and valid
+// until the next derefTargets call with a nonzero offset.
+func (st *basicState) derefTargets(work pts.Set, off uint32) []uint32 {
+	if off == 0 {
+		return st.derefScratch
+	}
+	if ts, ok := st.memo.OffsetDeref(work, off, st.derefScratch, st.g.validTarget); ok {
+		return ts
+	}
+	st.derefExpand = st.derefExpand[:0]
+	for _, v := range st.derefScratch {
+		if t, valid := st.g.validTarget(v, off); valid {
+			st.derefExpand = append(st.derefExpand, t)
+		}
+	}
+	return st.derefExpand
 }
 
 // seedAll pushes every representative with a non-empty points-to set — the
@@ -75,7 +157,12 @@ func solveBasic(ctx context.Context, g *graph, opts Options, lazy bool) error {
 	st := newBasicState(g, opts, lazy)
 	w := newWorklist(opts, g.n)
 	st.seedAll(w)
-	return st.run(ctx, w)
+	err := st.run(ctx, w)
+	st.exportMemo()
+	if st.memo != nil {
+		st.memo.Release() // one-shot solve: drop the cached COW shares
+	}
+	return err
 }
 
 // run drains w to a fixpoint. It may be called repeatedly on the same
@@ -127,7 +214,15 @@ func (st *basicState) run(ctx context.Context, w worklist.Worklist) error {
 			if old != nil && old.Equal(set) {
 				continue // nothing new since the last visit
 			}
-			work = set.SubtractCopy(old)
+			if st.memo != nil && old != nil {
+				if d, ok := st.memo.Diff(set, old); ok {
+					work = d
+				} else {
+					work = set.SubtractCopy(old)
+				}
+			} else {
+				work = set.SubtractCopy(old)
+			}
 		}
 		// Step 1 (Figure 1): realize complex constraints as new edges.
 		if len(g.loads[n]) > 0 || len(g.stores[n]) > 0 {
@@ -139,7 +234,7 @@ func (st *basicState) run(ctx context.Context, w worklist.Worklist) error {
 					// arrives as deltas.
 					if g.sets[src] != nil {
 						g.stats.Propagations++
-						if g.ptsOf(dst).UnionWith(g.sets[src]) {
+						if st.unionInto(g.ptsOf(dst), g.sets[src]) {
 							w.Push(dst)
 						}
 					}
@@ -151,27 +246,31 @@ func (st *basicState) run(ctx context.Context, w worklist.Worklist) error {
 			// also insulates the iteration from the set unions onNewEdge
 			// performs under difference propagation.
 			st.derefScratch = work.AppendTo(st.derefScratch[:0])
-			for _, v := range st.derefScratch {
-				for _, ld := range loads {
-					t, valid := g.validTarget(v, ld.Off)
-					if !valid {
-						continue
+			if st.memo != nil {
+				st.resolveMemo(work, loads, stores, onNewEdge)
+			} else {
+				for _, v := range st.derefScratch {
+					for _, ld := range loads {
+						t, valid := g.validTarget(v, ld.Off)
+						if !valid {
+							continue
+						}
+						src := g.find(t)
+						dst := g.find(ld.Other)
+						if g.addEdge(src, dst) {
+							onNewEdge(src, dst)
+						}
 					}
-					src := g.find(t)
-					dst := g.find(ld.Other)
-					if g.addEdge(src, dst) {
-						onNewEdge(src, dst)
-					}
-				}
-				for _, stc := range stores {
-					t, valid := g.validTarget(v, stc.Off)
-					if !valid {
-						continue
-					}
-					src := g.find(stc.Other)
-					dst := g.find(t)
-					if g.addEdge(src, dst) {
-						onNewEdge(src, dst)
+					for _, stc := range stores {
+						t, valid := g.validTarget(v, stc.Off)
+						if !valid {
+							continue
+						}
+						src := g.find(stc.Other)
+						dst := g.find(t)
+						if g.addEdge(src, dst) {
+							onNewEdge(src, dst)
+						}
 					}
 				}
 			}
@@ -205,7 +304,7 @@ func (st *basicState) run(ctx context.Context, w worklist.Worklist) error {
 					}
 				}
 				g.stats.Propagations++
-				if g.ptsOf(z).UnionWith(work) {
+				if st.unionInto(g.ptsOf(z), work) {
 					w.Push(z)
 				}
 			}
@@ -222,8 +321,16 @@ func (st *basicState) run(ctx context.Context, w worklist.Worklist) error {
 			// visit. After a collapse unite() already reset the
 			// merged node's propagated set and re-enqueued it.
 			if old := g.propagated[n]; old != nil {
-				work.UnionWith(old)
-				pts.Release(old)
+				if st.memo != nil {
+					// A memoized work may share a cached backing, which a
+					// write would clone; growing old costs nothing extra.
+					old.UnionWith(work)
+					pts.Release(work)
+					work = old
+				} else {
+					work.UnionWith(old)
+					pts.Release(old)
+				}
 			}
 			g.propagated[n] = work
 		}

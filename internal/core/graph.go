@@ -6,6 +6,7 @@ import (
 	"antgrass/internal/bitmap"
 	"antgrass/internal/constraint"
 	"antgrass/internal/hcd"
+	"antgrass/internal/memo"
 	"antgrass/internal/metrics"
 	"antgrass/internal/par"
 	"antgrass/internal/pts"
@@ -78,6 +79,12 @@ type graph struct {
 	hcdNS     int64 // time inside the HCD online rule
 	computeNS int64 // time inside parallel compute phases
 	mergeNS   int64 // time inside parallel merges (appliers + epilogue)
+
+	// memoStats accumulates the operation-memoization counters of
+	// whichever engine ran under Options.Memo: the sequential solvers fold
+	// their table's stats here at exit, the parallel engines fold every
+	// owner shard's. Written only by single-threaded engine epilogues.
+	memoStats memo.Stats
 
 	// reversed records the orientation of the adjacency: false means
 	// succs[x] holds copy-successors (edge x → w propagates pts(x) into

@@ -107,6 +107,7 @@ func NewLive(ctx context.Context, p *constraint.Program, opts Options) (*Live, e
 	if err := l.st.run(ctx, w); err != nil {
 		return nil, err
 	}
+	l.st.exportMemo()
 	online := time.Since(start)
 	g.recordOnlinePhases(online, false)
 	g.stats.SolveDuration = online
@@ -159,6 +160,7 @@ func (l *Live) ExportMetrics(m *metrics.Registry) {
 	m.SampleMem()
 	l.g.stats.Export(m)
 	l.g.exportAllocStats(m, l.opts.Pts)
+	l.g.exportMemoStats(m, l.opts)
 }
 
 // Add applies a monotone delta and resumes the fixpoint under ctx. The
@@ -187,35 +189,45 @@ func (l *Live) Add(ctx context.Context, added []constraint.Constraint) error {
 	g := l.g
 	g.grow(l.prog)
 	w := newWorklist(l.opts, g.n)
+	// seed re-seeds rep r for the resume: its set is interned first (a
+	// delta-application boundary is where sets last mutated outside the
+	// fixpoint loop, so canonicalizing here lets the resume — and the memo
+	// table persisting across epochs — start from stable canonical ids
+	// instead of waiting for an end-of-solve Dedup sweep), its
+	// propagated marker cleared, and its rep enqueued. InternID is a no-op
+	// for non-COW representations.
+	seed := func(r uint32) {
+		if s := g.sets[r]; s != nil {
+			pts.InternID(s)
+		}
+		g.clearPropagated(r)
+		w.Push(r)
+	}
 	for _, c := range added {
 		switch c.Kind {
 		case constraint.AddrOf:
 			r := g.find(c.Dst)
 			if g.ptsOf(r).Insert(c.Src) {
-				g.clearPropagated(r)
-				w.Push(r)
+				seed(r)
 			}
 		case constraint.Copy:
 			if g.addCopyEdge(c.Src, c.Dst) {
 				rs := g.find(c.Src)
 				if g.sets[rs] != nil && !g.sets[rs].Empty() {
-					g.clearPropagated(rs)
-					w.Push(rs)
+					seed(rs)
 				}
 			}
 		case constraint.Load:
 			r := g.find(c.Src)
 			g.loads[r] = append(g.loads[r], deref{Other: c.Dst, Off: c.Offset})
 			if g.sets[r] != nil && !g.sets[r].Empty() {
-				g.clearPropagated(r)
-				w.Push(r)
+				seed(r)
 			}
 		case constraint.Store:
 			r := g.find(c.Dst)
 			g.stores[r] = append(g.stores[r], deref{Other: c.Src, Off: c.Offset})
 			if g.sets[r] != nil && !g.sets[r].Empty() {
-				g.clearPropagated(r)
-				w.Push(r)
+				seed(r)
 			}
 		}
 	}
@@ -223,6 +235,7 @@ func (l *Live) Add(ctx context.Context, added []constraint.Constraint) error {
 	if err := l.st.run(ctx, w); err != nil {
 		return err
 	}
+	l.st.exportMemo()
 	online := time.Since(start)
 	g.recordOnlinePhases(online, false)
 	g.stats.SolveDuration += online

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"antgrass/internal/bitmap"
+	"antgrass/internal/memo"
 	"antgrass/internal/par"
 	"antgrass/internal/pts"
 	"antgrass/internal/worklist"
@@ -61,6 +62,16 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 	ownerPools := make([]*bitmap.Pool, owners)
 	for i := range ownerPools {
 		ownerPools[i] = bitmap.NewPool()
+	}
+	// Owner-local memo shards (Options.Memo): each applier deduplicates the
+	// delta payloads it folds into the nodes it owns, without touching the
+	// factory's unsynchronized intern table — see the memo.Shard contract.
+	var memoShards []*memo.Shard
+	if opts.Memo {
+		memoShards = make([]*memo.Shard, owners)
+		for i := range memoShards {
+			memoShards[i] = memo.NewShard(ownerPools[i])
+		}
 	}
 	eng := par.NewEngine(workers)
 	// The wave engine always difference-propagates; allocating
@@ -167,9 +178,15 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 		for i := range appStats {
 			appStats[i] = applyStats{}
 		}
+		memoShard := func(o int) *memo.Shard {
+			if memoShards == nil {
+				return nil
+			}
+			return memoShards[o]
+		}
 		if appliers == 1 || owners == 1 {
 			for o := 0; o < owners; o++ {
-				g.applyOwner(o, r.Outs, ownerPools[o], shards[o], &appStats[o])
+				g.applyOwner(o, r.Outs, ownerPools[o], memoShard(o), shards[o], &appStats[o])
 			}
 		} else {
 			var wg sync.WaitGroup
@@ -178,12 +195,12 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 				go func(a int) {
 					defer wg.Done()
 					for o := a; o < owners; o += appliers {
-						g.applyOwner(o, r.Outs, ownerPools[o], shards[o], &appStats[o])
+						g.applyOwner(o, r.Outs, ownerPools[o], memoShard(o), shards[o], &appStats[o])
 					}
 				}(a)
 			}
 			for o := 0; o < owners; o += appliers {
-				g.applyOwner(o, r.Outs, ownerPools[o], shards[o], &appStats[o])
+				g.applyOwner(o, r.Outs, ownerPools[o], memoShard(o), shards[o], &appStats[o])
 			}
 			wg.Wait()
 		}
@@ -236,6 +253,13 @@ func solveParallel(ctx context.Context, g *graph, opts Options, lazy bool) error
 		}
 		eng.Recycle(r)
 	}
+	// Fold the owner shards' counters and return their canonical payload
+	// storage to the owner pools (single-threaded epilogue — no appliers
+	// are running).
+	for _, sh := range memoShards {
+		g.memoStats.Add(sh.Stats())
+		sh.Release()
+	}
 	if g.metrics != nil {
 		g.metrics.SetCounter("steals", eng.Steals())
 		g.metrics.SetCounter("merge_ns", g.mergeNS)
@@ -271,13 +295,24 @@ type applyStats struct {
 // concurrent appliers are disjoint; allocations draw from the
 // owner-private pool. The union-find is frozen (reads via FindRO only);
 // every id in the buffers is already a live representative.
-func (g *graph) applyOwner(owner int, outs []*par.Out, pool *bitmap.Pool, fs *worklist.FrontierShard, st *applyStats) {
+func (g *graph) applyOwner(owner int, outs []*par.Out, pool *bitmap.Pool, msh *memo.Shard, fs *worklist.FrontierShard, st *applyStats) {
 	for _, o := range outs {
 		for _, z := range o.DeltaOrder[owner] {
 			set := g.sets[z]
 			if set == nil {
 				set = pts.NewSetIn(g.factory, pool)
 				g.sets[z] = set
+			}
+			// The owner shard answers repeated (node, payload) deltas
+			// without walking either bitmap (sets only grow during the
+			// solve, so an equal payload seen again is subsumed).
+			if msh != nil {
+				if ch, okM := msh.Apply(z, set, o.Deltas[z]); okM {
+					if ch {
+						fs.Push(z)
+					}
+					continue
+				}
 			}
 			// MutableBitmapIn, not AsBitmap: re-point the backing at the
 			// owner pool (graph-owned backings are unshared during the

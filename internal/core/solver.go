@@ -103,6 +103,17 @@ type Options struct {
 	// configuration runs sequentially regardless. 0 and 1 mean
 	// sequential. The solution is identical for every value.
 	Workers int
+	// Memo enables operation-level memoization (internal/memo): the
+	// union/diff/offset-deref kernels are answered from a cache keyed on
+	// canonical interned set ids when the same operation recurs, with
+	// results delivered as copy-on-write shares. Honored by the
+	// sequential Naive/LCD/HT solvers (full memo table) and by the BSP
+	// and async engines (owner-local delta-subsumption shards); other
+	// configurations — and non-COW representations (BDD, bitmap-plain) —
+	// ignore it. The solution is bit-identical either way; only the work
+	// done to reach it changes. Cache effectiveness is exported as the
+	// memo_hits / memo_misses / memo_evictions / memo_bytes counters.
+	Memo bool
 	// Async switches the parallel engine from bulk-synchronous rounds to
 	// asynchronous owner-computes propagation with token-ring termination
 	// (docs/ALGORITHMS.md §Asynchronous propagation). It is honored under
@@ -354,7 +365,22 @@ func SolveContext(ctx context.Context, p *constraint.Program, opts Options) (*Re
 	m.SampleMem()
 	g.stats.Export(m)
 	g.exportAllocStats(m, opts.Pts)
+	g.exportMemoStats(m, opts)
 	return res, nil
+}
+
+// exportMemoStats writes the operation-memoization counters accumulated
+// by whichever engine ran (sequential table or the per-owner shards,
+// folded into g.memoStats at engine exit). Counters appear only when the
+// memo was requested, so ±memo reports diff cleanly.
+func (g *graph) exportMemoStats(m *metrics.Registry, opts Options) {
+	if m == nil || !opts.Memo {
+		return
+	}
+	m.SetCounter("memo_hits", g.memoStats.Hits)
+	m.SetCounter("memo_misses", g.memoStats.Misses)
+	m.SetCounter("memo_evictions", g.memoStats.Evictions)
+	m.SetCounter("memo_bytes", g.memoStats.Bytes)
 }
 
 // exportAllocStats writes the memory-engine counters (element pools,

@@ -61,7 +61,12 @@ var matrixWorkers = []int{2, 4, 8}
 //     Naive/LCD with and without HCD, plus HVN+HU crossed with the
 //     parallel worker counts — every tier must be solution-preserving,
 //     so these cells pin the value-numbering equivalences against the
-//     unreduced configurations.
+//     unreduced configurations;
+//   - the operation-memoization tier (+memo): Naive/LCD ±hcd sequential
+//     and at 4 workers (BSP and async), HT ±hcd, difference propagation,
+//     the plain-factory fallback and the HVN+HU ladder, all with
+//     Options.Memo — memoization is a cache keyed on canonical set ids,
+//     so these cells pin it bit-identical to plain solving.
 //
 // Every configuration must compute the identical least fixpoint; Check
 // runs them in this order and reports the first that does not. To register
@@ -109,6 +114,30 @@ func Matrix() []Config {
 			out = append(out, offlineConfigAsync(huTier, core.LCD, withHCD, w, true))
 		}
 	}
+	// Operation-memoization tier (+memo): the same cells again with the
+	// union/diff/offset-deref memo engine switched on. Memoization is a
+	// pure cache over canonical set ids, so every +memo cell must stay
+	// bit-identical to its plain counterpart: Naive/LCD ±hcd sequential,
+	// BSP at 4 workers and async at 4 owners; HT ±hcd (its topological
+	// union path); difference propagation; the plain-factory fallback
+	// (sets cannot be interned, so the tables must degrade gracefully);
+	// and the HVN+HU offline ladder sequential and at 4 workers.
+	for _, alg := range []core.Algorithm{core.Naive, core.LCD} {
+		for _, withHCD := range []bool{false, true} {
+			out = append(out, coreConfigMemo(alg, "bitmap", withHCD, 0, false, false))
+			out = append(out, coreConfigMemo(alg, "bitmap", withHCD, 4, false, false))
+			out = append(out, coreConfigMemo(alg, "bitmap", withHCD, 4, false, true))
+		}
+	}
+	out = append(out, coreConfigMemo(core.LCD, "bitmap", true, 0, true, false))
+	out = append(out, coreConfigMemo(core.HT, "bitmap", false, 0, false, false))
+	out = append(out, coreConfigMemo(core.HT, "bitmap", true, 0, false, false))
+	out = append(out, coreConfigMemo(core.LCD, "bitmap-plain", true, 0, false, false))
+	out = append(out, coreConfigMemo(core.LCD, "bitmap-plain", true, 4, false, true))
+	for _, withHCD := range []bool{false, true} {
+		out = append(out, offlineConfigMemo(huTier, core.LCD, withHCD, 0))
+		out = append(out, offlineConfigMemo(huTier, core.LCD, withHCD, 4))
+	}
 	return out
 }
 
@@ -135,18 +164,31 @@ var offlineTiers = []offlineTier{
 // HCD table, mirroring the facade pipeline. Queries stay on original
 // variable ids because the solver applies the unions before constraints.
 func offlineConfig(tier offlineTier, alg core.Algorithm, withHCD bool, workers int) Config {
-	return offlineConfigAsync(tier, alg, withHCD, workers, false)
+	return offlineConfigFull(tier, alg, withHCD, workers, false, false)
 }
 
 // offlineConfigAsync is offlineConfig with the asynchronous engine
 // switched on for the online solve that follows the reduction passes.
 func offlineConfigAsync(tier offlineTier, alg core.Algorithm, withHCD bool, workers int, async bool) Config {
+	return offlineConfigFull(tier, alg, withHCD, workers, async, false)
+}
+
+// offlineConfigMemo is offlineConfig with operation memoization switched
+// on for the online solve that follows the reduction passes.
+func offlineConfigMemo(tier offlineTier, alg core.Algorithm, withHCD bool, workers int) Config {
+	return offlineConfigFull(tier, alg, withHCD, workers, false, true)
+}
+
+func offlineConfigFull(tier offlineTier, alg core.Algorithm, withHCD bool, workers int, async, memoize bool) Config {
 	name := alg.String() + "+" + tier.name
 	if withHCD {
 		name += "+hcd"
 	}
 	if async {
 		name += "+async"
+	}
+	if memoize {
+		name += "+memo"
 	}
 	name += "/bitmap"
 	if workers > 0 {
@@ -183,19 +225,32 @@ func offlineConfigAsync(tier offlineTier, alg core.Algorithm, withHCD bool, work
 				HCDTable:  table,
 				Workers:   workers,
 				Async:     async,
+				Memo:      memoize,
 			})
 		},
 	}
 }
 
 func coreConfig(alg core.Algorithm, repr string, withHCD bool, workers int, diff bool) Config {
-	return coreConfigAsync(alg, repr, withHCD, workers, diff, false)
+	return coreConfigFull(alg, repr, withHCD, workers, diff, false, false)
 }
 
 // coreConfigAsync is coreConfig with the asynchronous owner-sharded
 // engine switched on: same algorithm, same solution, no rounds. The
 // worker count becomes the owner-shard count.
 func coreConfigAsync(alg core.Algorithm, repr string, withHCD bool, workers int, diff, async bool) Config {
+	return coreConfigFull(alg, repr, withHCD, workers, diff, async, false)
+}
+
+// coreConfigMemo is coreConfigFull with operation memoization switched
+// on: same solution, with repeated unions/diffs/offset-derefs answered
+// from the memo caches (Options.Memo). Cells over the plain bitmap
+// factory exercise the cannot-intern fallback path.
+func coreConfigMemo(alg core.Algorithm, repr string, withHCD bool, workers int, diff, async bool) Config {
+	return coreConfigFull(alg, repr, withHCD, workers, diff, async, true)
+}
+
+func coreConfigFull(alg core.Algorithm, repr string, withHCD bool, workers int, diff, async, memoize bool) Config {
 	name := alg.String()
 	if withHCD {
 		name += "+hcd"
@@ -205,6 +260,9 @@ func coreConfigAsync(alg core.Algorithm, repr string, withHCD bool, workers int,
 	}
 	if async {
 		name += "+async"
+	}
+	if memoize {
+		name += "+memo"
 	}
 	name += "/" + repr
 	if workers > 0 {
@@ -219,6 +277,7 @@ func coreConfigAsync(alg core.Algorithm, repr string, withHCD bool, workers int,
 				Workers:   workers,
 				DiffProp:  diff,
 				Async:     async,
+				Memo:      memoize,
 			}
 			switch repr {
 			case "bdd":

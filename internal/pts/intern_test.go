@@ -1,0 +1,179 @@
+package pts
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestInternIDContentKeyed pins the contract memo keys rely on: two sets
+// from the same factory carry the same id iff they hold the same
+// elements, the empty set has the reserved id 0, and an in-place
+// mutation invalidates the cached id so the next call re-resolves.
+func TestInternIDContentKeyed(t *testing.T) {
+	f := NewBitmapFactory()
+	a, b, c := f.New(), f.New(), f.New()
+	for _, x := range []uint32{3, 70, 1500} {
+		a.Insert(x)
+		b.Insert(x)
+	}
+	c.Insert(3)
+
+	empty := f.New()
+	if id, ok := InternID(empty); !ok || id != 0 {
+		t.Fatalf("InternID(empty) = (%d, %v), want (0, true)", id, ok)
+	}
+
+	idA, ok := InternID(a)
+	if !ok || idA == 0 {
+		t.Fatalf("InternID(a) = (%d, %v), want nonzero id", idA, ok)
+	}
+	if again, _ := InternID(a); again != idA {
+		t.Fatalf("repeated InternID(a) = %d, want stable %d", again, idA)
+	}
+	idB, _ := InternID(b)
+	if idB != idA {
+		t.Fatalf("equal contents interned to different ids: %d vs %d", idA, idB)
+	}
+	if idC, _ := InternID(c); idC == idA {
+		t.Fatalf("different contents share id %d", idA)
+	}
+
+	// Interning made a and b share one canonical backing; a write to one
+	// must clone (the other keeps its content) and re-key the writer.
+	a.Insert(9999)
+	idA2, _ := InternID(a)
+	if idA2 == idA {
+		t.Fatalf("id %d survived a mutation", idA)
+	}
+	if got, _ := InternID(b); got != idB {
+		t.Fatalf("b's id moved to %d after a write to a (COW leak)", got)
+	}
+	if b.Contains(9999) {
+		t.Fatal("write to a leaked into interned sibling b")
+	}
+}
+
+// TestInternIDUnsupportedRepresentations: the plain bitmap factory and
+// the BDD representation lack the COW engine, so InternID must refuse
+// (memo callers fall back to unmemoized operations on ok=false).
+func TestInternIDUnsupportedRepresentations(t *testing.T) {
+	plain := NewPlainBitmapFactory().New()
+	plain.Insert(7)
+	if _, ok := InternID(plain); ok {
+		t.Fatal("InternID accepted a plain-factory set")
+	}
+	bdd := NewBDDFactory(64, 1<<10).New()
+	bdd.Insert(7)
+	if _, ok := InternID(bdd); ok {
+		t.Fatal("InternID accepted a BDD set")
+	}
+	if _, ok := HashOf(bdd); ok {
+		t.Fatal("HashOf accepted a BDD set")
+	}
+}
+
+// TestHashOfTracksContent: equal contents hash equal (across factories —
+// the hash is pure content), and an in-place write invalidates the
+// cached value so the hash moves with the content.
+func TestHashOfTracksContent(t *testing.T) {
+	f := NewBitmapFactory()
+	a, b := f.New(), f.New()
+	for _, x := range []uint32{1, 64, 4096} {
+		a.Insert(x)
+		b.Insert(x)
+	}
+	ha, ok := HashOf(a)
+	if !ok {
+		t.Fatal("HashOf refused a bitmap set")
+	}
+	if hb, _ := HashOf(b); hb != ha {
+		t.Fatalf("equal contents hash %d vs %d", ha, hb)
+	}
+	if again, _ := HashOf(a); again != ha {
+		t.Fatalf("repeated HashOf = %d, want cached %d", again, ha)
+	}
+	a.Insert(2)
+	if h2, _ := HashOf(a); h2 == ha {
+		t.Fatal("hash unchanged after mutation (stale cache)")
+	}
+}
+
+// TestAdoptSharesBacking: Adopt repoints dst at src's backing (content
+// equality with zero element copies), later writes to dst clone instead
+// of corrupting src, and representations without the COW engine refuse.
+func TestAdoptSharesBacking(t *testing.T) {
+	f := NewBitmapFactory()
+	src := f.New()
+	for _, x := range []uint32{5, 600, 70000} {
+		src.Insert(x)
+	}
+	dst := f.New()
+	dst.Insert(1)
+	if !Adopt(dst, src) {
+		t.Fatal("Adopt refused COW bitmap sets")
+	}
+	if !dst.Equal(src) {
+		t.Fatalf("after Adopt dst = %v, want %v", dst.Slice(), src.Slice())
+	}
+	if dst.Contains(1) {
+		t.Fatal("Adopt merged instead of replacing dst's content")
+	}
+	dst.Insert(42)
+	if src.Contains(42) {
+		t.Fatal("write to adopted dst leaked into src")
+	}
+	plain := NewPlainBitmapFactory()
+	pd, ps := plain.New(), plain.New()
+	ps.Insert(9)
+	if Adopt(pd, ps) {
+		t.Fatal("Adopt accepted plain-factory sets")
+	}
+}
+
+// BenchmarkHashOfUnmodified proves the satellite claim that repeated
+// Hash() on an unmodified set is O(1): the cached path costs the same
+// regardless of set size (ns/op flat across the n sub-benchmarks, zero
+// allocations), because the value is served from sharedBM's
+// generation-validated cache instead of re-walking the element list.
+// BenchmarkHashOfRecompute is the contrast: invalidating the cache every
+// iteration pays the full O(elements) walk, growing with n.
+func BenchmarkHashOfUnmodified(b *testing.B) {
+	for _, n := range []int{1 << 8, 1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := NewBitmapFactory().New()
+			for i := 0; i < n; i++ {
+				s.Insert(uint32(i * 7))
+			}
+			HashOf(s) // warm the cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := HashOf(s); !ok {
+					b.Fatal("HashOf refused a bitmap set")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHashOfRecompute(b *testing.B) {
+	for _, n := range []int{1 << 8, 1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := NewBitmapFactory().New()
+			for i := 0; i < n; i++ {
+				s.Insert(uint32(i * 7))
+			}
+			x := uint32(1) // flips one bit per iteration: content changes, size stays n
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Insert(x)
+				if _, ok := HashOf(s); !ok {
+					b.Fatal("HashOf refused a bitmap set")
+				}
+				bm, _ := MutableBitmap(s)
+				bm.Clear(x)
+			}
+		})
+	}
+}

@@ -127,6 +127,61 @@ func Dedup(s Set) Set {
 	return s
 }
 
+// InternID eagerly hash-conses s and returns a stable identity for its
+// current content: two sets from the same factory carry the same id iff
+// they hold the same elements, making (id, id) pairs usable as memo keys
+// for set-algebra operations (see internal/memo). The id is cached on the
+// backing and invalidated by its generation counter, so repeated calls on
+// an unchanged set are O(1); an interned set's next in-place write pays a
+// copy-on-write clone, exactly as after Dedup. The empty set has the
+// reserved id 0. ok is false — and no interning happens — for
+// representations without the COW memory engine (BDDs, the plain bitmap
+// factory), whose callers must fall back to unmemoized operations.
+func InternID(s Set) (id uint64, ok bool) {
+	bs, isBM := s.(*bitmapSet)
+	if !isBM || !bs.f.cow {
+		return 0, false
+	}
+	if bs.s.b.Empty() {
+		return 0, true
+	}
+	return bs.f.internID(bs), true
+}
+
+// HashOf returns the content hash Dedup and InternID key on, cached on
+// the backing and invalidated by its generation counter: repeated calls
+// on an unmodified set cost two loads instead of an element-list walk.
+// ok is false for non-bitmap representations.
+func HashOf(s Set) (h uint64, ok bool) {
+	bs, isBM := s.(*bitmapSet)
+	if !isBM {
+		return 0, false
+	}
+	return bs.f.hashOf(bs.s), true
+}
+
+// Adopt repoints dst at src's backing as a copy-on-write share — a
+// refcount bump, zero element copies — leaving dst content-equal to src.
+// It is the delivery mechanism for memoized operation results: a memo hit
+// hands the cached result to the destination without touching its
+// elements. dst's previous storage is released. Reports false (and does
+// nothing) when either set lacks the COW engine.
+func Adopt(dst, src Set) bool {
+	db, ok1 := dst.(*bitmapSet)
+	sb, ok2 := src.(*bitmapSet)
+	if !ok1 || !ok2 || !db.f.cow {
+		return false
+	}
+	if db.s == sb.s {
+		return true // already sharing
+	}
+	db.f.stats.CowShares++
+	db.release()
+	sb.s.refs++
+	db.s = sb.s
+	return true
+}
+
 // AsBitmap returns the sparse bitmap backing s when s comes from a bitmap
 // factory, and ok=false for any other representation (or nil s). The
 // parallel solver uses it to run lock-free read-only set operations that
@@ -232,10 +287,34 @@ type StatsSource interface{ AllocStats() AllocStats }
 
 // sharedBM is a refcounted bitmap backing. refs counts the bitmapSet
 // handles pointing at it, plus one for the dedup table when interned.
+//
+// hash and id are lazily computed values derived from the bitmap's
+// content, each validated against the bitmap's generation counter: the
+// cached value is current iff its recorded generation equals b.Gen()+1
+// (the +1 keeps the zero value meaning "never computed"). An in-place
+// mutation bumps b's generation and thereby invalidates both without any
+// bookkeeping on the write path.
 type sharedBM struct {
 	b        bitmap.Bitmap
 	refs     int32
 	interned bool
+	hash     uint64 // cached b.Hash(), valid iff hashGen == b.Gen()+1
+	hashGen  uint64
+	id       uint64 // stable interned identity, valid iff idGen == b.Gen()+1
+	idGen    uint64
+}
+
+// hashOf returns sh's content hash, computing and caching it on first use
+// per content generation. Interned backings are immutable in place (the
+// table's reference forces every write through a copy-on-write clone), so
+// for them the cache is computed once and hit forever.
+func (f *bitmapFactory) hashOf(sh *sharedBM) uint64 {
+	g := sh.b.Gen() + 1
+	if sh.hashGen != g {
+		sh.hash = sh.b.Hash()
+		sh.hashGen = g
+	}
+	return sh.hash
 }
 
 // bitmapSet adapts a refcounted, pooled bitmap.Bitmap to Set.
@@ -261,10 +340,11 @@ func NewBitmapFactory() Factory {
 func NewPlainBitmapFactory() Factory { return &bitmapFactory{} }
 
 type bitmapFactory struct {
-	cow   bool
-	pool  *bitmap.Pool // nil for the plain factory
-	dedup map[uint64][]*sharedBM
-	stats AllocStats
+	cow    bool
+	pool   *bitmap.Pool // nil for the plain factory
+	dedup  map[uint64][]*sharedBM
+	nextID uint64 // last interned-identity value handed out (0 = empty set)
+	stats  AllocStats
 }
 
 // dedupBucketCap bounds the candidates scanned per content-hash bucket;
@@ -302,29 +382,68 @@ func (f *bitmapFactory) intern(s *bitmapSet) {
 	if s.s.b.Empty() {
 		return
 	}
+	f.internID(s)
+}
+
+// internID hash-conses s against the factory's canonical-set table and
+// returns a stable identity for its content: content-equal sets always
+// resolve to the same id (candidates are Equal-verified, so a hash
+// collision can never alias two different contents), and an in-place
+// mutation invalidates the cached id via the backing's generation counter
+// so the next call re-resolves. On a table hit s is repointed at the
+// canonical backing (a refcount bump — the COW share that makes later
+// Equal calls a pointer compare); on a miss s's own backing becomes
+// canonical when its bucket has room, and is merely assigned an id when
+// the bucket is full (losing future hits against it, never soundness).
+// The caller has checked the set is non-empty.
+func (f *bitmapFactory) internID(s *bitmapSet) uint64 {
+	sh := s.s
+	g := sh.b.Gen() + 1
+	if sh.idGen == g {
+		return sh.id // unchanged since last resolution
+	}
 	f.stats.DedupLookups++
-	h := s.s.b.Hash()
+	h := f.hashOf(sh)
 	bucket := f.dedup[h]
+	already := false
 	for _, cand := range bucket {
-		if cand == s.s {
-			return // already the canonical backing
+		if cand == sh {
+			already = true // in the table, but its id predates this scheme
+			continue
 		}
-		if cand.b.Equal(&s.s.b) {
+		if cand.b.Equal(&sh.b) {
 			f.stats.DedupHits++
 			f.stats.CowShares++
 			s.release()
 			cand.refs++
 			s.s = cand
-			return
+			return f.canonicalID(cand)
 		}
 	}
-	if len(bucket) < dedupBucketCap {
+	f.nextID++
+	sh.id = f.nextID
+	sh.idGen = g
+	if !already && len(bucket) < dedupBucketCap {
 		// The table holds its own reference so a canonical backing is
 		// never recycled out from under a future hit.
-		s.s.refs++
-		s.s.interned = true
-		f.dedup[h] = append(bucket, s.s)
+		sh.refs++
+		sh.interned = true
+		f.dedup[h] = append(bucket, sh)
 	}
+	return sh.id
+}
+
+// canonicalID returns the id of a backing already in the dedup table,
+// assigning one if it was interned before ids existed for its current
+// content.
+func (f *bitmapFactory) canonicalID(sh *sharedBM) uint64 {
+	g := sh.b.Gen() + 1
+	if sh.idGen != g {
+		f.nextID++
+		sh.id = f.nextID
+		sh.idGen = g
+	}
+	return sh.id
 }
 
 // mutable returns the backing bitmap with s as its sole owner, paying a

@@ -19,7 +19,9 @@
 //	    -offline-threshold percent relative, or an async cell that failed
 //	    a gate: wall clock beyond -async-threshold on matched cells, or —
 //	    unconditionally, for every async cell of new.json — a nonzero
-//	    merge_share, a zero message count, or a recorded error), or a run
+//	    merge_share, a zero message count, or a recorded error, or a memo
+//	    cell of new.json with a recorded error or a hit rate below
+//	    -memo-threshold percent), or a run
 //	    present in old.json is missing from new.json (a silently dropped
 //	    benchmark must not pass)
 //	2 — usage or report-parsing error (including a schema_version this
@@ -51,6 +53,7 @@ func main() {
 	offlineThreshold := flag.Float64("offline-threshold", 10, "fail when a workload's HVN+HU extra reduction beyond OVS-only shrinks by more than this percent relative to the baseline (0 disables)")
 	goThreshold := flag.Float64("go-threshold", 50, "fail when a go_frontend cell's constraint or call-edge count drifts more than this percent in either direction (0 disables; a cell with an error or empty callgraph always fails)")
 	asyncThreshold := flag.Float64("async-threshold", 0, "fail when a matched async cell's wall clock grows more than this percent (0 disables the wall gate; every async cell of new.json is still hard-gated on merge_share == 0, nonzero messages and no error)")
+	memoThreshold := flag.Float64("memo-threshold", 0, "fail when a memo cell of new.json reports a hit rate below this percent (0 disables the hit-rate gate; every memo cell of new.json is still hard-gated on no error, and matched cells on the main wall threshold)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-seconds s] [-alloc-threshold pct] [-mem-threshold pct] [-merge-share frac] old.json new.json")
 		flag.PrintDefaults()
@@ -78,6 +81,7 @@ func main() {
 		OfflineThresholdPercent: *offlineThreshold,
 		GoThresholdPercent:      *goThreshold,
 		AsyncThresholdPercent:   *asyncThreshold,
+		MemoThresholdPercent:    *memoThreshold,
 	})
 	diff.Print(os.Stdout)
 	if diff.Failed() {

@@ -16,6 +16,10 @@
 #   async      — stage 11 (asynchronous engine: named async tests and the
 #                async fuzz-seed replay under -race, then antsolve -async
 #                end-to-end with its solution diffed against sequential)
+#   memo       — stage 12 (operation memoization: the memo/pts unit tests
+#                and the memo property/fuzz-seed replays under -race, then
+#                antsolve -memo end-to-end — sequential and async — with
+#                the solutions diffed against plain solving)
 #
 # The stages:
 #   1. a gofmt gate (fails listing any unformatted file);
@@ -64,6 +68,13 @@
 #      fuzz seed corpus replayed through the async configurations under
 #      -race, and an end-to-end antsolve run — the same workload solved
 #      sequentially and with -async -workers 4, gating on byte-identical
+#      points-to solutions;
+#  12. the memoization gate: the internal/memo and pts interning unit
+#      tests plus the memo property test and fuzz-seed replay under the
+#      race detector (the parallel shard path hashes cross-owner delta
+#      payloads concurrently, so a mutating Hash surfaces here), then an
+#      end-to-end antsolve run — the same workload solved plain, with
+#      -memo, and with -memo -async -workers 4, gating on byte-identical
 #      points-to solutions.
 #
 # /bin/sh has no pipefail, so every stage below is a plain command (or
@@ -74,9 +85,9 @@ cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 case "$stage" in
-all | static | test | race | serve | gofrontend | async) ;;
+all | static | test | race | serve | gofrontend | async | memo) ;;
 *)
-	echo "usage: check.sh [all|static|test|race|serve|gofrontend|async]" >&2
+	echo "usage: check.sh [all|static|test|race|serve|gofrontend|async|memo]" >&2
 	exit 2
 	;;
 esac
@@ -246,6 +257,49 @@ if want async; then
 		exit 1
 	fi
 	echo "async solution matches sequential ($(wc -l <"$asyncdir/seq.sol") non-empty sets)"
+fi
+
+if want memo; then
+	echo "==> go test -race -count=1 ./internal/memo"
+	go test -race -count=1 ./internal/memo
+
+	echo "==> go test -race -count=1 -run 'TestInternID|TestHashOf|TestAdopt' ./internal/pts"
+	go test -race -count=1 -run 'TestInternID|TestHashOf|TestAdopt' ./internal/pts
+
+	echo "==> go test -race -count=1 -run 'TestMemoMatchesPlainOnSynthPrograms|TestFuzzSeedsMemo' ./internal/oracle"
+	go test -race -count=1 -run 'TestMemoMatchesPlainOnSynthPrograms|TestFuzzSeedsMemo' ./internal/oracle
+
+	echo "==> antsolve -memo end-to-end vs plain"
+	memodir=$(mktemp -d "${TMPDIR:-/tmp}/antgrass-memo.XXXXXX")
+	cleanup_memo() {
+		rm -rf "$memodir"
+		if [ -n "${tmpcache:-}" ]; then
+			rm -rf "$tmpcache"
+		fi
+	}
+	# Replaces the earlier throwaway-GOCACHE trap, so it also removes
+	# $tmpcache when that branch was taken.
+	trap cleanup_memo EXIT INT TERM
+	go build -o "$memodir/antsynth" ./cmd/antsynth
+	go build -o "$memodir/antsolve" ./cmd/antsolve
+	"$memodir/antsynth" -bench emacs -scale 0.1 -o "$memodir/prog.constraints"
+	"$memodir/antsolve" -alg lcd -hcd -print "$memodir/prog.constraints" >"$memodir/plain.txt"
+	"$memodir/antsolve" -alg lcd -hcd -memo -print "$memodir/prog.constraints" >"$memodir/memo.txt"
+	"$memodir/antsolve" -alg lcd -hcd -memo -workers 4 -async -print "$memodir/prog.constraints" >"$memodir/memo-async.txt"
+	# Compare only the solution lines ("name -> {...}"); the headers
+	# carry wall-clock times that legitimately differ. grep exits 1 on an
+	# empty solution, failing the stage under set -e.
+	grep ' -> {' "$memodir/plain.txt" >"$memodir/plain.sol"
+	grep ' -> {' "$memodir/memo.txt" >"$memodir/memo.sol"
+	grep ' -> {' "$memodir/memo-async.txt" >"$memodir/memo-async.sol"
+	for sol in memo memo-async; do
+		if ! cmp -s "$memodir/plain.sol" "$memodir/$sol.sol"; then
+			echo "memo: antsolve $sol solution differs from plain:" >&2
+			diff "$memodir/plain.sol" "$memodir/$sol.sol" >&2 || true
+			exit 1
+		fi
+	done
+	echo "memo solutions match plain ($(wc -l <"$memodir/plain.sol") non-empty sets)"
 fi
 
 echo "OK"

@@ -285,6 +285,7 @@ func resumableConfig(o Options) bool {
 func coreLiveOptions(o Options) core.Options {
 	copts := core.Options{
 		DiffProp: o.DiffProp,
+		Memo:     o.Memo,
 		Progress: o.Progress,
 		Metrics:  o.Metrics,
 	}
